@@ -1,0 +1,275 @@
+//! H2O: heavy-hitter-oracle eviction (Zhang et al., NeurIPS 2023).
+//!
+//! H2O keeps a fixed-size cache containing the most recent tokens plus the
+//! "heavy hitters" — tokens whose *accumulated* attention weights are
+//! largest. Tokens evicted from this cache are gone for good: H2O is the
+//! canonical **non-recallable** compression method of Fig. 1b, and its
+//! inability to bring back tokens whose importance rises later is exactly the
+//! behaviour ClusterKV's motivation study (Fig. 3a) targets.
+
+use clusterkv_kvcache::types::Budget;
+use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_tensor::ops::attention_weights;
+use clusterkv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the budget reserved for the most recent tokens (the rest goes
+/// to heavy hitters). H2O uses an even split by default.
+pub const DEFAULT_RECENT_FRACTION: f64 = 0.5;
+
+/// A token retained by H2O, with its key and accumulated attention score.
+#[derive(Debug, Clone)]
+struct Retained {
+    position: usize,
+    key: Vec<f32>,
+    accumulated: f32,
+}
+
+/// H2O selection state for one attention head.
+#[derive(Debug, Clone)]
+pub struct H2oSelector {
+    head_dim: usize,
+    recent_fraction: f64,
+    retained: Vec<Retained>,
+    scored: u64,
+}
+
+impl H2oSelector {
+    /// Create an H2O selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recent_fraction` is not in `[0, 1]`.
+    pub fn new(recent_fraction: f64, head_dim: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&recent_fraction),
+            "recent_fraction must be in [0, 1]"
+        );
+        Self {
+            head_dim,
+            recent_fraction,
+            retained: Vec::new(),
+            scored: 0,
+        }
+    }
+
+    /// Positions currently retained (for tests / analysis).
+    pub fn retained_positions(&self) -> Vec<usize> {
+        self.retained.iter().map(|r| r.position).collect()
+    }
+
+    /// Evict down to `budget` tokens: keep the most recent
+    /// `recent_fraction · budget` tokens unconditionally, fill the rest with
+    /// the largest accumulated scores. Evicted tokens are dropped permanently.
+    fn evict_to(&mut self, budget: usize) {
+        if self.retained.len() <= budget {
+            return;
+        }
+        let recent_quota = ((budget as f64 * self.recent_fraction).round() as usize).min(budget);
+        let heavy_quota = budget - recent_quota;
+
+        // Most recent tokens (positions are strictly increasing).
+        self.retained.sort_by_key(|r| r.position);
+        let recent_cutoff = self.retained.len() - recent_quota;
+        let recent: Vec<Retained> = self.retained.split_off(recent_cutoff);
+
+        // Heavy hitters among the remainder.
+        self.retained.sort_by(|a, b| {
+            b.accumulated
+                .partial_cmp(&a.accumulated)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.retained.truncate(heavy_quota);
+        self.retained.extend(recent);
+        self.retained.sort_by_key(|r| r.position);
+    }
+}
+
+impl TokenSelector for H2oSelector {
+    fn name(&self) -> &str {
+        "H2O"
+    }
+
+    fn on_prefill(&mut self, keys: &Matrix) {
+        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+        for i in 0..keys.rows() {
+            self.retained.push(Retained {
+                position: i,
+                key: keys.row(i).to_vec(),
+                accumulated: 0.0,
+            });
+        }
+    }
+
+    fn on_append(&mut self, position: usize, key: &[f32]) {
+        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+        self.retained.push(Retained {
+            position,
+            key: key.to_vec(),
+            accumulated: 0.0,
+        });
+    }
+
+    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
+        // Accumulate attention weights over the *retained* tokens only (the
+        // defining approximation of non-recallable methods: evicted tokens
+        // are never re-scored).
+        let weights = attention_weights(query, self.retained.iter().map(|r| r.key.as_slice()));
+        self.scored += self.retained.len() as u64;
+        for (r, w) in self.retained.iter_mut().zip(&weights) {
+            r.accumulated += w;
+        }
+        self.evict_to(budget.tokens());
+        self.retained
+            .iter()
+            .map(|r| r.position)
+            .filter(|&p| p < num_tokens)
+            .collect()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            scored_vectors: self.scored,
+            ..PolicyStats::default()
+        }
+    }
+}
+
+/// Factory for [`H2oSelector`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct H2oFactory {
+    /// Fraction of the budget reserved for recent tokens.
+    pub recent_fraction: f64,
+}
+
+impl Default for H2oFactory {
+    fn default() -> Self {
+        Self {
+            recent_fraction: DEFAULT_RECENT_FRACTION,
+        }
+    }
+}
+
+impl H2oFactory {
+    /// Create a factory with a custom recent-token fraction.
+    pub fn new(recent_fraction: f64) -> Self {
+        Self { recent_fraction }
+    }
+}
+
+impl SelectorFactory for H2oFactory {
+    fn name(&self) -> &str {
+        "H2O"
+    }
+
+    fn create(&self, ctx: HeadContext) -> Box<dyn TokenSelector> {
+        Box::new(H2oSelector::new(self.recent_fraction, ctx.head_dim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_keys(n: usize, dim: usize) -> Matrix {
+        Matrix::from_rows((0..n).map(|i| vec![0.01 * (i % 3) as f32; dim]).collect()).unwrap()
+    }
+
+    #[test]
+    fn selection_respects_budget() {
+        let mut h = H2oSelector::new(0.5, 8);
+        h.on_prefill(&uniform_keys(64, 8));
+        let out = h.select(&vec![0.1; 8], 64, Budget::new(16));
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(|&t| t < 64));
+    }
+
+    #[test]
+    fn heavy_hitter_is_kept() {
+        let dim = 8;
+        let mut rows = vec![vec![0.01f32; dim]; 40];
+        rows[5][0] = 8.0; // token 5 gets huge attention for q = e0
+        let mut h = H2oSelector::new(0.25, dim);
+        h.on_prefill(&Matrix::from_rows(rows).unwrap());
+        let mut q = vec![0.0f32; dim];
+        q[0] = 1.0;
+        let out = h.select(&q, 40, Budget::new(8));
+        assert!(out.contains(&5), "heavy hitter must survive eviction");
+    }
+
+    #[test]
+    fn recent_tokens_are_kept() {
+        let mut h = H2oSelector::new(0.5, 4);
+        h.on_prefill(&uniform_keys(32, 4));
+        let out = h.select(&vec![0.1; 4], 32, Budget::new(8));
+        // Half the budget goes to the most recent tokens 28..32.
+        for t in 28..32 {
+            assert!(out.contains(&t), "recent token {t} missing: {out:?}");
+        }
+    }
+
+    #[test]
+    fn eviction_is_permanent_not_recallable() {
+        // A token that looks unimportant at the first step but would be very
+        // important for a later query stays evicted — the failure mode that
+        // motivates recallable compression (Fig. 3a).
+        let dim = 4;
+        let mut rows = vec![vec![0.01f32; dim]; 40];
+        rows[2][1] = 9.0; // only important for a q along e1
+        for row in rows.iter_mut().take(20).skip(10) {
+            row[0] = 2.0; // clearly important for the first query (along e0)
+        }
+        let mut h = H2oSelector::new(0.5, dim);
+        h.on_prefill(&Matrix::from_rows(rows).unwrap());
+
+        // First query along e0: token 2 looks unimportant and gets evicted.
+        let mut q0 = vec![0.0f32; dim];
+        q0[0] = 1.0;
+        let first = h.select(&q0, 40, Budget::new(8));
+        assert!(!first.contains(&2));
+
+        // Later query along e1: token 2 would now be the most important, but
+        // H2O can no longer recall it.
+        let mut q1 = vec![0.0f32; dim];
+        q1[1] = 1.0;
+        let second = h.select(&q1, 40, Budget::new(8));
+        assert!(
+            !second.contains(&2),
+            "H2O must not be able to recall the evicted token"
+        );
+    }
+
+    #[test]
+    fn appended_tokens_enter_the_cache() {
+        let mut h = H2oSelector::new(0.5, 4);
+        h.on_prefill(&uniform_keys(16, 4));
+        h.on_append(16, &[5.0, 0.0, 0.0, 0.0]);
+        let out = h.select(&[1.0, 0.0, 0.0, 0.0], 17, Budget::new(6));
+        assert!(out.contains(&16));
+        assert!(out.len() <= 6);
+    }
+
+    #[test]
+    fn small_context_is_left_alone() {
+        let mut h = H2oSelector::new(0.5, 4);
+        h.on_prefill(&uniform_keys(4, 4));
+        let out = h.select(&vec![0.1; 4], 4, Budget::new(16));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn factory_and_stats() {
+        let f = H2oFactory::default();
+        assert_eq!(f.name(), "H2O");
+        let mut sel = f.create(HeadContext { layer: 0, head: 0, head_dim: 4 });
+        sel.on_prefill(&uniform_keys(8, 4));
+        sel.select(&vec![0.1; 4], 8, Budget::new(4));
+        assert!(sel.stats().scored_vectors >= 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_recent_fraction_panics() {
+        H2oSelector::new(1.5, 4);
+    }
+}

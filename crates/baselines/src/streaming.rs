@@ -1,0 +1,156 @@
+//! StreamingLLM: attention sinks plus a sliding window (Xiao et al.,
+//! ICLR 2024).
+//!
+//! StreamingLLM keeps the first few tokens (attention sinks) and the most
+//! recent tokens, dropping everything in between. It is the simplest
+//! fixed-pattern, non-recallable compression scheme (the "fixed patterns"
+//! reference [9] of the paper) and serves as a lower bound for selection
+//! quality in the recall experiments.
+
+use clusterkv_kvcache::types::Budget;
+use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Number of attention-sink tokens retained by default (matches the 16 sink
+/// tokens ClusterKV also retains).
+pub const DEFAULT_SINK_TOKENS: usize = 16;
+
+/// StreamingLLM selection state for one attention head.
+#[derive(Debug, Clone)]
+pub struct StreamingSelector {
+    sink_tokens: usize,
+    num_tokens: usize,
+}
+
+impl StreamingSelector {
+    /// Create a selector retaining `sink_tokens` initial tokens.
+    pub fn new(sink_tokens: usize) -> Self {
+        Self {
+            sink_tokens,
+            num_tokens: 0,
+        }
+    }
+}
+
+impl TokenSelector for StreamingSelector {
+    fn name(&self) -> &str {
+        "StreamingLLM"
+    }
+
+    fn on_prefill(&mut self, keys: &Matrix) {
+        self.num_tokens = keys.rows();
+    }
+
+    fn on_append(&mut self, position: usize, _key: &[f32]) {
+        self.num_tokens = self.num_tokens.max(position + 1);
+    }
+
+    fn select(&mut self, _query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
+        let n = num_tokens.min(self.num_tokens.max(num_tokens));
+        if budget.covers(n) {
+            return (0..n).collect();
+        }
+        let sinks = self.sink_tokens.min(budget.tokens()).min(n);
+        let window = budget.tokens() - sinks;
+        let mut selected: Vec<usize> = (0..sinks).collect();
+        let window_start = n.saturating_sub(window).max(sinks);
+        selected.extend(window_start..n);
+        selected
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+/// Factory for [`StreamingSelector`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamingFactory {
+    /// Number of attention-sink tokens to retain.
+    pub sink_tokens: usize,
+}
+
+impl Default for StreamingFactory {
+    fn default() -> Self {
+        Self {
+            sink_tokens: DEFAULT_SINK_TOKENS,
+        }
+    }
+}
+
+impl StreamingFactory {
+    /// Create a factory with a custom sink count.
+    pub fn new(sink_tokens: usize) -> Self {
+        Self { sink_tokens }
+    }
+}
+
+impl SelectorFactory for StreamingFactory {
+    fn name(&self) -> &str {
+        "StreamingLLM"
+    }
+
+    fn create(&self, _ctx: HeadContext) -> Box<dyn TokenSelector> {
+        Box::new(StreamingSelector::new(self.sink_tokens))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_sinks_and_recent_window() {
+        let mut s = StreamingSelector::new(4);
+        s.on_prefill(&Matrix::zeros(100, 8));
+        let out = s.select(&[0.0; 8], 100, Budget::new(12));
+        assert_eq!(out.len(), 12);
+        assert_eq!(&out[..4], &[0, 1, 2, 3]);
+        assert_eq!(&out[4..], &(92..100).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn short_context_selects_everything() {
+        let mut s = StreamingSelector::new(4);
+        s.on_prefill(&Matrix::zeros(6, 8));
+        assert_eq!(s.select(&[0.0; 8], 6, Budget::new(16)), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_duplicate_indices_when_window_meets_sinks() {
+        let mut s = StreamingSelector::new(8);
+        s.on_prefill(&Matrix::zeros(10, 4));
+        let out = s.select(&[0.0; 4], 10, Budget::new(9));
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(set.len(), out.len());
+        assert!(out.len() <= 9);
+    }
+
+    #[test]
+    fn middle_tokens_are_never_selected() {
+        let mut s = StreamingSelector::new(4);
+        s.on_prefill(&Matrix::zeros(1000, 4));
+        s.on_append(1000, &[0.0; 4]);
+        let out = s.select(&[0.0; 4], 1001, Budget::new(20));
+        assert!(out.iter().all(|&t| t < 4 || t >= 985));
+    }
+
+    #[test]
+    fn budget_smaller_than_sinks_is_clamped() {
+        let mut s = StreamingSelector::new(16);
+        s.on_prefill(&Matrix::zeros(100, 4));
+        let out = s.select(&[0.0; 4], 100, Budget::new(8));
+        assert_eq!(out.len(), 8);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn factory_creates_named_selector() {
+        let f = StreamingFactory::default();
+        assert_eq!(f.sink_tokens, DEFAULT_SINK_TOKENS);
+        let sel = f.create(HeadContext { layer: 0, head: 0, head_dim: 4 });
+        assert_eq!(sel.name(), "StreamingLLM");
+        assert_eq!(StreamingFactory::new(2).sink_tokens, 2);
+    }
+}

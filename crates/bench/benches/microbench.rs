@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks backing the efficiency discussion of the paper
+//! (§III-D "Efficiency Concerns" and the kernel design of §IV):
+//!
+//! * semantic clustering throughput vs context length (Concern 1),
+//! * cluster selection & indexing vs number of clusters (Concern 2),
+//! * Quest page-metadata scoring (the baseline ClusterKV's selection cost is
+//!   compared against),
+//! * cluster-cache lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clusterkv::{select_clusters, ClusterCache, ClusterKvConfig, DistanceMetric, KMeans, SemanticClustering};
+use clusterkv_baselines::QuestFactory;
+use clusterkv_kvcache::types::Budget;
+use clusterkv_model::policy::{HeadContext, SelectorFactory};
+use clusterkv_tensor::rng::{gaussian_vec, seeded};
+use clusterkv_tensor::Matrix;
+
+fn random_keys(n: usize, dim: usize, seed: u64) -> Matrix {
+    let mut rng = seeded(seed);
+    Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+}
+
+/// Concern 1: clustering cost `O(n_i · C · L · d)` vs context length.
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_clustering");
+    group.sample_size(10);
+    for &len in &[1024usize, 4096, 8192] {
+        let keys = random_keys(len, 64, 7);
+        let c0 = (len / 80).max(4);
+        group.bench_with_input(BenchmarkId::new("kmeans_c0", len), &keys, |b, keys| {
+            b.iter(|| {
+                let km = KMeans::new(DistanceMetric::Cosine, 10, 3);
+                black_box(km.fit(keys, c0))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Concern 2: selection + indexing cost vs number of clusters.
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_selection");
+    for &c0 in &[100usize, 200, 400, 800] {
+        let len = 8192;
+        let config = ClusterKvConfig::default().with_tokens_per_cluster((len / c0).max(1));
+        let mut clustering = SemanticClustering::new(config, 64);
+        clustering.prefill(&random_keys(len, 64, 11));
+        let query = gaussian_vec(&mut seeded(13), 64, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("select", c0), &clustering, |b, cl| {
+            b.iter(|| black_box(select_clusters(&query, cl, Budget::new(1024))))
+        });
+    }
+    group.finish();
+}
+
+/// Quest page-metadata scoring for the same context length (the selection
+/// cost ClusterKV's centroid scoring is compared against in §III-D).
+fn bench_quest_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quest_selection");
+    let len = 8192;
+    let keys = random_keys(len, 64, 17);
+    let factory = QuestFactory::default();
+    let mut selector = factory.create(HeadContext { layer: 0, head: 0, head_dim: 64 });
+    selector.on_prefill(&keys);
+    let query = gaussian_vec(&mut seeded(19), 64, 0.0, 1.0);
+    group.bench_function("page_scoring_8k", |b| {
+        b.iter(|| black_box(selector.select(&query, len, Budget::new(1024))))
+    });
+    group.finish();
+}
+
+/// Cluster-cache lookup and update cost.
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_cache");
+    let selections: Vec<Vec<usize>> = (0..64).map(|i| ((i % 7)..(i % 7 + 20)).collect()).collect();
+    group.bench_function("access_r1", |b| {
+        b.iter(|| {
+            let mut cache = ClusterCache::new(1);
+            for sel in &selections {
+                black_box(cache.access(sel, |c| c + 10));
+            }
+            black_box(cache.stats())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clustering,
+    bench_selection,
+    bench_quest_selection,
+    bench_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiments E3/E4 — Fig. 9 and Table I of the paper.
+//!
+//! Per-dataset scores of Quest, InfiniGen, ClusterKV and Full KV on the
+//! eight LongBench profiles under KV budgets of 256/512/1024/2048 tokens,
+//! plus the average over datasets (Table I).
+//!
+//! Run with: `cargo run --release -p clusterkv-bench --bin fig09_longbench`
+
+use clusterkv_bench::{evaluate, Method};
+use clusterkv_metrics::{fmt, mean, Table};
+use clusterkv_workloads::{Episode, LongBenchDataset};
+use std::collections::BTreeMap;
+
+const BUDGETS: [usize; 4] = [256, 512, 1024, 2048];
+
+fn main() {
+    println!("# Fig. 9 — LongBench scores per dataset and budget\n");
+
+    // averages[method][budget] -> scores across datasets.
+    let mut averages: BTreeMap<(String, usize), Vec<f64>> = BTreeMap::new();
+
+    for dataset in LongBenchDataset::all() {
+        let profile = dataset.profile();
+        let episode = Episode::generate(profile.episode);
+        let mut table = Table::new(vec!["Method", "B=256", "B=512", "B=1024", "B=2048"]);
+        for method in Method::all() {
+            let mut cells = vec![method.name().to_string()];
+            for &budget in &BUDGETS {
+                let result = evaluate(method, &episode, budget);
+                let score = profile.score(&result);
+                cells.push(fmt(score, 2));
+                averages
+                    .entry((method.name().to_string(), budget))
+                    .or_default()
+                    .push(score);
+            }
+            table.row(cells);
+        }
+        println!("## {} ({}, context {} tokens)\n", dataset, profile.metric, profile.episode.context_len);
+        println!("{}", table.render());
+    }
+
+    println!("# Table I — average score over the eight datasets\n");
+    let mut table = Table::new(vec!["Method", "B=256", "B=512", "B=1024", "B=2048"]);
+    for method in Method::all() {
+        let mut cells = vec![method.name().to_string()];
+        for &budget in &BUDGETS {
+            let scores = &averages[&(method.name().to_string(), budget)];
+            cells.push(fmt(mean(scores), 2));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper reference (Table I): Quest 35.63/40.83/43.23/45.59, \
+         InfiniGen 43.69/45.04/45.13/45.14, ClusterKV 46.69/48.02/48.34/48.70, Full KV 49.01."
+    );
+}

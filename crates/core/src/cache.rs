@@ -1,0 +1,201 @@
+//! Cluster-granularity cache of selected KV on the GPU (§IV-D).
+//!
+//! During decoding ClusterKV keeps the KV of the clusters selected in the
+//! last `R` steps resident in GPU memory. At the current step, selected
+//! clusters already resident are *hits* (no PCIe transfer); the rest are
+//! *misses* and must be fetched from CPU memory. The paper finds `R = 1`
+//! (keeping only the previous step's clusters) to be a good trade-off, with
+//! token-level hit rates of 63 % (`R = 1`) and 74 % (`R = 2`).
+
+use clusterkv_kvcache::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheAccess {
+    /// Selected clusters already resident on the GPU.
+    pub hit_clusters: Vec<usize>,
+    /// Selected clusters that must be fetched from CPU memory.
+    pub missed_clusters: Vec<usize>,
+    /// Number of tokens in hit clusters.
+    pub hit_tokens: usize,
+    /// Number of tokens in missed clusters.
+    pub missed_tokens: usize,
+}
+
+/// Recency cache over selected cluster ids.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv::ClusterCache;
+///
+/// let mut cache = ClusterCache::new(1);
+/// let sizes = |c: usize| 10 + c; // pretend cluster c has 10 + c tokens
+/// let first = cache.access(&[0, 1], sizes);
+/// assert_eq!(first.hit_clusters.len(), 0);
+/// let second = cache.access(&[1, 2], sizes);
+/// assert_eq!(second.hit_clusters, vec![1]);
+/// assert_eq!(second.missed_clusters, vec![2]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterCache {
+    recency_window: usize,
+    /// Cluster-id sets selected in the last `R` steps (front = oldest).
+    history: VecDeque<HashSet<usize>>,
+    /// Token-level hit/miss statistics.
+    stats: CacheStats,
+}
+
+impl ClusterCache {
+    /// Create a cache retaining the clusters of the last `recency_window`
+    /// steps. A window of 0 disables caching (every access misses).
+    pub fn new(recency_window: usize) -> Self {
+        Self {
+            recency_window,
+            history: VecDeque::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The recency window `R`.
+    pub fn recency_window(&self) -> usize {
+        self.recency_window
+    }
+
+    /// Token-level hit/miss statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether a cluster is currently resident.
+    pub fn contains(&self, cluster: usize) -> bool {
+        self.history.iter().any(|step| step.contains(&cluster))
+    }
+
+    /// Look up the selected clusters, record hit/miss statistics (weighted by
+    /// `cluster_size`), and update the recency window with this step's
+    /// selection.
+    pub fn access<F>(&mut self, selected_clusters: &[usize], cluster_size: F) -> CacheAccess
+    where
+        F: Fn(usize) -> usize,
+    {
+        let mut hit_clusters = Vec::new();
+        let mut missed_clusters = Vec::new();
+        let mut hit_tokens = 0usize;
+        let mut missed_tokens = 0usize;
+        for &c in selected_clusters {
+            let size = cluster_size(c);
+            if self.contains(c) {
+                hit_clusters.push(c);
+                hit_tokens += size;
+            } else {
+                missed_clusters.push(c);
+                missed_tokens += size;
+            }
+        }
+        self.stats.record_hits(hit_tokens as u64);
+        self.stats.record_misses(missed_tokens as u64);
+
+        if self.recency_window > 0 {
+            self.history
+                .push_back(selected_clusters.iter().copied().collect());
+            while self.history.len() > self.recency_window {
+                self.history.pop_front();
+            }
+        }
+
+        CacheAccess {
+            hit_clusters,
+            missed_clusters,
+            hit_tokens,
+            missed_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_size(_c: usize) -> usize {
+        1
+    }
+
+    #[test]
+    fn first_access_is_all_misses() {
+        let mut cache = ClusterCache::new(1);
+        let a = cache.access(&[1, 2, 3], unit_size);
+        assert!(a.hit_clusters.is_empty());
+        assert_eq!(a.missed_clusters, vec![1, 2, 3]);
+        assert_eq!(a.missed_tokens, 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn repeat_selection_hits_with_r1() {
+        let mut cache = ClusterCache::new(1);
+        cache.access(&[1, 2], unit_size);
+        let a = cache.access(&[1, 2], unit_size);
+        assert_eq!(a.hit_clusters, vec![1, 2]);
+        assert!(a.missed_clusters.is_empty());
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r1_forgets_after_one_step() {
+        let mut cache = ClusterCache::new(1);
+        cache.access(&[1], unit_size);
+        cache.access(&[2], unit_size);
+        // Cluster 1 was selected two steps ago: with R = 1 it is gone.
+        let a = cache.access(&[1], unit_size);
+        assert_eq!(a.missed_clusters, vec![1]);
+    }
+
+    #[test]
+    fn r2_retains_two_steps() {
+        let mut cache = ClusterCache::new(2);
+        cache.access(&[1], unit_size);
+        cache.access(&[2], unit_size);
+        let a = cache.access(&[1, 2], unit_size);
+        assert_eq!(a.hit_clusters, vec![1, 2]);
+    }
+
+    #[test]
+    fn larger_window_never_has_lower_hit_rate() {
+        // Alternating selections: R=2 must hit at least as often as R=1.
+        let pattern: Vec<Vec<usize>> = (0..40).map(|i| vec![i % 3, (i + 1) % 3]).collect();
+        let mut r1 = ClusterCache::new(1);
+        let mut r2 = ClusterCache::new(2);
+        for sel in &pattern {
+            r1.access(sel, unit_size);
+            r2.access(sel, unit_size);
+        }
+        assert!(r2.stats().hit_rate() >= r1.stats().hit_rate());
+        assert!(r2.stats().hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn zero_window_disables_caching() {
+        let mut cache = ClusterCache::new(0);
+        cache.access(&[1], unit_size);
+        let a = cache.access(&[1], unit_size);
+        assert_eq!(a.missed_clusters, vec![1]);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.recency_window(), 0);
+    }
+
+    #[test]
+    fn token_weighted_statistics() {
+        let sizes = |c: usize| if c == 0 { 100 } else { 10 };
+        let mut cache = ClusterCache::new(1);
+        cache.access(&[0, 1], sizes); // 110 missed tokens
+        cache.access(&[0], sizes); // 100 hit tokens
+        let s = cache.stats();
+        assert_eq!(s.misses, 110);
+        assert_eq!(s.hits, 100);
+        assert!(cache.contains(0));
+        assert!(!cache.contains(1));
+    }
+}

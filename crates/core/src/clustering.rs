@@ -1,0 +1,303 @@
+//! Semantic clustering state of a single attention head.
+//!
+//! [`SemanticClustering`] owns the cluster centroids and metadata of one head
+//! across the whole inference:
+//!
+//! * After prefill, the keys of the prompt (minus the first
+//!   [`sink_tokens`](crate::ClusterKvConfig::sink_tokens) attention sinks)
+//!   are clustered into `C0 = L / 80` clusters (§III-B).
+//! * During decoding, generated keys are buffered and clustered **among
+//!   themselves** every `m` steps into `C+` additional clusters, so the cost
+//!   of re-clustering the whole context is never paid (§III-B).
+//!
+//! Tokens that are not covered by any cluster — the attention sinks and the
+//! not-yet-clustered decode buffer — are reported separately so the selection
+//! step can always retain them.
+
+use crate::config::ClusterKvConfig;
+use crate::kmeans::KMeans;
+use crate::metadata::ClusterMetadata;
+use clusterkv_tensor::rng::derive_seed;
+use clusterkv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Clustering state of one attention head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemanticClustering {
+    config: ClusterKvConfig,
+    head_dim: usize,
+    /// Centroids of all clusters created so far (`C × d`).
+    centroids: Matrix,
+    /// Sizes / prefix sums / sorted indices of those clusters.
+    metadata: ClusterMetadata,
+    /// Positions of the attention-sink tokens (always retained).
+    sinks: Vec<usize>,
+    /// Decode-time keys awaiting incremental clustering: `(position, key)`.
+    buffer: Vec<(usize, Vec<f32>)>,
+    /// Number of incremental clustering runs performed so far.
+    incremental_runs: usize,
+    /// Total number of tokens observed (prefill + decode).
+    num_tokens: usize,
+}
+
+impl SemanticClustering {
+    /// Create empty clustering state for a head of dimension `head_dim`.
+    pub fn new(config: ClusterKvConfig, head_dim: usize) -> Self {
+        Self {
+            config,
+            head_dim,
+            centroids: Matrix::zeros(0, head_dim),
+            metadata: ClusterMetadata::new(),
+            sinks: Vec::new(),
+            buffer: Vec::new(),
+            incremental_runs: 0,
+            num_tokens: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ClusterKvConfig {
+        &self.config
+    }
+
+    /// Cluster centroids (`C × d`).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Cluster metadata (sizes, prefix sums, token indices).
+    pub fn metadata(&self) -> &ClusterMetadata {
+        &self.metadata
+    }
+
+    /// Positions of the attention-sink tokens.
+    pub fn sink_indices(&self) -> &[usize] {
+        &self.sinks
+    }
+
+    /// Positions of decode tokens not yet covered by a cluster.
+    pub fn pending_indices(&self) -> Vec<usize> {
+        self.buffer.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Number of clusters created so far.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Number of incremental (decode-time) clustering runs performed.
+    pub fn incremental_runs(&self) -> usize {
+        self.incremental_runs
+    }
+
+    /// Total number of tokens observed.
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// Cluster the prompt keys. Rows of `keys` are token positions
+    /// `0..keys.rows()`. The first `sink_tokens` positions are kept aside as
+    /// attention sinks; the rest are clustered into
+    /// [`ClusterKvConfig::prefill_clusters`] clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.cols() != head_dim` or if called more than once.
+    pub fn prefill(&mut self, keys: &Matrix) {
+        assert_eq!(keys.cols(), self.head_dim, "prefill key dim mismatch");
+        assert_eq!(self.num_tokens, 0, "prefill may only be called once");
+        let len = keys.rows();
+        self.num_tokens = len;
+        let sink = self.config.sink_tokens.min(len);
+        self.sinks = (0..sink).collect();
+
+        let clusterable = len - sink;
+        if clusterable == 0 {
+            return;
+        }
+        let c0 = self.config.prefill_clusters(len);
+        let kmeans = KMeans::new(
+            self.config.distance,
+            self.config.max_kmeans_iters,
+            derive_seed(self.config.seed, PREFILL_SEED_LABEL),
+        );
+        let clustered_keys = keys.slice_rows(sink, len);
+        let result = kmeans.fit(&clustered_keys, c0);
+        let assignments: Vec<(usize, usize)> = result
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| (sink + i, label))
+            .collect();
+        self.metadata.extend(&assignments, result.num_clusters());
+        for row in result.centroids.iter_rows() {
+            self.centroids.push_row(row).expect("centroid dims match");
+        }
+    }
+
+    /// Observe a decode-time key at absolute position `position`. Buffers the
+    /// key and, once `decode_cluster_period` keys have accumulated, clusters
+    /// them into `decode_new_clusters` new clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's length differs from `head_dim`.
+    pub fn append(&mut self, position: usize, key: &[f32]) {
+        assert_eq!(key.len(), self.head_dim, "append key dim mismatch");
+        self.buffer.push((position, key.to_vec()));
+        self.num_tokens = self.num_tokens.max(position + 1);
+        if self.buffer.len() >= self.config.decode_cluster_period {
+            self.flush_pending();
+        }
+    }
+
+    /// Force incremental clustering of whatever is currently buffered
+    /// (normally called automatically every `m` appends).
+    pub fn flush_pending(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let keys = Matrix::from_rows(self.buffer.iter().map(|(_, k)| k.clone()).collect())
+            .expect("buffer keys have equal dims");
+        let k = self.config.decode_new_clusters.min(keys.rows());
+        let kmeans = KMeans::new(
+            self.config.distance,
+            self.config.max_kmeans_iters,
+            derive_seed(self.config.seed, 0xD000 + self.incremental_runs as u64),
+        );
+        let result = kmeans.fit(&keys, k);
+        let assignments: Vec<(usize, usize)> = result
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| (self.buffer[i].0, label))
+            .collect();
+        self.metadata.extend(&assignments, result.num_clusters());
+        for row in result.centroids.iter_rows() {
+            self.centroids.push_row(row).expect("centroid dims match");
+        }
+        self.incremental_runs += 1;
+        self.buffer.clear();
+    }
+}
+
+/// Seed-derivation label for the prefill clustering run (decode runs use
+/// `0xD000 + run_index`).
+const PREFILL_SEED_LABEL: u64 = 0xA11F;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterkv_tensor::rng::{gaussian_vec, seeded};
+
+    fn random_keys(n: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+    }
+
+    fn config_small() -> ClusterKvConfig {
+        ClusterKvConfig::default()
+            .with_sink_tokens(4)
+            .with_tokens_per_cluster(8)
+            .with_decode_cluster_period(6)
+            .with_decode_new_clusters(2)
+    }
+
+    #[test]
+    fn prefill_separates_sinks_from_clusters() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(40, 8, 1));
+        assert_eq!(sc.sink_indices(), &[0, 1, 2, 3]);
+        assert_eq!(sc.num_tokens(), 40);
+        // 36 clusterable tokens / 8 per cluster = 5 (>= min_clusters 4).
+        assert_eq!(sc.num_clusters(), 5);
+        assert_eq!(sc.metadata().num_tokens(), 36);
+        // Sinks are not inside any cluster.
+        for c in 0..sc.num_clusters() {
+            for &t in sc.metadata().cluster_tokens(c) {
+                assert!(t >= 4, "sink token {t} must not be clustered");
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_sink_token_is_in_exactly_one_cluster() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(50, 8, 2));
+        let mut covered: Vec<usize> = (0..sc.num_clusters())
+            .flat_map(|c| sc.metadata().cluster_tokens(c).to_vec())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (4..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn short_prompt_is_all_sinks() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(3, 8, 3));
+        assert_eq!(sc.sink_indices(), &[0, 1, 2]);
+        assert_eq!(sc.num_clusters(), 0);
+    }
+
+    #[test]
+    fn decode_keys_buffer_then_cluster() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(20, 8, 4));
+        let clusters_after_prefill = sc.num_clusters();
+        // Five appends: below the period of 6, so still pending.
+        for i in 0..5 {
+            sc.append(20 + i, &vec![0.1 * i as f32; 8]);
+        }
+        assert_eq!(sc.pending_indices().len(), 5);
+        assert_eq!(sc.num_clusters(), clusters_after_prefill);
+        // Sixth append triggers incremental clustering into 2 new clusters.
+        sc.append(25, &vec![1.0; 8]);
+        assert_eq!(sc.pending_indices().len(), 0);
+        assert_eq!(sc.num_clusters(), clusters_after_prefill + 2);
+        assert_eq!(sc.incremental_runs(), 1);
+        assert_eq!(sc.num_tokens(), 26);
+    }
+
+    #[test]
+    fn flush_pending_handles_partial_buffer() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(20, 8, 5));
+        sc.append(20, &vec![1.0; 8]);
+        sc.flush_pending();
+        assert_eq!(sc.pending_indices().len(), 0);
+        // A single token forms a single cluster (k clamped to rows).
+        assert_eq!(sc.metadata().cluster_tokens(sc.num_clusters() - 1), &[20]);
+        // Flushing an empty buffer is a no-op.
+        let before = sc.num_clusters();
+        sc.flush_pending();
+        assert_eq!(sc.num_clusters(), before);
+    }
+
+    #[test]
+    fn centroid_count_matches_metadata() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(64, 8, 6));
+        for i in 0..12 {
+            sc.append(64 + i, &gaussian_vec(&mut seeded(100 + i as u64), 8, 0.0, 1.0));
+        }
+        sc.flush_pending();
+        assert_eq!(sc.num_clusters(), sc.metadata().num_clusters());
+        assert_eq!(sc.centroids().rows(), sc.num_clusters());
+        assert_eq!(sc.centroids().cols(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_prefill_panics() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(10, 8, 7));
+        sc.prefill(&random_keys(10, 8, 8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_key_dim_panics() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(10, 4, 9));
+    }
+}

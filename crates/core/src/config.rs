@@ -1,0 +1,231 @@
+//! Configuration of the ClusterKV algorithm.
+
+use crate::distance::DistanceMetric;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the ClusterKV algorithm, defaulting to the values chosen in
+/// the paper.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv::{ClusterKvConfig, DistanceMetric};
+///
+/// // The paper's configuration.
+/// let cfg = ClusterKvConfig::default();
+/// assert_eq!(cfg.sink_tokens, 16);
+/// assert_eq!(cfg.tokens_per_cluster, 80);
+///
+/// // An ablation configuration with L2 distance and more clusters.
+/// let ablation = ClusterKvConfig::default()
+///     .with_distance(DistanceMetric::L2)
+///     .with_tokens_per_cluster(40);
+/// assert_eq!(ablation.distance, DistanceMetric::L2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterKvConfig {
+    /// Number of initial tokens (attention sinks) that are never clustered
+    /// and always retained (§III-B; 16 in the paper).
+    pub sink_tokens: usize,
+    /// Prefill tokens per cluster: `C0 = L / tokens_per_cluster` (80 in the
+    /// paper, i.e. `C0 = 400` for a 32k context).
+    pub tokens_per_cluster: usize,
+    /// Lower bound on the number of prefill clusters (guards very short
+    /// prompts).
+    pub min_clusters: usize,
+    /// Distance metric used for clustering (§III-B; cosine in the paper,
+    /// L2 / inner product in the Fig. 11b ablation).
+    pub distance: DistanceMetric,
+    /// Maximum number of k-means iterations before declaring convergence.
+    pub max_kmeans_iters: usize,
+    /// Number of decoding steps between incremental clustering runs
+    /// (`m = 320` in the paper).
+    pub decode_cluster_period: usize,
+    /// Number of new clusters created per incremental clustering run
+    /// (`C+ = 4` in the paper).
+    pub decode_new_clusters: usize,
+    /// Recency window of the cluster-granularity GPU cache: KV of clusters
+    /// selected in the last `R` steps stay resident (`R = 1` in the paper).
+    pub recency_window: usize,
+    /// Seed for the (deterministic) random centroid initialisation.
+    pub seed: u64,
+}
+
+impl Default for ClusterKvConfig {
+    fn default() -> Self {
+        Self {
+            sink_tokens: 16,
+            tokens_per_cluster: 80,
+            min_clusters: 4,
+            distance: DistanceMetric::Cosine,
+            max_kmeans_iters: 20,
+            decode_cluster_period: 320,
+            decode_new_clusters: 4,
+            recency_window: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ClusterKvConfig {
+    /// The paper's configuration (same as [`Default`]).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefill clusters `C0` for a prompt of `prefill_len` tokens
+    /// (excluding sinks): `max(min_clusters, ceil(len / tokens_per_cluster))`,
+    /// clamped to the number of clusterable tokens.
+    pub fn prefill_clusters(&self, prefill_len: usize) -> usize {
+        let clusterable = prefill_len.saturating_sub(self.sink_tokens);
+        if clusterable == 0 {
+            return 0;
+        }
+        let wanted = clusterable.div_ceil(self.tokens_per_cluster).max(self.min_clusters);
+        wanted.min(clusterable)
+    }
+
+    /// Set the distance metric (builder style).
+    pub fn with_distance(mut self, distance: DistanceMetric) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// Set the tokens-per-cluster ratio (builder style). A smaller value
+    /// means more clusters (`C0 = L / tokens_per_cluster`).
+    pub fn with_tokens_per_cluster(mut self, tokens_per_cluster: usize) -> Self {
+        self.tokens_per_cluster = tokens_per_cluster;
+        self
+    }
+
+    /// Set the number of attention-sink tokens (builder style).
+    pub fn with_sink_tokens(mut self, sink_tokens: usize) -> Self {
+        self.sink_tokens = sink_tokens;
+        self
+    }
+
+    /// Set the recency window `R` of the cluster cache (builder style).
+    pub fn with_recency_window(mut self, recency_window: usize) -> Self {
+        self.recency_window = recency_window;
+        self
+    }
+
+    /// Set the incremental clustering period `m` (builder style).
+    pub fn with_decode_cluster_period(mut self, period: usize) -> Self {
+        self.decode_cluster_period = period;
+        self
+    }
+
+    /// Set the number of new clusters `C+` per incremental run (builder style).
+    pub fn with_decode_new_clusters(mut self, clusters: usize) -> Self {
+        self.decode_new_clusters = clusters;
+        self
+    }
+
+    /// Set the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tokens_per_cluster == 0 {
+            return Err("tokens_per_cluster must be > 0".into());
+        }
+        if self.min_clusters == 0 {
+            return Err("min_clusters must be > 0".into());
+        }
+        if self.max_kmeans_iters == 0 {
+            return Err("max_kmeans_iters must be > 0".into());
+        }
+        if self.decode_cluster_period == 0 {
+            return Err("decode_cluster_period must be > 0".into());
+        }
+        if self.decode_new_clusters == 0 {
+            return Err("decode_new_clusters must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_values() {
+        let c = ClusterKvConfig::default();
+        assert_eq!(c.sink_tokens, 16);
+        assert_eq!(c.tokens_per_cluster, 80);
+        assert_eq!(c.decode_cluster_period, 320);
+        assert_eq!(c.decode_new_clusters, 4);
+        assert_eq!(c.recency_window, 1);
+        assert_eq!(c.distance, DistanceMetric::Cosine);
+        assert_eq!(ClusterKvConfig::paper(), c);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn prefill_clusters_for_32k_context_is_about_400() {
+        let c = ClusterKvConfig::default();
+        // 32768 - 16 sinks = 32752 clusterable tokens -> ceil(/80) = 410.
+        let clusters = c.prefill_clusters(32_768);
+        assert!((400..=420).contains(&clusters), "clusters = {clusters}");
+    }
+
+    #[test]
+    fn prefill_clusters_handles_short_prompts() {
+        let c = ClusterKvConfig::default();
+        assert_eq!(c.prefill_clusters(0), 0);
+        assert_eq!(c.prefill_clusters(10), 0); // all sinks
+        assert_eq!(c.prefill_clusters(16), 0);
+        // 4 clusterable tokens; min_clusters=4 but clamped to 4 tokens.
+        assert_eq!(c.prefill_clusters(20), 4);
+        // 2 clusterable tokens: clamped to 2.
+        assert_eq!(c.prefill_clusters(18), 2);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = ClusterKvConfig::default()
+            .with_distance(DistanceMetric::InnerProduct)
+            .with_tokens_per_cluster(40)
+            .with_sink_tokens(8)
+            .with_recency_window(2)
+            .with_decode_cluster_period(160)
+            .with_decode_new_clusters(8)
+            .with_seed(99);
+        assert_eq!(c.distance, DistanceMetric::InnerProduct);
+        assert_eq!(c.tokens_per_cluster, 40);
+        assert_eq!(c.sink_tokens, 8);
+        assert_eq!(c.recency_window, 2);
+        assert_eq!(c.decode_cluster_period, 160);
+        assert_eq!(c.decode_new_clusters, 8);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn more_tokens_per_cluster_means_fewer_clusters() {
+        let dense = ClusterKvConfig::default().with_tokens_per_cluster(40);
+        let sparse = ClusterKvConfig::default().with_tokens_per_cluster(160);
+        assert!(dense.prefill_clusters(32_000) > sparse.prefill_clusters(32_000));
+    }
+
+    #[test]
+    fn validate_rejects_zero_fields() {
+        assert!(ClusterKvConfig::default().with_tokens_per_cluster(0).validate().is_err());
+        assert!(ClusterKvConfig::default().with_decode_cluster_period(0).validate().is_err());
+        assert!(ClusterKvConfig::default().with_decode_new_clusters(0).validate().is_err());
+        let mut c = ClusterKvConfig::default();
+        c.min_clusters = 0;
+        assert!(c.validate().is_err());
+        c = ClusterKvConfig::default();
+        c.max_kmeans_iters = 0;
+        assert!(c.validate().is_err());
+    }
+}

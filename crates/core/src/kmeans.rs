@@ -1,0 +1,338 @@
+//! K-means clustering over key vectors.
+//!
+//! The paper applies "a simple K-means algorithm" (§III-B): initial centroids
+//! are chosen from the key vectors themselves, then assignment and update
+//! steps alternate until the assignment no longer changes. The assignment
+//! step uses the configured semantic distance (cosine by default); the update
+//! step takes the mean of the keys assigned to each centroid — exactly what
+//! the custom centroid-update CUDA kernel of §IV-B computes, here implemented
+//! as a parallel CPU reduction.
+//!
+//! One deliberate deviation from the paper: instead of sampling the initial
+//! centroids uniformly at random, the first centroid is sampled randomly
+//! (seeded) and the remaining ones are chosen by farthest-first traversal
+//! (k-means++-style). This costs the same `O(k·L·d)` as one assignment pass,
+//! is deterministic for a fixed seed, and avoids the degenerate local minima
+//! that uniform sampling occasionally produces for small `k` — see
+//! DESIGN.md §6.
+
+use crate::distance::DistanceMetric;
+use clusterkv_tensor::rng::{sample_distinct_indices, seeded};
+use clusterkv_tensor::vector::mean_of;
+use clusterkv_tensor::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result of running k-means on a set of key vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster centroids (`C × d`).
+    pub centroids: Matrix,
+    /// Cluster label of every input row.
+    pub labels: Vec<usize>,
+    /// Number of assignment/update iterations performed.
+    pub iterations: usize,
+    /// Whether the assignment converged before the iteration cap.
+    pub converged: bool,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// An empty clustering over vectors of dimension `dim`.
+    pub fn empty(dim: usize) -> Self {
+        Self {
+            centroids: Matrix::zeros(0, dim),
+            labels: Vec::new(),
+            iterations: 0,
+            converged: true,
+        }
+    }
+}
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Distance metric used in the assignment step.
+    pub metric: DistanceMetric,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Seed for centroid initialisation.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Create a k-means runner.
+    pub fn new(metric: DistanceMetric, max_iters: usize, seed: u64) -> Self {
+        Self {
+            metric,
+            max_iters,
+            seed,
+        }
+    }
+
+    /// Cluster the rows of `keys` into (at most) `k` clusters.
+    ///
+    /// Degenerate inputs are handled without panicking: `k == 0` or an empty
+    /// matrix yields an empty clustering, and `k >= rows` assigns every row
+    /// to its own cluster.
+    pub fn fit(&self, keys: &Matrix, k: usize) -> Clustering {
+        let n = keys.rows();
+        let dim = keys.cols();
+        if n == 0 || k == 0 {
+            return Clustering::empty(dim);
+        }
+        if k >= n {
+            return Clustering {
+                centroids: keys.clone(),
+                labels: (0..n).collect(),
+                iterations: 0,
+                converged: true,
+            };
+        }
+
+        // Initialise centroids with farthest-first traversal: a random first
+        // pick, then repeatedly the key farthest (under the metric) from all
+        // centroids chosen so far.
+        let mut rng = seeded(self.seed);
+        let first = sample_distinct_indices(&mut rng, n, 1)[0];
+        let mut init = vec![first];
+        let mut min_dist: Vec<f32> = (0..n)
+            .map(|i| self.metric.distance(keys.row(i), keys.row(first)))
+            .collect();
+        while init.len() < k {
+            let next = min_dist
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .expect("n > 0");
+            init.push(next);
+            for i in 0..n {
+                let d = self.metric.distance(keys.row(i), keys.row(next));
+                if d < min_dist[i] {
+                    min_dist[i] = d;
+                }
+            }
+        }
+        let mut centroids = keys.select_rows(&init);
+        let mut labels = vec![usize::MAX; n];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while iterations < self.max_iters {
+            iterations += 1;
+
+            // Assignment step (parallel across rows, mirroring the batched
+            // Torch kernels of §IV-B).
+            let centroid_rows: Vec<&[f32]> = centroids.iter_rows().collect();
+            let new_labels: Vec<usize> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    self.metric
+                        .nearest(keys.row(i), centroid_rows.iter().copied())
+                        .expect("at least one centroid")
+                })
+                .collect();
+
+            let changed = new_labels != labels;
+            labels = new_labels;
+            if !changed {
+                converged = true;
+                break;
+            }
+
+            // Update step: mean of the members of each cluster. Empty
+            // clusters keep their previous centroid.
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (i, &l) in labels.iter().enumerate() {
+                members[l].push(i);
+            }
+            for (c, member_idx) in members.iter().enumerate() {
+                if member_idx.is_empty() {
+                    continue;
+                }
+                let mean = mean_of(member_idx.iter().map(|&i| keys.row(i)), dim);
+                centroids.row_mut(c).copy_from_slice(&mean);
+            }
+        }
+
+        Clustering {
+            centroids,
+            labels,
+            iterations,
+            converged,
+        }
+    }
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        Self::new(DistanceMetric::Cosine, 20, 0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterkv_tensor::rng::{gaussian_vec, seeded as seeded_rng};
+    use proptest::prelude::*;
+
+    /// Three well-separated directional blobs (cosine-separable).
+    fn blobs(per_blob: usize, dim: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let directions = [
+            {
+                let mut v = vec![0.0f32; dim];
+                v[0] = 1.0;
+                v
+            },
+            {
+                let mut v = vec![0.0f32; dim];
+                v[dim / 2] = 1.0;
+                v
+            },
+            {
+                let mut v = vec![0.0f32; dim];
+                v[dim - 1] = -1.0;
+                v
+            },
+        ];
+        let mut rng = seeded_rng(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (b, dir) in directions.iter().enumerate() {
+            for _ in 0..per_blob {
+                let noise = gaussian_vec(&mut rng, dim, 0.0, 0.05);
+                let row: Vec<f32> = dir.iter().zip(&noise).map(|(d, n)| d * 3.0 + n).collect();
+                rows.push(row);
+                truth.push(b);
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), truth)
+    }
+
+    /// Fraction of pairs whose same/different-cluster relation matches the
+    /// ground truth (Rand index).
+    fn rand_index(labels: &[usize], truth: &[usize]) -> f64 {
+        let n = labels.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let same_pred = labels[i] == labels[j];
+                let same_true = truth[i] == truth[j];
+                if same_pred == same_true {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (keys, truth) = blobs(30, 16, 3);
+        let result = KMeans::default().fit(&keys, 3);
+        assert_eq!(result.num_clusters(), 3);
+        assert!(result.converged);
+        let ri = rand_index(&result.labels, &truth);
+        assert!(ri > 0.95, "rand index {ri}");
+    }
+
+    #[test]
+    fn empty_input_and_zero_k_are_handled() {
+        let km = KMeans::default();
+        let empty = km.fit(&Matrix::zeros(0, 8), 4);
+        assert_eq!(empty.num_clusters(), 0);
+        assert!(empty.labels.is_empty());
+        let zero_k = km.fit(&Matrix::identity(4), 0);
+        assert_eq!(zero_k.num_clusters(), 0);
+    }
+
+    #[test]
+    fn k_larger_than_rows_gives_singleton_clusters() {
+        let keys = Matrix::identity(3);
+        let result = KMeans::default().fit(&keys, 10);
+        assert_eq!(result.num_clusters(), 3);
+        assert_eq!(result.labels, vec![0, 1, 2]);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn clustering_is_deterministic_for_fixed_seed() {
+        let (keys, _) = blobs(20, 8, 7);
+        let a = KMeans::new(DistanceMetric::Cosine, 20, 1).fit(&keys, 4);
+        let b = KMeans::new(DistanceMetric::Cosine, 20, 1).fit(&keys, 4);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let (keys, _) = blobs(30, 8, 5);
+        let result = KMeans::new(DistanceMetric::Cosine, 1, 0).fit(&keys, 3);
+        assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    fn all_metrics_produce_valid_labelings() {
+        let (keys, _) = blobs(15, 8, 11);
+        for metric in DistanceMetric::all() {
+            let result = KMeans::new(metric, 15, 2).fit(&keys, 4);
+            assert_eq!(result.labels.len(), keys.rows());
+            assert!(result.labels.iter().all(|&l| l < result.num_clusters()));
+        }
+    }
+
+    #[test]
+    fn cosine_beats_l2_with_outlier_channels() {
+        // Construct two directional groups, then amplify one channel of a
+        // subset of keys (outlier channel). Cosine clustering should still
+        // group by direction better than L2 clustering does.
+        let (keys, truth) = blobs(25, 16, 13);
+        let mut rows: Vec<Vec<f32>> = keys.iter_rows().map(|r| r.to_vec()).collect();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                // Scale whole vector: direction unchanged, magnitude outlier.
+                for v in row.iter_mut() {
+                    *v *= 6.0;
+                }
+            }
+        }
+        let keys = Matrix::from_rows(rows).unwrap();
+        let cos = KMeans::new(DistanceMetric::Cosine, 25, 3).fit(&keys, 3);
+        let l2 = KMeans::new(DistanceMetric::L2, 25, 3).fit(&keys, 3);
+        let ri_cos = rand_index(&cos.labels, &truth);
+        let ri_l2 = rand_index(&l2.labels, &truth);
+        assert!(
+            ri_cos >= ri_l2,
+            "cosine rand index {ri_cos} should be >= l2 {ri_l2}"
+        );
+        assert!(ri_cos > 0.9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn labels_are_always_valid(
+            n in 1usize..40,
+            k in 1usize..10,
+            seed in 0u64..100,
+        ) {
+            let mut rng = seeded_rng(seed);
+            let rows: Vec<Vec<f32>> = (0..n).map(|_| gaussian_vec(&mut rng, 8, 0.0, 1.0)).collect();
+            let keys = Matrix::from_rows(rows).unwrap();
+            let result = KMeans::new(DistanceMetric::Cosine, 10, seed).fit(&keys, k);
+            prop_assert_eq!(result.labels.len(), n);
+            let c = result.num_clusters();
+            prop_assert!(c <= n.max(1));
+            for &l in &result.labels {
+                prop_assert!(l < c);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # ClusterKV
+//!
+//! Reproduction of *ClusterKV: Manipulating LLM KV Cache in Semantic Space
+//! for Recallable Compression* (DAC 2025).
+//!
+//! ClusterKV compresses the KV cache used during autoregressive decoding by
+//! selecting, at every step, a budget `B` of tokens to attend to. Selection
+//! is **recallable** (evicted tokens can come back at later steps) and
+//! operates at the granularity of **semantic clusters**: groups of tokens
+//! whose key vectors are close in cosine distance.
+//!
+//! The crate is organised to mirror the paper:
+//!
+//! * [`config`] — all algorithm parameters (`C0 = L/80`, sink tokens,
+//!   incremental clustering period `m`, recency window `R`, distance
+//!   metric) with the paper's defaults.
+//! * [`distance`] — the semantic distance (§III-B): cosine, plus L2 and
+//!   inner-product alternatives used in the Fig. 11b ablation.
+//! * [`kmeans`] — k-means over key vectors under a configurable distance.
+//! * [`clustering`] — [`SemanticClustering`](clustering::SemanticClustering):
+//!   attention-sink handling, prefill clustering and incremental decode
+//!   clustering (§III-B).
+//! * [`metadata`] — cluster sizes, prefix sums and label-sorted token
+//!   indices (the Fig. 8 metadata).
+//! * [`selection`] — greedy cluster selection under a token budget with
+//!   trimming of the last cluster (§III-C, §IV-C).
+//! * [`cache`] — the cluster-granularity GPU cache with recency window `R`
+//!   (§IV-D).
+//! * [`policy`] — [`ClusterKvSelector`](policy::ClusterKvSelector), the
+//!   [`TokenSelector`](clusterkv_model::TokenSelector) implementation that
+//!   plugs into the inference engine, and its factory.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clusterkv::{ClusterKvConfig, ClusterKvFactory};
+//! use clusterkv_kvcache::types::Budget;
+//! use clusterkv_model::{InferenceEngine, ModelConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let factory = ClusterKvFactory::new(ClusterKvConfig::default());
+//! let mut engine = InferenceEngine::with_synthetic_weights(
+//!     ModelConfig::tiny(),
+//!     42,
+//!     &factory,
+//!     Budget::new(64),
+//! )?;
+//! let generated = engine.generate(&[1, 2, 3, 4, 5, 6, 7, 8], 4)?;
+//! assert_eq!(generated.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clustering;
+pub mod config;
+pub mod distance;
+pub mod kmeans;
+pub mod metadata;
+pub mod policy;
+pub mod selection;
+
+pub use cache::ClusterCache;
+pub use clustering::SemanticClustering;
+pub use config::ClusterKvConfig;
+pub use distance::DistanceMetric;
+pub use kmeans::KMeans;
+pub use metadata::ClusterMetadata;
+pub use policy::{ClusterKvFactory, ClusterKvSelector};
+pub use selection::{select_clusters, SelectionResult};

@@ -1,0 +1,252 @@
+//! The ClusterKV selection policy, pluggable into the inference engine.
+//!
+//! [`ClusterKvSelector`] wires the pieces of the algorithm together exactly
+//! as the system of Fig. 5 does for one head: semantic clustering at prefill,
+//! incremental clustering during decoding, centroid-based selection at every
+//! step, and a cluster-granularity cache that turns repeated selections into
+//! GPU-cache hits instead of PCIe transfers.
+
+use crate::cache::ClusterCache;
+use crate::clustering::SemanticClustering;
+use crate::config::ClusterKvConfig;
+use crate::selection::select_clusters;
+use clusterkv_kvcache::stats::{CacheStats, TransferStats};
+use clusterkv_kvcache::types::{Budget, Bytes};
+use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_tensor::rng::derive_seed;
+use clusterkv_tensor::Matrix;
+
+/// ClusterKV selection state for a single attention head.
+#[derive(Debug, Clone)]
+pub struct ClusterKvSelector {
+    head_dim: usize,
+    clustering: SemanticClustering,
+    cache: ClusterCache,
+    scored_vectors: u64,
+    transfer: TransferStats,
+}
+
+impl ClusterKvSelector {
+    /// Create a selector for a head of dimension `head_dim`.
+    pub fn new(config: ClusterKvConfig, head_dim: usize) -> Self {
+        Self {
+            head_dim,
+            clustering: SemanticClustering::new(config, head_dim),
+            cache: ClusterCache::new(config.recency_window),
+            scored_vectors: 0,
+            transfer: TransferStats::new(),
+        }
+    }
+
+    /// The clustering state (centroids, metadata, sinks, pending tokens).
+    pub fn clustering(&self) -> &SemanticClustering {
+        &self.clustering
+    }
+
+    /// Token-level hit/miss statistics of the cluster cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Host-to-device transfer accounting caused by cache misses.
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.transfer
+    }
+}
+
+impl TokenSelector for ClusterKvSelector {
+    fn name(&self) -> &str {
+        "ClusterKV"
+    }
+
+    fn on_prefill(&mut self, keys: &Matrix) {
+        self.clustering.prefill(keys);
+    }
+
+    fn on_append(&mut self, position: usize, key: &[f32]) {
+        self.clustering.append(position, key);
+    }
+
+    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
+        // When the whole context fits in the budget, compression is a no-op.
+        if budget.covers(num_tokens) {
+            return (0..num_tokens).collect();
+        }
+
+        let result = select_clusters(query, &self.clustering, budget);
+        self.scored_vectors += result.scored_centroids as u64;
+
+        // Model the cluster-granularity GPU cache: only missed clusters cost
+        // a PCIe transfer.
+        let metadata = self.clustering.metadata();
+        let access = self
+            .cache
+            .access(&result.selected_clusters, |c| metadata.cluster_size(c));
+        if access.missed_tokens > 0 {
+            let bytes = Bytes::of_f16(2 * access.missed_tokens * self.head_dim);
+            self.transfer.record(access.missed_tokens as u64, bytes);
+        }
+
+        result.token_indices
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            scored_vectors: self.scored_vectors,
+            transfer: self.transfer,
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// Factory creating one [`ClusterKvSelector`] per head, with per-head seeds
+/// derived from the configured seed so clustering initialisation differs
+/// across heads but stays reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterKvFactory {
+    config: ClusterKvConfig,
+}
+
+impl ClusterKvFactory {
+    /// Create a factory from a configuration.
+    pub fn new(config: ClusterKvConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration used for every created selector.
+    pub fn config(&self) -> &ClusterKvConfig {
+        &self.config
+    }
+}
+
+impl Default for ClusterKvFactory {
+    fn default() -> Self {
+        Self::new(ClusterKvConfig::default())
+    }
+}
+
+impl SelectorFactory for ClusterKvFactory {
+    fn name(&self) -> &str {
+        "ClusterKV"
+    }
+
+    fn create(&self, ctx: HeadContext) -> Box<dyn TokenSelector> {
+        let per_head_seed = derive_seed(
+            self.config.seed,
+            (ctx.layer as u64) << 16 | ctx.head as u64,
+        );
+        let config = self.config.with_seed(per_head_seed);
+        Box::new(ClusterKvSelector::new(config, ctx.head_dim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterkv_tensor::rng::{gaussian_vec, seeded};
+
+    fn test_config() -> ClusterKvConfig {
+        ClusterKvConfig::default()
+            .with_sink_tokens(4)
+            .with_tokens_per_cluster(8)
+            .with_decode_cluster_period(8)
+            .with_decode_new_clusters(2)
+    }
+
+    fn prefill_keys(n: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn small_context_bypasses_selection() {
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        sel.on_prefill(&prefill_keys(10, 8, 1));
+        let out = sel.select(&[0.0; 8], 10, Budget::new(64));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(sel.stats().scored_vectors, 0);
+    }
+
+    #[test]
+    fn selection_respects_budget_and_is_unique() {
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        sel.on_prefill(&prefill_keys(80, 8, 2));
+        let q = gaussian_vec(&mut seeded(3), 8, 0.0, 1.0);
+        let out = sel.select(&q, 80, Budget::new(24));
+        assert!(out.len() <= 24);
+        assert!(!out.is_empty());
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(set.len(), out.len());
+        assert!(out.iter().all(|&t| t < 80));
+        assert!(sel.stats().scored_vectors > 0);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cluster_cache() {
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        sel.on_prefill(&prefill_keys(80, 8, 4));
+        let q = gaussian_vec(&mut seeded(5), 8, 0.0, 1.0);
+        sel.select(&q, 80, Budget::new(24));
+        let misses_after_first = sel.cache_stats().misses;
+        assert!(misses_after_first > 0);
+        // The same query selects the same clusters, which are now cached.
+        sel.select(&q, 80, Budget::new(24));
+        let stats = sel.cache_stats();
+        assert_eq!(stats.misses, misses_after_first, "no new misses expected");
+        assert!(stats.hits > 0);
+        // Transfers were only recorded for the misses.
+        assert_eq!(sel.transfer_stats().tokens_moved, misses_after_first);
+    }
+
+    #[test]
+    fn decode_appends_feed_incremental_clustering() {
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        sel.on_prefill(&prefill_keys(40, 8, 6));
+        let clusters_before = sel.clustering().num_clusters();
+        let mut rng = seeded(7);
+        for i in 0..8 {
+            sel.on_append(40 + i, &gaussian_vec(&mut rng, 8, 0.0, 1.0));
+        }
+        assert_eq!(sel.clustering().num_clusters(), clusters_before + 2);
+        // Newly clustered decode tokens are selectable.
+        let q = gaussian_vec(&mut rng, 8, 0.0, 1.0);
+        let out = sel.select(&q, 48, Budget::new(20));
+        assert!(out.len() <= 20);
+    }
+
+    #[test]
+    fn factory_creates_per_head_seeds() {
+        let factory = ClusterKvFactory::new(test_config());
+        assert_eq!(factory.name(), "ClusterKV");
+        assert_eq!(factory.config().sink_tokens, 4);
+        let a = factory.create(HeadContext { layer: 0, head: 0, head_dim: 8 });
+        let b = factory.create(HeadContext { layer: 0, head: 1, head_dim: 8 });
+        // Different heads are independent objects with their own state.
+        assert_eq!(a.name(), "ClusterKV");
+        assert_eq!(b.name(), "ClusterKV");
+    }
+
+    #[test]
+    fn default_factory_uses_paper_config() {
+        let f = ClusterKvFactory::default();
+        assert_eq!(f.config().tokens_per_cluster, 80);
+    }
+
+    #[test]
+    fn end_to_end_with_inference_engine() {
+        use clusterkv_model::{InferenceEngine, ModelConfig};
+        let factory = ClusterKvFactory::new(test_config());
+        let mut engine = InferenceEngine::with_synthetic_weights(
+            ModelConfig::tiny(),
+            11,
+            &factory,
+            Budget::new(16),
+        )
+        .unwrap();
+        let prompt: Vec<usize> = (0..40).map(|i| (i * 3) % 128).collect();
+        let generated = engine.generate(&prompt, 5).unwrap();
+        assert_eq!(generated.len(), 5);
+        let stats = engine.policy_stats();
+        assert!(stats.scored_vectors > 0, "selection ran on selective layers");
+    }
+}

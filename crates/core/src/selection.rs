@@ -1,0 +1,265 @@
+//! Selection at the granularity of semantic clusters (§III-C, §IV-C).
+//!
+//! Given a query vector, clusters are scored by the inner product between
+//! the query and their centroids (inner product — not cosine — because it
+//! aligns with the attention-weight computation, §III-C). Clusters are then
+//! consumed in descending score order until the token budget is filled; the
+//! last selected cluster is trimmed so the budget is never exceeded.
+//!
+//! Attention sinks and not-yet-clustered decode tokens are always retained
+//! and are charged against the budget first.
+
+use crate::clustering::SemanticClustering;
+use clusterkv_kvcache::types::Budget;
+use clusterkv_tensor::vector::argsort_descending;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one cluster-granularity selection step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionResult {
+    /// Ids of the clusters that contributed tokens, in descending score
+    /// order (the last one may have been trimmed).
+    pub selected_clusters: Vec<usize>,
+    /// Token indices to attend to: sinks, pending decode tokens, then
+    /// cluster members. Never exceeds the budget.
+    pub token_indices: Vec<usize>,
+    /// Number of centroids scored against the query (the selection work the
+    /// latency model charges for).
+    pub scored_centroids: usize,
+    /// Whether the last selected cluster was trimmed to fit the budget.
+    pub trimmed_last_cluster: bool,
+}
+
+impl SelectionResult {
+    /// Number of selected tokens.
+    pub fn len(&self) -> usize {
+        self.token_indices.len()
+    }
+
+    /// Whether nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.token_indices.is_empty()
+    }
+}
+
+/// Select up to `budget` tokens for `query` from the clustering state of one
+/// head.
+///
+/// The always-retained sets (attention sinks, pending decode tokens) are
+/// charged against the budget first; remaining capacity is filled with the
+/// members of the highest-scoring clusters, trimming the last cluster if
+/// needed (§IV-C).
+///
+/// # Panics
+///
+/// Panics if `query.len()` differs from the centroid dimensionality when
+/// clusters exist.
+pub fn select_clusters(
+    query: &[f32],
+    clustering: &SemanticClustering,
+    budget: Budget,
+) -> SelectionResult {
+    let budget_tokens = budget.tokens();
+    let mut token_indices: Vec<usize> = Vec::with_capacity(budget_tokens);
+
+    // Always-retained tokens: attention sinks first, then the most recent
+    // pending (unclustered) decode tokens.
+    let sinks = clustering.sink_indices();
+    let pending = clustering.pending_indices();
+    for &s in sinks {
+        if token_indices.len() >= budget_tokens {
+            break;
+        }
+        token_indices.push(s);
+    }
+    // Prefer the most recent pending tokens when the budget is tight.
+    for &p in pending.iter().rev() {
+        if token_indices.len() >= budget_tokens {
+            break;
+        }
+        token_indices.push(p);
+    }
+
+    let metadata = clustering.metadata();
+    let centroids = clustering.centroids();
+    if centroids.rows() == 0 || token_indices.len() >= budget_tokens {
+        return SelectionResult {
+            selected_clusters: Vec::new(),
+            token_indices,
+            scored_centroids: 0,
+            trimmed_last_cluster: false,
+        };
+    }
+
+    // Score clusters by inner product between the query and centroids.
+    let scores = centroids
+        .matvec_t(query)
+        .expect("query dimension matches centroid dimension");
+    let order = argsort_descending(&scores);
+
+    let mut selected_clusters = Vec::new();
+    let mut trimmed = false;
+    let mut remaining = budget_tokens - token_indices.len();
+    for &cluster in &order {
+        if remaining == 0 {
+            break;
+        }
+        let members = metadata.cluster_tokens(cluster);
+        if members.is_empty() {
+            continue;
+        }
+        selected_clusters.push(cluster);
+        if members.len() <= remaining {
+            token_indices.extend_from_slice(members);
+            remaining -= members.len();
+        } else {
+            // Trim tokens from the last selected cluster to adhere to the
+            // budget limit (§IV-C).
+            token_indices.extend_from_slice(&members[..remaining]);
+            remaining = 0;
+            trimmed = true;
+        }
+    }
+
+    SelectionResult {
+        selected_clusters,
+        token_indices,
+        scored_centroids: centroids.rows(),
+        trimmed_last_cluster: trimmed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterKvConfig;
+    use crate::distance::DistanceMetric;
+    use clusterkv_tensor::Matrix;
+
+    /// Build clustering state with three well separated directional groups:
+    /// group A along +x (tokens 4..14), group B along +y (14..24), group C
+    /// along -x (24..34). Sinks are tokens 0..4.
+    fn directional_clustering() -> SemanticClustering {
+        let dim = 4;
+        let config = ClusterKvConfig::default()
+            .with_sink_tokens(4)
+            .with_tokens_per_cluster(10)
+            .with_distance(DistanceMetric::Cosine);
+        let mut rows = Vec::new();
+        for i in 0..34 {
+            let mut v = vec![0.0f32; dim];
+            if i < 4 {
+                v[3] = 1.0; // sinks: a direction of their own
+            } else if i < 14 {
+                v[0] = 1.0 + (i as f32) * 0.001;
+            } else if i < 24 {
+                v[1] = 1.0 + (i as f32) * 0.001;
+            } else {
+                v[0] = -1.0 - (i as f32) * 0.001;
+            }
+            rows.push(v);
+        }
+        let mut sc = SemanticClustering::new(config, dim);
+        sc.prefill(&Matrix::from_rows(rows).unwrap());
+        sc
+    }
+
+    #[test]
+    fn selects_the_cluster_aligned_with_the_query() {
+        let sc = directional_clustering();
+        // Query along +x: tokens 4..14 should be preferred.
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(14));
+        // 4 sinks + 10 aligned tokens fill the budget exactly.
+        assert_eq!(result.len(), 14);
+        for t in 4..14 {
+            assert!(
+                result.token_indices.contains(&t),
+                "aligned token {t} missing from {:?}",
+                result.token_indices
+            );
+        }
+        // Anti-aligned tokens (24..34) must not appear.
+        for t in 24..34 {
+            assert!(!result.token_indices.contains(&t));
+        }
+        assert!(result.scored_centroids > 0);
+    }
+
+    #[test]
+    fn sinks_are_always_retained() {
+        let sc = directional_clustering();
+        let result = select_clusters(&[0.0, 1.0, 0.0, 0.0], &sc, Budget::new(8));
+        for s in 0..4 {
+            assert!(result.token_indices.contains(&s), "sink {s} missing");
+        }
+        assert!(result.len() <= 8);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_last_cluster_is_trimmed() {
+        let sc = directional_clustering();
+        // Budget 7: 4 sinks + 3 tokens from the best cluster (trimmed).
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(7));
+        assert_eq!(result.len(), 7);
+        assert!(result.trimmed_last_cluster);
+        assert_eq!(result.selected_clusters.len(), 1);
+    }
+
+    #[test]
+    fn selection_is_recallable_across_queries() {
+        // The same clustering state serves different queries: tokens ignored
+        // for one query are recalled for another — the core recallability
+        // property (Fig. 1d).
+        let sc = directional_clustering();
+        let toward_x = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(10));
+        let toward_y = select_clusters(&[0.0, 1.0, 0.0, 0.0], &sc, Budget::new(10));
+        let x_tokens: std::collections::HashSet<_> =
+            toward_x.token_indices.iter().copied().collect();
+        // Tokens 14..24 are ignored by the +x query but recalled by +y.
+        assert!((14..24).all(|t| !x_tokens.contains(&t)));
+        assert!((14..20).any(|t| toward_y.token_indices.contains(&t)));
+    }
+
+    #[test]
+    fn pending_tokens_are_always_kept() {
+        let mut sc = directional_clustering();
+        sc.append(34, &[0.0, 0.0, 1.0, 0.0]);
+        sc.append(35, &[0.0, 0.0, 1.0, 0.0]);
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(12));
+        assert!(result.token_indices.contains(&34));
+        assert!(result.token_indices.contains(&35));
+        assert!(result.len() <= 12);
+    }
+
+    #[test]
+    fn tiny_budget_prefers_sinks_then_recent_pending() {
+        let mut sc = directional_clustering();
+        for i in 0..6 {
+            sc.append(34 + i, &[0.0, 0.0, 1.0, 0.0]);
+        }
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(6));
+        assert_eq!(result.len(), 6);
+        // 4 sinks + the 2 most recent pending tokens.
+        assert!(result.token_indices.contains(&39));
+        assert!(result.token_indices.contains(&38));
+        assert!(result.selected_clusters.is_empty());
+    }
+
+    #[test]
+    fn no_clusters_returns_only_always_retained() {
+        let config = ClusterKvConfig::default().with_sink_tokens(4);
+        let mut sc = SemanticClustering::new(config, 4);
+        sc.prefill(&Matrix::from_rows(vec![vec![1.0, 0.0, 0.0, 0.0]; 3]).unwrap());
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(8));
+        assert_eq!(result.token_indices, vec![0, 1, 2]);
+        assert_eq!(result.scored_centroids, 0);
+    }
+
+    #[test]
+    fn selected_tokens_are_unique() {
+        let sc = directional_clustering();
+        let result = select_clusters(&[0.3, 0.9, 0.0, 0.0], &sc, Budget::new(20));
+        let set: std::collections::HashSet<_> = result.token_indices.iter().collect();
+        assert_eq!(set.len(), result.token_indices.len());
+    }
+}

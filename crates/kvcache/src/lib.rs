@@ -1,0 +1,36 @@
+//! KV-cache substrate for the ClusterKV reproduction.
+//!
+//! The paper's system (Fig. 5) keeps the full K/V tensors in CPU memory,
+//! keeps centroids/metadata and a small cache of selected KV on the GPU and
+//! moves data between the two over PCIe. This crate provides that substrate
+//! in simulation:
+//!
+//! * [`types`] — strongly-typed identifiers ([`TokenId`](types::TokenId),
+//!   [`Budget`](types::Budget), …) shared across the workspace.
+//! * [`store`] — the per-layer, per-head [`KvStore`](store::KvStore) holding
+//!   key/value vectors for all previous tokens ("CPU memory" in the paper).
+//! * [`selected`] — [`SelectedKv`](selected::SelectedKv), the gathered subset
+//!   `K_S, V_S` that actually participates in attention.
+//! * [`device`] — an analytical [`DeviceModel`](device::DeviceModel)
+//!   (bandwidths + overheads) used to estimate prefill/decoding latency and
+//!   host-to-device transfer cost; this is the substitute for the paper's
+//!   NVIDIA Ada 6000 testbed.
+//! * [`tier`] — a two-tier memory simulator (GPU HBM + CPU DRAM) tracking
+//!   residency and capacity.
+//! * [`stats`] — transfer / cache-hit counters used by the experiments.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod selected;
+pub mod stats;
+pub mod store;
+pub mod tier;
+pub mod types;
+
+pub use device::DeviceModel;
+pub use selected::SelectedKv;
+pub use stats::{CacheStats, TransferStats};
+pub use store::KvStore;
+pub use tier::{MemoryTier, TierKind};
+pub use types::{Budget, HeadId, LayerId, TokenId};

@@ -1,0 +1,109 @@
+//! The gathered subset of the KV cache that participates in attention.
+
+use clusterkv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Keys and values of the selected tokens (`K_S`, `V_S` in the paper),
+/// together with the original token indices `I_T`.
+///
+/// Produced by [`KvStore::gather`](crate::KvStore::gather) or by a selection
+/// policy; consumed by the attention computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectedKv {
+    indices: Vec<usize>,
+    keys: Matrix,
+    values: Matrix,
+}
+
+impl SelectedKv {
+    /// Bundle indices with their gathered keys/values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of indices does not match the number of rows of
+    /// `keys`/`values`, or the two matrices have different shapes.
+    pub fn new(indices: Vec<usize>, keys: Matrix, values: Matrix) -> Self {
+        assert_eq!(keys.shape(), values.shape(), "key/value shape mismatch");
+        assert_eq!(indices.len(), keys.rows(), "index count does not match rows");
+        Self { indices, keys, values }
+    }
+
+    /// Empty selection of the given head dimension.
+    pub fn empty(head_dim: usize) -> Self {
+        Self {
+            indices: Vec::new(),
+            keys: Matrix::zeros(0, head_dim),
+            values: Matrix::zeros(0, head_dim),
+        }
+    }
+
+    /// Token indices, in selection order.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Selected key matrix (`B × d`).
+    #[inline]
+    pub fn keys(&self) -> &Matrix {
+        &self.keys
+    }
+
+    /// Selected value matrix (`B × d`).
+    #[inline]
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Number of selected tokens.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether nothing was selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Whether the selection contains the given token index.
+    pub fn contains(&self, token: usize) -> bool {
+        self.indices.contains(&token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_selection_has_no_tokens() {
+        let s = SelectedKv::empty(16);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.keys().cols(), 16);
+    }
+
+    #[test]
+    fn new_checks_shapes() {
+        let k = Matrix::zeros(2, 4);
+        let v = Matrix::zeros(2, 4);
+        let s = SelectedKv::new(vec![3, 9], k, v);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_index_count_panics() {
+        SelectedKv::new(vec![1], Matrix::zeros(2, 4), Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_kv_shape_panics() {
+        SelectedKv::new(vec![1, 2], Matrix::zeros(2, 4), Matrix::zeros(2, 8));
+    }
+}

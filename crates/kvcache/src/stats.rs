@@ -1,0 +1,163 @@
+//! Counters for transfers and cache behaviour.
+//!
+//! The experiments of §V-C (cache hit rates, throughput improvement from the
+//! cluster-granularity cache) are driven by these counters.
+
+use crate::types::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Host-to-device transfer accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Number of separate transfer operations issued.
+    pub transfers: u64,
+    /// Total bytes moved from CPU to GPU memory.
+    pub bytes_to_device: Bytes,
+    /// Number of tokens whose KV was moved.
+    pub tokens_moved: u64,
+}
+
+impl TransferStats {
+    /// New, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a transfer of `tokens` tokens totalling `bytes`.
+    pub fn record(&mut self, tokens: u64, bytes: Bytes) {
+        if bytes.get() == 0 && tokens == 0 {
+            return;
+        }
+        self.transfers += 1;
+        self.bytes_to_device += bytes;
+        self.tokens_moved += tokens;
+    }
+
+    /// Merge another set of statistics into this one.
+    pub fn merge(&mut self, other: &TransferStats) {
+        self.transfers += other.transfers;
+        self.bytes_to_device += other.bytes_to_device;
+        self.tokens_moved += other.tokens_moved;
+    }
+}
+
+/// Hit/miss accounting for the selected-KV cache (§IV-D).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that were served from the GPU cache.
+    pub hits: u64,
+    /// Lookups that required a fetch from CPU memory.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// New, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` hits.
+    pub fn record_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
+    /// Record `n` misses.
+    pub fn record_misses(&mut self, n: u64) {
+        self.misses += n;
+    }
+
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0.0` when no lookups were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Merge another set of statistics into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} hit_rate={:.1}%",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_stats_accumulate() {
+        let mut s = TransferStats::new();
+        s.record(10, Bytes(100));
+        s.record(5, Bytes(50));
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bytes_to_device, Bytes(150));
+        assert_eq!(s.tokens_moved, 15);
+    }
+
+    #[test]
+    fn empty_transfer_is_not_counted() {
+        let mut s = TransferStats::new();
+        s.record(0, Bytes(0));
+        assert_eq!(s.transfers, 0);
+    }
+
+    #[test]
+    fn transfer_merge_adds_fields() {
+        let mut a = TransferStats::new();
+        a.record(1, Bytes(10));
+        let mut b = TransferStats::new();
+        b.record(2, Bytes(20));
+        a.merge(&b);
+        assert_eq!(a.transfers, 2);
+        assert_eq!(a.bytes_to_device, Bytes(30));
+        assert_eq!(a.tokens_moved, 3);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn hit_rate_is_ratio_of_hits() {
+        let mut s = CacheStats::new();
+        s.record_hits(63);
+        s.record_misses(37);
+        assert!((s.hit_rate() - 0.63).abs() < 1e-9);
+        assert_eq!(s.total(), 100);
+        assert!(s.to_string().contains("63"));
+    }
+
+    #[test]
+    fn cache_merge_adds_fields() {
+        let mut a = CacheStats::new();
+        a.record_hits(2);
+        a.record_misses(1);
+        let mut b = CacheStats::new();
+        b.record_hits(3);
+        a.merge(&b);
+        assert_eq!(a.hits, 5);
+        assert_eq!(a.misses, 1);
+    }
+}

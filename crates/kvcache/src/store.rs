@@ -1,0 +1,240 @@
+//! Per-head key/value store — the "CPU memory" side of the paper's system.
+//!
+//! A [`KvStore`] holds the keys and values of every token seen so far for a
+//! single attention head. Selection policies read keys (or their metadata)
+//! to decide which tokens participate in attention, then gather the selected
+//! rows into a [`SelectedKv`](crate::SelectedKv).
+
+use crate::selected::SelectedKv;
+use crate::types::Bytes;
+use clusterkv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Key/value store for one attention head.
+///
+/// Rows are indexed by token position; row `i` holds the key (resp. value)
+/// vector of token `i`.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_kvcache::KvStore;
+///
+/// let mut store = KvStore::new(4);
+/// store.append(&[1.0, 0.0, 0.0, 0.0], &[0.5; 4]);
+/// store.append(&[0.0, 1.0, 0.0, 0.0], &[0.25; 4]);
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.key(1)[1], 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvStore {
+    head_dim: usize,
+    keys: Matrix,
+    values: Matrix,
+}
+
+impl KvStore {
+    /// Create an empty store for vectors of dimension `head_dim`.
+    pub fn new(head_dim: usize) -> Self {
+        Self {
+            head_dim,
+            keys: Matrix::zeros(0, head_dim),
+            values: Matrix::zeros(0, head_dim),
+        }
+    }
+
+    /// Dimension of key/value vectors.
+    #[inline]
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Number of tokens stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.rows()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a token's key and value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's length differs from `head_dim`.
+    pub fn append(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+        assert_eq!(value.len(), self.head_dim, "value dim mismatch");
+        self.keys.push_row(key).expect("checked key length");
+        self.values.push_row(value).expect("checked value length");
+    }
+
+    /// Append many tokens at once (e.g. the whole prefill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices have different numbers of rows or a column
+    /// count different from `head_dim`.
+    pub fn append_batch(&mut self, keys: &Matrix, values: &Matrix) {
+        assert_eq!(keys.rows(), values.rows(), "key/value row count mismatch");
+        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+        assert_eq!(values.cols(), self.head_dim, "value dim mismatch");
+        for i in 0..keys.rows() {
+            self.keys.push_row(keys.row(i)).expect("checked");
+            self.values.push_row(values.row(i)).expect("checked");
+        }
+    }
+
+    /// Key vector of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[f32] {
+        self.keys.row(i)
+    }
+
+    /// Value vector of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[f32] {
+        self.values.row(i)
+    }
+
+    /// All keys as an `L × d` matrix.
+    #[inline]
+    pub fn keys(&self) -> &Matrix {
+        &self.keys
+    }
+
+    /// All values as an `L × d` matrix.
+    #[inline]
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Gather the keys/values of the given token indices into a
+    /// [`SelectedKv`] ready for attention computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> SelectedKv {
+        SelectedKv::new(
+            indices.to_vec(),
+            self.keys.select_rows(indices),
+            self.values.select_rows(indices),
+        )
+    }
+
+    /// Size of the full KV cache of this head in bytes under the fp16 cost
+    /// model (keys + values).
+    pub fn size_bytes(&self) -> Bytes {
+        Bytes::of_f16(2 * self.len() * self.head_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn filled_store(n: usize, dim: usize) -> KvStore {
+        let mut s = KvStore::new(dim);
+        for i in 0..n {
+            let k: Vec<f32> = (0..dim).map(|d| (i * dim + d) as f32).collect();
+            let v: Vec<f32> = (0..dim).map(|d| -((i * dim + d) as f32)).collect();
+            s.append(&k, &v);
+        }
+        s
+    }
+
+    #[test]
+    fn new_store_is_empty() {
+        let s = KvStore::new(8);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.head_dim(), 8);
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let s = filled_store(3, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.key(2), &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(s.value(0), &[-0.0, -1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_wrong_dim_panics() {
+        let mut s = KvStore::new(4);
+        s.append(&[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn append_batch_matches_individual_appends() {
+        let keys = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let values = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let mut a = KvStore::new(2);
+        a.append_batch(&keys, &values);
+        let mut b = KvStore::new(2);
+        b.append(&[1.0, 2.0], &[5.0, 6.0]);
+        b.append(&[3.0, 4.0], &[7.0, 8.0]);
+        assert_eq!(a.keys(), b.keys());
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn gather_preserves_requested_order() {
+        let s = filled_store(5, 2);
+        let sel = s.gather(&[4, 0, 2]);
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel.indices(), &[4, 0, 2]);
+        assert_eq!(sel.keys().row(0), s.key(4));
+        assert_eq!(sel.values().row(1), s.value(0));
+    }
+
+    #[test]
+    fn gather_empty_selection() {
+        let s = filled_store(5, 2);
+        let sel = s.gather(&[]);
+        assert_eq!(sel.len(), 0);
+    }
+
+    #[test]
+    fn size_bytes_counts_keys_and_values_as_f16() {
+        let s = filled_store(10, 8);
+        // 10 tokens * 8 dims * 2 tensors * 2 bytes.
+        assert_eq!(s.size_bytes().get(), 10 * 8 * 2 * 2);
+    }
+
+    proptest! {
+        #[test]
+        fn len_equals_number_of_appends(n in 0usize..64, dim in 1usize..16) {
+            let s = filled_store(n, dim);
+            prop_assert_eq!(s.len(), n);
+            prop_assert_eq!(s.is_empty(), n == 0);
+        }
+
+        #[test]
+        fn gather_rows_match_source(n in 1usize..32, dim in 1usize..8, pick in proptest::collection::vec(0usize..32, 0..16)) {
+            let s = filled_store(n, dim);
+            let indices: Vec<usize> = pick.into_iter().map(|i| i % n).collect();
+            let sel = s.gather(&indices);
+            prop_assert_eq!(sel.len(), indices.len());
+            for (row, &src) in indices.iter().enumerate() {
+                prop_assert_eq!(sel.keys().row(row), s.key(src));
+                prop_assert_eq!(sel.values().row(row), s.value(src));
+            }
+        }
+    }
+}

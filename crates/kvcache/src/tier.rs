@@ -1,0 +1,219 @@
+//! Two-tier memory residency simulation (GPU HBM vs CPU DRAM).
+//!
+//! The paper offloads the full KV cache to CPU memory after prefill and only
+//! keeps centroids, metadata and the selected-KV cache in GPU memory
+//! (Fig. 5). [`MemoryTier`] tracks which byte ranges live where and rejects
+//! allocations beyond capacity, so experiments can verify that the ClusterKV
+//! configuration actually fits the GPU budget while the full-KV configuration
+//! may not.
+
+use crate::types::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which physical memory a tier models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// GPU high-bandwidth memory.
+    Gpu,
+    /// Host DRAM reachable over PCIe.
+    Cpu,
+}
+
+impl std::fmt::Display for TierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierKind::Gpu => write!(f, "GPU"),
+            TierKind::Cpu => write!(f, "CPU"),
+        }
+    }
+}
+
+/// Error returned when an allocation does not fit in a tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationError {
+    /// The tier that rejected the allocation.
+    pub tier: TierKind,
+    /// Bytes requested.
+    pub requested: Bytes,
+    /// Bytes still available.
+    pub available: Bytes,
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tier cannot allocate {} ({} available)",
+            self.tier, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// A single capacity-tracked memory tier with named allocations.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_kvcache::{MemoryTier, TierKind};
+/// use clusterkv_kvcache::types::Bytes;
+///
+/// let mut gpu = MemoryTier::new(TierKind::Gpu, Bytes(48 * (1 << 30)));
+/// gpu.allocate("centroids", Bytes(1 << 20)).unwrap();
+/// assert!(gpu.used().get() > 0);
+/// gpu.free("centroids");
+/// assert_eq!(gpu.used().get(), 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryTier {
+    kind: TierKind,
+    capacity: Bytes,
+    allocations: HashMap<String, Bytes>,
+}
+
+impl MemoryTier {
+    /// Create a tier of the given kind and capacity.
+    pub fn new(kind: TierKind, capacity: Bytes) -> Self {
+        Self {
+            kind,
+            capacity,
+            allocations: HashMap::new(),
+        }
+    }
+
+    /// A 48 GiB GPU tier matching the Ada 6000 of the paper.
+    pub fn ada6000_gpu() -> Self {
+        Self::new(TierKind::Gpu, Bytes(48 * (1 << 30)))
+    }
+
+    /// A 256 GiB host DRAM tier.
+    pub fn host_dram() -> Self {
+        Self::new(TierKind::Cpu, Bytes(256 * (1 << 30)))
+    }
+
+    /// Which memory this tier models.
+    pub fn kind(&self) -> TierKind {
+        self.kind
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> Bytes {
+        self.allocations.values().copied().sum()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> Bytes {
+        Bytes(self.capacity.get().saturating_sub(self.used().get()))
+    }
+
+    /// Allocate (or grow) a named region.
+    ///
+    /// Allocating a name that already exists replaces its size; the
+    /// capacity check accounts for the replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError`] if the allocation would exceed capacity.
+    pub fn allocate(&mut self, name: &str, size: Bytes) -> Result<(), AllocationError> {
+        let existing = self.allocations.get(name).copied().unwrap_or(Bytes(0));
+        let used_without = self.used().get() - existing.get();
+        if used_without + size.get() > self.capacity.get() {
+            return Err(AllocationError {
+                tier: self.kind,
+                requested: size,
+                available: Bytes(self.capacity.get() - used_without),
+            });
+        }
+        self.allocations.insert(name.to_string(), size);
+        Ok(())
+    }
+
+    /// Free a named region. Freeing an unknown name is a no-op.
+    pub fn free(&mut self, name: &str) {
+        self.allocations.remove(name);
+    }
+
+    /// Size of a named region, if present.
+    pub fn allocation(&self, name: &str) -> Option<Bytes> {
+        self.allocations.get(name).copied()
+    }
+
+    /// Whether a given extra allocation would fit.
+    pub fn fits(&self, size: Bytes) -> bool {
+        self.used().get() + size.get() <= self.capacity.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_round_trip() {
+        let mut t = MemoryTier::new(TierKind::Gpu, Bytes(100));
+        t.allocate("a", Bytes(40)).unwrap();
+        t.allocate("b", Bytes(60)).unwrap();
+        assert_eq!(t.used(), Bytes(100));
+        assert_eq!(t.available(), Bytes(0));
+        t.free("a");
+        assert_eq!(t.used(), Bytes(60));
+        assert_eq!(t.allocation("b"), Some(Bytes(60)));
+        assert_eq!(t.allocation("a"), None);
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut t = MemoryTier::new(TierKind::Gpu, Bytes(100));
+        t.allocate("a", Bytes(80)).unwrap();
+        let err = t.allocate("b", Bytes(30)).unwrap_err();
+        assert_eq!(err.tier, TierKind::Gpu);
+        assert_eq!(err.available, Bytes(20));
+        assert!(err.to_string().contains("GPU"));
+        // Failed allocation must not change accounting.
+        assert_eq!(t.used(), Bytes(80));
+    }
+
+    #[test]
+    fn reallocation_replaces_size() {
+        let mut t = MemoryTier::new(TierKind::Cpu, Bytes(100));
+        t.allocate("kv", Bytes(90)).unwrap();
+        // Shrinking an existing allocation is allowed even when the tier is
+        // nearly full.
+        t.allocate("kv", Bytes(50)).unwrap();
+        assert_eq!(t.used(), Bytes(50));
+        // Growing it within capacity is fine too.
+        t.allocate("kv", Bytes(100)).unwrap();
+        assert_eq!(t.used(), Bytes(100));
+    }
+
+    #[test]
+    fn fits_checks_remaining_space() {
+        let mut t = MemoryTier::new(TierKind::Gpu, Bytes(10));
+        assert!(t.fits(Bytes(10)));
+        t.allocate("x", Bytes(6)).unwrap();
+        assert!(t.fits(Bytes(4)));
+        assert!(!t.fits(Bytes(5)));
+    }
+
+    #[test]
+    fn free_unknown_name_is_noop() {
+        let mut t = MemoryTier::ada6000_gpu();
+        t.free("does-not-exist");
+        assert_eq!(t.used(), Bytes(0));
+        assert_eq!(t.kind(), TierKind::Gpu);
+        assert_eq!(MemoryTier::host_dram().kind(), TierKind::Cpu);
+    }
+
+    #[test]
+    fn presets_have_expected_capacity() {
+        assert_eq!(MemoryTier::ada6000_gpu().capacity(), Bytes(48 * (1 << 30)));
+        assert_eq!(MemoryTier::host_dram().capacity(), Bytes(256 * (1 << 30)));
+    }
+}

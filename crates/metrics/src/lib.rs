@@ -1,0 +1,203 @@
+//! Aggregation and report formatting for the experiment harness.
+//!
+//! Every benchmark binary in `clusterkv-bench` prints the rows/series the
+//! corresponding paper table or figure reports. This crate provides the small
+//! shared pieces: summary statistics, a markdown table builder and a named
+//! data series that serialises to JSON for plotting.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Geometric mean of positive values; `0.0` if any value is non-positive or
+/// the slice is empty.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// A named series of `(x, y)` points — one line in a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (method name).
+    pub label: String,
+    /// X/Y points in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Serialise to a compact JSON string (for plotting outside Rust).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("series serialisation cannot fail")
+    }
+}
+
+/// Markdown table builder used by the experiment binaries to print rows the
+/// same way the paper's tables lay them out.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_metrics::Table;
+///
+/// let mut t = Table::new(vec!["Method", "256", "512"]);
+/// t.row(vec!["Quest".into(), "35.6".into(), "40.8".into()]);
+/// let text = t.render();
+/// assert!(text.contains("| Method | 256 | 512 |"));
+/// assert!(text.contains("Quest"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Self {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Format a float with a fixed number of decimals (helper for table cells).
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_of_known_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_behaviour() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let mut s = Series::new("ClusterKV");
+        s.push(256.0, 46.7);
+        s.push(512.0, 48.0);
+        let json = s.to_json();
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(vec!["a", "b"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        t.row(vec!["2".into(), "3".into(), "4".into()]);
+        assert_eq!(t.len(), 2);
+        let md = t.render();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("| 1 |  |"));
+        assert!(md.contains("| 2 | 3 |"));
+        assert!(!md.contains('4'));
+    }
+
+    #[test]
+    fn fmt_controls_decimals() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(2.0, 0), "2");
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_within_min_max(v in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let m = mean(&v);
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        #[test]
+        fn std_dev_is_non_negative(v in proptest::collection::vec(-100.0f64..100.0, 0..50)) {
+            prop_assert!(std_dev(&v) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Attention computation over a (possibly compressed) KV cache.
+
+use clusterkv_kvcache::KvStore;
+use clusterkv_tensor::ops::{attention_weights, softmax_in_place, weighted_sum};
+use clusterkv_tensor::vector::dot;
+
+/// Output of a single-head attention step.
+#[derive(Debug, Clone)]
+pub struct AttentionOutput {
+    /// The attention output vector (`softmax(qK_Sᵀ/√d) · V_S`).
+    pub output: Vec<f32>,
+    /// Attention weights over the *selected* tokens, aligned with `indices`.
+    pub weights: Vec<f32>,
+    /// Indices of the selected tokens the weights refer to.
+    pub indices: Vec<usize>,
+}
+
+/// Compute single-head attention of `query` over the tokens at `indices`
+/// within `store`.
+///
+/// This is the approximated attention `softmax(q·K_Sᵀ/√d)·V_S` of the paper
+/// (§II-B). Passing all indices yields exact full attention.
+///
+/// # Panics
+///
+/// Panics if `query.len() != store.head_dim()` or an index is out of bounds.
+pub fn attend_selected(store: &KvStore, query: &[f32], indices: &[usize]) -> AttentionOutput {
+    assert_eq!(query.len(), store.head_dim(), "query dim mismatch");
+    let keys = indices.iter().map(|&i| store.key(i));
+    let weights = attention_weights(query, keys);
+    let values = indices.iter().map(|&i| store.value(i));
+    let output = weighted_sum(&weights, values, store.head_dim());
+    AttentionOutput {
+        output,
+        weights,
+        indices: indices.to_vec(),
+    }
+}
+
+/// Compute exact full attention over every token in the store.
+pub fn attend_full(store: &KvStore, query: &[f32]) -> AttentionOutput {
+    let indices: Vec<usize> = (0..store.len()).collect();
+    attend_selected(store, query, &indices)
+}
+
+/// Exact attention weights of `query` over *all* tokens in the store
+/// (without computing the output). Used by importance traces and recall
+/// metrics, where only the weights matter.
+pub fn full_attention_weights(store: &KvStore, query: &[f32]) -> Vec<f32> {
+    let scale = 1.0 / (store.head_dim() as f32).sqrt();
+    let mut logits: Vec<f32> = (0..store.len())
+        .map(|i| dot(store.key(i), query) * scale)
+        .collect();
+    softmax_in_place(&mut logits);
+    logits
+}
+
+/// L2 error between the full-attention output and the output computed over a
+/// selected subset, normalised by the full output's norm. This is the
+/// quantity the accuracy proxies in `clusterkv-workloads` are built on.
+pub fn attention_output_error(store: &KvStore, query: &[f32], indices: &[usize]) -> f32 {
+    let full = attend_full(store, query);
+    let approx = attend_selected(store, query, indices);
+    let diff: f32 = full
+        .output
+        .iter()
+        .zip(&approx.output)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt();
+    let denom: f32 = full.output.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if denom == 0.0 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(keys: Vec<Vec<f32>>, values: Vec<Vec<f32>>) -> KvStore {
+        let dim = keys[0].len();
+        let mut s = KvStore::new(dim);
+        for (k, v) in keys.iter().zip(&values) {
+            s.append(k, v);
+        }
+        s
+    }
+
+    #[test]
+    fn full_attention_matches_selected_with_all_indices() {
+        let store = store_with(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        );
+        let q = [0.5, 0.25];
+        let full = attend_full(&store, &q);
+        let sel = attend_selected(&store, &q, &[0, 1, 2]);
+        assert_eq!(full.output, sel.output);
+        assert_eq!(full.weights, sel.weights);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_align_with_indices() {
+        let store = store_with(
+            vec![vec![2.0, 0.0], vec![0.0, 2.0], vec![-2.0, 0.0]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+        );
+        let out = attend_selected(&store, &[1.0, 0.0], &[2, 0]);
+        assert_eq!(out.indices, vec![2, 0]);
+        assert!((out.weights.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Key 0 is aligned with the query, key 2 is anti-aligned.
+        assert!(out.weights[1] > out.weights[0]);
+    }
+
+    #[test]
+    fn selecting_the_important_token_gives_small_error() {
+        // One key dominates the softmax; selecting just that token should
+        // approximate full attention much better than selecting another.
+        let store = store_with(
+            vec![vec![8.0, 0.0], vec![0.0, 0.1], vec![0.1, 0.0]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]],
+        );
+        let q = [4.0, 0.0];
+        let err_good = attention_output_error(&store, &q, &[0]);
+        let err_bad = attention_output_error(&store, &q, &[1]);
+        assert!(err_good < err_bad);
+        assert!(err_good < 0.1);
+    }
+
+    #[test]
+    fn full_attention_weights_match_attend_full() {
+        let store = store_with(
+            vec![vec![1.0, 0.5], vec![0.3, -0.2], vec![0.0, 1.0]],
+            vec![vec![0.0, 0.0]; 3],
+        );
+        let q = [0.7, -0.1];
+        let w1 = full_attention_weights(&store, &q);
+        let w2 = attend_full(&store, &q).weights;
+        for (a, b) in w1.iter().zip(&w2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn error_of_full_selection_is_zero() {
+        let store = store_with(
+            vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+            vec![vec![0.5, 0.5], vec![1.5, -0.5]],
+        );
+        let err = attention_output_error(&store, &[1.0, 1.0], &[0, 1]);
+        assert!(err < 1e-6);
+    }
+}

@@ -1,0 +1,520 @@
+//! The inference engine: prefill and decode loops with pluggable KV
+//! selection.
+//!
+//! The engine executes a decoder-only transformer token by token. During
+//! prefill every head attends to the full (causal) context and the resulting
+//! keys are handed to the head's [`TokenSelector`] via `on_prefill`. During
+//! decoding each non-dense layer asks its selectors for the token indices to
+//! attend to, mirroring the system flow of the paper (Fig. 5).
+
+use crate::attention::{attend_selected, full_attention_weights};
+use crate::config::ModelConfig;
+use crate::policy::{FullAttentionSelector, HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use crate::rope::Rope;
+use crate::trace::{AttentionTrace, TraceStep};
+use crate::weights::ModelWeights;
+use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::KvStore;
+use clusterkv_tensor::ops::{rms_norm, silu};
+use clusterkv_tensor::vector::argmax;
+use clusterkv_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Errors produced by the inference engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The model configuration failed validation.
+    InvalidConfig(String),
+    /// A token id was outside the vocabulary.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: usize,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// The context window was exceeded.
+    ContextOverflow {
+        /// Requested context length.
+        requested: usize,
+        /// Maximum supported context length.
+        max: usize,
+    },
+    /// Decoding was attempted before prefill.
+    NotPrefilled,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
+            EngineError::TokenOutOfVocab { token, vocab } => {
+                write!(f, "token {token} outside vocabulary of size {vocab}")
+            }
+            EngineError::ContextOverflow { requested, max } => {
+                write!(f, "context of {requested} tokens exceeds maximum {max}")
+            }
+            EngineError::NotPrefilled => write!(f, "decode_step called before prefill"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Output of one decoding step.
+#[derive(Debug, Clone)]
+pub struct DecodeOutput {
+    /// Greedily chosen next token id.
+    pub next_token: usize,
+    /// Logits over the vocabulary.
+    pub logits: Vec<f32>,
+    /// Final hidden state of the step.
+    pub hidden: Vec<f32>,
+}
+
+/// A decoder-only transformer with per-head KV-selection policies.
+pub struct InferenceEngine {
+    config: ModelConfig,
+    weights: ModelWeights,
+    rope: Rope,
+    budget: Budget,
+    /// KV stores indexed by `[layer][kv_head]`.
+    kv: Vec<Vec<KvStore>>,
+    /// Selectors indexed by `[layer][query_head]`; dense layers hold
+    /// [`FullAttentionSelector`]s.
+    selectors: Vec<Vec<Box<dyn TokenSelector>>>,
+    /// Heads to trace: map from `(layer, head)` to the trace being built.
+    traces: HashMap<(usize, usize), AttentionTrace>,
+    num_tokens: usize,
+    prefilled: bool,
+}
+
+impl InferenceEngine {
+    /// Build an engine from a configuration, synthetic weights and a policy
+    /// factory. The factory is consulted for every head of every non-dense
+    /// layer; dense layers always run full attention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] if the configuration fails
+    /// [`ModelConfig::validate`].
+    pub fn new(
+        config: ModelConfig,
+        weights: ModelWeights,
+        factory: &dyn SelectorFactory,
+        budget: Budget,
+    ) -> Result<Self, EngineError> {
+        config.validate().map_err(EngineError::InvalidConfig)?;
+        let rope = Rope::new(config.head_dim, 10_000.0);
+        let kv = (0..config.num_layers)
+            .map(|_| (0..config.num_kv_heads).map(|_| KvStore::new(config.head_dim)).collect())
+            .collect();
+        let selectors = (0..config.num_layers)
+            .map(|layer| {
+                (0..config.num_heads)
+                    .map(|head| {
+                        if layer < config.dense_layers {
+                            Box::new(FullAttentionSelector) as Box<dyn TokenSelector>
+                        } else {
+                            factory.create(HeadContext {
+                                layer,
+                                head,
+                                head_dim: config.head_dim,
+                            })
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            config,
+            weights,
+            rope,
+            budget,
+            kv,
+            selectors,
+            traces: HashMap::new(),
+            num_tokens: 0,
+            prefilled: false,
+        })
+    }
+
+    /// Convenience constructor that generates synthetic weights from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InferenceEngine::new`].
+    pub fn with_synthetic_weights(
+        config: ModelConfig,
+        seed: u64,
+        factory: &dyn SelectorFactory,
+        budget: Budget,
+    ) -> Result<Self, EngineError> {
+        let weights = ModelWeights::synthetic(&config, seed);
+        Self::new(config, weights, factory, budget)
+    }
+
+    /// Model configuration in use.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Current context length (prompt + generated tokens).
+    pub fn context_len(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// KV cache budget used for selection.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Enable tracing of a specific `(layer, head)` pair. Must be called
+    /// before decoding; tracing records exact attention weights, which is
+    /// expensive but only for the traced heads.
+    pub fn enable_trace(&mut self, layer: usize, head: usize) {
+        self.traces.insert((layer, head), AttentionTrace::new(layer, head));
+    }
+
+    /// Access a recorded trace.
+    pub fn trace(&self, layer: usize, head: usize) -> Option<&AttentionTrace> {
+        self.traces.get(&(layer, head))
+    }
+
+    /// Access the KV store of a `(layer, kv_head)` pair (for tests and
+    /// experiments).
+    pub fn kv_store(&self, layer: usize, kv_head: usize) -> &KvStore {
+        &self.kv[layer][kv_head]
+    }
+
+    /// Aggregate policy statistics across every head.
+    pub fn policy_stats(&self) -> PolicyStats {
+        let mut total = PolicyStats::default();
+        for layer in &self.selectors {
+            for sel in layer {
+                total.merge(&sel.stats());
+            }
+        }
+        total
+    }
+
+    fn embed(&self, token: usize) -> Result<Vec<f32>, EngineError> {
+        if token >= self.config.vocab_size {
+            return Err(EngineError::TokenOutOfVocab {
+                token,
+                vocab: self.config.vocab_size,
+            });
+        }
+        Ok(self.weights.embedding.row(token).to_vec())
+    }
+
+    fn kv_head_of(&self, query_head: usize) -> usize {
+        query_head / (self.config.num_heads / self.config.num_kv_heads)
+    }
+
+    /// Project a hidden vector through the per-head slice of a projection
+    /// matrix `w` (whose rows are output channels).
+    fn project_head(w: &Matrix, hidden: &[f32], head: usize, head_dim: usize) -> Vec<f32> {
+        (0..head_dim)
+            .map(|d| clusterkv_tensor::vector::dot(w.row(head * head_dim + d), hidden))
+            .collect()
+    }
+
+    /// Run one token through the transformer. `use_selection` is false during
+    /// prefill (full causal attention) and true during decoding.
+    fn forward_token(&mut self, token: usize, use_selection: bool) -> Result<Vec<f32>, EngineError> {
+        let position = self.num_tokens;
+        if position >= self.config.max_context {
+            return Err(EngineError::ContextOverflow {
+                requested: position + 1,
+                max: self.config.max_context,
+            });
+        }
+        let mut x = self.embed(token)?;
+        let head_dim = self.config.head_dim;
+        let num_heads = self.config.num_heads;
+        let num_kv_heads = self.config.num_kv_heads;
+
+        for layer in 0..self.config.num_layers {
+            let lw = &self.weights.layers[layer];
+            let h = rms_norm(&x, &lw.attn_norm, 1e-6);
+
+            // KV projections for this layer (one per KV head), RoPE on keys.
+            for kv_head in 0..num_kv_heads {
+                let mut k = Self::project_head(&lw.wk, &h, kv_head, head_dim);
+                let v = Self::project_head(&lw.wv, &h, kv_head, head_dim);
+                self.rope.apply(&mut k, position);
+                self.kv[layer][kv_head].append(&k, &v);
+            }
+
+            // Attention per query head.
+            let mut attn_concat = vec![0.0f32; num_heads * head_dim];
+            for head in 0..num_heads {
+                let mut q = Self::project_head(&lw.wq, &h, head, head_dim);
+                self.rope.apply(&mut q, position);
+                let kv_head = self.kv_head_of(head);
+                let store = &self.kv[layer][kv_head];
+                let n = store.len();
+
+                let selected: Vec<usize> = if use_selection {
+                    let mut sel = self.selectors[layer][head].select(&q, n, self.budget);
+                    // The token being generated always attends to itself: its
+                    // KV was just produced on the GPU and is not subject to
+                    // selection (policies may not even have observed it yet).
+                    if !sel.contains(&position) {
+                        sel.push(position);
+                    }
+                    sel
+                } else {
+                    (0..n).collect()
+                };
+                let out = attend_selected(store, &q, &selected);
+
+                if use_selection {
+                    if let Some(trace) = self.traces.get_mut(&(layer, head)) {
+                        trace.push(TraceStep {
+                            position,
+                            full_weights: full_attention_weights(store, &q),
+                            selected: selected.clone(),
+                        });
+                    }
+                }
+                attn_concat[head * head_dim..(head + 1) * head_dim].copy_from_slice(&out.output);
+            }
+
+            // Output projection and residual.
+            let attn_out: Vec<f32> = (0..self.config.hidden_dim())
+                .map(|d| clusterkv_tensor::vector::dot(lw.wo.row(d), &attn_concat))
+                .collect();
+            for (xi, ai) in x.iter_mut().zip(&attn_out) {
+                *xi += ai;
+            }
+
+            // FFN with SiLU gating and residual.
+            let h2 = rms_norm(&x, &lw.ffn_norm, 1e-6);
+            let gate: Vec<f32> = (0..self.config.ffn_dim)
+                .map(|d| silu(clusterkv_tensor::vector::dot(lw.w_gate.row(d), &h2)))
+                .collect();
+            let up: Vec<f32> = (0..self.config.ffn_dim)
+                .map(|d| clusterkv_tensor::vector::dot(lw.w_up.row(d), &h2))
+                .collect();
+            let gated: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| g * u).collect();
+            for d in 0..self.config.hidden_dim() {
+                x[d] += clusterkv_tensor::vector::dot(lw.w_down.row(d), &gated);
+            }
+        }
+
+        self.num_tokens += 1;
+        Ok(rms_norm(&x, &self.weights.final_norm, 1e-6))
+    }
+
+    /// Process the whole prompt with full causal attention, then hand each
+    /// head's prefill keys to its selector. Returns the final hidden state of
+    /// the last prompt token.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-vocabulary tokens, context overflow or an
+    /// empty prompt.
+    pub fn prefill(&mut self, prompt: &[usize]) -> Result<Vec<f32>, EngineError> {
+        if prompt.is_empty() {
+            return Err(EngineError::InvalidConfig("prompt must not be empty".into()));
+        }
+        let mut last = Vec::new();
+        for &token in prompt {
+            last = self.forward_token(token, false)?;
+        }
+        // Notify selectors of the prefill keys (per query head, using the
+        // keys of the associated KV head) — this is where semantic
+        // clustering runs in ClusterKV (Fig. 5, step 1).
+        for layer in self.config.dense_layers..self.config.num_layers {
+            for head in 0..self.config.num_heads {
+                let kv_head = self.kv_head_of(head);
+                let keys = self.kv[layer][kv_head].keys().clone();
+                self.selectors[layer][head].on_prefill(&keys);
+            }
+        }
+        self.prefilled = true;
+        Ok(last)
+    }
+
+    /// Run one decoding step for `token` (typically the previously generated
+    /// token) and return the logits / greedy next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NotPrefilled`] if called before
+    /// [`prefill`](Self::prefill), and propagates vocabulary / context
+    /// errors.
+    pub fn decode_step(&mut self, token: usize) -> Result<DecodeOutput, EngineError> {
+        if !self.prefilled {
+            return Err(EngineError::NotPrefilled);
+        }
+        let position = self.num_tokens;
+        let hidden = self.forward_token(token, true)?;
+
+        // Notify selectors of the new keys appended at `position`.
+        for layer in self.config.dense_layers..self.config.num_layers {
+            for head in 0..self.config.num_heads {
+                let kv_head = self.kv_head_of(head);
+                let key = self.kv[layer][kv_head].key(position).to_vec();
+                self.selectors[layer][head].on_append(position, &key);
+            }
+        }
+
+        // Tied-embedding logits.
+        let logits: Vec<f32> = (0..self.config.vocab_size)
+            .map(|t| clusterkv_tensor::vector::dot(self.weights.embedding.row(t), &hidden))
+            .collect();
+        let next_token = argmax(&logits).unwrap_or(0);
+        Ok(DecodeOutput {
+            next_token,
+            logits,
+            hidden,
+        })
+    }
+
+    /// Greedily generate `steps` tokens after the prompt, returning the
+    /// generated token ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`prefill`](Self::prefill) or
+    /// [`decode_step`](Self::decode_step).
+    pub fn generate(&mut self, prompt: &[usize], steps: usize) -> Result<Vec<usize>, EngineError> {
+        self.prefill(prompt)?;
+        let mut out = Vec::with_capacity(steps);
+        let mut token = *prompt.last().expect("prompt checked non-empty");
+        for _ in 0..steps {
+            let step = self.decode_step(token)?;
+            token = step.next_token;
+            out.push(token);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FullAttentionFactory, OracleTopKFactory};
+
+    fn tiny_engine(factory: &dyn SelectorFactory, budget: usize) -> InferenceEngine {
+        InferenceEngine::with_synthetic_weights(
+            ModelConfig::tiny(),
+            7,
+            factory,
+            Budget::new(budget),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prefill_populates_kv_stores() {
+        let mut eng = tiny_engine(&FullAttentionFactory, 64);
+        eng.prefill(&[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(eng.context_len(), 5);
+        for layer in 0..eng.config().num_layers {
+            for kv_head in 0..eng.config().num_kv_heads {
+                assert_eq!(eng.kv_store(layer, kv_head).len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_before_prefill_errors() {
+        let mut eng = tiny_engine(&FullAttentionFactory, 64);
+        assert_eq!(eng.decode_step(1).unwrap_err(), EngineError::NotPrefilled);
+    }
+
+    #[test]
+    fn empty_prompt_errors() {
+        let mut eng = tiny_engine(&FullAttentionFactory, 64);
+        assert!(eng.prefill(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_vocab_token_errors() {
+        let mut eng = tiny_engine(&FullAttentionFactory, 64);
+        let err = eng.prefill(&[9999]).unwrap_err();
+        assert!(matches!(err, EngineError::TokenOutOfVocab { .. }));
+        assert!(err.to_string().contains("9999"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = tiny_engine(&FullAttentionFactory, 64);
+        let mut b = tiny_engine(&FullAttentionFactory, 64);
+        let ga = a.generate(&[3, 14, 15, 9, 26], 6).unwrap();
+        let gb = b.generate(&[3, 14, 15, 9, 26], 6).unwrap();
+        assert_eq!(ga, gb);
+        assert_eq!(ga.len(), 6);
+        assert!(ga.iter().all(|&t| t < a.config().vocab_size));
+    }
+
+    #[test]
+    fn oracle_with_large_budget_matches_full_attention() {
+        // When the budget covers the whole context, top-k selection selects
+        // everything and generation must match full attention exactly.
+        let mut full = tiny_engine(&FullAttentionFactory, 512);
+        let mut oracle = tiny_engine(&OracleTopKFactory, 512);
+        let prompt = vec![5, 9, 13, 17, 21, 25];
+        assert_eq!(
+            full.generate(&prompt, 5).unwrap(),
+            oracle.generate(&prompt, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_records_selected_and_full_weights() {
+        let mut eng = tiny_engine(&OracleTopKFactory, 3);
+        eng.enable_trace(1, 0);
+        eng.prefill(&[2, 4, 6, 8, 10, 12]).unwrap();
+        eng.decode_step(1).unwrap();
+        eng.decode_step(1).unwrap();
+        let trace = eng.trace(1, 0).unwrap();
+        assert_eq!(trace.len(), 2);
+        // At the first decode step the context has the 6 prompt tokens plus
+        // the token being generated (which always attends to itself).
+        assert_eq!(trace.steps[0].full_weights.len(), 7);
+        assert!(trace.steps[0].selected.contains(&6));
+        assert!(trace.steps[0].selected.len() <= 4); // budget 3 + current token
+    }
+
+    #[test]
+    fn dense_layers_ignore_budget() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.dense_layers = 1;
+        let weights = ModelWeights::synthetic(&cfg, 7);
+        let mut eng =
+            InferenceEngine::new(cfg, weights, &OracleTopKFactory, Budget::new(2)).unwrap();
+        eng.enable_trace(0, 0); // dense layer
+        eng.enable_trace(1, 0); // selective layer
+        eng.prefill(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        eng.decode_step(1).unwrap();
+        // The dense layer attends to the full context (9 tokens including
+        // the current one) while the selective layer respects the budget of
+        // 2 tokens plus the always-attended current token.
+        assert_eq!(eng.trace(0, 0).unwrap().steps[0].selected.len(), 9);
+        assert_eq!(eng.trace(1, 0).unwrap().steps[0].selected.len(), 3);
+    }
+
+    #[test]
+    fn context_overflow_is_detected() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.max_context = 4;
+        let weights = ModelWeights::synthetic(&cfg, 1);
+        let mut eng =
+            InferenceEngine::new(cfg, weights, &FullAttentionFactory, Budget::new(16)).unwrap();
+        let err = eng.prefill(&[1, 2, 3, 4, 5]).unwrap_err();
+        assert!(matches!(err, EngineError::ContextOverflow { .. }));
+    }
+
+    #[test]
+    fn policy_stats_aggregate_over_heads() {
+        let mut eng = tiny_engine(&OracleTopKFactory, 4);
+        eng.prefill(&[1, 2, 3, 4, 5, 6]).unwrap();
+        eng.decode_step(2).unwrap();
+        let stats = eng.policy_stats();
+        assert!(stats.scored_vectors > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Tiny transformer inference engine for the ClusterKV reproduction.
+//!
+//! The paper hooks its KV-cache selection into GLM4-9B / Llama-3.1-8B /
+//! OPT-6.7B running under PyTorch. This crate provides the equivalent
+//! substrate in pure Rust:
+//!
+//! * [`config`] — model shape descriptions and presets matching the models
+//!   used in the paper (used both to size the synthetic simulator and to
+//!   drive the analytical latency model).
+//! * [`rope`] — rotary position embeddings applied to queries and keys.
+//! * [`weights`] — deterministic synthetic weight generation.
+//! * [`policy`] — the [`TokenSelector`](policy::TokenSelector) trait that
+//!   ClusterKV and every baseline implement, plus
+//!   [`FullAttentionSelector`](policy::FullAttentionSelector).
+//! * [`attention`] — multi-head attention over a selected subset of the KV
+//!   cache.
+//! * [`engine`] — prefill/decode loops wiring everything together.
+//! * [`trace`] — recording of per-step attention weights (token-importance
+//!   traces behind Fig. 3a / Fig. 11).
+//! * [`latency`] — the analytical latency/throughput model behind Fig. 12 and
+//!   Fig. 13.
+
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod config;
+pub mod engine;
+pub mod latency;
+pub mod policy;
+pub mod rope;
+pub mod trace;
+pub mod weights;
+
+pub use config::{ModelConfig, ModelPreset};
+pub use engine::InferenceEngine;
+pub use latency::{InferenceBreakdown, LatencyModel};
+pub use policy::{FullAttentionSelector, PolicyStats, SelectorFactory, TokenSelector};

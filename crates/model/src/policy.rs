@@ -1,0 +1,278 @@
+//! The token-selection policy interface.
+//!
+//! Every KV-cache compression method in this workspace — ClusterKV itself and
+//! all baselines (Quest, InfiniGen, H2O, StreamingLLM, full attention) — is a
+//! [`TokenSelector`]: an object attached to one attention head that observes
+//! keys as they are produced and, at every decoding step, returns the token
+//! indices whose KV participate in the approximated attention.
+
+use clusterkv_kvcache::stats::{CacheStats, TransferStats};
+use clusterkv_kvcache::types::Budget;
+use clusterkv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Identity of the head a selector instance is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HeadContext {
+    /// Layer index.
+    pub layer: usize,
+    /// Head index within the layer.
+    pub head: usize,
+    /// Head dimensionality.
+    pub head_dim: usize,
+}
+
+/// Per-step cost accounting reported by a selector, consumed by the
+/// analytical latency model ([`crate::latency::LatencyModel`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyStats {
+    /// Number of `d`-dimensional vectors scored against the query during
+    /// selection (centroids for ClusterKV, page representations for Quest,
+    /// all partial keys for InfiniGen, all keys for exact top-k).
+    pub scored_vectors: u64,
+    /// Cumulative host-to-device traffic caused by recalling KV.
+    pub transfer: TransferStats,
+    /// Hit/miss statistics of any on-GPU cache the policy maintains.
+    pub cache: CacheStats,
+}
+
+impl PolicyStats {
+    /// Merge another accounting record into this one.
+    pub fn merge(&mut self, other: &PolicyStats) {
+        self.scored_vectors += other.scored_vectors;
+        self.transfer.merge(&other.transfer);
+        self.cache.merge(&other.cache);
+    }
+}
+
+/// A KV-cache token-selection policy attached to a single attention head.
+///
+/// The engine drives a selector through three phases:
+///
+/// 1. [`on_prefill`](TokenSelector::on_prefill) — once, with the post-RoPE
+///    keys of the whole prompt.
+/// 2. [`on_append`](TokenSelector::on_append) — once per generated token,
+///    with the new key.
+/// 3. [`select`](TokenSelector::select) — once per decoding step, returning
+///    the indices `I_T` of the tokens to attend to.
+///
+/// Implementations must be deterministic for a fixed seed so experiments are
+/// reproducible.
+pub trait TokenSelector: Send {
+    /// Short human-readable method name ("ClusterKV", "Quest", ...).
+    fn name(&self) -> &str;
+
+    /// Observe the keys of all prompt tokens (rows are token positions).
+    fn on_prefill(&mut self, keys: &Matrix);
+
+    /// Observe the key of a newly generated token at absolute position
+    /// `position`.
+    fn on_append(&mut self, position: usize, key: &[f32]);
+
+    /// Return the indices of the tokens to attend to for the given query.
+    ///
+    /// `num_tokens` is the current context length (prompt + generated so
+    /// far). The returned indices must be unique, in `0..num_tokens`, and at
+    /// most `budget.tokens()` unless the policy is exempt from the budget
+    /// (full attention). Order does not matter to the attention computation.
+    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize>;
+
+    /// Cumulative cost accounting (selection work, transfers, cache hits).
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+/// Factory creating one selector per `(layer, head)`.
+pub trait SelectorFactory: Send + Sync {
+    /// Method name, used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Create the selector for a given head.
+    fn create(&self, ctx: HeadContext) -> Box<dyn TokenSelector>;
+}
+
+/// The trivial policy: attend to every previous token (no compression).
+///
+/// This is the "Full KV" configuration of the paper and also what the engine
+/// uses for the first `dense_layers` layers of every method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullAttentionSelector;
+
+impl TokenSelector for FullAttentionSelector {
+    fn name(&self) -> &str {
+        "FullKV"
+    }
+
+    fn on_prefill(&mut self, _keys: &Matrix) {}
+
+    fn on_append(&mut self, _position: usize, _key: &[f32]) {}
+
+    fn select(&mut self, _query: &[f32], num_tokens: usize, _budget: Budget) -> Vec<usize> {
+        (0..num_tokens).collect()
+    }
+}
+
+/// Factory for [`FullAttentionSelector`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullAttentionFactory;
+
+impl SelectorFactory for FullAttentionFactory {
+    fn name(&self) -> &str {
+        "FullKV"
+    }
+
+    fn create(&self, _ctx: HeadContext) -> Box<dyn TokenSelector> {
+        Box::new(FullAttentionSelector)
+    }
+}
+
+/// Oracle policy: selects the exact top-`B` tokens by true attention weight.
+///
+/// Not a practical method (it scores every key, which is what compression is
+/// trying to avoid) but it provides the `I_T^true` reference set used by the
+/// recall-rate experiments (Fig. 11) and an upper bound for accuracy.
+#[derive(Debug, Clone, Default)]
+pub struct OracleTopKSelector {
+    keys: Matrix,
+    scored: u64,
+}
+
+impl OracleTopKSelector {
+    /// New oracle selector for vectors of the given dimensionality.
+    pub fn new(head_dim: usize) -> Self {
+        Self {
+            keys: Matrix::zeros(0, head_dim),
+            scored: 0,
+        }
+    }
+}
+
+impl TokenSelector for OracleTopKSelector {
+    fn name(&self) -> &str {
+        "OracleTopK"
+    }
+
+    fn on_prefill(&mut self, keys: &Matrix) {
+        for row in keys.iter_rows() {
+            self.keys.push_row(row).expect("prefill key dims consistent");
+        }
+    }
+
+    fn on_append(&mut self, _position: usize, key: &[f32]) {
+        self.keys.push_row(key).expect("append key dims consistent");
+    }
+
+    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
+        let n = num_tokens.min(self.keys.rows());
+        self.scored += n as u64;
+        if budget.covers(n) {
+            return (0..n).collect();
+        }
+        let scores: Vec<f32> = (0..n)
+            .map(|i| clusterkv_tensor::vector::dot(self.keys.row(i), query))
+            .collect();
+        clusterkv_tensor::vector::top_k_indices(&scores, budget.tokens())
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            scored_vectors: self.scored,
+            ..PolicyStats::default()
+        }
+    }
+}
+
+/// Factory for [`OracleTopKSelector`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleTopKFactory;
+
+impl SelectorFactory for OracleTopKFactory {
+    fn name(&self) -> &str {
+        "OracleTopK"
+    }
+
+    fn create(&self, ctx: HeadContext) -> Box<dyn TokenSelector> {
+        Box::new(OracleTopKSelector::new(ctx.head_dim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_matrix(n: usize, dim: usize) -> Matrix {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..dim).map(|d| ((i * 31 + d * 7) % 13) as f32 - 6.0).collect())
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn full_attention_selects_everything() {
+        let mut s = FullAttentionSelector;
+        let sel = s.select(&[0.0; 4], 10, Budget::new(2));
+        assert_eq!(sel, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.name(), "FullKV");
+        assert_eq!(FullAttentionFactory.name(), "FullKV");
+    }
+
+    #[test]
+    fn oracle_returns_true_top_k() {
+        let mut s = OracleTopKSelector::new(2);
+        let keys = Matrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 0.0],
+            vec![-1.0, 0.0],
+        ])
+        .unwrap();
+        s.on_prefill(&keys);
+        let q = [1.0, 0.0];
+        let sel = s.select(&q, 4, Budget::new(2));
+        assert_eq!(sel.len(), 2);
+        assert!(sel.contains(&2)); // score 5
+        assert!(sel.contains(&0)); // score 1
+    }
+
+    #[test]
+    fn oracle_respects_budget_and_appends() {
+        let ctx = HeadContext { layer: 0, head: 0, head_dim: 4 };
+        let mut s = OracleTopKFactory.create(ctx);
+        s.on_prefill(&keys_matrix(20, 4));
+        s.on_append(20, &[9.0, 9.0, 9.0, 9.0]);
+        let sel = s.select(&[1.0, 1.0, 1.0, 1.0], 21, Budget::new(5));
+        assert_eq!(sel.len(), 5);
+        assert!(sel.contains(&20), "strongly aligned appended key must be selected");
+        assert!(s.stats().scored_vectors >= 21);
+    }
+
+    #[test]
+    fn oracle_with_budget_covering_context_returns_all() {
+        let mut s = OracleTopKSelector::new(4);
+        s.on_prefill(&keys_matrix(8, 4));
+        let sel = s.select(&[1.0, 0.0, 0.0, 0.0], 8, Budget::new(64));
+        assert_eq!(sel, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn policy_stats_merge_accumulates() {
+        let mut a = PolicyStats {
+            scored_vectors: 5,
+            ..Default::default()
+        };
+        let b = PolicyStats {
+            scored_vectors: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.scored_vectors, 12);
+    }
+
+    #[test]
+    fn selectors_are_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let boxed: Box<dyn TokenSelector> = Box::new(FullAttentionSelector);
+        assert_send(&boxed);
+    }
+}

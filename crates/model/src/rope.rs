@@ -1,0 +1,138 @@
+//! Rotary position embeddings (RoPE).
+//!
+//! The paper clusters keys *after* RoPE has been applied (Fig. 6 shows the
+//! semantic-clustering hook placed after the QKV projection and RoPE
+//! modules), so the simulator applies RoPE exactly there too.
+
+use serde::{Deserialize, Serialize};
+
+/// Precomputed rotary embedding tables for a given head dimension.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_model::rope::Rope;
+///
+/// let rope = Rope::new(8, 10_000.0);
+/// let mut v = vec![1.0_f32; 8];
+/// rope.apply(&mut v, 0);
+/// // Position 0 is the identity rotation.
+/// assert!(v.iter().zip([1.0_f32; 8].iter()).all(|(a, b)| (a - b).abs() < 1e-6));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rope {
+    head_dim: usize,
+    inv_freq: Vec<f32>,
+}
+
+impl Rope {
+    /// Build tables for vectors of `head_dim` dimensions with the given
+    /// frequency base (10 000 for Llama-family models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is zero or odd.
+    pub fn new(head_dim: usize, base: f32) -> Self {
+        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be positive and even");
+        let half = head_dim / 2;
+        let inv_freq = (0..half)
+            .map(|i| 1.0 / base.powf(2.0 * i as f32 / head_dim as f32))
+            .collect();
+        Self { head_dim, inv_freq }
+    }
+
+    /// Head dimension these tables were built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Rotate `v` in place for the given absolute position.
+    ///
+    /// Uses the "rotate-half" convention: dimension pairs `(i, i + d/2)` are
+    /// rotated by angle `position * inv_freq[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != head_dim`.
+    pub fn apply(&self, v: &mut [f32], position: usize) {
+        assert_eq!(v.len(), self.head_dim, "rope: vector dim mismatch");
+        let half = self.head_dim / 2;
+        for i in 0..half {
+            let angle = position as f32 * self.inv_freq[i];
+            let (sin, cos) = angle.sin_cos();
+            let a = v[i];
+            let b = v[i + half];
+            v[i] = a * cos - b * sin;
+            v[i + half] = a * sin + b * cos;
+        }
+    }
+
+    /// Convenience: return a rotated copy.
+    pub fn rotated(&self, v: &[f32], position: usize) -> Vec<f32> {
+        let mut out = v.to_vec();
+        self.apply(&mut out, position);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterkv_tensor::vector::{dot, norm};
+    use proptest::prelude::*;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = Rope::new(16, 10_000.0);
+        let v: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(rope.rotated(&v, 0), v);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = Rope::new(32, 10_000.0);
+        let v: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).sin()).collect();
+        for pos in [1, 17, 500, 4096] {
+            let r = rope.rotated(&v, pos);
+            assert!((norm(&r) - norm(&v)).abs() < 1e-4, "norm changed at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // RoPE's defining property: the dot product of a rotated query and
+        // key depends only on their relative offset.
+        let rope = Rope::new(8, 10_000.0);
+        let q = vec![0.3, -0.7, 1.2, 0.1, -0.4, 0.9, 0.2, -1.1];
+        let k = vec![0.5, 0.5, -0.5, 0.25, 1.0, -0.3, 0.6, 0.0];
+        let d1 = dot(&rope.rotated(&q, 10), &rope.rotated(&k, 7));
+        let d2 = dot(&rope.rotated(&q, 110), &rope.rotated(&k, 107));
+        assert!((d1 - d2).abs() < 1e-3, "{d1} vs {d2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_head_dim_panics() {
+        Rope::new(7, 10_000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_vector_length_panics() {
+        let rope = Rope::new(8, 10_000.0);
+        let mut v = vec![0.0; 4];
+        rope.apply(&mut v, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn rotation_is_an_isometry(
+            v in proptest::collection::vec(-3.0f32..3.0, 16),
+            pos in 0usize..10_000,
+        ) {
+            let rope = Rope::new(16, 10_000.0);
+            let r = rope.rotated(&v, pos);
+            prop_assert!((norm(&r) - norm(&v)).abs() < 1e-3);
+        }
+    }
+}

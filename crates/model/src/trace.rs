@@ -1,0 +1,163 @@
+//! Recording of attention behaviour during decoding.
+//!
+//! Traces capture, for chosen heads, the *full* attention weights at every
+//! decoding step together with the indices the active selection policy chose.
+//! They power the motivation study of Fig. 3a (token importance drifts across
+//! steps) and the recall-rate metric of Fig. 11 (how many of the true top-`B`
+//! tokens the policy recalled).
+
+use serde::{Deserialize, Serialize};
+
+/// One decoding step of a traced head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Absolute position of the token being generated.
+    pub position: usize,
+    /// Exact attention weights over all previous tokens (length = position).
+    pub full_weights: Vec<f32>,
+    /// Token indices the policy selected for this step.
+    pub selected: Vec<usize>,
+}
+
+impl TraceStep {
+    /// Importance ranking of every token: `ranking[i]` is the rank (0 = most
+    /// important) of token `i` under the full attention weights.
+    pub fn importance_ranking(&self) -> Vec<usize> {
+        let order = clusterkv_tensor::vector::argsort_descending(&self.full_weights);
+        let mut ranking = vec![0usize; self.full_weights.len()];
+        for (rank, &token) in order.iter().enumerate() {
+            ranking[token] = rank;
+        }
+        ranking
+    }
+
+    /// Indices of the true top-`k` tokens by attention weight.
+    pub fn true_top_k(&self, k: usize) -> Vec<usize> {
+        clusterkv_tensor::vector::top_k_indices(&self.full_weights, k)
+    }
+
+    /// Recall of the selected set against the true top-`k` set:
+    /// `|selected ∩ top_k| / k` (the paper's recall-rate definition with
+    /// `|I_T| = |I_T^true| = B`).
+    pub fn recall_at(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let truth = self.true_top_k(k);
+        let selected: std::collections::HashSet<usize> = self.selected.iter().copied().collect();
+        let hit = truth.iter().filter(|t| selected.contains(t)).count();
+        hit as f64 / truth.len() as f64
+    }
+}
+
+/// Trace of a single attention head across decoding steps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AttentionTrace {
+    /// Layer of the traced head.
+    pub layer: usize,
+    /// Head index of the traced head.
+    pub head: usize,
+    /// Recorded steps, in decoding order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl AttentionTrace {
+    /// Create an empty trace for the given head.
+    pub fn new(layer: usize, head: usize) -> Self {
+        Self {
+            layer,
+            head,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a step record.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Importance-rank trajectory of a single token across all recorded
+    /// steps (Fig. 3a plots these trajectories for a few tokens). Steps where
+    /// the token did not yet exist are skipped.
+    pub fn ranking_trajectory(&self, token: usize) -> Vec<(usize, usize)> {
+        self.steps
+            .iter()
+            .filter(|s| token < s.full_weights.len())
+            .map(|s| (s.position, s.importance_ranking()[token]))
+            .collect()
+    }
+
+    /// Mean recall over all steps at budget `k`.
+    pub fn mean_recall_at(&self, k: usize) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.recall_at(k)).sum::<f64>() / self.steps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(weights: Vec<f32>, selected: Vec<usize>) -> TraceStep {
+        TraceStep {
+            position: weights.len(),
+            full_weights: weights,
+            selected,
+        }
+    }
+
+    #[test]
+    fn importance_ranking_orders_by_weight() {
+        let s = step(vec![0.1, 0.6, 0.3], vec![]);
+        assert_eq!(s.importance_ranking(), vec![2, 0, 1]);
+        assert_eq!(s.true_top_k(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn recall_counts_intersection() {
+        let s = step(vec![0.4, 0.3, 0.2, 0.1], vec![0, 2]);
+        // true top-2 = {0, 1}; selected = {0, 2} => recall 1/2.
+        assert!((s.recall_at(2) - 0.5).abs() < 1e-9);
+        assert_eq!(s.recall_at(0), 0.0);
+        // Full selection always has recall 1.
+        let s2 = step(vec![0.4, 0.3, 0.2, 0.1], vec![0, 1, 2, 3]);
+        assert!((s2.recall_at(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_skips_steps_before_token_existed() {
+        let mut trace = AttentionTrace::new(0, 1);
+        trace.push(step(vec![0.5, 0.5], vec![]));
+        trace.push(step(vec![0.2, 0.3, 0.5], vec![]));
+        let traj = trace.ranking_trajectory(2);
+        assert_eq!(traj.len(), 1);
+        assert_eq!(traj[0], (3, 0)); // token 2 is most important at step 2
+        assert_eq!(trace.ranking_trajectory(0).len(), 2);
+    }
+
+    #[test]
+    fn mean_recall_averages_steps() {
+        let mut trace = AttentionTrace::new(0, 0);
+        assert_eq!(trace.mean_recall_at(2), 0.0);
+        trace.push(step(vec![0.9, 0.05, 0.05], vec![0, 1]));
+        trace.push(step(vec![0.1, 0.1, 0.8], vec![0, 1]));
+        // Step 1: top-2 = {0,1}, selected {0,1} => 1.0
+        // Step 2: top-2 = {2,0} (or {2,1}) => selected hits 1 of 2 => 0.5
+        let m = trace.mean_recall_at(2);
+        assert!((m - 0.75).abs() < 1e-9, "mean recall {m}");
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic synthetic model weights.
+//!
+//! The paper's experiments use pretrained checkpoints (GLM4-9B, Llama-3.1-8B,
+//! OPT-6.7B) which are not available here. The simulator instead generates
+//! seeded random weights with realistic initialisation scales. Two details
+//! that matter to ClusterKV are reproduced explicitly:
+//!
+//! * **Outlier channels in key projections** — the paper motivates cosine
+//!   distance over L2/inner-product by the presence of large-magnitude
+//!   outlier channels in key vectors (§III-B, citing KIVI). The synthetic
+//!   key projection amplifies a few output channels to recreate this.
+//! * **Attention sinks** — handled in the workload generator, not here.
+
+use crate::config::ModelConfig;
+use clusterkv_tensor::rng::{derive_seed, gaussian_vec, seeded, xavier_matrix};
+use clusterkv_tensor::Matrix;
+
+/// Weights of a single transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection (`hidden × hidden`).
+    pub wq: Matrix,
+    /// Key projection (`kv_dim × hidden`).
+    pub wk: Matrix,
+    /// Value projection (`kv_dim × hidden`).
+    pub wv: Matrix,
+    /// Output projection (`hidden × hidden`).
+    pub wo: Matrix,
+    /// FFN gate projection (`ffn × hidden`).
+    pub w_gate: Matrix,
+    /// FFN up projection (`ffn × hidden`).
+    pub w_up: Matrix,
+    /// FFN down projection (`hidden × ffn`).
+    pub w_down: Matrix,
+    /// RMSNorm weight before attention.
+    pub attn_norm: Vec<f32>,
+    /// RMSNorm weight before the FFN.
+    pub ffn_norm: Vec<f32>,
+}
+
+/// Full model weights: embedding table plus per-layer weights.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Token embedding table (`vocab × hidden`).
+    pub embedding: Matrix,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm weight.
+    pub final_norm: Vec<f32>,
+}
+
+/// Number of key-projection output channels that are amplified to act as
+/// outlier channels (per KV head).
+const OUTLIER_CHANNELS_PER_HEAD: usize = 2;
+/// Amplification factor applied to outlier channels.
+const OUTLIER_SCALE: f32 = 4.0;
+
+impl ModelWeights {
+    /// Generate deterministic synthetic weights for the given configuration.
+    ///
+    /// The same `(config, seed)` pair always produces identical weights.
+    pub fn synthetic(config: &ModelConfig, seed: u64) -> Self {
+        let hidden = config.hidden_dim();
+        let kv_dim = config.num_kv_heads * config.head_dim;
+        let mut emb_rng = seeded(derive_seed(seed, 0xE33B));
+        let embedding = xavier_matrix(&mut emb_rng, config.vocab_size, hidden);
+
+        let layers = (0..config.num_layers)
+            .map(|l| {
+                let mut rng = seeded(derive_seed(seed, 0x1000 + l as u64));
+                let mut wk = xavier_matrix(&mut rng, kv_dim, hidden);
+                // Amplify a few key output channels per KV head so key vectors
+                // exhibit the outlier channels the paper describes.
+                for kv_head in 0..config.num_kv_heads {
+                    for c in 0..OUTLIER_CHANNELS_PER_HEAD {
+                        let channel = kv_head * config.head_dim
+                            + (c * 13 + l * 7) % config.head_dim;
+                        let row = wk.row_mut(channel);
+                        for v in row.iter_mut() {
+                            *v *= OUTLIER_SCALE;
+                        }
+                    }
+                }
+                LayerWeights {
+                    wq: xavier_matrix(&mut rng, hidden, hidden),
+                    wk,
+                    wv: xavier_matrix(&mut rng, kv_dim, hidden),
+                    wo: xavier_matrix(&mut rng, hidden, hidden),
+                    w_gate: xavier_matrix(&mut rng, config.ffn_dim, hidden),
+                    w_up: xavier_matrix(&mut rng, config.ffn_dim, hidden),
+                    w_down: xavier_matrix(&mut rng, hidden, config.ffn_dim),
+                    attn_norm: ones_with_jitter(&mut rng, hidden),
+                    ffn_norm: ones_with_jitter(&mut rng, hidden),
+                }
+            })
+            .collect();
+
+        let mut final_rng = seeded(derive_seed(seed, 0xF17A));
+        Self {
+            embedding,
+            layers,
+            final_norm: ones_with_jitter(&mut final_rng, hidden),
+        }
+    }
+}
+
+fn ones_with_jitter(rng: &mut rand::rngs::StdRng, len: usize) -> Vec<f32> {
+    gaussian_vec(rng, len, 1.0, 0.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn synthetic_weights_are_deterministic() {
+        let cfg = ModelConfig::tiny();
+        let a = ModelWeights::synthetic(&cfg, 42);
+        let b = ModelWeights::synthetic(&cfg, 42);
+        assert_eq!(a.layers[0].wq, b.layers[0].wq);
+        assert_eq!(a.embedding, b.embedding);
+        let c = ModelWeights::synthetic(&cfg, 43);
+        assert_ne!(a.layers[0].wq, c.layers[0].wq);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::synthetic(&cfg, 1);
+        let hidden = cfg.hidden_dim();
+        let kv_dim = cfg.num_kv_heads * cfg.head_dim;
+        assert_eq!(w.layers.len(), cfg.num_layers);
+        assert_eq!(w.embedding.shape(), (cfg.vocab_size, hidden));
+        let l = &w.layers[0];
+        assert_eq!(l.wq.shape(), (hidden, hidden));
+        assert_eq!(l.wk.shape(), (kv_dim, hidden));
+        assert_eq!(l.wv.shape(), (kv_dim, hidden));
+        assert_eq!(l.wo.shape(), (hidden, hidden));
+        assert_eq!(l.w_gate.shape(), (cfg.ffn_dim, hidden));
+        assert_eq!(l.w_down.shape(), (hidden, cfg.ffn_dim));
+        assert_eq!(l.attn_norm.len(), hidden);
+    }
+
+    #[test]
+    fn key_projection_has_outlier_channels() {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::synthetic(&cfg, 7);
+        // Average absolute weight per key-projection output channel; the
+        // amplified channels should clearly stand out.
+        let wk = &w.layers[0].wk;
+        let channel_energy: Vec<f32> = (0..wk.rows())
+            .map(|r| wk.row(r).iter().map(|x| x.abs()).sum::<f32>() / wk.cols() as f32)
+            .collect();
+        let max = channel_energy.iter().cloned().fold(0.0f32, f32::max);
+        let mean = channel_energy.iter().sum::<f32>() / channel_energy.len() as f32;
+        assert!(
+            max > 2.0 * mean,
+            "expected outlier channels (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn norm_weights_are_near_one() {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::synthetic(&cfg, 3);
+        let mean: f32 =
+            w.final_norm.iter().sum::<f32>() / w.final_norm.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1);
+    }
+}

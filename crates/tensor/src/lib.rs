@@ -1,0 +1,91 @@
+//! Minimal dense `f32` linear algebra for the ClusterKV reproduction.
+//!
+//! The crate provides exactly the operations the rest of the workspace needs:
+//!
+//! * [`vector`] — dot products, norms, cosine similarity, top-k selection and
+//!   other 1-D helpers used by the clustering and selection algorithms.
+//! * [`matrix`] — a small row-major [`Matrix`](matrix::Matrix) type with
+//!   matrix multiplication, transposition and row views, used to hold key /
+//!   value / weight tensors.
+//! * [`ops`] — softmax, RMS normalisation and activation functions used by
+//!   the transformer simulator.
+//! * [`svd`] — a one-sided Jacobi singular value decomposition used by the
+//!   InfiniGen baseline to build partial query/key projections.
+//! * [`rng`] — seeded Gaussian sampling helpers so every experiment in the
+//!   workspace is deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use clusterkv_tensor::vector::{cosine_similarity, dot};
+//!
+//! let a = [1.0_f32, 0.0, 0.0];
+//! let b = [0.0_f32, 1.0, 0.0];
+//! assert_eq!(dot(&a, &b), 0.0);
+//! assert!(cosine_similarity(&a, &b).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod svd;
+pub mod vector;
+
+pub use matrix::Matrix;
+
+/// Error type for shape mismatches and invalid arguments in tensor routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human readable description of the expected shape.
+        expected: String,
+        /// Human readable description of the shape that was provided.
+        found: String,
+    },
+    /// An argument was outside its valid domain (e.g. zero dimensions).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenient result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            expected: "3x4".into(),
+            found: "4x3".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("3x4"));
+        assert!(msg.contains("4x3"));
+
+        let err = TensorError::InvalidArgument("k must be > 0".into());
+        assert!(err.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

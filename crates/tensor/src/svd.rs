@@ -1,0 +1,251 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The InfiniGen baseline ([`clusterkv-baselines`]) generates *partial* query
+//! and key projection weights offline by taking an SVD of the query/key
+//! weight product and keeping only the channels with the largest singular
+//! values. This module provides the SVD that step needs; it favours clarity
+//! and robustness over raw speed (the matrices involved are at most a few
+//! hundred columns and the decomposition runs once per head, offline).
+
+use crate::{Matrix, Result, TensorError};
+
+/// Result of a singular value decomposition `A = U · diag(S) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, one column per singular value (`m × r`).
+    pub u: Matrix,
+    /// Singular values in descending order (`r`).
+    pub singular_values: Vec<f32>,
+    /// Right singular vectors, one column per singular value (`n × r`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Number of singular values retained.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// Reconstruct the (possibly truncated) matrix `U · diag(S) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let r = self.rank();
+        let mut out = Matrix::zeros(m, n);
+        for k in 0..r {
+            let s = self.singular_values[k];
+            for i in 0..m {
+                let uik = self.u.get(i, k);
+                if uik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let add = s * uik * self.v.get(j, k);
+                    out.set(i, j, out.get(i, j) + add);
+                }
+            }
+        }
+        out
+    }
+
+    /// Keep only the `k` largest singular values (truncated SVD).
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.rank());
+        let mut u = Matrix::zeros(self.u.rows(), k);
+        let mut v = Matrix::zeros(self.v.rows(), k);
+        for c in 0..k {
+            for r in 0..self.u.rows() {
+                u.set(r, c, self.u.get(r, c));
+            }
+            for r in 0..self.v.rows() {
+                v.set(r, c, self.v.get(r, c));
+            }
+        }
+        Svd {
+            u,
+            singular_values: self.singular_values[..k].to_vec(),
+            v,
+        }
+    }
+}
+
+/// Compute the SVD of `a` using the one-sided Jacobi method.
+///
+/// Suitable for small/medium matrices (up to a few hundred columns). The
+/// returned singular values are sorted in descending order and the singular
+/// vectors are permuted accordingly.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `a` has zero rows or columns.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(TensorError::InvalidArgument(
+            "svd requires a non-empty matrix".into(),
+        ));
+    }
+
+    // Work on columns of A (one-sided Jacobi orthogonalises the columns of
+    // U·S while accumulating the rotations into V).
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 60;
+    let eps = 1e-9f64;
+
+    for _sweep in 0..max_sweeps {
+        let mut off_diag = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Compute the 2x2 Gram sub-matrix of columns p and q.
+                let mut alpha = 0.0f64;
+                let mut beta = 0.0f64;
+                let mut gamma = 0.0f64;
+                for i in 0..m {
+                    let up = u.get(i, p) as f64;
+                    let uq = u.get(i, q) as f64;
+                    alpha += up * up;
+                    beta += uq * uq;
+                    gamma += up * uq;
+                }
+                off_diag += gamma.abs();
+                if gamma.abs() <= eps * (alpha * beta).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the off-diagonal element.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u.get(i, p) as f64;
+                    let uq = u.get(i, q) as f64;
+                    u.set(i, p, (c * up - s * uq) as f32);
+                    u.set(i, q, (s * up + c * uq) as f32);
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p) as f64;
+                    let vq = v.get(i, q) as f64;
+                    v.set(i, p, (c * vp - s * vq) as f32);
+                    v.set(i, q, (s * vp + c * vq) as f32);
+                }
+            }
+        }
+        if off_diag < eps {
+            break;
+        }
+    }
+
+    // Column norms of U are the singular values; normalise U's columns.
+    let mut values: Vec<(f32, usize)> = (0..n)
+        .map(|j| {
+            let norm: f32 = (0..m).map(|i| u.get(i, j) * u.get(i, j)).sum::<f32>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    values.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let rank = n.min(m);
+    let mut u_sorted = Matrix::zeros(m, rank);
+    let mut v_sorted = Matrix::zeros(n, rank);
+    let mut singular_values = Vec::with_capacity(rank);
+    for (dst, &(s, src)) in values.iter().take(rank).enumerate() {
+        singular_values.push(s);
+        for i in 0..m {
+            let val = if s > 0.0 { u.get(i, src) / s } else { 0.0 };
+            u_sorted.set(i, dst, val);
+        }
+        for i in 0..n {
+            v_sorted.set(i, dst, v.get(i, src));
+        }
+    }
+
+    Ok(Svd {
+        u: u_sorted,
+        singular_values,
+        v: v_sorted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "matrices differ: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn svd_of_identity_has_unit_singular_values() {
+        let id = Matrix::identity(4);
+        let d = svd(&id).unwrap();
+        for s in &d.singular_values {
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+        assert_close(&d.reconstruct(), &id, 1e-4);
+    }
+
+    #[test]
+    fn svd_reconstructs_diagonal_matrix() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 2.0);
+        m.set(2, 2, 1.0);
+        let d = svd(&m).unwrap();
+        assert!((d.singular_values[0] - 3.0).abs() < 1e-4);
+        assert!((d.singular_values[1] - 2.0).abs() < 1e-4);
+        assert!((d.singular_values[2] - 1.0).abs() < 1e-4);
+        assert_close(&d.reconstruct(), &m, 1e-4);
+    }
+
+    #[test]
+    fn svd_singular_values_are_descending() {
+        let m = rng::gaussian_matrix(&mut rng::seeded(5), 16, 8, 0.0, 1.0);
+        let d = svd(&m).unwrap();
+        for w in d.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-5);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrix() {
+        let m = rng::gaussian_matrix(&mut rng::seeded(9), 12, 6, 0.0, 1.0);
+        let d = svd(&m).unwrap();
+        assert_close(&d.reconstruct(), &m, 1e-3);
+    }
+
+    #[test]
+    fn truncated_svd_is_best_low_rank_approx_in_spirit() {
+        // A rank-1 matrix should be perfectly captured by a rank-1 truncation.
+        let u = vec![1.0f32, 2.0, 3.0];
+        let v = vec![4.0f32, 5.0];
+        let mut m = Matrix::zeros(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                m.set(i, j, u[i] * v[j]);
+            }
+        }
+        let d = svd(&m).unwrap().truncate(1);
+        assert_eq!(d.rank(), 1);
+        assert_close(&d.reconstruct(), &m, 1e-3);
+    }
+
+    #[test]
+    fn svd_of_empty_matrix_errors() {
+        assert!(svd(&Matrix::zeros(0, 3)).is_err());
+        assert!(svd(&Matrix::zeros(3, 0)).is_err());
+    }
+
+    #[test]
+    fn truncate_beyond_rank_is_clamped() {
+        let m = Matrix::identity(3);
+        let d = svd(&m).unwrap();
+        assert_eq!(d.truncate(10).rank(), 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! 1-D vector helpers: dot products, norms, distances and top-k selection.
+//!
+//! These are the primitive operations used by the clustering (`clusterkv`),
+//! selection and baseline crates. All functions operate on `&[f32]` slices so
+//! callers can use rows of a [`Matrix`](crate::Matrix), `Vec<f32>` or arrays
+//! interchangeably.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_tensor::vector::dot;
+/// assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    let mut acc = 0.0f32;
+    // Manual 4-way unroll: the hot loops of selection score thousands of
+    // centroids per decoding step.
+    let chunks = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        acc += a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2] + a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    while i < a.len() {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
+}
+
+/// Euclidean (L2) norm of a slice.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_tensor::vector::norm;
+/// assert_eq!(norm(&[3.0, 4.0]), 5.0);
+/// ```
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared L2 distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// L2 distance between two equal-length slices.
+#[inline]
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    l2_distance_sq(a, b).sqrt()
+}
+
+/// Cosine similarity `⟨a,b⟩ / (|a|·|b|)`.
+///
+/// Returns `0.0` when either vector has zero norm, which keeps the semantic
+/// distance `1 - cos` well defined for degenerate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_tensor::vector::cosine_similarity;
+/// let s = cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]);
+/// assert!((s - 1.0).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Cosine distance `1 - cosine_similarity`, the semantic distance of the
+/// paper (§III-B): smaller for vectors pointing in similar directions.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// `a += alpha * b` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Scale a slice in place by `alpha`.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Normalise a slice to unit L2 norm in place. Zero vectors are left
+/// untouched.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Index of the maximum element. Returns `None` for an empty slice; NaN
+/// entries are never selected over non-NaN entries.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element. Returns `None` for an empty slice; NaN
+/// entries are never selected over non-NaN entries.
+pub fn argmin(a: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices of the `k` largest elements, in descending order of value.
+///
+/// When `k >= a.len()` all indices are returned. Ties are broken by the lower
+/// index first so the result is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_tensor::vector::top_k_indices;
+/// assert_eq!(top_k_indices(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+/// ```
+pub fn top_k_indices(a: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    let k = k.min(a.len());
+    idx.sort_by(|&i, &j| {
+        a[j].partial_cmp(&a[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Indices sorted by descending value (a full argsort); used when the caller
+/// needs the complete importance ranking rather than only the top-k.
+pub fn argsort_descending(a: &[f32]) -> Vec<usize> {
+    top_k_indices(a, a.len())
+}
+
+/// Mean of a set of equal-length vectors.
+///
+/// Returns a zero vector of length `dim` when `vectors` is empty.
+pub fn mean_of<'a, I>(vectors: I, dim: usize) -> Vec<f32>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut acc = vec![0.0f32; dim];
+    let mut count = 0usize;
+    for v in vectors {
+        axpy(&mut acc, 1.0, v);
+        count += 1;
+    }
+    if count > 0 {
+        scale(&mut acc, 1.0 / count as f32);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_handles_non_multiple_of_four_lengths() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(dot(&a, &b), 15.0);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn cosine_distance_of_parallel_vectors_is_zero() {
+        let a = [2.0, 4.0, 6.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!(cosine_distance(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_distance_of_opposite_vectors_is_two() {
+        let a = [1.0, 0.0];
+        let b = [-1.0, 0.0];
+        assert!((cosine_distance(&a, &b) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_and_argmin_basic() {
+        let v = [3.0, -1.0, 7.0, 2.0];
+        assert_eq!(argmax(&v), Some(2));
+        assert_eq!(argmin(&v), Some(1));
+        assert_eq!(argmax(&[] as &[f32]), None);
+        assert_eq!(argmin(&[] as &[f32]), None);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let v = [1.0, f32::NAN, 0.5];
+        assert_eq!(argmax(&v), Some(0));
+        assert_eq!(argmin(&v), Some(2));
+    }
+
+    #[test]
+    fn top_k_returns_descending_order() {
+        let v = [0.2, 0.9, 0.4, 0.7];
+        assert_eq!(top_k_indices(&v, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&v, 10), vec![1, 3, 2, 0]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_lower_index() {
+        let v = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let m = mean_of(std::iter::empty::<&[f32]>(), 3);
+        assert_eq!(m, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_two_vectors() {
+        let a = vec![1.0f32, 3.0];
+        let b = vec![3.0f32, 5.0];
+        let m = mean_of([a.as_slice(), b.as_slice()], 2);
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_makes_unit_norm() {
+        let mut v = vec![3.0f32, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0f32, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_commutative(a in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+            let b: Vec<f32> = a.iter().rev().cloned().collect();
+            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-3);
+        }
+
+        #[test]
+        fn cosine_similarity_is_bounded(
+            a in proptest::collection::vec(-10.0f32..10.0, 1..32),
+            b in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        ) {
+            let n = a.len().min(b.len());
+            let s = cosine_similarity(&a[..n], &b[..n]);
+            prop_assert!(s >= -1.0 - 1e-4 && s <= 1.0 + 1e-4);
+        }
+
+        #[test]
+        fn l2_distance_satisfies_identity(a in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            prop_assert!(l2_distance(&a, &a) < 1e-6);
+        }
+
+        #[test]
+        fn top_k_indices_are_unique_and_sorted_by_value(
+            v in proptest::collection::vec(-100.0f32..100.0, 1..64),
+            k in 1usize..64,
+        ) {
+            let idx = top_k_indices(&v, k);
+            prop_assert_eq!(idx.len(), k.min(v.len()));
+            let mut seen = std::collections::HashSet::new();
+            for w in idx.windows(2) {
+                prop_assert!(v[w[0]] >= v[w[1]]);
+            }
+            for &i in &idx {
+                prop_assert!(seen.insert(i));
+            }
+        }
+
+        #[test]
+        fn norm_is_non_negative(a in proptest::collection::vec(-10.0f32..10.0, 0..32)) {
+            prop_assert!(norm(&a) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! PG19-style language-modelling perplexity proxy (Fig. 10).
+//!
+//! The paper measures perplexity on PG19 with input lengths from 1 to 32 000
+//! tokens and a 1024-token budget: Full KV sits around 10–11, ClusterKV
+//! tracks it within ~0.5, InfiniGen deviates by ~2 and Quest by ~4. Without
+//! the dataset or model, perplexity is modelled as a monotone function of how
+//! much of the truly important attention mass the method fails to recall on a
+//! synthetic episode of the same length: `ppl = base · exp(k · (1 − recall))`.
+//! Full attention (recall 1) reproduces the base perplexity; methods that
+//! miss more of the important tokens are pushed exponentially higher, which
+//! preserves the ordering and the deviation structure of Fig. 10.
+
+use crate::harness::EpisodeResult;
+use serde::{Deserialize, Serialize};
+
+/// Base perplexity of the (synthetic) language model with full attention,
+/// chosen to match the level of Fig. 10.
+pub const BASE_PERPLEXITY: f64 = 10.2;
+
+/// Sensitivity of the proxy to missed important tokens.
+pub const ERROR_SENSITIVITY: f64 = 1.0;
+
+/// One point of the perplexity-vs-input-length curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerplexityPoint {
+    /// Input (context) length in tokens.
+    pub input_len: usize,
+    /// Proxy perplexity.
+    pub perplexity: f64,
+}
+
+/// Convert a measured episode result into a proxy perplexity.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_workloads::harness::EpisodeResult;
+/// use clusterkv_workloads::language_modeling::{perplexity_proxy, BASE_PERPLEXITY};
+///
+/// let perfect = EpisodeResult {
+///     method: "Full KV".into(),
+///     budget: 1024,
+///     per_step_recall: vec![1.0],
+///     per_step_error: vec![0.0],
+///     per_step_selected: vec![1024],
+/// };
+/// assert!((perplexity_proxy(&perfect) - BASE_PERPLEXITY).abs() < 1e-9);
+/// ```
+pub fn perplexity_proxy(result: &EpisodeResult) -> f64 {
+    let missed = (1.0 - result.mean_recall()).clamp(0.0, 1.0);
+    BASE_PERPLEXITY * (ERROR_SENSITIVITY * missed).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(recall: f64) -> EpisodeResult {
+        EpisodeResult {
+            method: "m".into(),
+            budget: 1024,
+            per_step_recall: vec![recall; 3],
+            per_step_error: vec![0.1; 3],
+            per_step_selected: vec![1024; 3],
+        }
+    }
+
+    #[test]
+    fn perfect_recall_gives_base_perplexity() {
+        assert!((perplexity_proxy(&result(1.0)) - BASE_PERPLEXITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perplexity_is_monotone_in_missed_recall() {
+        assert!(perplexity_proxy(&result(0.9)) < perplexity_proxy(&result(0.7)));
+        assert!(perplexity_proxy(&result(0.7)) < perplexity_proxy(&result(0.4)));
+    }
+
+    #[test]
+    fn near_perfect_recall_stays_close_to_full_kv() {
+        // A deviation like ClusterKV's (≤ 0.5 perplexity in the paper)
+        // corresponds to recalling nearly all important tokens.
+        let ppl = perplexity_proxy(&result(0.96));
+        assert!(ppl - BASE_PERPLEXITY < 0.6, "ppl {ppl}");
+    }
+
+    #[test]
+    fn missed_recall_is_clamped() {
+        assert!(perplexity_proxy(&result(-3.0)) <= BASE_PERPLEXITY * ERROR_SENSITIVITY.exp() + 1e-9);
+    }
+
+    #[test]
+    fn point_carries_its_fields() {
+        let p = PerplexityPoint { input_len: 1000, perplexity: 10.5 };
+        assert_eq!(p.input_len, 1000);
+        assert!((p.perplexity - 10.5).abs() < 1e-12);
+        assert_eq!(p, p.clone());
+    }
+}

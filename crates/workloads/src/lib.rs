@@ -1,0 +1,32 @@
+//! Synthetic workloads and accuracy proxies for the ClusterKV experiments.
+//!
+//! The paper evaluates on LongBench (eight datasets), PG19 language
+//! modelling and NarrativeQA traces, with pretrained 8–9 B parameter models.
+//! Neither the datasets nor the checkpoints are available in this
+//! environment, so this crate provides synthetic substitutes that exercise
+//! the same code paths and preserve the properties the experiments measure
+//! (see DESIGN.md §2):
+//!
+//! * [`semantic`] — a generator of per-head attention episodes: keys with
+//!   clustered (topical) structure, attention sinks, outlier channels and
+//!   queries whose topical focus drifts across decoding steps (the dynamic
+//!   importance of Fig. 3a).
+//! * [`harness`] — runs any [`TokenSelector`](clusterkv_model::TokenSelector)
+//!   over an episode and records recall rates, attention-output errors and
+//!   selected sets; every accuracy-style figure is built on this harness.
+//! * [`longbench`] — the eight LongBench dataset profiles and the mapping
+//!   from measured retrieval quality to an F1 / ROUGE-L-style score.
+//! * [`language_modeling`] — the PG19 perplexity proxy: perplexity as a
+//!   monotone function of attention-approximation error.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod language_modeling;
+pub mod longbench;
+pub mod semantic;
+
+pub use harness::{run_episode, EpisodeResult};
+pub use language_modeling::{perplexity_proxy, PerplexityPoint};
+pub use longbench::{LongBenchDataset, LongBenchProfile, ScoreMetric};
+pub use semantic::{Episode, EpisodeConfig};

@@ -1,0 +1,355 @@
+//! Synthetic semantic-space episodes.
+//!
+//! An [`Episode`] is everything one attention head sees during an inference
+//! run: the prefill keys/values, a query per decoding step, and optionally a
+//! new key/value per generated token. The generator reproduces the structural
+//! properties the paper's experiments rely on:
+//!
+//! * **Topical clusters** — tokens belong to a small number of topics whose
+//!   key vectors point in similar directions (the premise of Fig. 2: tokens
+//!   close in semantic space have similar attention weights).
+//! * **Attention sinks** — the first few tokens have their own outlying
+//!   direction and large magnitude (§III-B).
+//! * **Outlier channels** — a few channels of every key are amplified,
+//!   the property that motivates cosine distance (§III-B).
+//! * **Dynamic importance** — the topical focus of the query drifts across
+//!   decoding steps, so the set of important tokens changes over time
+//!   (Fig. 3a); non-recallable methods lose exactly these tokens.
+
+use clusterkv_tensor::rng::{derive_seed, gaussian_vec, seeded};
+use clusterkv_tensor::vector::normalize;
+use clusterkv_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an episode generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    /// Number of prefill (prompt) tokens.
+    pub context_len: usize,
+    /// Number of decoding steps (queries).
+    pub decode_steps: usize,
+    /// Head dimensionality.
+    pub head_dim: usize,
+    /// Number of topics (semantic clusters) in the context.
+    pub num_topics: usize,
+    /// Number of attention-sink tokens at the start of the context.
+    pub sink_tokens: usize,
+    /// Number of amplified outlier channels.
+    pub outlier_channels: usize,
+    /// Average number of decoding steps between changes of the query's
+    /// topical focus (smaller = faster importance drift).
+    pub drift_period: usize,
+    /// Standard deviation of the Gaussian noise added to keys and queries.
+    pub noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EpisodeConfig {
+    fn default() -> Self {
+        Self {
+            context_len: 2048,
+            decode_steps: 64,
+            head_dim: 64,
+            num_topics: 24,
+            sink_tokens: 16,
+            outlier_channels: 2,
+            drift_period: 8,
+            noise: 0.25,
+            seed: 0xC1A5,
+        }
+    }
+}
+
+impl EpisodeConfig {
+    /// Builder-style setter for the context length.
+    pub fn with_context_len(mut self, context_len: usize) -> Self {
+        self.context_len = context_len;
+        self
+    }
+
+    /// Builder-style setter for the number of decoding steps.
+    pub fn with_decode_steps(mut self, decode_steps: usize) -> Self {
+        self.decode_steps = decode_steps;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the number of topics.
+    pub fn with_num_topics(mut self, num_topics: usize) -> Self {
+        self.num_topics = num_topics;
+        self
+    }
+}
+
+/// A generated attention episode for a single head.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// Configuration the episode was generated from.
+    pub config: EpisodeConfig,
+    /// Prefill keys (`context_len × head_dim`).
+    pub keys: Matrix,
+    /// Prefill values (`context_len × head_dim`).
+    pub values: Matrix,
+    /// One query per decoding step.
+    pub queries: Vec<Vec<f32>>,
+    /// Key of the token generated at each decoding step (appended to the
+    /// context as decoding progresses).
+    pub decode_keys: Vec<Vec<f32>>,
+    /// Value of the token generated at each decoding step.
+    pub decode_values: Vec<Vec<f32>>,
+    /// Topic id of every prefill token (sinks have topic `usize::MAX`).
+    pub token_topics: Vec<usize>,
+    /// Topic the query focuses on at each decoding step.
+    pub query_topics: Vec<usize>,
+}
+
+impl Episode {
+    /// Generate an episode from a configuration. Deterministic for a fixed
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_topics == 0` or `head_dim == 0`.
+    pub fn generate(config: EpisodeConfig) -> Self {
+        assert!(config.num_topics > 0, "num_topics must be > 0");
+        assert!(config.head_dim > 0, "head_dim must be > 0");
+        let mut rng = seeded(config.seed);
+        let d = config.head_dim;
+
+        // Topic directions: random unit vectors with shared outlier channels.
+        let mut outlier_scale = vec![1.0f32; d];
+        for c in 0..config.outlier_channels.min(d) {
+            outlier_scale[(c * 7 + 3) % d] = 4.0;
+        }
+        let topics: Vec<Vec<f32>> = (0..config.num_topics)
+            .map(|t| {
+                let mut v = gaussian_vec(&mut seeded(derive_seed(config.seed, 0x70 + t as u64)), d, 0.0, 1.0);
+                normalize(&mut v);
+                for (x, s) in v.iter_mut().zip(&outlier_scale) {
+                    *x *= s;
+                }
+                v
+            })
+            .collect();
+
+        // Sink direction: distinct from every topic, large magnitude.
+        let mut sink_dir = gaussian_vec(&mut seeded(derive_seed(config.seed, 0x51)), d, 0.0, 1.0);
+        normalize(&mut sink_dir);
+        for x in sink_dir.iter_mut() {
+            *x *= 3.0;
+        }
+
+        // Prefill keys/values.
+        let mut key_rows = Vec::with_capacity(config.context_len);
+        let mut value_rows = Vec::with_capacity(config.context_len);
+        let mut token_topics = Vec::with_capacity(config.context_len);
+        for i in 0..config.context_len {
+            if i < config.sink_tokens {
+                let noise = gaussian_vec(&mut rng, d, 0.0, config.noise * 0.5);
+                key_rows.push(sink_dir.iter().zip(&noise).map(|(s, n)| s + n).collect());
+                value_rows.push(gaussian_vec(&mut rng, d, 0.0, 0.5));
+                token_topics.push(usize::MAX);
+                continue;
+            }
+            let topic = rng.gen_range(0..config.num_topics);
+            let noise = gaussian_vec(&mut rng, d, 0.0, config.noise);
+            let key: Vec<f32> = topics[topic].iter().zip(&noise).map(|(t, n)| t * 2.0 + n).collect();
+            // Values encode the topic so retrieval quality is measurable.
+            let mut value = gaussian_vec(&mut rng, d, 0.0, 0.1);
+            value[topic % d] += 1.0;
+            key_rows.push(key);
+            value_rows.push(value);
+            token_topics.push(topic);
+        }
+
+        // Queries with drifting topical focus.
+        let mut queries = Vec::with_capacity(config.decode_steps);
+        let mut query_topics = Vec::with_capacity(config.decode_steps);
+        let mut decode_keys = Vec::with_capacity(config.decode_steps);
+        let mut decode_values = Vec::with_capacity(config.decode_steps);
+        let mut focus = rng.gen_range(0..config.num_topics);
+        for step in 0..config.decode_steps {
+            if config.drift_period > 0 && step > 0 && step % config.drift_period == 0 {
+                focus = rng.gen_range(0..config.num_topics);
+            }
+            let secondary = (focus + 1 + step % config.num_topics.max(1)) % config.num_topics;
+            let noise = gaussian_vec(&mut rng, d, 0.0, config.noise);
+            // The focus component is strong enough that the softmax
+            // concentrates on the focus topic's tokens — the attention
+            // sparsity the paper's compression relies on (§II-B).
+            let q: Vec<f32> = topics[focus]
+                .iter()
+                .zip(topics[secondary].iter())
+                .zip(&noise)
+                .map(|((f, s), n)| f * 6.0 + s * 0.8 + n)
+                .collect();
+            queries.push(q);
+            query_topics.push(focus);
+
+            // The generated token's key belongs to the focus topic.
+            let knoise = gaussian_vec(&mut rng, d, 0.0, config.noise);
+            decode_keys.push(
+                topics[focus]
+                    .iter()
+                    .zip(&knoise)
+                    .map(|(t, n)| t * 2.0 + n)
+                    .collect(),
+            );
+            let mut v = gaussian_vec(&mut rng, d, 0.0, 0.1);
+            v[focus % d] += 1.0;
+            decode_values.push(v);
+        }
+
+        Self {
+            config,
+            keys: Matrix::from_rows(key_rows).expect("uniform key rows"),
+            values: Matrix::from_rows(value_rows).expect("uniform value rows"),
+            queries,
+            decode_keys,
+            decode_values,
+            token_topics,
+            query_topics,
+        }
+    }
+
+    /// Prefill context length.
+    pub fn context_len(&self) -> usize {
+        self.keys.rows()
+    }
+
+    /// Number of decoding steps.
+    pub fn decode_steps(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Prefill token positions belonging to the given topic.
+    pub fn topic_tokens(&self, topic: usize) -> Vec<usize> {
+        self.token_topics
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == topic)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterkv_tensor::ops::attention_weights;
+    use clusterkv_tensor::vector::top_k_indices;
+
+    fn small_config() -> EpisodeConfig {
+        EpisodeConfig {
+            context_len: 256,
+            decode_steps: 16,
+            head_dim: 32,
+            num_topics: 8,
+            sink_tokens: 8,
+            outlier_channels: 2,
+            drift_period: 4,
+            noise: 0.2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Episode::generate(small_config());
+        let b = Episode::generate(small_config());
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.query_topics, b.query_topics);
+        let c = Episode::generate(small_config().with_seed(8));
+        assert_ne!(a.keys, c.keys);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let e = Episode::generate(small_config());
+        assert_eq!(e.context_len(), 256);
+        assert_eq!(e.decode_steps(), 16);
+        assert_eq!(e.keys.shape(), (256, 32));
+        assert_eq!(e.values.shape(), (256, 32));
+        assert_eq!(e.decode_keys.len(), 16);
+        assert_eq!(e.token_topics.len(), 256);
+    }
+
+    #[test]
+    fn sinks_have_no_topic_and_every_topic_has_tokens() {
+        let e = Episode::generate(small_config());
+        for i in 0..8 {
+            assert_eq!(e.token_topics[i], usize::MAX);
+        }
+        let covered: std::collections::HashSet<usize> = e
+            .token_topics
+            .iter()
+            .copied()
+            .filter(|&t| t != usize::MAX)
+            .collect();
+        assert!(covered.len() >= 6, "most topics should be populated");
+        for &t in &covered {
+            assert!(!e.topic_tokens(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn queries_attend_mostly_to_their_focus_topic() {
+        let e = Episode::generate(small_config());
+        for step in 0..e.decode_steps() {
+            let q = &e.queries[step];
+            let weights = attention_weights(q, e.keys.iter_rows());
+            let top = top_k_indices(&weights, 16);
+            let focus = e.query_topics[step];
+            let in_focus = top.iter().filter(|&&t| e.token_topics[t] == focus).count();
+            assert!(
+                in_focus * 2 >= top.len(),
+                "step {step}: only {in_focus}/16 top tokens in focus topic"
+            );
+        }
+    }
+
+    #[test]
+    fn importance_drifts_across_steps() {
+        // The focus topic changes every drift_period steps, so the top-k sets
+        // at steps in different focus phases must differ substantially.
+        let e = Episode::generate(small_config());
+        let weights_at = |s: usize| attention_weights(&e.queries[s], e.keys.iter_rows());
+        let mut distinct_phases = std::collections::HashSet::new();
+        for s in 0..e.decode_steps() {
+            distinct_phases.insert(e.query_topics[s]);
+        }
+        assert!(distinct_phases.len() >= 2, "focus should change at least once");
+        // Find two steps with different focus and compare their top sets.
+        let s0 = 0;
+        let s1 = (0..e.decode_steps())
+            .find(|&s| e.query_topics[s] != e.query_topics[s0])
+            .expect("a step with a different focus exists");
+        let top0: std::collections::HashSet<usize> =
+            top_k_indices(&weights_at(s0), 32).into_iter().collect();
+        let top1: std::collections::HashSet<usize> =
+            top_k_indices(&weights_at(s1), 32).into_iter().collect();
+        let overlap = top0.intersection(&top1).count();
+        assert!(overlap < 24, "importance should drift (overlap {overlap}/32)");
+    }
+
+    #[test]
+    fn builder_setters_work() {
+        let c = EpisodeConfig::default()
+            .with_context_len(128)
+            .with_decode_steps(4)
+            .with_num_topics(3)
+            .with_seed(1);
+        assert_eq!(c.context_len, 128);
+        assert_eq!(c.decode_steps, 4);
+        assert_eq!(c.num_topics, 3);
+        assert_eq!(c.seed, 1);
+    }
+}
