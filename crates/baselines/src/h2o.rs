@@ -7,10 +7,11 @@
 //! inability to bring back tokens whose importance rises later is exactly the
 //! behaviour ClusterKV's motivation study (Fig. 3a) targets.
 
-use clusterkv_kvcache::types::Budget;
-use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_model::policy::{
+    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
+    TokenSelector,
+};
 use clusterkv_tensor::ops::attention_weights;
-use clusterkv_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Fraction of the budget reserved for the most recent tokens (the rest goes
@@ -31,7 +32,6 @@ pub struct H2oSelector {
     head_dim: usize,
     recent_fraction: f64,
     retained: Vec<Retained>,
-    scored: u64,
 }
 
 impl H2oSelector {
@@ -49,7 +49,6 @@ impl H2oSelector {
             head_dim,
             recent_fraction,
             retained: Vec::new(),
-            scored: 0,
         }
     }
 
@@ -90,48 +89,52 @@ impl TokenSelector for H2oSelector {
         "H2O"
     }
 
-    fn on_prefill(&mut self, keys: &Matrix) {
-        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
-        for i in 0..keys.rows() {
-            self.retained.push(Retained {
-                position: i,
-                key: keys.row(i).to_vec(),
-                accumulated: 0.0,
-            });
+    fn observe(&mut self, event: ObserveEvent<'_>) {
+        match event {
+            ObserveEvent::Prefill { keys } => {
+                assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+                for i in 0..keys.rows() {
+                    self.retained.push(Retained {
+                        position: i,
+                        key: keys.row(i).to_vec(),
+                        accumulated: 0.0,
+                    });
+                }
+            }
+            ObserveEvent::Append { position, key } => {
+                assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+                self.retained.push(Retained {
+                    position,
+                    key: key.to_vec(),
+                    accumulated: 0.0,
+                });
+            }
         }
     }
 
-    fn on_append(&mut self, position: usize, key: &[f32]) {
-        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
-        self.retained.push(Retained {
-            position,
-            key: key.to_vec(),
-            accumulated: 0.0,
-        });
-    }
-
-    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
         // Accumulate attention weights over the *retained* tokens only (the
         // defining approximation of non-recallable methods: evicted tokens
         // are never re-scored).
-        let weights = attention_weights(query, self.retained.iter().map(|r| r.key.as_slice()));
-        self.scored += self.retained.len() as u64;
+        let weights = attention_weights(
+            request.query,
+            self.retained.iter().map(|r| r.key.as_slice()),
+        );
+        let scored = self.retained.len() as u64;
         for (r, w) in self.retained.iter_mut().zip(&weights) {
             r.accumulated += w;
         }
-        self.evict_to(budget.tokens());
-        self.retained
+        self.evict_to(request.budget.tokens());
+        let indices = self
+            .retained
             .iter()
             .map(|r| r.position)
-            .filter(|&p| p < num_tokens)
-            .collect()
-    }
-
-    fn stats(&self) -> PolicyStats {
-        PolicyStats {
-            scored_vectors: self.scored,
+            .filter(|&p| p < request.num_tokens)
+            .collect();
+        SelectionPlan::new(indices).with_stats(PolicyStats {
+            scored_vectors: scored,
             ..PolicyStats::default()
-        }
+        })
     }
 }
 
@@ -170,6 +173,17 @@ impl SelectorFactory for H2oFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clusterkv_kvcache::types::Budget;
+    use clusterkv_tensor::Matrix;
+
+    fn prefill(h: &mut dyn TokenSelector, keys: &Matrix) {
+        h.observe(ObserveEvent::Prefill { keys });
+    }
+
+    fn select(h: &mut dyn TokenSelector, query: &[f32], n: usize, budget: usize) -> Vec<usize> {
+        h.plan(SelectionRequest::new(query, n, Budget::new(budget)))
+            .indices
+    }
 
     fn uniform_keys(n: usize, dim: usize) -> Matrix {
         Matrix::from_rows((0..n).map(|i| vec![0.01 * (i % 3) as f32; dim]).collect()).unwrap()
@@ -178,8 +192,8 @@ mod tests {
     #[test]
     fn selection_respects_budget() {
         let mut h = H2oSelector::new(0.5, 8);
-        h.on_prefill(&uniform_keys(64, 8));
-        let out = h.select(&vec![0.1; 8], 64, Budget::new(16));
+        prefill(&mut h, &uniform_keys(64, 8));
+        let out = select(&mut h, &[0.1; 8], 64, 16);
         assert_eq!(out.len(), 16);
         assert!(out.iter().all(|&t| t < 64));
     }
@@ -190,18 +204,18 @@ mod tests {
         let mut rows = vec![vec![0.01f32; dim]; 40];
         rows[5][0] = 8.0; // token 5 gets huge attention for q = e0
         let mut h = H2oSelector::new(0.25, dim);
-        h.on_prefill(&Matrix::from_rows(rows).unwrap());
+        prefill(&mut h, &Matrix::from_rows(rows).unwrap());
         let mut q = vec![0.0f32; dim];
         q[0] = 1.0;
-        let out = h.select(&q, 40, Budget::new(8));
+        let out = select(&mut h, &q, 40, 8);
         assert!(out.contains(&5), "heavy hitter must survive eviction");
     }
 
     #[test]
     fn recent_tokens_are_kept() {
         let mut h = H2oSelector::new(0.5, 4);
-        h.on_prefill(&uniform_keys(32, 4));
-        let out = h.select(&vec![0.1; 4], 32, Budget::new(8));
+        prefill(&mut h, &uniform_keys(32, 4));
+        let out = select(&mut h, &[0.1; 4], 32, 8);
         // Half the budget goes to the most recent tokens 28..32.
         for t in 28..32 {
             assert!(out.contains(&t), "recent token {t} missing: {out:?}");
@@ -220,19 +234,19 @@ mod tests {
             row[0] = 2.0; // clearly important for the first query (along e0)
         }
         let mut h = H2oSelector::new(0.5, dim);
-        h.on_prefill(&Matrix::from_rows(rows).unwrap());
+        prefill(&mut h, &Matrix::from_rows(rows).unwrap());
 
         // First query along e0: token 2 looks unimportant and gets evicted.
         let mut q0 = vec![0.0f32; dim];
         q0[0] = 1.0;
-        let first = h.select(&q0, 40, Budget::new(8));
+        let first = select(&mut h, &q0, 40, 8);
         assert!(!first.contains(&2));
 
         // Later query along e1: token 2 would now be the most important, but
         // H2O can no longer recall it.
         let mut q1 = vec![0.0f32; dim];
         q1[1] = 1.0;
-        let second = h.select(&q1, 40, Budget::new(8));
+        let second = select(&mut h, &q1, 40, 8);
         assert!(
             !second.contains(&2),
             "H2O must not be able to recall the evicted token"
@@ -242,9 +256,12 @@ mod tests {
     #[test]
     fn appended_tokens_enter_the_cache() {
         let mut h = H2oSelector::new(0.5, 4);
-        h.on_prefill(&uniform_keys(16, 4));
-        h.on_append(16, &[5.0, 0.0, 0.0, 0.0]);
-        let out = h.select(&[1.0, 0.0, 0.0, 0.0], 17, Budget::new(6));
+        prefill(&mut h, &uniform_keys(16, 4));
+        h.observe(ObserveEvent::Append {
+            position: 16,
+            key: &[5.0, 0.0, 0.0, 0.0],
+        });
+        let out = select(&mut h, &[1.0, 0.0, 0.0, 0.0], 17, 6);
         assert!(out.contains(&16));
         assert!(out.len() <= 6);
     }
@@ -252,19 +269,23 @@ mod tests {
     #[test]
     fn small_context_is_left_alone() {
         let mut h = H2oSelector::new(0.5, 4);
-        h.on_prefill(&uniform_keys(4, 4));
-        let out = h.select(&vec![0.1; 4], 4, Budget::new(16));
+        prefill(&mut h, &uniform_keys(4, 4));
+        let out = select(&mut h, &[0.1; 4], 4, 16);
         assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
     #[test]
-    fn factory_and_stats() {
+    fn factory_and_plan_stats() {
         let f = H2oFactory::default();
         assert_eq!(f.name(), "H2O");
-        let mut sel = f.create(HeadContext { layer: 0, head: 0, head_dim: 4 });
-        sel.on_prefill(&uniform_keys(8, 4));
-        sel.select(&vec![0.1; 4], 8, Budget::new(4));
-        assert!(sel.stats().scored_vectors >= 8);
+        let mut sel = f.create(HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: 4,
+        });
+        prefill(sel.as_mut(), &uniform_keys(8, 4));
+        let plan = sel.plan(SelectionRequest::new(&[0.1; 4], 8, Budget::new(4)));
+        assert!(plan.stats.scored_vectors >= 8);
     }
 
     #[test]

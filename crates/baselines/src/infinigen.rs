@@ -14,8 +14,10 @@
 //! yield the dominant key subspace), keeping a configurable fraction of the
 //! head dimension.
 
-use clusterkv_kvcache::types::Budget;
-use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_model::policy::{
+    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
+    TokenSelector,
+};
 use clusterkv_tensor::svd::svd;
 use clusterkv_tensor::vector::top_k_indices;
 use clusterkv_tensor::Matrix;
@@ -36,7 +38,6 @@ pub struct InfiniGenSelector {
     partial_keys: Matrix,
     /// Raw keys buffered before the projection exists (pre-prefill appends).
     raw_keys: Matrix,
-    scored: u64,
 }
 
 impl InfiniGenSelector {
@@ -57,7 +58,6 @@ impl InfiniGenSelector {
             projection: None,
             partial_keys: Matrix::zeros(0, partial_dims),
             raw_keys: Matrix::zeros(0, head_dim),
-            scored: 0,
         }
     }
 
@@ -85,50 +85,57 @@ impl TokenSelector for InfiniGenSelector {
         "InfiniGen"
     }
 
-    fn on_prefill(&mut self, keys: &Matrix) {
-        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
-        // Build the partial projection from the dominant right-singular
-        // vectors of the prefill keys (stand-in for the offline weight SVD).
-        if keys.rows() >= 2 {
-            if let Ok(decomp) = svd(keys) {
-                let truncated = decomp.truncate(self.partial_dims);
-                self.projection = Some(truncated.v);
+    fn observe(&mut self, event: ObserveEvent<'_>) {
+        match event {
+            ObserveEvent::Prefill { keys } => {
+                assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+                // Build the partial projection from the dominant
+                // right-singular vectors of the prefill keys (stand-in for
+                // the offline weight SVD).
+                if keys.rows() >= 2 {
+                    if let Ok(decomp) = svd(keys) {
+                        let truncated = decomp.truncate(self.partial_dims);
+                        self.projection = Some(truncated.v);
+                    }
+                }
+                for i in 0..keys.rows() {
+                    let partial = self.project(keys.row(i));
+                    self.partial_keys
+                        .push_row(&partial)
+                        .expect("partial dims consistent");
+                    self.raw_keys
+                        .push_row(keys.row(i))
+                        .expect("raw dims consistent");
+                }
+            }
+            ObserveEvent::Append { key, .. } => {
+                assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+                let partial = self.project(key);
+                self.partial_keys
+                    .push_row(&partial)
+                    .expect("partial dims consistent");
+                self.raw_keys.push_row(key).expect("raw dims consistent");
             }
         }
-        for i in 0..keys.rows() {
-            let partial = self.project(keys.row(i));
-            self.partial_keys.push_row(&partial).expect("partial dims consistent");
-            self.raw_keys.push_row(keys.row(i)).expect("raw dims consistent");
-        }
     }
 
-    fn on_append(&mut self, _position: usize, key: &[f32]) {
-        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
-        let partial = self.project(key);
-        self.partial_keys.push_row(&partial).expect("partial dims consistent");
-        self.raw_keys.push_row(key).expect("raw dims consistent");
-    }
-
-    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
-        let n = num_tokens.min(self.partial_keys.rows());
-        if budget.covers(n) {
-            return (0..n).collect();
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+        let n = request.num_tokens.min(self.partial_keys.rows());
+        if request.budget.covers(n) {
+            return SelectionPlan::full(n);
         }
         // Score every token with the partial query/key product — the
         // per-token selection whose O(L) cost the ClusterKV paper criticises.
-        let pq = self.project(query);
+        let pq = self.project(request.query);
         let scores: Vec<f32> = (0..n)
             .map(|i| clusterkv_tensor::vector::dot(self.partial_keys.row(i), &pq))
             .collect();
-        self.scored += n as u64;
-        top_k_indices(&scores, budget.tokens())
-    }
-
-    fn stats(&self) -> PolicyStats {
-        PolicyStats {
-            scored_vectors: self.scored,
-            ..PolicyStats::default()
-        }
+        SelectionPlan::new(top_k_indices(&scores, request.budget.tokens())).with_stats(
+            PolicyStats {
+                scored_vectors: n as u64,
+                ..PolicyStats::default()
+            },
+        )
     }
 }
 
@@ -167,11 +174,26 @@ impl SelectorFactory for InfiniGenFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clusterkv_kvcache::types::Budget;
     use clusterkv_tensor::rng::{gaussian_vec, seeded};
+
+    fn prefill(s: &mut InfiniGenSelector, keys: &Matrix) {
+        s.observe(ObserveEvent::Prefill { keys });
+    }
+
+    fn select(s: &mut InfiniGenSelector, query: &[f32], n: usize, budget: usize) -> Vec<usize> {
+        s.plan(SelectionRequest::new(query, n, Budget::new(budget)))
+            .indices
+    }
 
     fn random_keys(n: usize, dim: usize, seed: u64) -> Matrix {
         let mut rng = seeded(seed);
-        Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+        Matrix::from_rows(
+            (0..n)
+                .map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0))
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -194,8 +216,8 @@ mod tests {
         let keys = random_keys(48, 8, 3);
         let q = gaussian_vec(&mut seeded(4), 8, 0.0, 1.0);
         let mut infinigen = InfiniGenSelector::new(1.0, 8);
-        infinigen.on_prefill(&keys);
-        let picked = infinigen.select(&q, 48, Budget::new(8));
+        prefill(&mut infinigen, &keys);
+        let picked = select(&mut infinigen, &q, 48, 8);
 
         let exact_scores: Vec<f32> = (0..48)
             .map(|i| clusterkv_tensor::vector::dot(keys.row(i), &q))
@@ -225,8 +247,8 @@ mod tests {
         q[1] = 0.5;
 
         let mut infinigen = InfiniGenSelector::new(0.25, 16);
-        infinigen.on_prefill(&keys);
-        let picked = infinigen.select(&q, 64, Budget::new(16));
+        prefill(&mut infinigen, &keys);
+        let picked = select(&mut infinigen, &q, 64, 16);
 
         let exact_scores: Vec<f32> = (0..64)
             .map(|i| clusterkv_tensor::vector::dot(keys.row(i), &q))
@@ -240,27 +262,40 @@ mod tests {
     #[test]
     fn selection_cost_scales_with_context_length() {
         let mut infinigen = InfiniGenSelector::new(0.25, 8);
-        infinigen.on_prefill(&random_keys(100, 8, 6));
+        prefill(&mut infinigen, &random_keys(100, 8, 6));
         let q = gaussian_vec(&mut seeded(7), 8, 0.0, 1.0);
-        infinigen.select(&q, 100, Budget::new(10));
-        assert_eq!(infinigen.stats().scored_vectors, 100);
-        infinigen.on_append(100, &gaussian_vec(&mut seeded(8), 8, 0.0, 1.0));
-        infinigen.select(&q, 101, Budget::new(10));
-        assert_eq!(infinigen.stats().scored_vectors, 201);
+        let first = infinigen.plan(SelectionRequest::new(&q, 100, Budget::new(10)));
+        assert_eq!(first.stats.scored_vectors, 100, "O(L) per-call scoring");
+        let key = gaussian_vec(&mut seeded(8), 8, 0.0, 1.0);
+        infinigen.observe(ObserveEvent::Append {
+            position: 100,
+            key: &key,
+        });
+        let second = infinigen.plan(SelectionRequest::new(&q, 101, Budget::new(10)));
+        assert_eq!(
+            second.stats.scored_vectors, 101,
+            "cost grows with the context"
+        );
     }
 
     #[test]
     fn appends_are_recallable() {
         let mut infinigen = InfiniGenSelector::new(0.5, 8);
-        infinigen.on_prefill(&random_keys(32, 8, 9));
+        prefill(&mut infinigen, &random_keys(32, 8, 9));
         // Append a key that is strongly aligned with the later query.
         let mut hot = vec![0.0f32; 8];
         hot[2] = 10.0;
-        infinigen.on_append(32, &hot);
+        infinigen.observe(ObserveEvent::Append {
+            position: 32,
+            key: &hot,
+        });
         let mut q = vec![0.0f32; 8];
         q[2] = 1.0;
-        let picked = infinigen.select(&q, 33, Budget::new(4));
-        assert!(picked.contains(&32), "appended hot token must be recallable");
+        let picked = select(&mut infinigen, &q, 33, 4);
+        assert!(
+            picked.contains(&32),
+            "appended hot token must be recallable"
+        );
     }
 
     #[test]
@@ -268,7 +303,11 @@ mod tests {
         let f = InfiniGenFactory::default();
         assert!((f.partial_ratio - DEFAULT_PARTIAL_RATIO).abs() < 1e-12);
         assert_eq!(f.name(), "InfiniGen");
-        let sel = f.create(HeadContext { layer: 0, head: 0, head_dim: 8 });
+        let sel = f.create(HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: 8,
+        });
         assert_eq!(sel.name(), "InfiniGen");
     }
 }

@@ -94,25 +94,36 @@ impl std::fmt::Display for BaselineKind {
 mod tests {
     use super::*;
     use clusterkv_kvcache::types::Budget;
-    use clusterkv_model::policy::HeadContext;
+    use clusterkv_model::policy::{HeadContext, ObserveEvent, SelectionRequest};
     use clusterkv_tensor::rng::{gaussian_vec, seeded};
     use clusterkv_tensor::Matrix;
 
     #[test]
     fn every_baseline_produces_a_working_selector() {
-        let ctx = HeadContext { layer: 2, head: 1, head_dim: 16 };
+        let ctx = HeadContext {
+            layer: 2,
+            head: 1,
+            head_dim: 16,
+        };
         let mut rng = seeded(1);
         let keys = Matrix::from_rows(
-            (0..64).map(|_| gaussian_vec(&mut rng, 16, 0.0, 1.0)).collect(),
+            (0..64)
+                .map(|_| gaussian_vec(&mut rng, 16, 0.0, 1.0))
+                .collect(),
         )
         .unwrap();
         let q = gaussian_vec(&mut rng, 16, 0.0, 1.0);
         for kind in BaselineKind::all() {
             let factory = kind.factory();
             let mut sel = factory.create(ctx);
-            sel.on_prefill(&keys);
-            sel.on_append(64, &gaussian_vec(&mut rng, 16, 0.0, 1.0));
-            let out = sel.select(&q, 65, Budget::new(16));
+            sel.observe(ObserveEvent::Prefill { keys: &keys });
+            let key = gaussian_vec(&mut rng, 16, 0.0, 1.0);
+            sel.observe(ObserveEvent::Append {
+                position: 64,
+                key: &key,
+            });
+            let plan = sel.plan(SelectionRequest::new(&q, 65, Budget::new(16)));
+            let out = &plan.indices;
             assert!(!out.is_empty(), "{kind} selected nothing");
             assert!(out.iter().all(|&t| t < 65), "{kind} selected out of range");
             if kind != BaselineKind::FullKv {

@@ -9,10 +9,11 @@
 //! purely by position a selected page may contain mostly unimportant tokens —
 //! the internal-fragmentation problem ClusterKV addresses (Fig. 3b).
 
-use clusterkv_kvcache::types::Budget;
-use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_model::policy::{
+    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
+    TokenSelector,
+};
 use clusterkv_tensor::vector::argsort_descending;
-use clusterkv_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Page size used by Quest (16 tokens in the original paper and in the
@@ -47,7 +48,6 @@ pub struct QuestSelector {
     head_dim: usize,
     pages: Vec<PageMeta>,
     num_tokens: usize,
-    scored: u64,
 }
 
 impl QuestSelector {
@@ -63,7 +63,6 @@ impl QuestSelector {
             head_dim,
             pages: Vec::new(),
             num_tokens: 0,
-            scored: 0,
         }
     }
 
@@ -74,7 +73,7 @@ impl QuestSelector {
 
     fn add_key(&mut self, position: usize, key: &[f32]) {
         debug_assert_eq!(position, self.num_tokens, "keys must arrive in order");
-        if self.num_tokens % self.page_size == 0 {
+        if self.num_tokens.is_multiple_of(self.page_size) {
             self.pages.push(PageMeta {
                 start: position,
                 len: 1,
@@ -82,9 +81,17 @@ impl QuestSelector {
                 min_key: key.to_vec(),
             });
         } else {
-            let page = self.pages.last_mut().expect("page exists for non-boundary token");
+            let page = self
+                .pages
+                .last_mut()
+                .expect("page exists for non-boundary token");
             page.len += 1;
-            for ((mx, mn), &k) in page.max_key.iter_mut().zip(page.min_key.iter_mut()).zip(key) {
+            for ((mx, mn), &k) in page
+                .max_key
+                .iter_mut()
+                .zip(page.min_key.iter_mut())
+                .zip(key)
+            {
                 if k > *mx {
                     *mx = k;
                 }
@@ -102,47 +109,46 @@ impl TokenSelector for QuestSelector {
         "Quest"
     }
 
-    fn on_prefill(&mut self, keys: &Matrix) {
-        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
-        for i in 0..keys.rows() {
-            self.add_key(self.num_tokens, keys.row(i));
+    fn observe(&mut self, event: ObserveEvent<'_>) {
+        match event {
+            ObserveEvent::Prefill { keys } => {
+                assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+                for i in 0..keys.rows() {
+                    self.add_key(self.num_tokens, keys.row(i));
+                }
+            }
+            ObserveEvent::Append { key, .. } => {
+                assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+                self.add_key(self.num_tokens, key);
+            }
         }
     }
 
-    fn on_append(&mut self, position: usize, key: &[f32]) {
-        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
-        let _ = position;
-        self.add_key(self.num_tokens, key);
-    }
-
-    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
-        let n = num_tokens.min(self.num_tokens);
-        if budget.covers(n) {
-            return (0..n).collect();
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+        let n = request.num_tokens.min(self.num_tokens);
+        if request.budget.covers(n) {
+            return SelectionPlan::full(n);
         }
-        let scores: Vec<f32> = self.pages.iter().map(|p| p.score(query)).collect();
-        self.scored += scores.len() as u64;
+        let scores: Vec<f32> = self.pages.iter().map(|p| p.score(request.query)).collect();
+        let scored = scores.len() as u64;
         let order = argsort_descending(&scores);
 
-        let mut selected = Vec::with_capacity(budget.tokens());
+        let budget_tokens = request.budget.tokens();
+        let mut selected = Vec::with_capacity(budget_tokens);
         for &page_idx in &order {
-            if selected.len() >= budget.tokens() {
+            if selected.len() >= budget_tokens {
                 break;
             }
             let page = &self.pages[page_idx];
-            let remaining = budget.tokens() - selected.len();
+            let remaining = budget_tokens - selected.len();
             let take = page.len.min(remaining);
             selected.extend(page.start..page.start + take);
         }
         selected.retain(|&t| t < n);
-        selected
-    }
-
-    fn stats(&self) -> PolicyStats {
-        PolicyStats {
-            scored_vectors: self.scored,
+        SelectionPlan::new(selected).with_stats(PolicyStats {
+            scored_vectors: scored,
             ..PolicyStats::default()
-        }
+        })
     }
 }
 
@@ -181,6 +187,16 @@ impl SelectorFactory for QuestFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clusterkv_kvcache::types::Budget;
+    use clusterkv_tensor::Matrix;
+
+    fn prefill(q: &mut QuestSelector, keys: &Matrix) {
+        q.observe(ObserveEvent::Prefill { keys });
+    }
+
+    fn append(q: &mut QuestSelector, position: usize, key: &[f32]) {
+        q.observe(ObserveEvent::Append { position, key });
+    }
 
     fn keys_with_hot_token(n: usize, dim: usize, hot: usize) -> Matrix {
         let rows: Vec<Vec<f32>> = (0..n)
@@ -198,11 +214,11 @@ mod tests {
     #[test]
     fn pages_cover_all_tokens() {
         let mut q = QuestSelector::new(4, 8);
-        q.on_prefill(&keys_with_hot_token(10, 8, 0));
+        prefill(&mut q, &keys_with_hot_token(10, 8, 0));
         assert_eq!(q.num_pages(), 3); // 4 + 4 + 2
-        q.on_append(10, &vec![0.0; 8]);
-        q.on_append(11, &vec![0.0; 8]);
-        q.on_append(12, &vec![0.0; 8]);
+        append(&mut q, 10, &[0.0; 8]);
+        append(&mut q, 11, &[0.0; 8]);
+        append(&mut q, 12, &[0.0; 8]);
         assert_eq!(q.num_pages(), 4); // the 3rd page filled, a 4th started
     }
 
@@ -210,15 +226,20 @@ mod tests {
     fn selects_the_page_containing_the_hot_token() {
         let mut q = QuestSelector::new(4, 8);
         // Hot token at position 9 => page 2 (tokens 8..12).
-        q.on_prefill(&keys_with_hot_token(20, 8, 9));
+        prefill(&mut q, &keys_with_hot_token(20, 8, 9));
         let query = {
             let mut v = vec![0.0; 8];
             v[0] = 1.0;
             v
         };
-        let out = q.select(&query, 20, Budget::new(4));
+        let out = q
+            .plan(SelectionRequest::new(&query, 20, Budget::new(4)))
+            .indices;
         assert_eq!(out.len(), 4);
-        assert!(out.contains(&9), "hot token's page must be selected: {out:?}");
+        assert!(
+            out.contains(&9),
+            "hot token's page must be selected: {out:?}"
+        );
         assert!(out.contains(&8) && out.contains(&10) && out.contains(&11));
     }
 
@@ -244,10 +265,12 @@ mod tests {
         rows[3][0] = 10.0; // important token in page 0
         rows[40][0] = 9.0; // important token in page 2
         let mut q = QuestSelector::new(16, dim);
-        q.on_prefill(&Matrix::from_rows(rows).unwrap());
+        prefill(&mut q, &Matrix::from_rows(rows).unwrap());
         let mut query = vec![0.0; dim];
         query[0] = 1.0;
-        let out = q.select(&query, 64, Budget::new(8));
+        let out = q
+            .plan(SelectionRequest::new(&query, 64, Budget::new(8)))
+            .indices;
         assert_eq!(out.len(), 8);
         assert!(out.contains(&3));
         assert!(
@@ -259,23 +282,37 @@ mod tests {
     #[test]
     fn budget_covering_context_returns_all() {
         let mut q = QuestSelector::new(4, 8);
-        q.on_prefill(&keys_with_hot_token(6, 8, 1));
-        assert_eq!(q.select(&vec![1.0; 8], 6, Budget::new(16)), (0..6).collect::<Vec<_>>());
+        prefill(&mut q, &keys_with_hot_token(6, 8, 1));
+        let plan = q.plan(SelectionRequest::new(&[1.0; 8], 6, Budget::new(16)));
+        assert_eq!(plan.indices, (0..6).collect::<Vec<_>>());
+        assert_eq!(
+            plan.stats.scored_vectors, 0,
+            "covered context scores nothing"
+        );
     }
 
     #[test]
-    fn stats_count_scored_pages() {
+    fn plan_stats_count_scored_pages_per_call() {
         let mut q = QuestSelector::new(4, 8);
-        q.on_prefill(&keys_with_hot_token(32, 8, 0));
-        q.select(&vec![1.0; 8], 32, Budget::new(4));
-        assert_eq!(q.stats().scored_vectors, 8); // 32 tokens / page 4
+        prefill(&mut q, &keys_with_hot_token(32, 8, 0));
+        let first = q.plan(SelectionRequest::new(&[1.0; 8], 32, Budget::new(4)));
+        assert_eq!(first.stats.scored_vectors, 8); // 32 tokens / page 4
+        let second = q.plan(SelectionRequest::new(&[1.0; 8], 32, Budget::new(4)));
+        assert_eq!(
+            second.stats.scored_vectors, 8,
+            "stats are per call, not cumulative"
+        );
     }
 
     #[test]
     fn factory_respects_page_size() {
         let f = QuestFactory::new(8);
         assert_eq!(f.name(), "Quest");
-        let sel = f.create(HeadContext { layer: 0, head: 0, head_dim: 4 });
+        let sel = f.create(HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: 4,
+        });
         assert_eq!(sel.name(), "Quest");
         assert_eq!(QuestFactory::default().page_size, DEFAULT_PAGE_SIZE);
     }

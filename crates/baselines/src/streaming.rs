@@ -7,9 +7,9 @@
 //! reference [9] of the paper) and serves as a lower bound for selection
 //! quality in the recall experiments.
 
-use clusterkv_kvcache::types::Budget;
-use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
-use clusterkv_tensor::Matrix;
+use clusterkv_model::policy::{
+    HeadContext, ObserveEvent, SelectionPlan, SelectionRequest, SelectorFactory, TokenSelector,
+};
 use serde::{Deserialize, Serialize};
 
 /// Number of attention-sink tokens retained by default (matches the 16 sink
@@ -38,29 +38,29 @@ impl TokenSelector for StreamingSelector {
         "StreamingLLM"
     }
 
-    fn on_prefill(&mut self, keys: &Matrix) {
-        self.num_tokens = keys.rows();
-    }
-
-    fn on_append(&mut self, position: usize, _key: &[f32]) {
-        self.num_tokens = self.num_tokens.max(position + 1);
-    }
-
-    fn select(&mut self, _query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
-        let n = num_tokens.min(self.num_tokens.max(num_tokens));
-        if budget.covers(n) {
-            return (0..n).collect();
+    fn observe(&mut self, event: ObserveEvent<'_>) {
+        match event {
+            ObserveEvent::Prefill { keys } => self.num_tokens = keys.rows(),
+            ObserveEvent::Append { position, .. } => {
+                self.num_tokens = self.num_tokens.max(position + 1);
+            }
         }
-        let sinks = self.sink_tokens.min(budget.tokens()).min(n);
-        let window = budget.tokens() - sinks;
+    }
+
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+        let n = request
+            .num_tokens
+            .min(self.num_tokens.max(request.num_tokens));
+        if request.budget.covers(n) {
+            return SelectionPlan::full(n);
+        }
+        let budget_tokens = request.budget.tokens();
+        let sinks = self.sink_tokens.min(budget_tokens).min(n);
+        let window = budget_tokens - sinks;
         let mut selected: Vec<usize> = (0..sinks).collect();
         let window_start = n.saturating_sub(window).max(sinks);
         selected.extend(window_start..n);
-        selected
-    }
-
-    fn stats(&self) -> PolicyStats {
-        PolicyStats::default()
+        SelectionPlan::new(selected)
     }
 }
 
@@ -99,12 +99,23 @@ impl SelectorFactory for StreamingFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clusterkv_kvcache::types::Budget;
+    use clusterkv_tensor::Matrix;
+
+    fn prefill(s: &mut StreamingSelector, keys: &Matrix) {
+        s.observe(ObserveEvent::Prefill { keys });
+    }
+
+    fn select(s: &mut StreamingSelector, n: usize, budget: usize) -> Vec<usize> {
+        s.plan(SelectionRequest::new(&[0.0; 8], n, Budget::new(budget)))
+            .indices
+    }
 
     #[test]
     fn selects_sinks_and_recent_window() {
         let mut s = StreamingSelector::new(4);
-        s.on_prefill(&Matrix::zeros(100, 8));
-        let out = s.select(&[0.0; 8], 100, Budget::new(12));
+        prefill(&mut s, &Matrix::zeros(100, 8));
+        let out = select(&mut s, 100, 12);
         assert_eq!(out.len(), 12);
         assert_eq!(&out[..4], &[0, 1, 2, 3]);
         assert_eq!(&out[4..], &(92..100).collect::<Vec<_>>()[..]);
@@ -113,15 +124,15 @@ mod tests {
     #[test]
     fn short_context_selects_everything() {
         let mut s = StreamingSelector::new(4);
-        s.on_prefill(&Matrix::zeros(6, 8));
-        assert_eq!(s.select(&[0.0; 8], 6, Budget::new(16)), (0..6).collect::<Vec<_>>());
+        prefill(&mut s, &Matrix::zeros(6, 8));
+        assert_eq!(select(&mut s, 6, 16), (0..6).collect::<Vec<_>>());
     }
 
     #[test]
     fn no_duplicate_indices_when_window_meets_sinks() {
         let mut s = StreamingSelector::new(8);
-        s.on_prefill(&Matrix::zeros(10, 4));
-        let out = s.select(&[0.0; 4], 10, Budget::new(9));
+        prefill(&mut s, &Matrix::zeros(10, 4));
+        let out = select(&mut s, 10, 9);
         let set: std::collections::HashSet<_> = out.iter().collect();
         assert_eq!(set.len(), out.len());
         assert!(out.len() <= 9);
@@ -130,17 +141,20 @@ mod tests {
     #[test]
     fn middle_tokens_are_never_selected() {
         let mut s = StreamingSelector::new(4);
-        s.on_prefill(&Matrix::zeros(1000, 4));
-        s.on_append(1000, &[0.0; 4]);
-        let out = s.select(&[0.0; 4], 1001, Budget::new(20));
-        assert!(out.iter().all(|&t| t < 4 || t >= 985));
+        prefill(&mut s, &Matrix::zeros(1000, 4));
+        s.observe(ObserveEvent::Append {
+            position: 1000,
+            key: &[0.0; 4],
+        });
+        let out = select(&mut s, 1001, 20);
+        assert!(out.iter().all(|&t| !(4..985).contains(&t)));
     }
 
     #[test]
     fn budget_smaller_than_sinks_is_clamped() {
         let mut s = StreamingSelector::new(16);
-        s.on_prefill(&Matrix::zeros(100, 4));
-        let out = s.select(&[0.0; 4], 100, Budget::new(8));
+        prefill(&mut s, &Matrix::zeros(100, 4));
+        let out = select(&mut s, 100, 8);
         assert_eq!(out.len(), 8);
         assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
@@ -149,7 +163,11 @@ mod tests {
     fn factory_creates_named_selector() {
         let f = StreamingFactory::default();
         assert_eq!(f.sink_tokens, DEFAULT_SINK_TOKENS);
-        let sel = f.create(HeadContext { layer: 0, head: 0, head_dim: 4 });
+        let sel = f.create(HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: 4,
+        });
         assert_eq!(sel.name(), "StreamingLLM");
         assert_eq!(StreamingFactory::new(2).sink_tokens, 2);
     }

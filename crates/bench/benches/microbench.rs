@@ -10,16 +10,23 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use clusterkv::{select_clusters, ClusterCache, ClusterKvConfig, DistanceMetric, KMeans, SemanticClustering};
+use clusterkv::{
+    select_clusters, ClusterCache, ClusterKvConfig, DistanceMetric, KMeans, SemanticClustering,
+};
 use clusterkv_baselines::QuestFactory;
 use clusterkv_kvcache::types::Budget;
-use clusterkv_model::policy::{HeadContext, SelectorFactory};
+use clusterkv_model::policy::{HeadContext, ObserveEvent, SelectionRequest, SelectorFactory};
 use clusterkv_tensor::rng::{gaussian_vec, seeded};
 use clusterkv_tensor::Matrix;
 
 fn random_keys(n: usize, dim: usize, seed: u64) -> Matrix {
     let mut rng = seeded(seed);
-    Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+    Matrix::from_rows(
+        (0..n)
+            .map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0))
+            .collect(),
+    )
+    .unwrap()
 }
 
 /// Concern 1: clustering cost `O(n_i · C · L · d)` vs context length.
@@ -62,11 +69,15 @@ fn bench_quest_selection(c: &mut Criterion) {
     let len = 8192;
     let keys = random_keys(len, 64, 17);
     let factory = QuestFactory::default();
-    let mut selector = factory.create(HeadContext { layer: 0, head: 0, head_dim: 64 });
-    selector.on_prefill(&keys);
+    let mut selector = factory.create(HeadContext {
+        layer: 0,
+        head: 0,
+        head_dim: 64,
+    });
+    selector.observe(ObserveEvent::Prefill { keys: &keys });
     let query = gaussian_vec(&mut seeded(19), 64, 0.0, 1.0);
     group.bench_function("page_scoring_8k", |b| {
-        b.iter(|| black_box(selector.select(&query, len, Budget::new(1024))))
+        b.iter(|| black_box(selector.plan(SelectionRequest::new(&query, len, Budget::new(1024)))))
     });
     group.finish();
 }

@@ -27,9 +27,8 @@ fn hit_rate_for(config: ClusterKvConfig, episode: &Episode) -> f64 {
         head: 0,
         head_dim: episode.config.head_dim,
     });
-    run_episode(episode, selector.as_mut(), Budget::new(BUDGET));
-    let stats = selector.stats();
-    stats.cache.hit_rate()
+    let result = run_episode(episode, selector.as_mut(), Budget::new(BUDGET));
+    result.stats.cache.hit_rate()
 }
 
 fn main() {
@@ -43,18 +42,26 @@ fn main() {
     let model = LatencyModel::new(ModelPreset::Llama31_8b.config(), DeviceModel::ada6000());
 
     println!("# Cluster-cache effectiveness (§V-C)\n");
-    let mut table = Table::new(vec!["Recency window R", "Token hit rate", "Throughput vs no cache"]);
-    let no_cache = model.run(CONTEXT_LEN, 256, Some((CONTEXT_LEN / 80, 10)), |ctx| StepCost {
-        scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
-        attended_tokens: BUDGET as f64,
-        transferred_tokens_per_head: BUDGET as f64,
+    let mut table = Table::new(vec![
+        "Recency window R",
+        "Token hit rate",
+        "Throughput vs no cache",
+    ]);
+    let no_cache = model.run(CONTEXT_LEN, 256, Some((CONTEXT_LEN / 80, 10)), |ctx| {
+        StepCost {
+            scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
+            attended_tokens: BUDGET as f64,
+            transferred_tokens_per_head: BUDGET as f64,
+        }
     });
     for r in [1usize, 2] {
         let hit = hit_rate_for(ClusterKvConfig::default().with_recency_window(r), &episode);
-        let cached = model.run(CONTEXT_LEN, 256, Some((CONTEXT_LEN / 80, 10)), |ctx| StepCost {
-            scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
-            attended_tokens: BUDGET as f64,
-            transferred_tokens_per_head: BUDGET as f64 * (1.0 - hit),
+        let cached = model.run(CONTEXT_LEN, 256, Some((CONTEXT_LEN / 80, 10)), |ctx| {
+            StepCost {
+                scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
+                attended_tokens: BUDGET as f64,
+                transferred_tokens_per_head: BUDGET as f64 * (1.0 - hit),
+            }
         });
         table.row(vec![
             r.to_string(),

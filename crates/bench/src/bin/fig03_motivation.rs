@@ -20,7 +20,10 @@ fn main() {
         .with_seed(0x0303);
     let episode = Episode::generate(config);
     println!("# Fig. 3a — token importance ranking across decoding steps");
-    println!("(context length {}, 64 decoding steps)\n", episode.context_len());
+    println!(
+        "(context length {}, 64 decoding steps)\n",
+        episode.context_len()
+    );
 
     // Pick three tokens with interesting trajectories: one important early,
     // one important late, one fluctuating — mirroring tokens 2048/3200/7168
@@ -41,10 +44,14 @@ fn main() {
     let late_topic = episode.query_topics[episode.decode_steps() - 1];
     let early_token = episode.topic_tokens(early_topic)[0];
     let late_token = episode.topic_tokens(late_topic)[0];
-    let fluctuating = episode
-        .topic_tokens(episode.query_topics[episode.decode_steps() / 2])[0];
+    let fluctuating = episode.topic_tokens(episode.query_topics[episode.decode_steps() / 2])[0];
 
-    let mut table = Table::new(vec!["Step", "Token A (early)", "Token B (late)", "Token C (fluctuating)"]);
+    let mut table = Table::new(vec![
+        "Step",
+        "Token A (early)",
+        "Token B (late)",
+        "Token C (fluctuating)",
+    ]);
     for s in (0..episode.decode_steps()).step_by(4) {
         table.row(vec![
             s.to_string(),
@@ -55,10 +62,10 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let drift_a = rankings[episode.decode_steps() - 1][early_token] as i64
-        - rankings[0][early_token] as i64;
-    let drift_b = rankings[0][late_token] as i64
-        - rankings[episode.decode_steps() - 1][late_token] as i64;
+    let drift_a =
+        rankings[episode.decode_steps() - 1][early_token] as i64 - rankings[0][early_token] as i64;
+    let drift_b =
+        rankings[0][late_token] as i64 - rankings[episode.decode_steps() - 1][late_token] as i64;
     println!(
         "Token A loses {} ranks over the run; token B gains {} ranks — \
          importance is dynamic, so evicted tokens must be recallable.\n",

@@ -36,7 +36,10 @@ fn main() {
             }
             table.row(cells);
         }
-        println!("## {} ({}, context {} tokens)\n", dataset, profile.metric, profile.episode.context_len);
+        println!(
+            "## {} ({}, context {} tokens)\n",
+            dataset, profile.metric, profile.episode.context_len
+        );
         println!("{}", table.render());
     }
 

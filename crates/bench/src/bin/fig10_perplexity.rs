@@ -14,8 +14,17 @@ const INPUT_LENGTHS: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
 
 fn main() {
     println!("# Fig. 10 — perplexity vs input length (budget {BUDGET})\n");
-    let mut table = Table::new(vec!["Input length", "Quest", "InfiniGen", "ClusterKV", "Full KV"]);
-    let mut series: Vec<Series> = Method::all().iter().map(|m| Series::new(m.name())).collect();
+    let mut table = Table::new(vec![
+        "Input length",
+        "Quest",
+        "InfiniGen",
+        "ClusterKV",
+        "Full KV",
+    ]);
+    let mut series: Vec<Series> = Method::all()
+        .iter()
+        .map(|m| Series::new(m.name()))
+        .collect();
 
     for &len in &INPUT_LENGTHS {
         let episode = Episode::generate(

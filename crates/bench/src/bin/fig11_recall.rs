@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release -p clusterkv-bench --bin fig11_recall`
 
 use clusterkv::DistanceMetric;
-use clusterkv_bench::{clusterkv_config_for_ablation, evaluate, evaluate_clusterkv_variant, Method};
+use clusterkv_bench::{
+    clusterkv_config_for_ablation, evaluate, evaluate_clusterkv_variant, Method,
+};
 use clusterkv_metrics::{fmt, Table};
 use clusterkv_workloads::{Episode, EpisodeConfig};
 
@@ -43,7 +45,12 @@ fn main() {
     println!("Paper reference: ClusterKV achieves the highest recall at every budget.\n");
 
     println!("# Fig. 11b — ClusterKV ablation (distance metric and C0)\n");
-    let mut table = Table::new(vec!["Configuration", "Recall @512", "Recall @1024", "Recall @2048"]);
+    let mut table = Table::new(vec![
+        "Configuration",
+        "Recall @512",
+        "Recall @1024",
+        "Recall @2048",
+    ]);
 
     // Distance-metric ablation at the paper's default C0 = L/80.
     let default_c0 = CONTEXT_LEN / 80;

@@ -31,13 +31,19 @@ fn clusterkv_cost(budget: usize) -> impl Fn(usize) -> StepCost {
 fn main() {
     let model = LatencyModel::new(ModelPreset::Llama31_8b.config(), DeviceModel::ada6000());
     println!(
-        "# Fig. 12 — latency vs full KV ({} on {})\n",
-        ModelPreset::Llama31_8b,
-        "analytical Ada-6000 device model"
+        "# Fig. 12 — latency vs full KV ({} on analytical Ada-6000 device model)\n",
+        ModelPreset::Llama31_8b
     );
 
     let mut table = Table::new(vec![
-        "P", "D", "Full KV (s)", "B=512 (s)", "B=1024 (s)", "B=2048 (s)", "Speedup @1024", "Thpt gain @1024",
+        "P",
+        "D",
+        "Full KV (s)",
+        "B=512 (s)",
+        "B=1024 (s)",
+        "B=2048 (s)",
+        "Speedup @1024",
+        "Thpt gain @1024",
     ]);
     for &p in &PROMPTS {
         for &d in &DECODES {
@@ -70,7 +76,12 @@ fn main() {
     println!("{}", table.render());
 
     println!("# Prefill breakdown (clustering overhead, §V-C)\n");
-    let mut table = Table::new(vec!["P", "Prefill base (s)", "Clustering (s)", "Clustering / prefill"]);
+    let mut table = Table::new(vec![
+        "P",
+        "Prefill base (s)",
+        "Clustering (s)",
+        "Clustering / prefill",
+    ]);
     for &p in &PROMPTS {
         let bd = model.prefill_breakdown(p, Some((p / 80, 10)));
         table.row(vec![

@@ -45,8 +45,17 @@ fn quest_cost(budget: usize) -> impl Fn(usize) -> StepCost {
 
 fn main() {
     println!("# Fig. 13a — ClusterKV vs InfiniGen (OPT-6.7B class, budget 256, P = 2k)\n");
-    let opt = LatencyModel::new(ModelPreset::Opt6_7b.config(), DeviceModel::offload_constrained());
-    let mut table = Table::new(vec!["D", "InfiniGen (Full) (s)", "InfiniGen (s)", "ClusterKV (s)", "Speedup"]);
+    let opt = LatencyModel::new(
+        ModelPreset::Opt6_7b.config(),
+        DeviceModel::offload_constrained(),
+    );
+    let mut table = Table::new(vec![
+        "D",
+        "InfiniGen (Full) (s)",
+        "InfiniGen (s)",
+        "ClusterKV (s)",
+        "Speedup",
+    ]);
     for d in [128usize, 256] {
         let p = 2048;
         // InfiniGen (Full): full KV held in CPU memory and streamed every step.

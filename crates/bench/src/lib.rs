@@ -29,7 +29,12 @@ pub enum Method {
 impl Method {
     /// The four methods in the order the paper's legends use.
     pub fn all() -> [Method; 4] {
-        [Method::Quest, Method::InfiniGen, Method::ClusterKv, Method::FullKv]
+        [
+            Method::Quest,
+            Method::InfiniGen,
+            Method::ClusterKv,
+            Method::FullKv,
+        ]
     }
 
     /// The three compressed methods (everything except Full KV).

@@ -192,7 +192,12 @@ mod tests {
 
     fn random_keys(n: usize, dim: usize, seed: u64) -> Matrix {
         let mut rng = seeded(seed);
-        Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+        Matrix::from_rows(
+            (0..n)
+                .map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0))
+                .collect(),
+        )
+        .unwrap()
     }
 
     fn config_small() -> ClusterKvConfig {
@@ -246,12 +251,12 @@ mod tests {
         let clusters_after_prefill = sc.num_clusters();
         // Five appends: below the period of 6, so still pending.
         for i in 0..5 {
-            sc.append(20 + i, &vec![0.1 * i as f32; 8]);
+            sc.append(20 + i, &[0.1 * i as f32; 8]);
         }
         assert_eq!(sc.pending_indices().len(), 5);
         assert_eq!(sc.num_clusters(), clusters_after_prefill);
         // Sixth append triggers incremental clustering into 2 new clusters.
-        sc.append(25, &vec![1.0; 8]);
+        sc.append(25, &[1.0; 8]);
         assert_eq!(sc.pending_indices().len(), 0);
         assert_eq!(sc.num_clusters(), clusters_after_prefill + 2);
         assert_eq!(sc.incremental_runs(), 1);
@@ -262,7 +267,7 @@ mod tests {
     fn flush_pending_handles_partial_buffer() {
         let mut sc = SemanticClustering::new(config_small(), 8);
         sc.prefill(&random_keys(20, 8, 5));
-        sc.append(20, &vec![1.0; 8]);
+        sc.append(20, &[1.0; 8]);
         sc.flush_pending();
         assert_eq!(sc.pending_indices().len(), 0);
         // A single token forms a single cluster (k clamped to rows).
@@ -278,7 +283,10 @@ mod tests {
         let mut sc = SemanticClustering::new(config_small(), 8);
         sc.prefill(&random_keys(64, 8, 6));
         for i in 0..12 {
-            sc.append(64 + i, &gaussian_vec(&mut seeded(100 + i as u64), 8, 0.0, 1.0));
+            sc.append(
+                64 + i,
+                &gaussian_vec(&mut seeded(100 + i as u64), 8, 0.0, 1.0),
+            );
         }
         sc.flush_pending();
         assert_eq!(sc.num_clusters(), sc.metadata().num_clusters());

@@ -81,7 +81,9 @@ impl ClusterKvConfig {
         if clusterable == 0 {
             return 0;
         }
-        let wanted = clusterable.div_ceil(self.tokens_per_cluster).max(self.min_clusters);
+        let wanted = clusterable
+            .div_ceil(self.tokens_per_cluster)
+            .max(self.min_clusters);
         wanted.min(clusterable)
     }
 
@@ -218,14 +220,27 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_fields() {
-        assert!(ClusterKvConfig::default().with_tokens_per_cluster(0).validate().is_err());
-        assert!(ClusterKvConfig::default().with_decode_cluster_period(0).validate().is_err());
-        assert!(ClusterKvConfig::default().with_decode_new_clusters(0).validate().is_err());
-        let mut c = ClusterKvConfig::default();
-        c.min_clusters = 0;
+        assert!(ClusterKvConfig::default()
+            .with_tokens_per_cluster(0)
+            .validate()
+            .is_err());
+        assert!(ClusterKvConfig::default()
+            .with_decode_cluster_period(0)
+            .validate()
+            .is_err());
+        assert!(ClusterKvConfig::default()
+            .with_decode_new_clusters(0)
+            .validate()
+            .is_err());
+        let c = ClusterKvConfig {
+            min_clusters: 0,
+            ..ClusterKvConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = ClusterKvConfig::default();
-        c.max_kmeans_iters = 0;
+        let c = ClusterKvConfig {
+            max_kmeans_iters: 0,
+            ..ClusterKvConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

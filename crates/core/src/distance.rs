@@ -100,10 +100,19 @@ mod tests {
         let centroids: Vec<Vec<f32>> = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0]];
         let refs: Vec<&[f32]> = centroids.iter().map(|c| c.as_slice()).collect();
         let v = [0.9, 0.1];
-        assert_eq!(DistanceMetric::Cosine.nearest(&v, refs.iter().copied()), Some(0));
-        assert_eq!(DistanceMetric::L2.nearest(&v, refs.iter().copied()), Some(0));
+        assert_eq!(
+            DistanceMetric::Cosine.nearest(&v, refs.iter().copied()),
+            Some(0)
+        );
+        assert_eq!(
+            DistanceMetric::L2.nearest(&v, refs.iter().copied()),
+            Some(0)
+        );
         let v2 = [0.1, 0.9];
-        assert_eq!(DistanceMetric::Cosine.nearest(&v2, refs.iter().copied()), Some(1));
+        assert_eq!(
+            DistanceMetric::Cosine.nearest(&v2, refs.iter().copied()),
+            Some(1)
+        );
     }
 
     #[test]

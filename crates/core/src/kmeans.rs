@@ -111,10 +111,10 @@ impl KMeans {
                 .map(|(i, _)| i)
                 .expect("n > 0");
             init.push(next);
-            for i in 0..n {
+            for (i, md) in min_dist.iter_mut().enumerate() {
                 let d = self.metric.distance(keys.row(i), keys.row(next));
-                if d < min_dist[i] {
-                    min_dist[i] = d;
+                if d < *md {
+                    *md = d;
                 }
             }
         }

@@ -32,21 +32,30 @@
 //!
 //! # Quickstart
 //!
+//! Build a [`ServeEngine`](clusterkv_model::ServeEngine) with ClusterKV as
+//! the selection policy, then serve any number of concurrent sessions:
+//!
 //! ```
 //! use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 //! use clusterkv_kvcache::types::Budget;
-//! use clusterkv_model::{InferenceEngine, ModelConfig};
+//! use clusterkv_model::{ModelConfig, ServeEngine};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let factory = ClusterKvFactory::new(ClusterKvConfig::default());
-//! let mut engine = InferenceEngine::with_synthetic_weights(
-//!     ModelConfig::tiny(),
-//!     42,
-//!     &factory,
-//!     Budget::new(64),
-//! )?;
-//! let generated = engine.generate(&[1, 2, 3, 4, 5, 6, 7, 8], 4)?;
-//! assert_eq!(generated.len(), 4);
+//! let mut engine = ServeEngine::builder(ModelConfig::tiny())
+//!     .synthetic_weights(42)
+//!     .budget(Budget::new(64))
+//!     .policy(Box::new(factory))
+//!     .build()?;
+//! let a = engine.create_session()?;
+//! let b = engine.create_session()?;
+//! engine.prefill(a, &[1, 2, 3, 4, 5, 6, 7, 8])?;
+//! engine.prefill(b, &[8, 7, 6, 5, 4, 3, 2, 1])?;
+//! for _ in 0..4 {
+//!     let outputs = engine.decode_batch(&[a, b])?;
+//!     assert_eq!(outputs.len(), 2);
+//! }
+//! assert_eq!(engine.release(a)?.generated_tokens, 4);
 //! # Ok(())
 //! # }
 //! ```

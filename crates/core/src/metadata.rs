@@ -98,7 +98,7 @@ impl ClusterMetadata {
     /// Panics if a label is `>= added_clusters`.
     pub fn extend(&mut self, assignments: &[(usize, usize)], added_clusters: usize) {
         let base = self.sizes.len();
-        self.sizes.extend(std::iter::repeat(0).take(added_clusters));
+        self.sizes.extend(std::iter::repeat_n(0, added_clusters));
 
         // Group the new tokens by label, preserving insertion order.
         let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); added_clusters];

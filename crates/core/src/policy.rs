@@ -1,20 +1,27 @@
-//! The ClusterKV selection policy, pluggable into the inference engine.
+//! The ClusterKV selection policy, pluggable into the serving engine.
 //!
 //! [`ClusterKvSelector`] wires the pieces of the algorithm together exactly
 //! as the system of Fig. 5 does for one head: semantic clustering at prefill,
 //! incremental clustering during decoding, centroid-based selection at every
 //! step, and a cluster-granularity cache that turns repeated selections into
-//! GPU-cache hits instead of PCIe transfers.
+//! GPU-cache hits instead of PCIe transfers. Every [`plan`] call returns the
+//! selected token indices together with the cost of exactly that call
+//! (centroids scored, tokens transferred, cache hits/misses), so the engine
+//! can aggregate statistics per session.
+//!
+//! [`plan`]: clusterkv_model::policy::TokenSelector::plan
 
 use crate::cache::ClusterCache;
 use crate::clustering::SemanticClustering;
 use crate::config::ClusterKvConfig;
 use crate::selection::select_clusters;
 use clusterkv_kvcache::stats::{CacheStats, TransferStats};
-use clusterkv_kvcache::types::{Budget, Bytes};
-use clusterkv_model::policy::{HeadContext, PolicyStats, SelectorFactory, TokenSelector};
+use clusterkv_kvcache::types::Bytes;
+use clusterkv_model::policy::{
+    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
+    TokenSelector,
+};
 use clusterkv_tensor::rng::derive_seed;
-use clusterkv_tensor::Matrix;
 
 /// ClusterKV selection state for a single attention head.
 #[derive(Debug, Clone)]
@@ -22,8 +29,6 @@ pub struct ClusterKvSelector {
     head_dim: usize,
     clustering: SemanticClustering,
     cache: ClusterCache,
-    scored_vectors: u64,
-    transfer: TransferStats,
 }
 
 impl ClusterKvSelector {
@@ -33,8 +38,6 @@ impl ClusterKvSelector {
             head_dim,
             clustering: SemanticClustering::new(config, head_dim),
             cache: ClusterCache::new(config.recency_window),
-            scored_vectors: 0,
-            transfer: TransferStats::new(),
         }
     }
 
@@ -43,14 +46,10 @@ impl ClusterKvSelector {
         &self.clustering
     }
 
-    /// Token-level hit/miss statistics of the cluster cache.
+    /// Cumulative token-level hit/miss statistics of the cluster cache
+    /// (diagnostic view; per-call deltas flow through the selection plans).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
-    }
-
-    /// Host-to-device transfer accounting caused by cache misses.
-    pub fn transfer_stats(&self) -> TransferStats {
-        self.transfer
     }
 }
 
@@ -59,22 +58,20 @@ impl TokenSelector for ClusterKvSelector {
         "ClusterKV"
     }
 
-    fn on_prefill(&mut self, keys: &Matrix) {
-        self.clustering.prefill(keys);
+    fn observe(&mut self, event: ObserveEvent<'_>) {
+        match event {
+            ObserveEvent::Prefill { keys } => self.clustering.prefill(keys),
+            ObserveEvent::Append { position, key } => self.clustering.append(position, key),
+        }
     }
 
-    fn on_append(&mut self, position: usize, key: &[f32]) {
-        self.clustering.append(position, key);
-    }
-
-    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
         // When the whole context fits in the budget, compression is a no-op.
-        if budget.covers(num_tokens) {
-            return (0..num_tokens).collect();
+        if request.budget.covers(request.num_tokens) {
+            return SelectionPlan::full(request.num_tokens);
         }
 
-        let result = select_clusters(query, &self.clustering, budget);
-        self.scored_vectors += result.scored_centroids as u64;
+        let result = select_clusters(request.query, &self.clustering, request.budget);
 
         // Model the cluster-granularity GPU cache: only missed clusters cost
         // a PCIe transfer.
@@ -82,20 +79,20 @@ impl TokenSelector for ClusterKvSelector {
         let access = self
             .cache
             .access(&result.selected_clusters, |c| metadata.cluster_size(c));
+        let mut transfer = TransferStats::new();
         if access.missed_tokens > 0 {
             let bytes = Bytes::of_f16(2 * access.missed_tokens * self.head_dim);
-            self.transfer.record(access.missed_tokens as u64, bytes);
+            transfer.record(access.missed_tokens as u64, bytes);
         }
 
-        result.token_indices
-    }
-
-    fn stats(&self) -> PolicyStats {
-        PolicyStats {
-            scored_vectors: self.scored_vectors,
-            transfer: self.transfer,
-            cache: self.cache.stats(),
-        }
+        SelectionPlan::new(result.token_indices).with_stats(PolicyStats {
+            scored_vectors: result.scored_centroids as u64,
+            transfer,
+            cache: CacheStats {
+                hits: access.hit_tokens as u64,
+                misses: access.missed_tokens as u64,
+            },
+        })
     }
 }
 
@@ -131,10 +128,8 @@ impl SelectorFactory for ClusterKvFactory {
     }
 
     fn create(&self, ctx: HeadContext) -> Box<dyn TokenSelector> {
-        let per_head_seed = derive_seed(
-            self.config.seed,
-            (ctx.layer as u64) << 16 | ctx.head as u64,
-        );
+        let per_head_seed =
+            derive_seed(self.config.seed, (ctx.layer as u64) << 16 | ctx.head as u64);
         let config = self.config.with_seed(per_head_seed);
         Box::new(ClusterKvSelector::new(config, ctx.head_dim))
     }
@@ -143,7 +138,9 @@ impl SelectorFactory for ClusterKvFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clusterkv_kvcache::types::Budget;
     use clusterkv_tensor::rng::{gaussian_vec, seeded};
+    use clusterkv_tensor::Matrix;
 
     fn test_config() -> ClusterKvConfig {
         ClusterKvConfig::default()
@@ -155,63 +152,82 @@ mod tests {
 
     fn prefill_keys(n: usize, dim: usize, seed: u64) -> Matrix {
         let mut rng = seeded(seed);
-        Matrix::from_rows((0..n).map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0)).collect()).unwrap()
+        Matrix::from_rows(
+            (0..n)
+                .map(|_| gaussian_vec(&mut rng, dim, 0.0, 1.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn observe_prefill(sel: &mut ClusterKvSelector, keys: &Matrix) {
+        sel.observe(ObserveEvent::Prefill { keys });
     }
 
     #[test]
     fn small_context_bypasses_selection() {
         let mut sel = ClusterKvSelector::new(test_config(), 8);
-        sel.on_prefill(&prefill_keys(10, 8, 1));
-        let out = sel.select(&[0.0; 8], 10, Budget::new(64));
-        assert_eq!(out, (0..10).collect::<Vec<_>>());
-        assert_eq!(sel.stats().scored_vectors, 0);
+        observe_prefill(&mut sel, &prefill_keys(10, 8, 1));
+        let plan = sel.plan(SelectionRequest::new(&[0.0; 8], 10, Budget::new(64)));
+        assert_eq!(plan.indices, (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.stats.scored_vectors, 0);
     }
 
     #[test]
     fn selection_respects_budget_and_is_unique() {
         let mut sel = ClusterKvSelector::new(test_config(), 8);
-        sel.on_prefill(&prefill_keys(80, 8, 2));
+        observe_prefill(&mut sel, &prefill_keys(80, 8, 2));
         let q = gaussian_vec(&mut seeded(3), 8, 0.0, 1.0);
-        let out = sel.select(&q, 80, Budget::new(24));
-        assert!(out.len() <= 24);
-        assert!(!out.is_empty());
-        let set: std::collections::HashSet<_> = out.iter().collect();
-        assert_eq!(set.len(), out.len());
-        assert!(out.iter().all(|&t| t < 80));
-        assert!(sel.stats().scored_vectors > 0);
+        let plan = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        assert!(plan.len() <= 24);
+        assert!(!plan.is_empty());
+        let set: std::collections::HashSet<_> = plan.indices.iter().collect();
+        assert_eq!(set.len(), plan.len());
+        assert!(plan.indices.iter().all(|&t| t < 80));
+        assert!(plan.stats.scored_vectors > 0);
     }
 
     #[test]
     fn repeated_queries_hit_the_cluster_cache() {
         let mut sel = ClusterKvSelector::new(test_config(), 8);
-        sel.on_prefill(&prefill_keys(80, 8, 4));
+        observe_prefill(&mut sel, &prefill_keys(80, 8, 4));
         let q = gaussian_vec(&mut seeded(5), 8, 0.0, 1.0);
-        sel.select(&q, 80, Budget::new(24));
-        let misses_after_first = sel.cache_stats().misses;
-        assert!(misses_after_first > 0);
+        let first = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        assert!(first.stats.cache.misses > 0);
+        assert_eq!(first.stats.cache.hits, 0, "cold cache has no hits");
+        assert_eq!(
+            first.stats.transfer.tokens_moved, first.stats.cache.misses,
+            "every missed token is transferred"
+        );
         // The same query selects the same clusters, which are now cached.
-        sel.select(&q, 80, Budget::new(24));
-        let stats = sel.cache_stats();
-        assert_eq!(stats.misses, misses_after_first, "no new misses expected");
-        assert!(stats.hits > 0);
-        // Transfers were only recorded for the misses.
-        assert_eq!(sel.transfer_stats().tokens_moved, misses_after_first);
+        let second = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        assert_eq!(second.stats.cache.misses, 0, "no new misses expected");
+        assert!(second.stats.cache.hits > 0);
+        assert_eq!(second.stats.transfer.tokens_moved, 0);
+        // The cumulative diagnostic view agrees with the per-call deltas.
+        let total = sel.cache_stats();
+        assert_eq!(total.misses, first.stats.cache.misses);
+        assert_eq!(total.hits, second.stats.cache.hits);
     }
 
     #[test]
     fn decode_appends_feed_incremental_clustering() {
         let mut sel = ClusterKvSelector::new(test_config(), 8);
-        sel.on_prefill(&prefill_keys(40, 8, 6));
+        observe_prefill(&mut sel, &prefill_keys(40, 8, 6));
         let clusters_before = sel.clustering().num_clusters();
         let mut rng = seeded(7);
         for i in 0..8 {
-            sel.on_append(40 + i, &gaussian_vec(&mut rng, 8, 0.0, 1.0));
+            let key = gaussian_vec(&mut rng, 8, 0.0, 1.0);
+            sel.observe(ObserveEvent::Append {
+                position: 40 + i,
+                key: &key,
+            });
         }
         assert_eq!(sel.clustering().num_clusters(), clusters_before + 2);
         // Newly clustered decode tokens are selectable.
         let q = gaussian_vec(&mut rng, 8, 0.0, 1.0);
-        let out = sel.select(&q, 48, Budget::new(20));
-        assert!(out.len() <= 20);
+        let plan = sel.plan(SelectionRequest::new(&q, 48, Budget::new(20)));
+        assert!(plan.len() <= 20);
     }
 
     #[test]
@@ -219,8 +235,16 @@ mod tests {
         let factory = ClusterKvFactory::new(test_config());
         assert_eq!(factory.name(), "ClusterKV");
         assert_eq!(factory.config().sink_tokens, 4);
-        let a = factory.create(HeadContext { layer: 0, head: 0, head_dim: 8 });
-        let b = factory.create(HeadContext { layer: 0, head: 1, head_dim: 8 });
+        let a = factory.create(HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: 8,
+        });
+        let b = factory.create(HeadContext {
+            layer: 0,
+            head: 1,
+            head_dim: 8,
+        });
         // Different heads are independent objects with their own state.
         assert_eq!(a.name(), "ClusterKV");
         assert_eq!(b.name(), "ClusterKV");
@@ -247,6 +271,37 @@ mod tests {
         let generated = engine.generate(&prompt, 5).unwrap();
         assert_eq!(generated.len(), 5);
         let stats = engine.policy_stats();
-        assert!(stats.scored_vectors > 0, "selection ran on selective layers");
+        assert!(
+            stats.scored_vectors > 0,
+            "selection ran on selective layers"
+        );
+    }
+
+    #[test]
+    fn end_to_end_with_serve_engine_sessions() {
+        use clusterkv_model::{ModelConfig, ServeEngine};
+        let factory = ClusterKvFactory::new(test_config());
+        let mut engine = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(11)
+            .budget(Budget::new(16))
+            .policy(Box::new(factory))
+            .build()
+            .unwrap();
+        let a = engine.create_session().unwrap();
+        let b = engine.create_session().unwrap();
+        let prompt: Vec<usize> = (0..40).map(|i| (i * 3) % 128).collect();
+        engine.prefill(a, &prompt).unwrap();
+        engine.prefill(b, &prompt).unwrap();
+        for _ in 0..5 {
+            engine.decode_batch(&[a, b]).unwrap();
+        }
+        // Identical prompts through identical per-head seeds: the sessions
+        // accumulate identical statistics, independently.
+        let sa = engine.session_stats(a).unwrap();
+        let sb = engine.session_stats(b).unwrap();
+        assert!(sa.scored_vectors > 0);
+        assert_eq!(sa, sb);
+        engine.release(a).unwrap();
+        engine.release(b).unwrap();
     }
 }

@@ -61,6 +61,11 @@ pub fn select_clusters(
 ) -> SelectionResult {
     let budget_tokens = budget.tokens();
     let mut token_indices: Vec<usize> = Vec::with_capacity(budget_tokens);
+    // Guard against duplicate emission: pending decode tokens can overlap
+    // sink positions (a harness may append at a position the clustering also
+    // tracks as a sink), and defensively a cluster could contain an
+    // always-retained token.
+    let mut seen = std::collections::HashSet::with_capacity(budget_tokens);
 
     // Always-retained tokens: attention sinks first, then the most recent
     // pending (unclustered) decode tokens.
@@ -70,14 +75,18 @@ pub fn select_clusters(
         if token_indices.len() >= budget_tokens {
             break;
         }
-        token_indices.push(s);
+        if seen.insert(s) {
+            token_indices.push(s);
+        }
     }
     // Prefer the most recent pending tokens when the budget is tight.
     for &p in pending.iter().rev() {
         if token_indices.len() >= budget_tokens {
             break;
         }
-        token_indices.push(p);
+        if seen.insert(p) {
+            token_indices.push(p);
+        }
     }
 
     let metadata = clustering.metadata();
@@ -105,17 +114,26 @@ pub fn select_clusters(
             break;
         }
         let members = metadata.cluster_tokens(cluster);
-        if members.is_empty() {
+        // Members already retained (sinks/pending) must neither be emitted
+        // twice nor charged against the budget again.
+        let fresh: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|m| !seen.contains(m))
+            .collect();
+        if fresh.is_empty() {
             continue;
         }
         selected_clusters.push(cluster);
-        if members.len() <= remaining {
-            token_indices.extend_from_slice(members);
-            remaining -= members.len();
+        if fresh.len() <= remaining {
+            seen.extend(fresh.iter().copied());
+            token_indices.extend_from_slice(&fresh);
+            remaining -= fresh.len();
         } else {
             // Trim tokens from the last selected cluster to adhere to the
             // budget limit (§IV-C).
-            token_indices.extend_from_slice(&members[..remaining]);
+            seen.extend(fresh[..remaining].iter().copied());
+            token_indices.extend_from_slice(&fresh[..remaining]);
             remaining = 0;
             trimmed = true;
         }
@@ -261,5 +279,76 @@ mod tests {
         let result = select_clusters(&[0.3, 0.9, 0.0, 0.0], &sc, Budget::new(20));
         let set: std::collections::HashSet<_> = result.token_indices.iter().collect();
         assert_eq!(set.len(), result.token_indices.len());
+    }
+
+    fn assert_unique(result: &SelectionResult) {
+        let set: std::collections::HashSet<_> = result.token_indices.iter().collect();
+        assert_eq!(
+            set.len(),
+            result.token_indices.len(),
+            "duplicate indices in {:?}",
+            result.token_indices
+        );
+    }
+
+    #[test]
+    fn pending_overlapping_sink_positions_is_deduplicated() {
+        // A pending decode token at a position that is also a sink must be
+        // emitted once, even when sinks + pending alone exceed the budget.
+        let mut sc = directional_clustering();
+        sc.append(2, &[0.0, 0.0, 1.0, 0.0]); // overlaps sink position 2
+        sc.append(34, &[0.0, 0.0, 1.0, 0.0]);
+        sc.append(35, &[0.0, 0.0, 1.0, 0.0]);
+        for budget in [3usize, 5, 7, 20] {
+            let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(budget));
+            assert!(
+                result.len() <= budget,
+                "budget {budget} exceeded: {}",
+                result.len()
+            );
+            assert_unique(&result);
+        }
+        // With room for everything, the overlapping position appears once
+        // and both genuine pending tokens are retained.
+        let roomy = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(20));
+        assert_eq!(roomy.token_indices.iter().filter(|&&t| t == 2).count(), 1);
+        assert!(roomy.token_indices.contains(&34));
+        assert!(roomy.token_indices.contains(&35));
+    }
+
+    #[test]
+    fn sinks_and_pending_exceeding_budget_do_not_panic() {
+        let mut sc = directional_clustering(); // 4 sinks
+        for i in 0..10 {
+            sc.append(34 + i, &[0.0, 0.0, 1.0, 0.0]);
+        }
+        // Budgets below, at and just above the always-retained count.
+        for budget in [0usize, 1, 2, 4, 6, 13, 14, 15] {
+            let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(budget));
+            assert!(result.len() <= budget);
+            assert_unique(&result);
+        }
+        // Budget exactly equal to sinks + pending: fully consumed by the
+        // always-retained sets, no clusters selected.
+        let exact = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(14));
+        assert_eq!(exact.len(), 14);
+        assert!(exact.selected_clusters.is_empty());
+    }
+
+    #[test]
+    fn cluster_members_overlapping_retained_tokens_are_not_double_counted() {
+        // Tokens 4..14 form the +x cluster; a pending token at position 5
+        // overlaps it. The cluster's remaining members must still fill the
+        // budget without emitting 5 twice.
+        let mut sc = directional_clustering();
+        sc.append(5, &[1.0, 0.0, 0.0, 0.0]);
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(15));
+        assert_unique(&result);
+        assert_eq!(result.len(), 15);
+        assert_eq!(result.token_indices.iter().filter(|&&t| t == 5).count(), 1);
+        // All members of the aligned cluster are still selected.
+        for t in 4..14 {
+            assert!(result.token_indices.contains(&t), "token {t} missing");
+        }
     }
 }

@@ -24,8 +24,16 @@ impl SelectedKv {
     /// `keys`/`values`, or the two matrices have different shapes.
     pub fn new(indices: Vec<usize>, keys: Matrix, values: Matrix) -> Self {
         assert_eq!(keys.shape(), values.shape(), "key/value shape mismatch");
-        assert_eq!(indices.len(), keys.rows(), "index count does not match rows");
-        Self { indices, keys, values }
+        assert_eq!(
+            indices.len(),
+            keys.rows(),
+            "index count does not match rows"
+        );
+        Self {
+            indices,
+            keys,
+            values,
+        }
     }
 
     /// Empty selection of the given head dimension.

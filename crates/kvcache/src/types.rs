@@ -102,7 +102,9 @@ impl std::fmt::Display for Budget {
 }
 
 /// Size in bytes, used by the device/transfer model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(pub u64);
 
 impl Bytes {

@@ -60,8 +60,206 @@ impl Series {
     }
 
     /// Serialise to a compact JSON string (for plotting outside Rust).
+    ///
+    /// The format matches what `serde_json` would produce for this struct:
+    /// `{"label":"...","points":[[x,y],...]}`. JSON is emitted by hand so the
+    /// crate works without registry access (see `crates/shims/README.md`).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("series serialisation cannot fail")
+        let mut out = String::from("{\"label\":\"");
+        for ch in self.label.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"points\":[");
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", fmt_json_f64(*x), fmt_json_f64(*y)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a series back from the JSON produced by [`Series::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem encountered.
+    pub fn from_json(json: &str) -> Result<Series, String> {
+        let mut p = JsonParser::new(json);
+        p.expect('{')?;
+        p.expect_str("\"label\"")?;
+        p.expect(':')?;
+        let label = p.parse_string()?;
+        p.expect(',')?;
+        p.expect_str("\"points\"")?;
+        p.expect(':')?;
+        p.expect('[')?;
+        let mut points = Vec::new();
+        if !p.try_consume(']') {
+            loop {
+                p.expect('[')?;
+                let x = p.parse_number()?;
+                p.expect(',')?;
+                let y = p.parse_number()?;
+                p.expect(']')?;
+                points.push((x, y));
+                if !p.try_consume(',') {
+                    p.expect(']')?;
+                    break;
+                }
+            }
+        }
+        p.expect('}')?;
+        Ok(Series { label, points })
+    }
+}
+
+/// Render an `f64` so it round-trips through [`str::parse`] (shortest
+/// representation; JSON has no non-finite literals, which the series never
+/// contains in practice — non-finite values are emitted as `null`).
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal recursive-descent parser for the subset of JSON emitted by
+/// [`Series::to_json`].
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at byte {}", self.pos))
+        }
+    }
+
+    fn try_consume(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{s}' at byte {}", self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Continue a (possibly multi-byte) UTF-8 sequence.
+                    let start = self.pos - 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        // `to_json` emits non-finite values as `null` (JSON has no NaN /
+        // Infinity literals); accept it back as NaN so round-trips of
+        // degenerate series do not error.
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
     }
 }
 
@@ -162,8 +360,43 @@ mod tests {
         s.push(256.0, 46.7);
         s.push(512.0, 48.0);
         let json = s.to_json();
-        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            json,
+            r#"{"label":"ClusterKV","points":[[256,46.7],[512,48]]}"#
+        );
+        let back = Series::from_json(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_series_and_escaped_labels_round_trip() {
+        let empty = Series::new("quote \" backslash \\ newline \n");
+        let back = Series::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn non_finite_points_round_trip_as_null() {
+        let mut s = Series::new("degenerate");
+        s.push(f64::NAN, 1.0);
+        s.push(2.0, f64::INFINITY);
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            r#"{"label":"degenerate","points":[[null,1],[2,null]]}"#
+        );
+        let back = Series::from_json(&json).unwrap();
+        assert!(back.points[0].0.is_nan());
+        assert_eq!(back.points[0].1, 1.0);
+        assert_eq!(back.points[1].0, 2.0);
+        assert!(back.points[1].1.is_nan());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Series::from_json("{\"label\":\"x\"").is_err());
+        assert!(Series::from_json("[]").is_err());
+        assert!(Series::from_json("{\"label\":\"x\",\"points\":[[1]]}").is_err());
     }
 
     #[test]
@@ -182,7 +415,7 @@ mod tests {
 
     #[test]
     fn fmt_controls_decimals() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(2.0, 0), "2");
     }
 

@@ -84,13 +84,13 @@ impl ModelConfig {
         if self.num_heads == 0 || self.num_kv_heads == 0 {
             return Err("head counts must be > 0".into());
         }
-        if self.num_heads % self.num_kv_heads != 0 {
+        if !self.num_heads.is_multiple_of(self.num_kv_heads) {
             return Err(format!(
                 "num_heads ({}) must be a multiple of num_kv_heads ({})",
                 self.num_heads, self.num_kv_heads
             ));
         }
-        if self.head_dim == 0 || self.head_dim % 2 != 0 {
+        if self.head_dim == 0 || !self.head_dim.is_multiple_of(2) {
             return Err("head_dim must be a positive even number (for RoPE)".into());
         }
         if self.dense_layers > self.num_layers {

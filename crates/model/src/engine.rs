@@ -1,97 +1,32 @@
-//! The inference engine: prefill and decode loops with pluggable KV
-//! selection.
+//! Single-sequence adapter over the serving engine.
 //!
-//! The engine executes a decoder-only transformer token by token. During
-//! prefill every head attends to the full (causal) context and the resulting
-//! keys are handed to the head's [`TokenSelector`] via `on_prefill`. During
-//! decoding each non-dense layer asks its selectors for the token indices to
-//! attend to, mirroring the system flow of the paper (Fig. 5).
+//! [`InferenceEngine`] keeps the original one-prompt/one-stream API
+//! (`prefill` → `decode_step` → `generate`) as a thin wrapper around a
+//! [`ServeEngine`] holding exactly one session. New code should target
+//! [`ServeEngine`] directly — it exposes the same per-token semantics plus
+//! multi-session serving via `create_session` / `decode_batch` / `release`.
 
-use crate::attention::{attend_selected, full_attention_weights};
 use crate::config::ModelConfig;
-use crate::policy::{FullAttentionSelector, HeadContext, PolicyStats, SelectorFactory, TokenSelector};
-use crate::rope::Rope;
-use crate::trace::{AttentionTrace, TraceStep};
+use crate::policy::{PolicyStats, SelectorFactory};
+use crate::serve::{ServeEngine, SessionId};
+use crate::trace::AttentionTrace;
 use crate::weights::ModelWeights;
 use clusterkv_kvcache::types::Budget;
 use clusterkv_kvcache::KvStore;
-use clusterkv_tensor::ops::{rms_norm, silu};
-use clusterkv_tensor::vector::argmax;
-use clusterkv_tensor::Matrix;
-use std::collections::HashMap;
 
-/// Errors produced by the inference engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineError {
-    /// The model configuration failed validation.
-    InvalidConfig(String),
-    /// A token id was outside the vocabulary.
-    TokenOutOfVocab {
-        /// The offending token id.
-        token: usize,
-        /// The vocabulary size.
-        vocab: usize,
-    },
-    /// The context window was exceeded.
-    ContextOverflow {
-        /// Requested context length.
-        requested: usize,
-        /// Maximum supported context length.
-        max: usize,
-    },
-    /// Decoding was attempted before prefill.
-    NotPrefilled,
-}
+pub use crate::serve::{DecodeOutput, EngineError};
 
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EngineError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
-            EngineError::TokenOutOfVocab { token, vocab } => {
-                write!(f, "token {token} outside vocabulary of size {vocab}")
-            }
-            EngineError::ContextOverflow { requested, max } => {
-                write!(f, "context of {requested} tokens exceeds maximum {max}")
-            }
-            EngineError::NotPrefilled => write!(f, "decode_step called before prefill"),
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-/// Output of one decoding step.
-#[derive(Debug, Clone)]
-pub struct DecodeOutput {
-    /// Greedily chosen next token id.
-    pub next_token: usize,
-    /// Logits over the vocabulary.
-    pub logits: Vec<f32>,
-    /// Final hidden state of the step.
-    pub hidden: Vec<f32>,
-}
-
-/// A decoder-only transformer with per-head KV-selection policies.
+/// A decoder-only transformer serving a single sequence with per-head
+/// KV-selection policies (adapter over [`ServeEngine`]).
 pub struct InferenceEngine {
-    config: ModelConfig,
-    weights: ModelWeights,
-    rope: Rope,
-    budget: Budget,
-    /// KV stores indexed by `[layer][kv_head]`.
-    kv: Vec<Vec<KvStore>>,
-    /// Selectors indexed by `[layer][query_head]`; dense layers hold
-    /// [`FullAttentionSelector`]s.
-    selectors: Vec<Vec<Box<dyn TokenSelector>>>,
-    /// Heads to trace: map from `(layer, head)` to the trace being built.
-    traces: HashMap<(usize, usize), AttentionTrace>,
-    num_tokens: usize,
-    prefilled: bool,
+    serve: ServeEngine,
+    session: SessionId,
 }
 
 impl InferenceEngine {
-    /// Build an engine from a configuration, synthetic weights and a policy
-    /// factory. The factory is consulted for every head of every non-dense
-    /// layer; dense layers always run full attention.
+    /// Build an engine from a configuration, weights and a policy factory.
+    /// The factory is consulted for every head of every non-dense layer;
+    /// dense layers always run full attention.
     ///
     /// # Errors
     ///
@@ -103,39 +38,12 @@ impl InferenceEngine {
         factory: &dyn SelectorFactory,
         budget: Budget,
     ) -> Result<Self, EngineError> {
-        config.validate().map_err(EngineError::InvalidConfig)?;
-        let rope = Rope::new(config.head_dim, 10_000.0);
-        let kv = (0..config.num_layers)
-            .map(|_| (0..config.num_kv_heads).map(|_| KvStore::new(config.head_dim)).collect())
-            .collect();
-        let selectors = (0..config.num_layers)
-            .map(|layer| {
-                (0..config.num_heads)
-                    .map(|head| {
-                        if layer < config.dense_layers {
-                            Box::new(FullAttentionSelector) as Box<dyn TokenSelector>
-                        } else {
-                            factory.create(HeadContext {
-                                layer,
-                                head,
-                                head_dim: config.head_dim,
-                            })
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        Ok(Self {
-            config,
-            weights,
-            rope,
-            budget,
-            kv,
-            selectors,
-            traces: HashMap::new(),
-            num_tokens: 0,
-            prefilled: false,
-        })
+        let mut serve = ServeEngine::builder(config)
+            .weights(weights)
+            .budget(budget)
+            .build()?;
+        let session = serve.create_session_with(factory)?;
+        Ok(Self { serve, session })
     }
 
     /// Convenience constructor that generates synthetic weights from `seed`.
@@ -155,156 +63,64 @@ impl InferenceEngine {
 
     /// Model configuration in use.
     pub fn config(&self) -> &ModelConfig {
-        &self.config
+        self.serve.config()
     }
 
     /// Current context length (prompt + generated tokens).
     pub fn context_len(&self) -> usize {
-        self.num_tokens
+        self.serve
+            .context_len(self.session)
+            .expect("adapter session is always resident")
     }
 
     /// KV cache budget used for selection.
     pub fn budget(&self) -> Budget {
-        self.budget
+        self.serve.budget()
+    }
+
+    /// The id of the adapter's single session.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Borrow the underlying serving engine.
+    pub fn serve_engine(&self) -> &ServeEngine {
+        &self.serve
+    }
+
+    /// Unwrap into the underlying serving engine and the session id, e.g. to
+    /// keep decoding this sequence alongside newly created sessions.
+    pub fn into_serve_engine(self) -> (ServeEngine, SessionId) {
+        (self.serve, self.session)
     }
 
     /// Enable tracing of a specific `(layer, head)` pair. Must be called
     /// before decoding; tracing records exact attention weights, which is
     /// expensive but only for the traced heads.
     pub fn enable_trace(&mut self, layer: usize, head: usize) {
-        self.traces.insert((layer, head), AttentionTrace::new(layer, head));
+        self.serve
+            .enable_trace(self.session, layer, head)
+            .expect("adapter session is always resident");
     }
 
     /// Access a recorded trace.
     pub fn trace(&self, layer: usize, head: usize) -> Option<&AttentionTrace> {
-        self.traces.get(&(layer, head))
+        self.serve.trace(self.session, layer, head)
     }
 
     /// Access the KV store of a `(layer, kv_head)` pair (for tests and
     /// experiments).
     pub fn kv_store(&self, layer: usize, kv_head: usize) -> &KvStore {
-        &self.kv[layer][kv_head]
+        self.serve
+            .kv_store(self.session, layer, kv_head)
+            .expect("adapter session is always resident")
     }
 
-    /// Aggregate policy statistics across every head.
+    /// Policy statistics accumulated across every head of the session.
     pub fn policy_stats(&self) -> PolicyStats {
-        let mut total = PolicyStats::default();
-        for layer in &self.selectors {
-            for sel in layer {
-                total.merge(&sel.stats());
-            }
-        }
-        total
-    }
-
-    fn embed(&self, token: usize) -> Result<Vec<f32>, EngineError> {
-        if token >= self.config.vocab_size {
-            return Err(EngineError::TokenOutOfVocab {
-                token,
-                vocab: self.config.vocab_size,
-            });
-        }
-        Ok(self.weights.embedding.row(token).to_vec())
-    }
-
-    fn kv_head_of(&self, query_head: usize) -> usize {
-        query_head / (self.config.num_heads / self.config.num_kv_heads)
-    }
-
-    /// Project a hidden vector through the per-head slice of a projection
-    /// matrix `w` (whose rows are output channels).
-    fn project_head(w: &Matrix, hidden: &[f32], head: usize, head_dim: usize) -> Vec<f32> {
-        (0..head_dim)
-            .map(|d| clusterkv_tensor::vector::dot(w.row(head * head_dim + d), hidden))
-            .collect()
-    }
-
-    /// Run one token through the transformer. `use_selection` is false during
-    /// prefill (full causal attention) and true during decoding.
-    fn forward_token(&mut self, token: usize, use_selection: bool) -> Result<Vec<f32>, EngineError> {
-        let position = self.num_tokens;
-        if position >= self.config.max_context {
-            return Err(EngineError::ContextOverflow {
-                requested: position + 1,
-                max: self.config.max_context,
-            });
-        }
-        let mut x = self.embed(token)?;
-        let head_dim = self.config.head_dim;
-        let num_heads = self.config.num_heads;
-        let num_kv_heads = self.config.num_kv_heads;
-
-        for layer in 0..self.config.num_layers {
-            let lw = &self.weights.layers[layer];
-            let h = rms_norm(&x, &lw.attn_norm, 1e-6);
-
-            // KV projections for this layer (one per KV head), RoPE on keys.
-            for kv_head in 0..num_kv_heads {
-                let mut k = Self::project_head(&lw.wk, &h, kv_head, head_dim);
-                let v = Self::project_head(&lw.wv, &h, kv_head, head_dim);
-                self.rope.apply(&mut k, position);
-                self.kv[layer][kv_head].append(&k, &v);
-            }
-
-            // Attention per query head.
-            let mut attn_concat = vec![0.0f32; num_heads * head_dim];
-            for head in 0..num_heads {
-                let mut q = Self::project_head(&lw.wq, &h, head, head_dim);
-                self.rope.apply(&mut q, position);
-                let kv_head = self.kv_head_of(head);
-                let store = &self.kv[layer][kv_head];
-                let n = store.len();
-
-                let selected: Vec<usize> = if use_selection {
-                    let mut sel = self.selectors[layer][head].select(&q, n, self.budget);
-                    // The token being generated always attends to itself: its
-                    // KV was just produced on the GPU and is not subject to
-                    // selection (policies may not even have observed it yet).
-                    if !sel.contains(&position) {
-                        sel.push(position);
-                    }
-                    sel
-                } else {
-                    (0..n).collect()
-                };
-                let out = attend_selected(store, &q, &selected);
-
-                if use_selection {
-                    if let Some(trace) = self.traces.get_mut(&(layer, head)) {
-                        trace.push(TraceStep {
-                            position,
-                            full_weights: full_attention_weights(store, &q),
-                            selected: selected.clone(),
-                        });
-                    }
-                }
-                attn_concat[head * head_dim..(head + 1) * head_dim].copy_from_slice(&out.output);
-            }
-
-            // Output projection and residual.
-            let attn_out: Vec<f32> = (0..self.config.hidden_dim())
-                .map(|d| clusterkv_tensor::vector::dot(lw.wo.row(d), &attn_concat))
-                .collect();
-            for (xi, ai) in x.iter_mut().zip(&attn_out) {
-                *xi += ai;
-            }
-
-            // FFN with SiLU gating and residual.
-            let h2 = rms_norm(&x, &lw.ffn_norm, 1e-6);
-            let gate: Vec<f32> = (0..self.config.ffn_dim)
-                .map(|d| silu(clusterkv_tensor::vector::dot(lw.w_gate.row(d), &h2)))
-                .collect();
-            let up: Vec<f32> = (0..self.config.ffn_dim)
-                .map(|d| clusterkv_tensor::vector::dot(lw.w_up.row(d), &h2))
-                .collect();
-            let gated: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| g * u).collect();
-            for d in 0..self.config.hidden_dim() {
-                x[d] += clusterkv_tensor::vector::dot(lw.w_down.row(d), &gated);
-            }
-        }
-
-        self.num_tokens += 1;
-        Ok(rms_norm(&x, &self.weights.final_norm, 1e-6))
+        self.serve
+            .session_stats(self.session)
+            .expect("adapter session is always resident")
     }
 
     /// Process the whole prompt with full causal attention, then hand each
@@ -316,25 +132,7 @@ impl InferenceEngine {
     /// Returns an error for out-of-vocabulary tokens, context overflow or an
     /// empty prompt.
     pub fn prefill(&mut self, prompt: &[usize]) -> Result<Vec<f32>, EngineError> {
-        if prompt.is_empty() {
-            return Err(EngineError::InvalidConfig("prompt must not be empty".into()));
-        }
-        let mut last = Vec::new();
-        for &token in prompt {
-            last = self.forward_token(token, false)?;
-        }
-        // Notify selectors of the prefill keys (per query head, using the
-        // keys of the associated KV head) — this is where semantic
-        // clustering runs in ClusterKV (Fig. 5, step 1).
-        for layer in self.config.dense_layers..self.config.num_layers {
-            for head in 0..self.config.num_heads {
-                let kv_head = self.kv_head_of(head);
-                let keys = self.kv[layer][kv_head].keys().clone();
-                self.selectors[layer][head].on_prefill(&keys);
-            }
-        }
-        self.prefilled = true;
-        Ok(last)
+        self.serve.prefill(self.session, prompt)
     }
 
     /// Run one decoding step for `token` (typically the previously generated
@@ -346,31 +144,7 @@ impl InferenceEngine {
     /// [`prefill`](Self::prefill), and propagates vocabulary / context
     /// errors.
     pub fn decode_step(&mut self, token: usize) -> Result<DecodeOutput, EngineError> {
-        if !self.prefilled {
-            return Err(EngineError::NotPrefilled);
-        }
-        let position = self.num_tokens;
-        let hidden = self.forward_token(token, true)?;
-
-        // Notify selectors of the new keys appended at `position`.
-        for layer in self.config.dense_layers..self.config.num_layers {
-            for head in 0..self.config.num_heads {
-                let kv_head = self.kv_head_of(head);
-                let key = self.kv[layer][kv_head].key(position).to_vec();
-                self.selectors[layer][head].on_append(position, &key);
-            }
-        }
-
-        // Tied-embedding logits.
-        let logits: Vec<f32> = (0..self.config.vocab_size)
-            .map(|t| clusterkv_tensor::vector::dot(self.weights.embedding.row(t), &hidden))
-            .collect();
-        let next_token = argmax(&logits).unwrap_or(0);
-        Ok(DecodeOutput {
-            next_token,
-            logits,
-            hidden,
-        })
+        self.serve.decode_step(self.session, token)
     }
 
     /// Greedily generate `steps` tokens after the prompt, returning the
@@ -381,15 +155,7 @@ impl InferenceEngine {
     /// Propagates any error from [`prefill`](Self::prefill) or
     /// [`decode_step`](Self::decode_step).
     pub fn generate(&mut self, prompt: &[usize], steps: usize) -> Result<Vec<usize>, EngineError> {
-        self.prefill(prompt)?;
-        let mut out = Vec::with_capacity(steps);
-        let mut token = *prompt.last().expect("prompt checked non-empty");
-        for _ in 0..steps {
-            let step = self.decode_step(token)?;
-            token = step.next_token;
-            out.push(token);
-        }
-        Ok(out)
+        self.serve.generate(self.session, prompt, steps)
     }
 }
 
@@ -516,5 +282,20 @@ mod tests {
         eng.decode_step(2).unwrap();
         let stats = eng.policy_stats();
         assert!(stats.scored_vectors > 0);
+    }
+
+    #[test]
+    fn adapter_exposes_its_serve_engine() {
+        let eng = tiny_engine(&FullAttentionFactory, 64);
+        let session = eng.session();
+        assert_eq!(eng.serve_engine().session_ids(), vec![session]);
+        let (mut serve, session) = eng.into_serve_engine();
+        // The unwrapped engine keeps serving the adapter's sequence and can
+        // take on more sessions.
+        serve.prefill(session, &[1, 2, 3]).unwrap();
+        let extra = serve.create_session_with(&FullAttentionFactory).unwrap();
+        serve.prefill(extra, &[4, 5, 6]).unwrap();
+        let outs = serve.decode_batch(&[session, extra]).unwrap();
+        assert_eq!(outs.len(), 2);
     }
 }

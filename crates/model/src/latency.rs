@@ -128,13 +128,19 @@ impl LatencyModel {
             * l
             * l;
         let weight_bytes = Bytes::of_f16(self.config.approx_params() as usize);
-        self.device.roofline_time(weight_bytes, proj_flops + attn_flops)
+        self.device
+            .roofline_time(weight_bytes, proj_flops + attn_flops)
     }
 
     /// Raw (un-overlapped) cost of semantic clustering after prefill:
     /// `iterations · C0 · L · d` multiply-accumulates per KV head per layer
     /// (the paper's Concern 1, §III-D).
-    pub fn clustering_cost(&self, prompt_len: usize, clusters: usize, iterations: usize) -> Seconds {
+    pub fn clustering_cost(
+        &self,
+        prompt_len: usize,
+        clusters: usize,
+        iterations: usize,
+    ) -> Seconds {
         let flops = 2.0
             * self.config.num_layers as f64
             * self.config.num_kv_heads as f64
@@ -177,8 +183,7 @@ impl LatencyModel {
         let cfg = &self.config;
         let dense = cfg.dense_layers as f64;
         let selective = (cfg.num_layers - cfg.dense_layers) as f64;
-        let kv_bytes_per_token_per_layer =
-            (2 * 2 * cfg.num_kv_heads * cfg.head_dim) as f64;
+        let kv_bytes_per_token_per_layer = (2 * 2 * cfg.num_kv_heads * cfg.head_dim) as f64;
 
         // Dense projections / FFN: stream the model weights once per step.
         let weight_bytes = Bytes(2 * cfg.approx_params());
@@ -190,8 +195,7 @@ impl LatencyModel {
         // reads go through the attention kernel and are priced at its lower
         // effective bandwidth.
         let dense_kv_bytes = dense * context_len as f64 * kv_bytes_per_token_per_layer;
-        let selective_kv_bytes =
-            selective * cost.attended_tokens * kv_bytes_per_token_per_layer;
+        let selective_kv_bytes = selective * cost.attended_tokens * kv_bytes_per_token_per_layer;
         let kv_time = self
             .device
             .attention_read_time(Bytes((dense_kv_bytes + selective_kv_bytes) as u64));
@@ -279,7 +283,10 @@ mod tests {
                 transferred_tokens_per_head: 300.0,
             },
         );
-        assert!(b1024 < full, "budgeted step {b1024} should beat full {full}");
+        assert!(
+            b1024 < full,
+            "budgeted step {b1024} should beat full {full}"
+        );
     }
 
     #[test]

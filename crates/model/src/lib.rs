@@ -10,11 +10,16 @@
 //! * [`rope`] — rotary position embeddings applied to queries and keys.
 //! * [`weights`] — deterministic synthetic weight generation.
 //! * [`policy`] — the [`TokenSelector`](policy::TokenSelector) trait that
-//!   ClusterKV and every baseline implement, plus
+//!   ClusterKV and every baseline implement (request/plan shaped:
+//!   [`SelectionRequest`](policy::SelectionRequest) →
+//!   [`SelectionPlan`](policy::SelectionPlan)), plus
 //!   [`FullAttentionSelector`](policy::FullAttentionSelector).
 //! * [`attention`] — multi-head attention over a selected subset of the KV
 //!   cache.
-//! * [`engine`] — prefill/decode loops wiring everything together.
+//! * [`serve`] — the serving engine: weights loaded once, N independent
+//!   sessions, batched decode ([`ServeEngine`]).
+//! * [`engine`] — [`InferenceEngine`], the single-session adapter over the
+//!   serving engine.
 //! * [`trace`] — recording of per-step attention weights (token-importance
 //!   traces behind Fig. 3a / Fig. 11).
 //! * [`latency`] — the analytical latency/throughput model behind Fig. 12 and
@@ -28,10 +33,17 @@ pub mod engine;
 pub mod latency;
 pub mod policy;
 pub mod rope;
+pub mod serve;
 pub mod trace;
 pub mod weights;
 
 pub use config::{ModelConfig, ModelPreset};
 pub use engine::InferenceEngine;
 pub use latency::{InferenceBreakdown, LatencyModel};
-pub use policy::{FullAttentionSelector, PolicyStats, SelectorFactory, TokenSelector};
+pub use policy::{
+    FullAttentionSelector, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest,
+    SelectorFactory, TokenSelector,
+};
+pub use serve::{
+    DecodeOutput, EngineError, ServeEngine, ServeEngineBuilder, SessionId, SessionReport,
+};

@@ -3,8 +3,15 @@
 //! Every KV-cache compression method in this workspace — ClusterKV itself and
 //! all baselines (Quest, InfiniGen, H2O, StreamingLLM, full attention) — is a
 //! [`TokenSelector`]: an object attached to one attention head that observes
-//! keys as they are produced and, at every decoding step, returns the token
-//! indices whose KV participate in the approximated attention.
+//! keys as they are produced and, at every decoding step, plans which token
+//! indices participate in the approximated attention.
+//!
+//! The interface is request/plan shaped so it composes with batched serving
+//! ([`crate::serve::ServeEngine`]): the engine hands the selector a
+//! [`SelectionRequest`] and receives a [`SelectionPlan`] that carries both
+//! the token indices **and** the cost accounting of that single call. Stats
+//! are values flowing through the decode loop — selectors do not accumulate
+//! hidden counters the engine must scrape afterwards.
 
 use clusterkv_kvcache::stats::{CacheStats, TransferStats};
 use clusterkv_kvcache::types::Budget;
@@ -22,17 +29,18 @@ pub struct HeadContext {
     pub head_dim: usize,
 }
 
-/// Per-step cost accounting reported by a selector, consumed by the
-/// analytical latency model ([`crate::latency::LatencyModel`]).
+/// Per-call cost accounting reported inside a [`SelectionPlan`], consumed by
+/// the analytical latency model ([`crate::latency::LatencyModel`]) and
+/// aggregated per session by the serving engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PolicyStats {
     /// Number of `d`-dimensional vectors scored against the query during
     /// selection (centroids for ClusterKV, page representations for Quest,
     /// all partial keys for InfiniGen, all keys for exact top-k).
     pub scored_vectors: u64,
-    /// Cumulative host-to-device traffic caused by recalling KV.
+    /// Host-to-device traffic caused by recalling KV.
     pub transfer: TransferStats,
-    /// Hit/miss statistics of any on-GPU cache the policy maintains.
+    /// Hit/miss counts of any on-GPU cache the policy maintains.
     pub cache: CacheStats,
 }
 
@@ -45,42 +53,125 @@ impl PolicyStats {
     }
 }
 
+/// A key-production event observed by a selector.
+///
+/// Folds the former `on_prefill` / `on_append` callbacks into one explicit
+/// event stream: the engine (or harness) feeds every selector the same
+/// sequence of events it would see attached to a real attention head.
+#[derive(Debug, Clone, Copy)]
+pub enum ObserveEvent<'a> {
+    /// The post-RoPE keys of the whole prompt, observed once after prefill
+    /// (rows are token positions). This is where semantic clustering runs in
+    /// ClusterKV (Fig. 5, step 1).
+    Prefill {
+        /// Prompt keys, one row per token position.
+        keys: &'a Matrix,
+    },
+    /// The key of a newly generated token, observed once per decoding step.
+    Append {
+        /// Absolute position of the new token.
+        position: usize,
+        /// Post-RoPE key of the new token.
+        key: &'a [f32],
+    },
+}
+
+/// One selection request: everything a selector needs to plan the token set
+/// for a single decoding step of a single head.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionRequest<'a> {
+    /// The post-RoPE query vector of the current step.
+    pub query: &'a [f32],
+    /// Current context length (prompt + generated so far).
+    pub num_tokens: usize,
+    /// Token budget `B` the plan must respect.
+    pub budget: Budget,
+}
+
+impl<'a> SelectionRequest<'a> {
+    /// Build a request.
+    pub fn new(query: &'a [f32], num_tokens: usize, budget: Budget) -> Self {
+        Self {
+            query,
+            num_tokens,
+            budget,
+        }
+    }
+}
+
+/// The outcome of one [`TokenSelector::plan`] call: the token indices to
+/// attend to plus the cost accounting of exactly this call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectionPlan {
+    /// Token indices to attend to. Unique, each in `0..num_tokens`, at most
+    /// `budget.tokens()` unless the policy is exempt from the budget (full
+    /// attention). Order does not matter to the attention computation.
+    ///
+    /// Note: during decoding the engine additionally forces the token being
+    /// generated into the attended set (its KV was just produced on the GPU
+    /// and is not subject to selection), so the attention of a decode step
+    /// may cover `budget.tokens() + 1` tokens when the plan omits the
+    /// current position.
+    pub indices: Vec<usize>,
+    /// Selection work, transfers and cache hits of this call only.
+    pub stats: PolicyStats,
+}
+
+impl SelectionPlan {
+    /// Plan attending to the given indices, with zeroed stats.
+    pub fn new(indices: Vec<usize>) -> Self {
+        Self {
+            indices,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Plan attending to the whole context (`0..num_tokens`), with zeroed
+    /// stats — what every policy returns when the budget covers the context.
+    pub fn full(num_tokens: usize) -> Self {
+        Self::new((0..num_tokens).collect())
+    }
+
+    /// Attach per-call stats.
+    pub fn with_stats(mut self, stats: PolicyStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Number of selected tokens.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
 /// A KV-cache token-selection policy attached to a single attention head.
 ///
-/// The engine drives a selector through three phases:
+/// The engine drives a selector through two entry points:
 ///
-/// 1. [`on_prefill`](TokenSelector::on_prefill) — once, with the post-RoPE
-///    keys of the whole prompt.
-/// 2. [`on_append`](TokenSelector::on_append) — once per generated token,
-///    with the new key.
-/// 3. [`select`](TokenSelector::select) — once per decoding step, returning
-///    the indices `I_T` of the tokens to attend to.
+/// 1. [`observe`](TokenSelector::observe) — once with
+///    [`ObserveEvent::Prefill`] after the prompt is processed, then once per
+///    generated token with [`ObserveEvent::Append`].
+/// 2. [`plan`](TokenSelector::plan) — once per decoding step, returning the
+///    indices `I_T` of the tokens to attend to together with the per-call
+///    [`PolicyStats`].
 ///
 /// Implementations must be deterministic for a fixed seed so experiments are
-/// reproducible.
+/// reproducible, and must keep independent state per instance so sessions
+/// can be served concurrently.
 pub trait TokenSelector: Send {
     /// Short human-readable method name ("ClusterKV", "Quest", ...).
     fn name(&self) -> &str;
 
-    /// Observe the keys of all prompt tokens (rows are token positions).
-    fn on_prefill(&mut self, keys: &Matrix);
+    /// Observe a key-production event (prompt keys or an appended key).
+    fn observe(&mut self, event: ObserveEvent<'_>);
 
-    /// Observe the key of a newly generated token at absolute position
-    /// `position`.
-    fn on_append(&mut self, position: usize, key: &[f32]);
-
-    /// Return the indices of the tokens to attend to for the given query.
-    ///
-    /// `num_tokens` is the current context length (prompt + generated so
-    /// far). The returned indices must be unique, in `0..num_tokens`, and at
-    /// most `budget.tokens()` unless the policy is exempt from the budget
-    /// (full attention). Order does not matter to the attention computation.
-    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize>;
-
-    /// Cumulative cost accounting (selection work, transfers, cache hits).
-    fn stats(&self) -> PolicyStats {
-        PolicyStats::default()
-    }
+    /// Plan the token set for one decoding step.
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan;
 }
 
 /// Factory creating one selector per `(layer, head)`.
@@ -104,12 +195,10 @@ impl TokenSelector for FullAttentionSelector {
         "FullKV"
     }
 
-    fn on_prefill(&mut self, _keys: &Matrix) {}
+    fn observe(&mut self, _event: ObserveEvent<'_>) {}
 
-    fn on_append(&mut self, _position: usize, _key: &[f32]) {}
-
-    fn select(&mut self, _query: &[f32], num_tokens: usize, _budget: Budget) -> Vec<usize> {
-        (0..num_tokens).collect()
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+        SelectionPlan::full(request.num_tokens)
     }
 }
 
@@ -135,7 +224,6 @@ impl SelectorFactory for FullAttentionFactory {
 #[derive(Debug, Clone, Default)]
 pub struct OracleTopKSelector {
     keys: Matrix,
-    scored: u64,
 }
 
 impl OracleTopKSelector {
@@ -143,7 +231,6 @@ impl OracleTopKSelector {
     pub fn new(head_dim: usize) -> Self {
         Self {
             keys: Matrix::zeros(0, head_dim),
-            scored: 0,
         }
     }
 }
@@ -153,33 +240,34 @@ impl TokenSelector for OracleTopKSelector {
         "OracleTopK"
     }
 
-    fn on_prefill(&mut self, keys: &Matrix) {
-        for row in keys.iter_rows() {
-            self.keys.push_row(row).expect("prefill key dims consistent");
+    fn observe(&mut self, event: ObserveEvent<'_>) {
+        match event {
+            ObserveEvent::Prefill { keys } => {
+                for row in keys.iter_rows() {
+                    self.keys
+                        .push_row(row)
+                        .expect("prefill key dims consistent");
+                }
+            }
+            ObserveEvent::Append { key, .. } => {
+                self.keys.push_row(key).expect("append key dims consistent");
+            }
         }
     }
 
-    fn on_append(&mut self, _position: usize, key: &[f32]) {
-        self.keys.push_row(key).expect("append key dims consistent");
-    }
-
-    fn select(&mut self, query: &[f32], num_tokens: usize, budget: Budget) -> Vec<usize> {
-        let n = num_tokens.min(self.keys.rows());
-        self.scored += n as u64;
-        if budget.covers(n) {
-            return (0..n).collect();
+    fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+        let n = request.num_tokens.min(self.keys.rows());
+        if request.budget.covers(n) {
+            return SelectionPlan::full(n);
         }
         let scores: Vec<f32> = (0..n)
-            .map(|i| clusterkv_tensor::vector::dot(self.keys.row(i), query))
+            .map(|i| clusterkv_tensor::vector::dot(self.keys.row(i), request.query))
             .collect();
-        clusterkv_tensor::vector::top_k_indices(&scores, budget.tokens())
-    }
-
-    fn stats(&self) -> PolicyStats {
-        PolicyStats {
-            scored_vectors: self.scored,
+        let indices = clusterkv_tensor::vector::top_k_indices(&scores, request.budget.tokens());
+        SelectionPlan::new(indices).with_stats(PolicyStats {
+            scored_vectors: n as u64,
             ..PolicyStats::default()
-        }
+        })
     }
 }
 
@@ -203,7 +291,11 @@ mod tests {
 
     fn keys_matrix(n: usize, dim: usize) -> Matrix {
         let rows: Vec<Vec<f32>> = (0..n)
-            .map(|i| (0..dim).map(|d| ((i * 31 + d * 7) % 13) as f32 - 6.0).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 31 + d * 7) % 13) as f32 - 6.0)
+                    .collect()
+            })
             .collect();
         Matrix::from_rows(rows).unwrap()
     }
@@ -211,8 +303,9 @@ mod tests {
     #[test]
     fn full_attention_selects_everything() {
         let mut s = FullAttentionSelector;
-        let sel = s.select(&[0.0; 4], 10, Budget::new(2));
-        assert_eq!(sel, (0..10).collect::<Vec<_>>());
+        let plan = s.plan(SelectionRequest::new(&[0.0; 4], 10, Budget::new(2)));
+        assert_eq!(plan.indices, (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.stats, PolicyStats::default());
         assert_eq!(s.name(), "FullKV");
         assert_eq!(FullAttentionFactory.name(), "FullKV");
     }
@@ -227,32 +320,58 @@ mod tests {
             vec![-1.0, 0.0],
         ])
         .unwrap();
-        s.on_prefill(&keys);
+        s.observe(ObserveEvent::Prefill { keys: &keys });
         let q = [1.0, 0.0];
-        let sel = s.select(&q, 4, Budget::new(2));
-        assert_eq!(sel.len(), 2);
-        assert!(sel.contains(&2)); // score 5
-        assert!(sel.contains(&0)); // score 1
+        let plan = s.plan(SelectionRequest::new(&q, 4, Budget::new(2)));
+        assert_eq!(plan.len(), 2);
+        assert!(plan.indices.contains(&2)); // score 5
+        assert!(plan.indices.contains(&0)); // score 1
     }
 
     #[test]
     fn oracle_respects_budget_and_appends() {
-        let ctx = HeadContext { layer: 0, head: 0, head_dim: 4 };
+        let ctx = HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: 4,
+        };
         let mut s = OracleTopKFactory.create(ctx);
-        s.on_prefill(&keys_matrix(20, 4));
-        s.on_append(20, &[9.0, 9.0, 9.0, 9.0]);
-        let sel = s.select(&[1.0, 1.0, 1.0, 1.0], 21, Budget::new(5));
-        assert_eq!(sel.len(), 5);
-        assert!(sel.contains(&20), "strongly aligned appended key must be selected");
-        assert!(s.stats().scored_vectors >= 21);
+        s.observe(ObserveEvent::Prefill {
+            keys: &keys_matrix(20, 4),
+        });
+        s.observe(ObserveEvent::Append {
+            position: 20,
+            key: &[9.0, 9.0, 9.0, 9.0],
+        });
+        let plan = s.plan(SelectionRequest::new(
+            &[1.0, 1.0, 1.0, 1.0],
+            21,
+            Budget::new(5),
+        ));
+        assert_eq!(plan.len(), 5);
+        assert!(
+            plan.indices.contains(&20),
+            "strongly aligned appended key must be selected"
+        );
+        assert_eq!(plan.stats.scored_vectors, 21, "per-call scoring work");
     }
 
     #[test]
     fn oracle_with_budget_covering_context_returns_all() {
         let mut s = OracleTopKSelector::new(4);
-        s.on_prefill(&keys_matrix(8, 4));
-        let sel = s.select(&[1.0, 0.0, 0.0, 0.0], 8, Budget::new(64));
-        assert_eq!(sel, (0..8).collect::<Vec<_>>());
+        s.observe(ObserveEvent::Prefill {
+            keys: &keys_matrix(8, 4),
+        });
+        let plan = s.plan(SelectionRequest::new(
+            &[1.0, 0.0, 0.0, 0.0],
+            8,
+            Budget::new(64),
+        ));
+        assert_eq!(plan.indices, (0..8).collect::<Vec<_>>());
+        assert_eq!(
+            plan.stats.scored_vectors, 0,
+            "covered context is not scored"
+        );
     }
 
     #[test]
@@ -267,6 +386,40 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.scored_vectors, 12);
+    }
+
+    #[test]
+    fn plans_are_values_not_hidden_state() {
+        // Two consecutive plans report independent per-call stats; the
+        // caller, not the selector, owns aggregation.
+        let mut s = OracleTopKSelector::new(4);
+        s.observe(ObserveEvent::Prefill {
+            keys: &keys_matrix(10, 4),
+        });
+        let first = s.plan(SelectionRequest::new(
+            &[1.0, 0.0, 0.0, 0.0],
+            10,
+            Budget::new(3),
+        ));
+        let second = s.plan(SelectionRequest::new(
+            &[1.0, 0.0, 0.0, 0.0],
+            10,
+            Budget::new(3),
+        ));
+        assert_eq!(first.stats.scored_vectors, 10);
+        assert_eq!(second.stats.scored_vectors, 10);
+        let mut total = PolicyStats::default();
+        total.merge(&first.stats);
+        total.merge(&second.stats);
+        assert_eq!(total.scored_vectors, 20);
+    }
+
+    #[test]
+    fn selection_plan_helpers() {
+        let plan = SelectionPlan::full(4);
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert!(SelectionPlan::new(Vec::new()).is_empty());
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Rope {
     ///
     /// Panics if `head_dim` is zero or odd.
     pub fn new(head_dim: usize, base: f32) -> Self {
-        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be positive and even");
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "head_dim must be positive and even"
+        );
         let half = head_dim / 2;
         let inv_freq = (0..half)
             .map(|i| 1.0 / base.powf(2.0 * i as f32 / head_dim as f32))
@@ -94,7 +97,10 @@ mod tests {
         let v: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).sin()).collect();
         for pos in [1, 17, 500, 4096] {
             let r = rope.rotated(&v, pos);
-            assert!((norm(&r) - norm(&v)).abs() < 1e-4, "norm changed at pos {pos}");
+            assert!(
+                (norm(&r) - norm(&v)).abs() < 1e-4,
+                "norm changed at pos {pos}"
+            );
         }
     }
 

@@ -1,0 +1,1077 @@
+//! The serving engine: weights loaded once, N independent sessions, batched
+//! decode.
+//!
+//! [`ServeEngine`] owns the model (config, weights, RoPE tables) exactly once
+//! and manages any number of concurrent [`SessionId`]-addressed sequences.
+//! Each session carries its own KV stores, per-head selectors, position
+//! counter and trace state, so sessions are fully isolated: interleaving
+//! their decode steps through [`decode_batch`](ServeEngine::decode_batch)
+//! produces byte-identical token streams to running each sequence alone.
+//!
+//! The per-token transformer math matches the single-sequence flow of the
+//! paper (Fig. 5): full causal attention during prefill, per-head
+//! selection-plan attention during decoding, with the head's selector
+//! observing every produced key.
+//!
+//! [`InferenceEngine`](crate::engine::InferenceEngine) is a thin
+//! single-session adapter over this type.
+
+use crate::attention::{attend_selected, full_attention_weights};
+use crate::config::ModelConfig;
+use crate::policy::{
+    FullAttentionSelector, HeadContext, ObserveEvent, PolicyStats, SelectionRequest,
+    SelectorFactory, TokenSelector,
+};
+use crate::rope::Rope;
+use crate::trace::{AttentionTrace, TraceStep};
+use crate::weights::ModelWeights;
+use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::KvStore;
+use clusterkv_tensor::ops::{rms_norm, silu};
+use clusterkv_tensor::vector::argmax;
+use clusterkv_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Default cap on concurrently resident sessions.
+pub const DEFAULT_MAX_SESSIONS: usize = 256;
+
+/// Errors produced by the serving engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The model configuration failed validation.
+    InvalidConfig(String),
+    /// A token id was outside the vocabulary.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: usize,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// The context window was exceeded.
+    ContextOverflow {
+        /// Requested context length.
+        requested: usize,
+        /// Maximum supported context length.
+        max: usize,
+    },
+    /// Decoding was attempted before prefill.
+    NotPrefilled,
+    /// Prefill was attempted twice on the same session.
+    AlreadyPrefilled,
+    /// The prompt was empty.
+    EmptyPrompt,
+    /// The session id is not (or no longer) resident in the engine.
+    UnknownSession(SessionId),
+    /// The engine is at its session capacity.
+    SessionLimitReached {
+        /// The configured maximum number of resident sessions.
+        max: usize,
+    },
+    /// `create_session` was called on an engine built without a default
+    /// policy (use `create_session_with` or configure one on the builder).
+    MissingPolicy,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
+            EngineError::TokenOutOfVocab { token, vocab } => {
+                write!(f, "token {token} outside vocabulary of size {vocab}")
+            }
+            EngineError::ContextOverflow { requested, max } => {
+                write!(f, "context of {requested} tokens exceeds maximum {max}")
+            }
+            EngineError::NotPrefilled => write!(f, "decode requested before prefill"),
+            EngineError::AlreadyPrefilled => write!(f, "session is already prefilled"),
+            EngineError::EmptyPrompt => write!(f, "prompt must not be empty"),
+            EngineError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            EngineError::SessionLimitReached { max } => {
+                write!(f, "session limit of {max} reached")
+            }
+            EngineError::MissingPolicy => {
+                write!(f, "no default selection policy configured for this engine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Opaque handle addressing one resident sequence of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id (stable for the lifetime of the engine).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Output of one decoding step for one session.
+#[derive(Debug, Clone)]
+pub struct DecodeOutput {
+    /// The session this step belongs to.
+    pub session: SessionId,
+    /// Greedily chosen next token id.
+    pub next_token: usize,
+    /// Logits over the vocabulary.
+    pub logits: Vec<f32>,
+    /// Final hidden state of the step.
+    pub hidden: Vec<f32>,
+}
+
+/// Final accounting returned when a session is released.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The released session.
+    pub id: SessionId,
+    /// Context length at release (prompt + generated tokens).
+    pub context_len: usize,
+    /// Number of decode steps the session ran.
+    pub generated_tokens: usize,
+    /// Policy statistics accumulated over every selection plan of the
+    /// session.
+    pub stats: PolicyStats,
+}
+
+/// Per-session state: everything that differs between concurrent sequences.
+struct SessionState {
+    /// KV stores indexed by `[layer][kv_head]`.
+    kv: Vec<Vec<KvStore>>,
+    /// Selectors indexed by `[layer][query_head]`; dense layers hold
+    /// [`FullAttentionSelector`]s.
+    selectors: Vec<Vec<Box<dyn TokenSelector>>>,
+    /// Heads to trace: map from `(layer, head)` to the trace being built.
+    traces: HashMap<(usize, usize), AttentionTrace>,
+    /// Context length so far; doubles as the RoPE position of the next token.
+    num_tokens: usize,
+    /// Number of decode steps run.
+    generated_tokens: usize,
+    prefilled: bool,
+    /// Token fed to the next decode step (last prompt token after prefill,
+    /// then the previously generated token — overridable for external
+    /// sampling via [`ServeEngine::set_next_input`]).
+    next_input: Option<usize>,
+    /// Policy statistics accumulated from every selection plan.
+    stats: PolicyStats,
+}
+
+/// Builder for [`ServeEngine`], replacing the positional
+/// `InferenceEngine::new(config, weights, factory, budget)` constructor.
+pub struct ServeEngineBuilder {
+    config: ModelConfig,
+    weights: Option<ModelWeights>,
+    synthetic_seed: u64,
+    budget: Budget,
+    policy: Option<Box<dyn SelectorFactory>>,
+    max_sessions: usize,
+}
+
+impl ServeEngineBuilder {
+    /// Start building an engine for the given model shape. Without further
+    /// calls the engine uses synthetic weights from seed 0, an unbounded
+    /// budget and no default policy.
+    pub fn new(config: ModelConfig) -> Self {
+        Self {
+            config,
+            weights: None,
+            synthetic_seed: 0,
+            budget: Budget::new(usize::MAX),
+            policy: None,
+            max_sessions: DEFAULT_MAX_SESSIONS,
+        }
+    }
+
+    /// Use explicit model weights.
+    pub fn weights(mut self, weights: ModelWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Generate deterministic synthetic weights from `seed`.
+    pub fn synthetic_weights(mut self, seed: u64) -> Self {
+        self.weights = None;
+        self.synthetic_seed = seed;
+        self
+    }
+
+    /// KV budget `B` every selective head must respect.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Default selection policy used by
+    /// [`create_session`](ServeEngine::create_session).
+    pub fn policy(mut self, factory: Box<dyn SelectorFactory>) -> Self {
+        self.policy = Some(factory);
+        self
+    }
+
+    /// Cap on concurrently resident sessions (default
+    /// [`DEFAULT_MAX_SESSIONS`]).
+    pub fn max_sessions(mut self, max: usize) -> Self {
+        self.max_sessions = max;
+        self
+    }
+
+    /// Validate the configuration and build the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] if the configuration fails
+    /// [`ModelConfig::validate`].
+    pub fn build(self) -> Result<ServeEngine, EngineError> {
+        self.config.validate().map_err(EngineError::InvalidConfig)?;
+        let weights = self
+            .weights
+            .unwrap_or_else(|| ModelWeights::synthetic(&self.config, self.synthetic_seed));
+        let rope = Rope::new(self.config.head_dim, 10_000.0);
+        Ok(ServeEngine {
+            config: self.config,
+            weights,
+            rope,
+            budget: self.budget,
+            policy: self.policy,
+            sessions: HashMap::new(),
+            next_session: 0,
+            max_sessions: self.max_sessions,
+        })
+    }
+}
+
+/// A decoder-only transformer serving N independent sequences with per-head
+/// KV-selection policies.
+pub struct ServeEngine {
+    config: ModelConfig,
+    weights: ModelWeights,
+    rope: Rope,
+    budget: Budget,
+    policy: Option<Box<dyn SelectorFactory>>,
+    sessions: HashMap<u64, SessionState>,
+    next_session: u64,
+    max_sessions: usize,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("policy", &self.policy.as_ref().map(|p| p.name()))
+            .field("sessions", &self.sessions.len())
+            .field("max_sessions", &self.max_sessions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ServeEngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngineBuilder")
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("policy", &self.policy.as_ref().map(|p| p.name()))
+            .field("max_sessions", &self.max_sessions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Start building an engine.
+    pub fn builder(config: ModelConfig) -> ServeEngineBuilder {
+        ServeEngineBuilder::new(config)
+    }
+
+    /// Model configuration in use.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// KV cache budget used for selection.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Number of resident sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Resident session ids, in creation order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(SessionId).collect()
+    }
+
+    fn session(&self, id: SessionId) -> Result<&SessionState, EngineError> {
+        self.sessions
+            .get(&id.0)
+            .ok_or(EngineError::UnknownSession(id))
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut SessionState, EngineError> {
+        self.sessions
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownSession(id))
+    }
+
+    /// Create a session using the engine's default policy.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MissingPolicy`] when the engine was built without a
+    /// default policy; [`EngineError::SessionLimitReached`] at capacity.
+    pub fn create_session(&mut self) -> Result<SessionId, EngineError> {
+        if self.policy.is_none() {
+            return Err(EngineError::MissingPolicy);
+        }
+        // Build the selectors through a reborrow so the factory box can be
+        // consulted while `self` is otherwise borrowed.
+        let selectors = {
+            let factory = self.policy.as_deref().expect("checked above");
+            Self::make_selectors(&self.config, factory)
+        };
+        self.insert_session(selectors)
+    }
+
+    /// Create a session with an explicit selection policy (sessions with
+    /// different policies can coexist in one engine).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SessionLimitReached`] at capacity.
+    pub fn create_session_with(
+        &mut self,
+        factory: &dyn SelectorFactory,
+    ) -> Result<SessionId, EngineError> {
+        let selectors = Self::make_selectors(&self.config, factory);
+        self.insert_session(selectors)
+    }
+
+    fn make_selectors(
+        config: &ModelConfig,
+        factory: &dyn SelectorFactory,
+    ) -> Vec<Vec<Box<dyn TokenSelector>>> {
+        (0..config.num_layers)
+            .map(|layer| {
+                (0..config.num_heads)
+                    .map(|head| {
+                        if layer < config.dense_layers {
+                            Box::new(FullAttentionSelector) as Box<dyn TokenSelector>
+                        } else {
+                            factory.create(HeadContext {
+                                layer,
+                                head,
+                                head_dim: config.head_dim,
+                            })
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn insert_session(
+        &mut self,
+        selectors: Vec<Vec<Box<dyn TokenSelector>>>,
+    ) -> Result<SessionId, EngineError> {
+        if self.sessions.len() >= self.max_sessions {
+            return Err(EngineError::SessionLimitReached {
+                max: self.max_sessions,
+            });
+        }
+        let kv = (0..self.config.num_layers)
+            .map(|_| {
+                (0..self.config.num_kv_heads)
+                    .map(|_| KvStore::new(self.config.head_dim))
+                    .collect()
+            })
+            .collect();
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id.0,
+            SessionState {
+                kv,
+                selectors,
+                traces: HashMap::new(),
+                num_tokens: 0,
+                generated_tokens: 0,
+                prefilled: false,
+                next_input: None,
+                stats: PolicyStats::default(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Release a session, freeing its KV and selector state.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn release(&mut self, id: SessionId) -> Result<SessionReport, EngineError> {
+        let sess = self
+            .sessions
+            .remove(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
+        Ok(SessionReport {
+            id,
+            context_len: sess.num_tokens,
+            generated_tokens: sess.generated_tokens,
+            stats: sess.stats,
+        })
+    }
+
+    /// Current context length of a session (prompt + generated tokens).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn context_len(&self, id: SessionId) -> Result<usize, EngineError> {
+        Ok(self.session(id)?.num_tokens)
+    }
+
+    /// Policy statistics accumulated over every selection plan of a session.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn session_stats(&self, id: SessionId) -> Result<PolicyStats, EngineError> {
+        Ok(self.session(id)?.stats)
+    }
+
+    /// Enable tracing of a specific `(layer, head)` pair of a session. Must
+    /// be called before decoding; tracing records exact attention weights,
+    /// which is expensive but only for the traced heads.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn enable_trace(
+        &mut self,
+        id: SessionId,
+        layer: usize,
+        head: usize,
+    ) -> Result<(), EngineError> {
+        self.session_mut(id)?
+            .traces
+            .insert((layer, head), AttentionTrace::new(layer, head));
+        Ok(())
+    }
+
+    /// Access a recorded trace of a session.
+    pub fn trace(&self, id: SessionId, layer: usize, head: usize) -> Option<&AttentionTrace> {
+        self.sessions
+            .get(&id.0)
+            .and_then(|s| s.traces.get(&(layer, head)))
+    }
+
+    /// Access the KV store of a `(layer, kv_head)` pair of a session (for
+    /// tests and experiments).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn kv_store(
+        &self,
+        id: SessionId,
+        layer: usize,
+        kv_head: usize,
+    ) -> Result<&KvStore, EngineError> {
+        Ok(&self.session(id)?.kv[layer][kv_head])
+    }
+
+    /// Override the token fed to the session's next decode step (for
+    /// externally sampled tokens; by default the engine continues greedily).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] / [`EngineError::NotPrefilled`] /
+    /// [`EngineError::TokenOutOfVocab`] (validated here so a later
+    /// [`decode_batch`](Self::decode_batch) cannot fail mid-batch on a bad
+    /// injected token).
+    pub fn set_next_input(&mut self, id: SessionId, token: usize) -> Result<(), EngineError> {
+        let vocab = self.config.vocab_size;
+        let sess = self.session_mut(id)?;
+        if !sess.prefilled {
+            return Err(EngineError::NotPrefilled);
+        }
+        if token >= vocab {
+            return Err(EngineError::TokenOutOfVocab { token, vocab });
+        }
+        sess.next_input = Some(token);
+        Ok(())
+    }
+
+    fn kv_head_of(config: &ModelConfig, query_head: usize) -> usize {
+        query_head / (config.num_heads / config.num_kv_heads)
+    }
+
+    /// Project a hidden vector through the per-head slice of a projection
+    /// matrix `w` (whose rows are output channels).
+    fn project_head(w: &Matrix, hidden: &[f32], head: usize, head_dim: usize) -> Vec<f32> {
+        (0..head_dim)
+            .map(|d| clusterkv_tensor::vector::dot(w.row(head * head_dim + d), hidden))
+            .collect()
+    }
+
+    /// Run one token of one session through the transformer. `use_selection`
+    /// is false during prefill (full causal attention) and true during
+    /// decoding.
+    fn forward_token(
+        config: &ModelConfig,
+        weights: &ModelWeights,
+        rope: &Rope,
+        budget: Budget,
+        sess: &mut SessionState,
+        token: usize,
+        use_selection: bool,
+    ) -> Result<Vec<f32>, EngineError> {
+        let position = sess.num_tokens;
+        if position >= config.max_context {
+            return Err(EngineError::ContextOverflow {
+                requested: position + 1,
+                max: config.max_context,
+            });
+        }
+        if token >= config.vocab_size {
+            return Err(EngineError::TokenOutOfVocab {
+                token,
+                vocab: config.vocab_size,
+            });
+        }
+        let mut x = weights.embedding.row(token).to_vec();
+        let head_dim = config.head_dim;
+        let num_heads = config.num_heads;
+        let num_kv_heads = config.num_kv_heads;
+
+        for layer in 0..config.num_layers {
+            let lw = &weights.layers[layer];
+            let h = rms_norm(&x, &lw.attn_norm, 1e-6);
+
+            // KV projections for this layer (one per KV head), RoPE on keys.
+            for kv_head in 0..num_kv_heads {
+                let mut k = Self::project_head(&lw.wk, &h, kv_head, head_dim);
+                let v = Self::project_head(&lw.wv, &h, kv_head, head_dim);
+                rope.apply(&mut k, position);
+                sess.kv[layer][kv_head].append(&k, &v);
+            }
+
+            // Attention per query head.
+            let mut attn_concat = vec![0.0f32; num_heads * head_dim];
+            for head in 0..num_heads {
+                let mut q = Self::project_head(&lw.wq, &h, head, head_dim);
+                rope.apply(&mut q, position);
+                let kv_head = Self::kv_head_of(config, head);
+                let store = &sess.kv[layer][kv_head];
+                let n = store.len();
+
+                let selected: Vec<usize> = if use_selection {
+                    let plan =
+                        sess.selectors[layer][head].plan(SelectionRequest::new(&q, n, budget));
+                    sess.stats.merge(&plan.stats);
+                    let mut sel = plan.indices;
+                    // The token being generated always attends to itself: its
+                    // KV was just produced on the GPU and is not subject to
+                    // selection (policies may not even have observed it yet).
+                    if !sel.contains(&position) {
+                        sel.push(position);
+                    }
+                    sel
+                } else {
+                    (0..n).collect()
+                };
+                let out = attend_selected(store, &q, &selected);
+
+                if use_selection {
+                    if let Some(trace) = sess.traces.get_mut(&(layer, head)) {
+                        trace.push(TraceStep {
+                            position,
+                            full_weights: full_attention_weights(store, &q),
+                            selected: selected.clone(),
+                        });
+                    }
+                }
+                attn_concat[head * head_dim..(head + 1) * head_dim].copy_from_slice(&out.output);
+            }
+
+            // Output projection and residual.
+            let attn_out: Vec<f32> = (0..config.hidden_dim())
+                .map(|d| clusterkv_tensor::vector::dot(lw.wo.row(d), &attn_concat))
+                .collect();
+            for (xi, ai) in x.iter_mut().zip(&attn_out) {
+                *xi += ai;
+            }
+
+            // FFN with SiLU gating and residual.
+            let h2 = rms_norm(&x, &lw.ffn_norm, 1e-6);
+            let gate: Vec<f32> = (0..config.ffn_dim)
+                .map(|d| silu(clusterkv_tensor::vector::dot(lw.w_gate.row(d), &h2)))
+                .collect();
+            let up: Vec<f32> = (0..config.ffn_dim)
+                .map(|d| clusterkv_tensor::vector::dot(lw.w_up.row(d), &h2))
+                .collect();
+            let gated: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| g * u).collect();
+            for (d, xd) in x.iter_mut().enumerate().take(config.hidden_dim()) {
+                *xd += clusterkv_tensor::vector::dot(lw.w_down.row(d), &gated);
+            }
+        }
+
+        sess.num_tokens += 1;
+        Ok(rms_norm(&x, &weights.final_norm, 1e-6))
+    }
+
+    /// Process a session's whole prompt with full causal attention, then hand
+    /// each head's prefill keys to its selector. Returns the final hidden
+    /// state of the last prompt token and arms the session for decoding
+    /// (its next decode input is the last prompt token).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown sessions, repeated prefills, empty
+    /// prompts, out-of-vocabulary tokens or context overflow.
+    pub fn prefill(&mut self, id: SessionId, prompt: &[usize]) -> Result<Vec<f32>, EngineError> {
+        let Self {
+            config,
+            weights,
+            rope,
+            budget,
+            sessions,
+            ..
+        } = self;
+        let sess = sessions
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
+        if sess.prefilled {
+            return Err(EngineError::AlreadyPrefilled);
+        }
+        if prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        // Validate the whole prompt upfront: a prefill that errored halfway
+        // through would otherwise leave partial KV entries behind while the
+        // session still accepts a retry, silently shifting every position of
+        // the retried prompt.
+        if sess.num_tokens + prompt.len() > config.max_context {
+            return Err(EngineError::ContextOverflow {
+                requested: sess.num_tokens + prompt.len(),
+                max: config.max_context,
+            });
+        }
+        if let Some(&token) = prompt.iter().find(|&&t| t >= config.vocab_size) {
+            return Err(EngineError::TokenOutOfVocab {
+                token,
+                vocab: config.vocab_size,
+            });
+        }
+        let mut last = Vec::new();
+        for &token in prompt {
+            last = Self::forward_token(config, weights, rope, *budget, sess, token, false)?;
+        }
+        // Notify selectors of the prefill keys (per query head, sharing one
+        // copy of the associated KV head's keys across its query-head group)
+        // — this is where semantic clustering runs in ClusterKV (Fig. 5,
+        // step 1).
+        let group = config.num_heads / config.num_kv_heads;
+        for layer in config.dense_layers..config.num_layers {
+            for kv_head in 0..config.num_kv_heads {
+                let keys = sess.kv[layer][kv_head].keys().clone();
+                for head in kv_head * group..(kv_head + 1) * group {
+                    sess.selectors[layer][head].observe(ObserveEvent::Prefill { keys: &keys });
+                }
+            }
+        }
+        sess.prefilled = true;
+        sess.next_input = Some(*prompt.last().expect("prompt checked non-empty"));
+        Ok(last)
+    }
+
+    fn decode_session(&mut self, id: SessionId) -> Result<DecodeOutput, EngineError> {
+        let Self {
+            config,
+            weights,
+            rope,
+            budget,
+            sessions,
+            ..
+        } = self;
+        let sess = sessions
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
+        if !sess.prefilled {
+            return Err(EngineError::NotPrefilled);
+        }
+        let token = sess.next_input.ok_or(EngineError::NotPrefilled)?;
+        let position = sess.num_tokens;
+        let hidden = Self::forward_token(config, weights, rope, *budget, sess, token, true)?;
+
+        // Notify selectors of the new keys appended at `position`.
+        for layer in config.dense_layers..config.num_layers {
+            for head in 0..config.num_heads {
+                let kv_head = Self::kv_head_of(config, head);
+                let key = sess.kv[layer][kv_head].key(position).to_vec();
+                sess.selectors[layer][head].observe(ObserveEvent::Append {
+                    position,
+                    key: &key,
+                });
+            }
+        }
+
+        // Tied-embedding logits.
+        let logits: Vec<f32> = (0..config.vocab_size)
+            .map(|t| clusterkv_tensor::vector::dot(weights.embedding.row(t), &hidden))
+            .collect();
+        let next_token = argmax(&logits).unwrap_or(0);
+        sess.generated_tokens += 1;
+        sess.next_input = Some(next_token);
+        Ok(DecodeOutput {
+            session: id,
+            next_token,
+            logits,
+            hidden,
+        })
+    }
+
+    /// Run one decoding step for a session with an explicit input token
+    /// (typically the previously generated token).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`], [`EngineError::NotPrefilled`], plus
+    /// vocabulary / context errors.
+    pub fn decode_step(
+        &mut self,
+        id: SessionId,
+        token: usize,
+    ) -> Result<DecodeOutput, EngineError> {
+        self.set_next_input(id, token)?;
+        self.decode_session(id)
+    }
+
+    /// Advance every listed session by one decoding step, in order, each
+    /// consuming its own pending input token (the last prompt token right
+    /// after prefill, afterwards its previously generated token unless
+    /// overridden via [`set_next_input`](Self::set_next_input)).
+    ///
+    /// Sessions are fully isolated, so the outputs are identical to calling
+    /// [`decode_step`](Self::decode_step) on each session separately; the
+    /// batch entry point is where a real deployment amortises weight reads
+    /// and kernel launches across sequences. A session may appear multiple
+    /// times, advancing multiple steps.
+    ///
+    /// # Errors
+    ///
+    /// Validates every id upfront — [`EngineError::UnknownSession`],
+    /// [`EngineError::NotPrefilled`], and [`EngineError::ContextOverflow`]
+    /// (counting repeated ids) are all reported before any session is
+    /// advanced, so a failed batch performs no work.
+    pub fn decode_batch(&mut self, ids: &[SessionId]) -> Result<Vec<DecodeOutput>, EngineError> {
+        let mut steps_per_id: HashMap<u64, usize> = HashMap::new();
+        for &id in ids {
+            let sess = self.session(id)?;
+            if !sess.prefilled || sess.next_input.is_none() {
+                return Err(EngineError::NotPrefilled);
+            }
+            let steps = steps_per_id.entry(id.0).or_insert(0);
+            *steps += 1;
+            // Input tokens are validated on entry (argmax continuations and
+            // `set_next_input` both stay inside the vocabulary), so the only
+            // way a step can fail after this point is running out of context.
+            if sess.num_tokens + *steps > self.config.max_context {
+                return Err(EngineError::ContextOverflow {
+                    requested: sess.num_tokens + *steps,
+                    max: self.config.max_context,
+                });
+            }
+        }
+        ids.iter().map(|&id| self.decode_session(id)).collect()
+    }
+
+    /// Greedily generate `steps` tokens for a session after prefilling it
+    /// with `prompt`, returning the generated token ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`prefill`](Self::prefill) or
+    /// [`decode_batch`](Self::decode_batch).
+    pub fn generate(
+        &mut self,
+        id: SessionId,
+        prompt: &[usize],
+        steps: usize,
+    ) -> Result<Vec<usize>, EngineError> {
+        self.prefill(id, prompt)?;
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            out.push(self.decode_session(id)?.next_token);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FullAttentionFactory, OracleTopKFactory};
+
+    fn tiny_serve(budget: usize) -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(budget))
+            .policy(Box::new(OracleTopKFactory))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let mut bad = ModelConfig::tiny();
+        bad.num_heads = 3;
+        bad.num_kv_heads = 2;
+        assert!(matches!(
+            ServeEngine::builder(bad).build().unwrap_err(),
+            EngineError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn create_without_policy_errors() {
+        let mut eng = ServeEngine::builder(ModelConfig::tiny()).build().unwrap();
+        assert_eq!(
+            eng.create_session().unwrap_err(),
+            EngineError::MissingPolicy
+        );
+        // An explicit factory still works.
+        assert!(eng.create_session_with(&FullAttentionFactory).is_ok());
+    }
+
+    #[test]
+    fn session_lifecycle_and_ids() {
+        let mut eng = tiny_serve(64);
+        let a = eng.create_session().unwrap();
+        let b = eng.create_session().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(eng.num_sessions(), 2);
+        assert_eq!(eng.session_ids(), vec![a, b]);
+        eng.generate(a, &[1, 2, 3], 2).unwrap();
+        let report = eng.release(a).unwrap();
+        assert_eq!(report.id, a);
+        assert_eq!(report.context_len, 5);
+        assert_eq!(report.generated_tokens, 2);
+        assert_eq!(eng.num_sessions(), 1);
+        assert_eq!(
+            eng.release(a).unwrap_err(),
+            EngineError::UnknownSession(a),
+            "double release is reported"
+        );
+    }
+
+    #[test]
+    fn session_limit_is_enforced() {
+        let mut eng = ServeEngine::builder(ModelConfig::tiny())
+            .policy(Box::new(FullAttentionFactory))
+            .max_sessions(2)
+            .build()
+            .unwrap();
+        eng.create_session().unwrap();
+        eng.create_session().unwrap();
+        assert_eq!(
+            eng.create_session().unwrap_err(),
+            EngineError::SessionLimitReached { max: 2 }
+        );
+        let ids = eng.session_ids();
+        eng.release(ids[0]).unwrap();
+        assert!(eng.create_session().is_ok(), "capacity is reclaimed");
+    }
+
+    #[test]
+    fn prefill_guards() {
+        let mut eng = tiny_serve(64);
+        let s = eng.create_session().unwrap();
+        assert_eq!(eng.prefill(s, &[]).unwrap_err(), EngineError::EmptyPrompt);
+        eng.prefill(s, &[1, 2, 3]).unwrap();
+        assert_eq!(
+            eng.prefill(s, &[4]).unwrap_err(),
+            EngineError::AlreadyPrefilled
+        );
+        let ghost = SessionId(999);
+        assert_eq!(
+            eng.prefill(ghost, &[1]).unwrap_err(),
+            EngineError::UnknownSession(ghost)
+        );
+    }
+
+    #[test]
+    fn failed_prefill_leaves_no_partial_state() {
+        let mut eng = tiny_serve(64);
+        let s = eng.create_session().unwrap();
+        // Token 9999 is out of vocabulary: the whole prefill must be
+        // rejected before any KV is appended...
+        let err = eng.prefill(s, &[1, 2, 9999, 4]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::TokenOutOfVocab { token: 9999, .. }
+        ));
+        assert_eq!(eng.context_len(s).unwrap(), 0);
+        assert_eq!(eng.kv_store(s, 0, 0).unwrap().len(), 0);
+        // ...so a corrected retry starts from a clean session.
+        eng.prefill(s, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(eng.context_len(s).unwrap(), 4);
+        assert_eq!(eng.kv_store(s, 0, 0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn set_next_input_rejects_out_of_vocab_tokens() {
+        let mut eng = tiny_serve(64);
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &[1, 2, 3]).unwrap();
+        let vocab = eng.config().vocab_size;
+        assert!(matches!(
+            eng.set_next_input(s, vocab).unwrap_err(),
+            EngineError::TokenOutOfVocab { .. }
+        ));
+        // The pending input is untouched, so decoding still works.
+        eng.decode_batch(&[s]).unwrap();
+    }
+
+    #[test]
+    fn decode_batch_reports_context_overflow_before_any_work() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.max_context = 5;
+        let mut eng = ServeEngine::builder(cfg)
+            .synthetic_weights(7)
+            .budget(Budget::new(64))
+            .policy(Box::new(FullAttentionFactory))
+            .build()
+            .unwrap();
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &[1, 2, 3, 4]).unwrap();
+        // One free slot, but the batch asks for two steps of the same
+        // session: the overflow must be detected upfront, advancing nothing.
+        let err = eng.decode_batch(&[s, s]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ContextOverflow {
+                requested: 6,
+                max: 5
+            }
+        );
+        assert_eq!(eng.context_len(s).unwrap(), 4, "no session was advanced");
+        // A single step still fits.
+        eng.decode_batch(&[s]).unwrap();
+        assert_eq!(eng.context_len(s).unwrap(), 5);
+    }
+
+    #[test]
+    fn decode_batch_validates_upfront() {
+        let mut eng = tiny_serve(64);
+        let a = eng.create_session().unwrap();
+        let b = eng.create_session().unwrap();
+        eng.prefill(a, &[1, 2, 3]).unwrap();
+        // b is not prefilled: the whole batch must fail with no work done.
+        assert_eq!(
+            eng.decode_batch(&[a, b]).unwrap_err(),
+            EngineError::NotPrefilled
+        );
+        assert_eq!(eng.context_len(a).unwrap(), 3, "a was not advanced");
+    }
+
+    #[test]
+    fn decode_batch_advances_each_session_once() {
+        let mut eng = tiny_serve(64);
+        let ids: Vec<SessionId> = (0..3).map(|_| eng.create_session().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            eng.prefill(id, &[1 + i, 2 + i, 3 + i]).unwrap();
+        }
+        let outs = eng.decode_batch(&ids).unwrap();
+        assert_eq!(outs.len(), 3);
+        for (out, &id) in outs.iter().zip(&ids) {
+            assert_eq!(out.session, id);
+            assert_eq!(eng.context_len(id).unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn repeated_id_in_batch_advances_twice() {
+        let mut eng = tiny_serve(64);
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &[5, 6, 7]).unwrap();
+        let outs = eng.decode_batch(&[s, s]).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(eng.context_len(s).unwrap(), 5);
+    }
+
+    #[test]
+    fn set_next_input_overrides_greedy_continuation() {
+        let mut a = tiny_serve(512);
+        let mut b = tiny_serve(512);
+        let sa = a.create_session().unwrap();
+        let sb = b.create_session().unwrap();
+        a.prefill(sa, &[1, 2, 3, 4]).unwrap();
+        b.prefill(sb, &[1, 2, 3, 4]).unwrap();
+        let greedy = a.decode_batch(&[sa]).unwrap()[0].next_token;
+        // Session b decodes the same step but is then forced onto a token
+        // that differs from the greedy continuation.
+        b.decode_batch(&[sb]).unwrap();
+        let forced = (greedy + 1) % b.config().vocab_size;
+        b.set_next_input(sb, forced).unwrap();
+        let ya = a.decode_batch(&[sa]).unwrap();
+        let yb = b.decode_batch(&[sb]).unwrap();
+        // The engines are identical, so any divergence can only come from
+        // the forced input token.
+        assert_ne!(ya[0].logits, yb[0].logits);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        // Interleaving decode steps of two sessions gives the same streams
+        // as running each alone.
+        let prompt_a: Vec<usize> = (0..24).map(|i| (i * 3) % 128).collect();
+        let prompt_b: Vec<usize> = (0..24).map(|i| (i * 7 + 1) % 128).collect();
+
+        let mut solo = tiny_serve(8);
+        let s = solo.create_session().unwrap();
+        let alone_a = solo.generate(s, &prompt_a, 6).unwrap();
+        let s2 = solo.create_session().unwrap();
+        let alone_b = solo.generate(s2, &prompt_b, 6).unwrap();
+
+        let mut eng = tiny_serve(8);
+        let a = eng.create_session().unwrap();
+        let b = eng.create_session().unwrap();
+        eng.prefill(a, &prompt_a).unwrap();
+        eng.prefill(b, &prompt_b).unwrap();
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        for _ in 0..6 {
+            let outs = eng.decode_batch(&[a, b]).unwrap();
+            got_a.push(outs[0].next_token);
+            got_b.push(outs[1].next_token);
+        }
+        assert_eq!(got_a, alone_a);
+        assert_eq!(got_b, alone_b);
+    }
+
+    #[test]
+    fn stats_accumulate_per_session() {
+        let mut eng = tiny_serve(4);
+        let a = eng.create_session().unwrap();
+        let b = eng.create_session().unwrap();
+        eng.prefill(a, &[1, 2, 3, 4, 5, 6]).unwrap();
+        eng.prefill(b, &[1, 2, 3, 4, 5, 6]).unwrap();
+        eng.decode_batch(&[a]).unwrap();
+        let sa = eng.session_stats(a).unwrap();
+        let sb = eng.session_stats(b).unwrap();
+        assert!(sa.scored_vectors > 0, "a decoded and accumulated stats");
+        assert_eq!(sb.scored_vectors, 0, "b never decoded");
+    }
+}

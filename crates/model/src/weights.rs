@@ -73,8 +73,8 @@ impl ModelWeights {
                 // exhibit the outlier channels the paper describes.
                 for kv_head in 0..config.num_kv_heads {
                     for c in 0..OUTLIER_CHANNELS_PER_HEAD {
-                        let channel = kv_head * config.head_dim
-                            + (c * 13 + l * 7) % config.head_dim;
+                        let channel =
+                            kv_head * config.head_dim + (c * 13 + l * 7) % config.head_dim;
                         let row = wk.row_mut(channel);
                         for v in row.iter_mut() {
                             *v *= OUTLIER_SCALE;
@@ -164,8 +164,7 @@ mod tests {
     fn norm_weights_are_near_one() {
         let cfg = ModelConfig::tiny();
         let w = ModelWeights::synthetic(&cfg, 3);
-        let mean: f32 =
-            w.final_norm.iter().sum::<f32>() / w.final_norm.len() as f32;
+        let mean: f32 = w.final_norm.iter().sum::<f32>() / w.final_norm.len() as f32;
         assert!((mean - 1.0).abs() < 0.1);
     }
 }

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps benchmark sources compiling and runnable without network access.
+//! Each `b.iter(..)` body is executed a small fixed number of times and the
+//! mean wall-clock time is printed — no statistics, no reports. Swap in the
+//! real criterion for publication-quality numbers.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How many times the shim executes each benchmark body.
+const SHIM_ITERS: u32 = 3;
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier, as in criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `routine` a fixed number of times, recording the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..SHIM_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / SHIM_ITERS as f64;
+    }
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    println!(
+        "bench {label:<40} {:>12.0} ns/iter (shim)",
+        bencher.last_mean_ns
+    );
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim ignores sample sizes.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    /// End the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Group benchmark functions under a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut count = 0u32;
+        let mut b = Bencher::default();
+        b.iter(|| count += 1);
+        assert_eq!(count, SHIM_ITERS);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        let id = BenchmarkId::new("select", 400);
+        assert_eq!(id.to_string(), "select/400");
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 1), &3usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

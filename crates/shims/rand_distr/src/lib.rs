@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the one distribution the workspace samples from — [`Normal`] —
+//! using the Box-Muller transform over the shim `rand` generator. Deterministic
+//! for a fixed seed; no attempt is made to match the real crate's streams.
+
+use rand::RngCore;
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw a sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Float types [`Normal`] is defined over (mirrors `num_traits::Float` as
+/// far as this shim needs).
+pub trait Float: Copy {
+    /// Whether the value is finite and, where relevant, non-negative checks
+    /// can be applied.
+    fn is_finite_value(self) -> bool;
+    /// Whether the value is negative.
+    fn is_negative_value(self) -> bool;
+    /// Convert from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Convert to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn is_finite_value(self) -> bool {
+        self.is_finite()
+    }
+    fn is_negative_value(self) -> bool {
+        self < 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn is_finite_value(self) -> bool {
+        self.is_finite()
+    }
+    fn is_negative_value(self) -> bool {
+        self < 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl<F: Float> Normal<F> {
+    /// Create a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative or not finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !std_dev.is_finite_value() || std_dev.is_negative_value() || !mean.is_finite_value() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box-Muller. The first uniform is mapped away from 0 so the
+        // logarithm stays finite; the second sample of the pair is discarded
+        // to keep the distribution stateless.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z = mag * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Normal::<f32>::new(0.0, -1.0).is_err());
+        assert!(Normal::<f32>::new(0.0, f32::NAN).is_err());
+        assert!(Normal::<f32>::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_roughly_correct() {
+        let normal = Normal::<f64>::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let normal = Normal::<f32>::new(0.0, 1.0).unwrap();
+        let a: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..8).map(|_| normal.sample(&mut rng)).collect()
+        };
+        let b: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..8).map(|_| normal.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

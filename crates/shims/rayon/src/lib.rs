@@ -1,0 +1,72 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! `into_par_iter`/`par_iter` resolve to the corresponding *sequential*
+//! iterators, so code written against the rayon prelude compiles and runs
+//! unchanged — single-threaded. Results are identical because the workspace
+//! only uses order-preserving adaptors (`map` + `collect`). Swapping in the
+//! real rayon restores parallelism with no source changes.
+
+/// Sequential drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::prelude::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The underlying (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// "Parallel" iteration — sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The underlying (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference).
+        type Item: 'data;
+        /// "Parallel" iteration over references — sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let doubled: Vec<usize> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal shim that satisfies the only part of serde the codebase uses:
+//! `#[derive(Serialize, Deserialize)]` annotations. The derives expand to
+//! nothing — no trait impls are generated — which is sufficient because no
+//! code path performs actual serde serialisation (the one former user,
+//! `clusterkv-metrics`, hand-rolls its JSON). Swapping this shim for the real
+//! crate is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -132,7 +132,12 @@ impl Matrix {
     /// Panics if `r >= rows()`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -143,7 +148,12 @@ impl Matrix {
     /// Panics if `r >= rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -154,7 +164,10 @@ impl Matrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -165,7 +178,10 @@ impl Matrix {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -281,7 +297,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > rows()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "invalid row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,

@@ -114,7 +114,11 @@ where
         crate::vector::axpy(&mut out, *w, v);
         n += 1;
     }
-    assert_eq!(n, weights.len(), "weighted_sum: weight/value count mismatch");
+    assert_eq!(
+        n,
+        weights.len(),
+        "weighted_sum: weight/value count mismatch"
+    );
     out
 }
 

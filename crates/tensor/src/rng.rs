@@ -69,7 +69,10 @@ pub fn xavier_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
 ///
 /// Panics if `count > n`.
 pub fn sample_distinct_indices(rng: &mut StdRng, n: usize, count: usize) -> Vec<usize> {
-    assert!(count <= n, "cannot sample {count} distinct indices from {n}");
+    assert!(
+        count <= n,
+        "cannot sample {count} distinct indices from {n}"
+    );
     // Partial Fisher-Yates over an index vector.
     let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..count {
@@ -112,14 +115,19 @@ mod tests {
         let mean: f32 = m.as_slice().iter().sum::<f32>() / (64.0 * 64.0);
         assert!(mean.abs() < 0.1, "sample mean {mean} too far from 0");
         let var: f32 = m.as_slice().iter().map(|x| x * x).sum::<f32>() / (64.0 * 64.0);
-        assert!((var - 1.0).abs() < 0.2, "sample variance {var} too far from 1");
+        assert!(
+            (var - 1.0).abs() < 0.2,
+            "sample variance {var} too far from 1"
+        );
     }
 
     #[test]
     fn xavier_matrix_scales_down_with_size() {
         let small = xavier_matrix(&mut seeded(1), 4, 4);
         let large = xavier_matrix(&mut seeded(1), 256, 256);
-        let var = |m: &Matrix| m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.as_slice().len() as f32;
+        let var = |m: &Matrix| {
+            m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.as_slice().len() as f32
+        };
         assert!(var(&small) > var(&large));
     }
 

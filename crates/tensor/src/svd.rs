@@ -141,7 +141,10 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     // Column norms of U are the singular values; normalise U's columns.
     let mut values: Vec<(f32, usize)> = (0..n)
         .map(|j| {
-            let norm: f32 = (0..m).map(|i| u.get(i, j) * u.get(i, j)).sum::<f32>().sqrt();
+            let norm: f32 = (0..m)
+                .map(|i| u.get(i, j) * u.get(i, j))
+                .sum::<f32>()
+                .sqrt();
             (norm, j)
         })
         .collect();
@@ -223,12 +226,12 @@ mod tests {
     #[test]
     fn truncated_svd_is_best_low_rank_approx_in_spirit() {
         // A rank-1 matrix should be perfectly captured by a rank-1 truncation.
-        let u = vec![1.0f32, 2.0, 3.0];
-        let v = vec![4.0f32, 5.0];
+        let u = [1.0f32, 2.0, 3.0];
+        let v = [4.0f32, 5.0];
         let mut m = Matrix::zeros(3, 2);
-        for i in 0..3 {
-            for j in 0..2 {
-                m.set(i, j, u[i] * v[j]);
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in v.iter().enumerate() {
+                m.set(i, j, ui * vj);
             }
         }
         let d = svd(&m).unwrap().truncate(1);

@@ -19,7 +19,13 @@
 /// ```
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     let mut acc = 0.0f32;
     // Manual 4-way unroll: the hot loops of selection score thousands of
     // centroids per decoding step.
@@ -306,7 +312,7 @@ mod tests {
         ) {
             let n = a.len().min(b.len());
             let s = cosine_similarity(&a[..n], &b[..n]);
-            prop_assert!(s >= -1.0 - 1e-4 && s <= 1.0 + 1e-4);
+            prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&s));
         }
 
         #[test]

@@ -1,12 +1,15 @@
 //! Runs a selection policy over an [`Episode`] and records the quantities
 //! the accuracy-style experiments need: recall of important tokens, attention
-//! output error and selection sizes.
+//! output error, selection sizes and the policy's accumulated cost
+//! statistics (merged from the per-call [`SelectionPlan`]s).
+//!
+//! [`SelectionPlan`]: clusterkv_model::policy::SelectionPlan
 
 use crate::semantic::Episode;
 use clusterkv_kvcache::types::Budget;
 use clusterkv_kvcache::KvStore;
 use clusterkv_model::attention::{attention_output_error, full_attention_weights};
-use clusterkv_model::policy::TokenSelector;
+use clusterkv_model::policy::{ObserveEvent, PolicyStats, SelectionRequest, TokenSelector};
 use clusterkv_tensor::vector::top_k_indices;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -24,6 +27,9 @@ pub struct EpisodeResult {
     pub per_step_error: Vec<f64>,
     /// Number of tokens selected at every step.
     pub per_step_selected: Vec<usize>,
+    /// Policy statistics accumulated over every selection plan of the run
+    /// (selection work, transfers, cache hits).
+    pub stats: PolicyStats,
 }
 
 impl EpisodeResult {
@@ -49,11 +55,12 @@ fn mean(v: &[f64]) -> f64 {
 /// Run `selector` over `episode` with the given budget.
 ///
 /// The harness mirrors the engine's decode loop for a single head: the
-/// selector observes the prefill keys, then at every step selects tokens for
-/// the query, the exact top-`B` set and attention error are measured against
-/// full attention, and the step's generated key/value are appended to both
-/// the store and the selector (so incremental clustering and recallability
-/// across appended tokens are exercised).
+/// selector observes the prefill keys, then at every step plans the token
+/// set for the query, the exact top-`B` set and attention error are measured
+/// against full attention, and the step's generated key/value are appended
+/// to both the store and the selector (so incremental clustering and
+/// recallability across appended tokens are exercised). The per-call plan
+/// statistics are merged into [`EpisodeResult::stats`].
 pub fn run_episode(
     episode: &Episode,
     selector: &mut dyn TokenSelector,
@@ -62,16 +69,21 @@ pub fn run_episode(
     let head_dim = episode.config.head_dim;
     let mut store = KvStore::new(head_dim);
     store.append_batch(&episode.keys, &episode.values);
-    selector.on_prefill(&episode.keys);
+    selector.observe(ObserveEvent::Prefill {
+        keys: &episode.keys,
+    });
 
     let mut per_step_recall = Vec::with_capacity(episode.decode_steps());
     let mut per_step_error = Vec::with_capacity(episode.decode_steps());
     let mut per_step_selected = Vec::with_capacity(episode.decode_steps());
+    let mut stats = PolicyStats::default();
 
     for step in 0..episode.decode_steps() {
         let query = &episode.queries[step];
         let n = store.len();
-        let selected = selector.select(query, n, budget);
+        let plan = selector.plan(SelectionRequest::new(query, n, budget));
+        stats.merge(&plan.stats);
+        let selected = plan.indices;
         per_step_selected.push(selected.len());
 
         // Ground truth: the B tokens with the largest exact attention weights.
@@ -91,7 +103,10 @@ pub fn run_episode(
         // Append the generated token and let the policy observe it.
         let position = store.len();
         store.append(&episode.decode_keys[step], &episode.decode_values[step]);
-        selector.on_append(position, &episode.decode_keys[step]);
+        selector.observe(ObserveEvent::Append {
+            position,
+            key: &episode.decode_keys[step],
+        });
     }
 
     EpisodeResult {
@@ -100,6 +115,7 @@ pub fn run_episode(
         per_step_recall,
         per_step_error,
         per_step_selected,
+        stats,
     }
 }
 
@@ -168,6 +184,7 @@ mod tests {
             per_step_recall: vec![],
             per_step_error: vec![],
             per_step_selected: vec![],
+            stats: PolicyStats::default(),
         };
         assert_eq!(r.mean_recall(), 0.0);
         assert_eq!(r.mean_error(), 0.0);

@@ -43,6 +43,7 @@ pub struct PerplexityPoint {
 ///     per_step_recall: vec![1.0],
 ///     per_step_error: vec![0.0],
 ///     per_step_selected: vec![1024],
+///     stats: Default::default(),
 /// };
 /// assert!((perplexity_proxy(&perfect) - BASE_PERPLEXITY).abs() < 1e-9);
 /// ```
@@ -62,6 +63,7 @@ mod tests {
             per_step_recall: vec![recall; 3],
             per_step_error: vec![0.1; 3],
             per_step_selected: vec![1024; 3],
+            stats: clusterkv_model::policy::PolicyStats::default(),
         }
     }
 
@@ -86,12 +88,17 @@ mod tests {
 
     #[test]
     fn missed_recall_is_clamped() {
-        assert!(perplexity_proxy(&result(-3.0)) <= BASE_PERPLEXITY * ERROR_SENSITIVITY.exp() + 1e-9);
+        assert!(
+            perplexity_proxy(&result(-3.0)) <= BASE_PERPLEXITY * ERROR_SENSITIVITY.exp() + 1e-9
+        );
     }
 
     #[test]
     fn point_carries_its_fields() {
-        let p = PerplexityPoint { input_len: 1000, perplexity: 10.5 };
+        let p = PerplexityPoint {
+            input_len: 1000,
+            perplexity: 10.5,
+        };
         assert_eq!(p.input_len, 1000);
         assert!((p.perplexity - 10.5).abs() < 1e-12);
         assert_eq!(p, p.clone());

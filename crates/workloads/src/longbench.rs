@@ -171,6 +171,7 @@ mod tests {
             per_step_recall: vec![recall; 4],
             per_step_error: vec![error; 4],
             per_step_selected: vec![256; 4],
+            stats: clusterkv_model::policy::PolicyStats::default(),
         }
     }
 
@@ -209,7 +210,10 @@ mod tests {
 
     #[test]
     fn govreport_uses_rouge() {
-        assert_eq!(LongBenchDataset::GovReport.profile().metric, ScoreMetric::RougeL);
+        assert_eq!(
+            LongBenchDataset::GovReport.profile().metric,
+            ScoreMetric::RougeL
+        );
         assert_eq!(ScoreMetric::RougeL.to_string(), "ROUGE-L");
         assert_eq!(ScoreMetric::F1.to_string(), "F1");
     }

@@ -130,7 +130,12 @@ impl Episode {
         }
         let topics: Vec<Vec<f32>> = (0..config.num_topics)
             .map(|t| {
-                let mut v = gaussian_vec(&mut seeded(derive_seed(config.seed, 0x70 + t as u64)), d, 0.0, 1.0);
+                let mut v = gaussian_vec(
+                    &mut seeded(derive_seed(config.seed, 0x70 + t as u64)),
+                    d,
+                    0.0,
+                    1.0,
+                );
                 normalize(&mut v);
                 for (x, s) in v.iter_mut().zip(&outlier_scale) {
                     *x *= s;
@@ -160,7 +165,11 @@ impl Episode {
             }
             let topic = rng.gen_range(0..config.num_topics);
             let noise = gaussian_vec(&mut rng, d, 0.0, config.noise);
-            let key: Vec<f32> = topics[topic].iter().zip(&noise).map(|(t, n)| t * 2.0 + n).collect();
+            let key: Vec<f32> = topics[topic]
+                .iter()
+                .zip(&noise)
+                .map(|(t, n)| t * 2.0 + n)
+                .collect();
             // Values encode the topic so retrieval quality is measurable.
             let mut value = gaussian_vec(&mut rng, d, 0.0, 0.1);
             value[topic % d] += 1.0;
@@ -326,7 +335,10 @@ mod tests {
         for s in 0..e.decode_steps() {
             distinct_phases.insert(e.query_topics[s]);
         }
-        assert!(distinct_phases.len() >= 2, "focus should change at least once");
+        assert!(
+            distinct_phases.len() >= 2,
+            "focus should change at least once"
+        );
         // Find two steps with different focus and compare their top sets.
         let s0 = 0;
         let s1 = (0..e.decode_steps())
@@ -337,7 +349,10 @@ mod tests {
         let top1: std::collections::HashSet<usize> =
             top_k_indices(&weights_at(s1), 32).into_iter().collect();
         let overlap = top0.intersection(&top1).count();
-        assert!(overlap < 24, "importance should drift (overlap {overlap}/32)");
+        assert!(
+            overlap < 24,
+            "importance should drift (overlap {overlap}/32)"
+        );
     }
 
     #[test]

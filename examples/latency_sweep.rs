@@ -3,7 +3,7 @@
 //! and budgets, using the analytical device model.
 //!
 //! ```bash
-//! cargo run --release -p clusterkv --example latency_sweep
+//! cargo run --release -p clusterkv-repro --example latency_sweep
 //! ```
 
 use clusterkv_kvcache::DeviceModel;
@@ -27,10 +27,12 @@ fn main() {
     for prompt in [8_192usize, 16_384, 32_768] {
         let full = model.run(prompt, decode_len, None, StepCost::full_kv);
         for budget in [512usize, 1024, 2048] {
-            let clusterkv = model.run(prompt, decode_len, Some((prompt / 80, 10)), |ctx| StepCost {
-                scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
-                attended_tokens: budget as f64,
-                transferred_tokens_per_head: budget as f64 * (1.0 - cache_hit_rate),
+            let clusterkv = model.run(prompt, decode_len, Some((prompt / 80, 10)), |ctx| {
+                StepCost {
+                    scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
+                    attended_tokens: budget as f64,
+                    transferred_tokens_per_head: budget as f64 * (1.0 - cache_hit_rate),
+                }
             });
             println!(
                 "{:>7}k {:>10} {:>14.2} {:>14.2} {:>9.2}x {:>11.2}x",
@@ -43,9 +45,7 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nThe clustering overhead during prefill stays in the single-digit percent range:"
-    );
+    println!("\nThe clustering overhead during prefill stays in the single-digit percent range:");
     for prompt in [8_192usize, 32_768] {
         let bd = model.prefill_breakdown(prompt, Some((prompt / 80, 10)));
         println!(

@@ -2,7 +2,7 @@
 //! InfiniGen on a LongBench-style synthetic retrieval task.
 //!
 //! ```bash
-//! cargo run --release -p clusterkv --example long_document_qa
+//! cargo run --release -p clusterkv-repro --example long_document_qa
 //! ```
 //!
 //! This is the workload the paper's introduction motivates: a long document

@@ -1,17 +1,19 @@
-//! Quickstart: run a small transformer with ClusterKV-compressed attention.
+//! Quickstart: serve a small transformer with ClusterKV-compressed attention.
 //!
 //! ```bash
-//! cargo run --release -p clusterkv --example quickstart
+//! cargo run --release -p clusterkv-repro --example quickstart
 //! ```
 //!
-//! The example builds a tiny synthetic model, generates a few tokens with the
-//! full KV cache and with ClusterKV under a tight budget, and prints the
-//! selection statistics ClusterKV accumulated along the way.
+//! The example builds a tiny synthetic model inside a `ServeEngine`, opens
+//! two sessions over the same weights — a full-KV reference and a ClusterKV
+//! session under a tight budget — decodes them in lockstep with
+//! `decode_batch`, and prints the selection statistics ClusterKV accumulated
+//! along the way.
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_kvcache::types::Budget;
 use clusterkv_model::policy::FullAttentionFactory;
-use clusterkv_model::{InferenceEngine, ModelPreset};
+use clusterkv_model::{ModelPreset, ServeEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-down Llama-like model with deterministic synthetic weights.
@@ -19,25 +21,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.max_context = 4096;
     let prompt: Vec<usize> = (0..160).map(|i| (i * 17 + 3) % config.vocab_size).collect();
 
-    // Reference: full KV cache.
-    let mut full_engine = InferenceEngine::with_synthetic_weights(
-        config,
-        42,
-        &FullAttentionFactory,
-        Budget::new(usize::MAX),
-    )?;
-    let full_output = full_engine.generate(&prompt, 16)?;
-
-    // ClusterKV with the paper's configuration (scaled sink/cluster sizes for
-    // the short prompt) and a 64-token budget.
+    // One engine owns the weights; sessions choose their policy. ClusterKV
+    // uses the paper's configuration (scaled sink/cluster sizes for the
+    // short prompt) under a 64-token budget; the full-attention policy is
+    // exempt from the budget and serves as the exact reference.
     let ckv_config = ClusterKvConfig::default()
         .with_sink_tokens(8)
         .with_tokens_per_cluster(16)
         .with_decode_cluster_period(8);
-    let factory = ClusterKvFactory::new(ckv_config);
-    let mut ckv_engine =
-        InferenceEngine::with_synthetic_weights(config, 42, &factory, Budget::new(64))?;
-    let ckv_output = ckv_engine.generate(&prompt, 16)?;
+    let mut engine = ServeEngine::builder(config)
+        .synthetic_weights(42)
+        .budget(Budget::new(64))
+        .policy(Box::new(ClusterKvFactory::new(ckv_config)))
+        .build()?;
+
+    let clusterkv = engine.create_session()?; // default policy: ClusterKV
+    let full = engine.create_session_with(&FullAttentionFactory)?;
+    engine.prefill(clusterkv, &prompt)?;
+    engine.prefill(full, &prompt)?;
+
+    // Decode both sessions in lockstep.
+    let mut ckv_output = Vec::new();
+    let mut full_output = Vec::new();
+    for _ in 0..16 {
+        let outputs = engine.decode_batch(&[clusterkv, full])?;
+        ckv_output.push(outputs[0].next_token);
+        full_output.push(outputs[1].next_token);
+    }
 
     println!("prompt length        : {} tokens", prompt.len());
     println!("full-KV generation   : {full_output:?}");
@@ -50,13 +60,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "agreement            : {matching}/{} tokens identical under a {}-token budget",
         full_output.len(),
-        ckv_engine.budget().tokens()
+        engine.budget().tokens()
     );
 
-    let stats = ckv_engine.policy_stats();
-    println!("\nClusterKV selection statistics (all heads):");
-    println!("  centroids scored        : {}", stats.scored_vectors);
-    println!("  cluster-cache hit rate  : {:.1}%", stats.cache.hit_rate() * 100.0);
-    println!("  tokens fetched from CPU : {}", stats.transfer.tokens_moved);
+    let report = engine.release(clusterkv)?;
+    println!(
+        "\nClusterKV selection statistics (all heads of session {}):",
+        report.id
+    );
+    println!(
+        "  centroids scored        : {}",
+        report.stats.scored_vectors
+    );
+    println!(
+        "  cluster-cache hit rate  : {:.1}%",
+        report.stats.cache.hit_rate() * 100.0
+    );
+    println!(
+        "  tokens fetched from CPU : {}",
+        report.stats.transfer.tokens_moved
+    );
     Ok(())
 }

@@ -1,0 +1,22 @@
+//! Workspace facade for the ClusterKV reproduction.
+//!
+//! This crate exists to own the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`); it also re-exports the entry points a
+//! downstream user would reach for first. See the individual crates for the
+//! actual implementation:
+//!
+//! * [`clusterkv`](::clusterkv) — the ClusterKV algorithm (clustering,
+//!   selection, cluster cache, policy).
+//! * [`clusterkv_model`] — the serving engine ([`ServeEngine`]) and the
+//!   selection-plan policy interface.
+//! * [`clusterkv_baselines`] — Quest, InfiniGen, H2O, StreamingLLM.
+//! * [`clusterkv_workloads`] / [`clusterkv_bench`] — synthetic workloads and
+//!   the figure-reproduction harness.
+
+#![warn(missing_docs)]
+
+pub use clusterkv::{ClusterKvConfig, ClusterKvFactory, ClusterKvSelector};
+pub use clusterkv_model::{
+    DecodeOutput, EngineError, InferenceEngine, ModelConfig, ModelPreset, ServeEngine,
+    ServeEngineBuilder, SessionId,
+};

@@ -3,7 +3,9 @@
 //! the cluster cache and the analytical latency model.
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory, DistanceMetric};
-use clusterkv_bench::{clusterkv_config_for_ablation, evaluate, evaluate_clusterkv_variant, Method};
+use clusterkv_bench::{
+    clusterkv_config_for_ablation, evaluate, evaluate_clusterkv_variant, Method,
+};
 use clusterkv_kvcache::types::Budget;
 use clusterkv_kvcache::DeviceModel;
 use clusterkv_model::latency::StepCost;
@@ -66,13 +68,11 @@ fn longbench_scores_follow_the_papers_ordering() {
     // Fig. 9 / Table I shape on one dataset profile: Full KV >= ClusterKV >=
     // Quest, with ClusterKV close to Full KV.
     let profile = LongBenchDataset::TwoWikiMqa.profile();
-    let episode = Episode::generate(
-        EpisodeConfig {
-            context_len: 1536,
-            decode_steps: 24,
-            ..profile.episode
-        },
-    );
+    let episode = Episode::generate(EpisodeConfig {
+        context_len: 1536,
+        decode_steps: 24,
+        ..profile.episode
+    });
     let budget = 256;
     let full = evaluate(Method::FullKv, &episode, budget);
     let ckv = evaluate(Method::ClusterKv, &episode, budget);
@@ -80,7 +80,10 @@ fn longbench_scores_follow_the_papers_ordering() {
     let s_full = profile.score(&full);
     let s_ckv = profile.score(&ckv);
     let s_quest = profile.score(&quest);
-    assert!(s_full >= s_ckv && s_ckv > s_quest, "{s_full} >= {s_ckv} > {s_quest}");
+    assert!(
+        s_full >= s_ckv && s_ckv > s_quest,
+        "{s_full} >= {s_ckv} > {s_quest}"
+    );
     assert!((s_full - profile.full_kv_score).abs() < 1e-6);
 }
 
@@ -113,7 +116,10 @@ fn cosine_distance_recalls_at_least_as_well_as_l2_and_inner_product() {
     let l2 = recall_of(DistanceMetric::L2);
     let ip = recall_of(DistanceMetric::InnerProduct);
     assert!(cosine >= l2 - 0.1, "cosine {cosine:.3} vs l2 {l2:.3}");
-    assert!(cosine >= ip - 0.1, "cosine {cosine:.3} vs inner product {ip:.3}");
+    assert!(
+        cosine >= ip - 0.1,
+        "cosine {cosine:.3} vs inner product {ip:.3}"
+    );
 }
 
 #[test]
@@ -145,9 +151,13 @@ fn cluster_cache_hit_rate_grows_with_recency_window() {
     let episode = accuracy_episode(2048, 0xF0);
     let hit_rate = |r: usize| {
         let factory = ClusterKvFactory::new(ClusterKvConfig::default().with_recency_window(r));
-        let mut sel = factory.create(HeadContext { layer: 2, head: 0, head_dim: episode.config.head_dim });
-        run_episode(&episode, sel.as_mut(), Budget::new(256));
-        sel.stats().cache.hit_rate()
+        let mut sel = factory.create(HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim: episode.config.head_dim,
+        });
+        let result = run_episode(&episode, sel.as_mut(), Budget::new(256));
+        result.stats.cache.hit_rate()
     };
     let r1 = hit_rate(1);
     let r2 = hit_rate(2);
@@ -191,14 +201,20 @@ fn latency_model_reproduces_fig12_shape() {
     assert!(thpt_gain > 1.5, "throughput gain {thpt_gain:.2} too small");
     let prefill = model.prefill_breakdown(prompt, Some((prompt / 80, 10)));
     let frac = prefill.clustering_fraction();
-    assert!(frac < 0.2, "clustering should be a small fraction of prefill ({frac:.2})");
+    assert!(
+        frac < 0.2,
+        "clustering should be a small fraction of prefill ({frac:.2})"
+    );
 }
 
 #[test]
 fn fig13_shape_clusterkv_beats_infinigen_and_matches_quest() {
     // Fig. 13a: ClusterKV is clearly faster than InfiniGen on the
     // offload-constrained OPT-class configuration.
-    let opt = LatencyModel::new(ModelPreset::Opt6_7b.config(), DeviceModel::offload_constrained());
+    let opt = LatencyModel::new(
+        ModelPreset::Opt6_7b.config(),
+        DeviceModel::offload_constrained(),
+    );
     let infinigen = opt.run(2048, 256, None, |ctx| StepCost {
         scored_vectors_per_head: ctx as f64 * 0.25,
         attended_tokens: 256.0,
@@ -224,7 +240,10 @@ fn fig13_shape_clusterkv_beats_infinigen_and_matches_quest() {
         transferred_tokens_per_head: 1024.0 * 0.37,
     });
     let deviation = (clusterkv.total.get() - quest.total.get()).abs() / quest.total.get();
-    assert!(deviation < 0.15, "deviation from Quest {deviation:.2} too large");
+    assert!(
+        deviation < 0.15,
+        "deviation from Quest {deviation:.2} too large"
+    );
 }
 
 #[test]
@@ -237,7 +256,11 @@ fn non_recallable_baselines_lose_recall_under_importance_drift() {
         Box::new(H2oFactory::default()) as Box<dyn SelectorFactory>,
         Box::new(StreamingFactory::default()),
     ] {
-        let mut sel = factory.create(HeadContext { layer: 2, head: 0, head_dim: episode.config.head_dim });
+        let mut sel = factory.create(HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim: episode.config.head_dim,
+        });
         let r = run_episode(&episode, sel.as_mut(), Budget::new(budget));
         assert!(
             ckv > r.mean_recall(),

@@ -1,0 +1,224 @@
+//! Serving-API tests: batched multi-session decoding must be observationally
+//! identical to sequential single-session inference, for ClusterKV and the
+//! baselines, and the session lifecycle must isolate sequences completely.
+
+use clusterkv::{ClusterKvConfig, ClusterKvFactory};
+use clusterkv_baselines::QuestFactory;
+use clusterkv_kvcache::types::Budget;
+use clusterkv_model::policy::SelectorFactory;
+use clusterkv_model::{InferenceEngine, ModelConfig, ServeEngine, SessionId};
+
+const SEED: u64 = 21;
+const DECODE_STEPS: usize = 8;
+const NUM_SESSIONS: usize = 4;
+
+fn prompts() -> Vec<Vec<usize>> {
+    (0..NUM_SESSIONS)
+        .map(|s| {
+            (0..32 + 4 * s)
+                .map(|i| (i * (3 + s) + 7 * s) % 128)
+                .collect()
+        })
+        .collect()
+}
+
+fn clusterkv_factory() -> ClusterKvFactory {
+    ClusterKvFactory::new(
+        ClusterKvConfig::default()
+            .with_sink_tokens(4)
+            .with_tokens_per_cluster(8)
+            .with_decode_cluster_period(8)
+            .with_decode_new_clusters(2),
+    )
+}
+
+/// N sequential single-session runs through the legacy adapter.
+fn sequential_streams(factory: &dyn SelectorFactory, budget: usize) -> Vec<Vec<usize>> {
+    prompts()
+        .iter()
+        .map(|prompt| {
+            let mut engine = InferenceEngine::with_synthetic_weights(
+                ModelConfig::tiny(),
+                SEED,
+                factory,
+                Budget::new(budget),
+            )
+            .unwrap();
+            engine.generate(prompt, DECODE_STEPS).unwrap()
+        })
+        .collect()
+}
+
+/// The same N sequences decoded concurrently, in lockstep, through
+/// `decode_batch`.
+fn batched_streams(factory: &dyn SelectorFactory, budget: usize) -> Vec<Vec<usize>> {
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(budget))
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session_with(factory).unwrap())
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        engine.prefill(*id, &prompt).unwrap();
+    }
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    for _ in 0..DECODE_STEPS {
+        let outs = engine.decode_batch(&ids).unwrap();
+        for (stream, out) in streams.iter_mut().zip(&outs) {
+            stream.push(out.next_token);
+        }
+    }
+    for &id in &ids {
+        engine.release(id).unwrap();
+    }
+    streams
+}
+
+#[test]
+fn clusterkv_batched_decode_matches_sequential_runs() {
+    let factory = clusterkv_factory();
+    let sequential = sequential_streams(&factory, 24);
+    let batched = batched_streams(&factory, 24);
+    assert_eq!(
+        batched, sequential,
+        "ClusterKV: interleaved decode_batch must reproduce sequential streams byte for byte"
+    );
+    // The streams are genuinely distinct sequences, so the parity above is
+    // not vacuous.
+    assert!(
+        sequential
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1,
+        "prompts should produce distinct continuations: {sequential:?}"
+    );
+}
+
+#[test]
+fn quest_batched_decode_matches_sequential_runs() {
+    let factory = QuestFactory::default();
+    let sequential = sequential_streams(&factory, 24);
+    let batched = batched_streams(&factory, 24);
+    assert_eq!(
+        batched, sequential,
+        "Quest: interleaved decode_batch must reproduce sequential streams byte for byte"
+    );
+}
+
+#[test]
+fn batched_decode_is_invariant_to_batch_order() {
+    let factory = clusterkv_factory();
+    let forward = batched_streams(&factory, 24);
+
+    // Decode the same sessions with the batch order reversed every step.
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24))
+        .policy(Box::new(factory))
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session().unwrap())
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        engine.prefill(*id, &prompt).unwrap();
+    }
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    let reversed: Vec<SessionId> = ids.iter().rev().copied().collect();
+    for _ in 0..DECODE_STEPS {
+        let outs = engine.decode_batch(&reversed).unwrap();
+        for (out, &id) in outs.iter().zip(&reversed) {
+            let idx = ids.iter().position(|&x| x == id).unwrap();
+            streams[idx].push(out.next_token);
+        }
+    }
+    assert_eq!(
+        streams, forward,
+        "batch order must not influence any session's stream"
+    );
+}
+
+#[test]
+fn releasing_a_session_does_not_disturb_the_others() {
+    let factory = clusterkv_factory();
+    let reference = batched_streams(&factory, 24);
+
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24))
+        .policy(Box::new(factory))
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session().unwrap())
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        engine.prefill(*id, &prompt).unwrap();
+    }
+    // Decode everything for half the steps, drop session 0, finish the rest.
+    let half = DECODE_STEPS / 2;
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    for _ in 0..half {
+        for (stream, out) in streams.iter_mut().zip(engine.decode_batch(&ids).unwrap()) {
+            stream.push(out.next_token);
+        }
+    }
+    let report = engine.release(ids[0]).unwrap();
+    assert_eq!(report.generated_tokens, half);
+    let rest = &ids[1..];
+    for _ in half..DECODE_STEPS {
+        for (stream, out) in streams[1..]
+            .iter_mut()
+            .zip(engine.decode_batch(rest).unwrap())
+        {
+            stream.push(out.next_token);
+        }
+    }
+    for s in 1..NUM_SESSIONS {
+        assert_eq!(
+            streams[s], reference[s],
+            "session {s} diverged after a release"
+        );
+    }
+}
+
+#[test]
+fn per_session_stats_match_single_session_runs() {
+    let factory = clusterkv_factory();
+    // Single-session reference stats.
+    let mut single = InferenceEngine::with_synthetic_weights(
+        ModelConfig::tiny(),
+        SEED,
+        &factory,
+        Budget::new(24),
+    )
+    .unwrap();
+    let prompt = &prompts()[0];
+    single.generate(prompt, DECODE_STEPS).unwrap();
+    let reference = single.policy_stats();
+    assert!(reference.scored_vectors > 0);
+
+    // The same sequence decoded in a busy engine accumulates identical
+    // per-session stats.
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24))
+        .policy(Box::new(factory))
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session().unwrap())
+        .collect();
+    for (id, p) in ids.iter().zip(prompts()) {
+        engine.prefill(*id, &p).unwrap();
+    }
+    for _ in 0..DECODE_STEPS {
+        engine.decode_batch(&ids).unwrap();
+    }
+    assert_eq!(engine.session_stats(ids[0]).unwrap(), reference);
+    let report = engine.release(ids[0]).unwrap();
+    assert_eq!(report.stats, reference);
+}
