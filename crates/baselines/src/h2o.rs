@@ -6,6 +6,12 @@
 //! canonical **non-recallable** compression method of Fig. 1b, and its
 //! inability to bring back tokens whose importance rises later is exactly the
 //! behaviour ClusterKV's motivation study (Fig. 3a) targets.
+//!
+//! In the tiered serving stack H2O is **cache-trivially resident**
+//! ([`KvResidency::Resident`](clusterkv_model::policy::KvResidency)): the
+//! retained set only shrinks by permanent eviction and grows by the token
+//! just produced on the GPU, so nothing is ever recalled over PCIe and its
+//! plans carry no page requests.
 
 use clusterkv_model::policy::{
     HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
@@ -292,5 +298,16 @@ mod tests {
     #[should_panic]
     fn invalid_recent_fraction_panics() {
         H2oSelector::new(1.5, 4);
+    }
+
+    #[test]
+    fn plans_are_trivially_resident() {
+        use clusterkv_model::policy::KvResidency;
+        let mut h = H2oSelector::new(0.5, 8);
+        prefill(&mut h, &uniform_keys(64, 8));
+        let plan = h.plan(SelectionRequest::new(&[0.1; 8], 64, Budget::new(16)));
+        assert_eq!(plan.residency, KvResidency::Resident);
+        assert_eq!(h.page_table(), KvResidency::Resident);
+        assert_eq!(plan.stats.transfer.transfers, 0);
     }
 }

@@ -13,10 +13,16 @@
 //! keys of the head (a faithful stand-in for the offline weight SVD: both
 //! yield the dominant key subspace), keeping a configurable fraction of the
 //! head dimension.
+//!
+//! In the tiered serving stack InfiniGen pages KV at **token** granularity
+//! (it recalls exactly the selected tokens from CPU memory): plans carry one
+//! single-token [`PageRequest`] per selected position, so a bounded GPU
+//! cluster cache doubles as its speculative-prefetch buffer — stable top-k
+//! sets hit the cache, shifts in attention pay per-token recalls.
 
 use clusterkv_model::policy::{
-    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
-    TokenSelector,
+    HeadContext, KvResidency, ObserveEvent, PageRequest, PolicyStats, SelectionPlan,
+    SelectionRequest, SelectorFactory, TokenSelector,
 };
 use clusterkv_tensor::svd::svd;
 use clusterkv_tensor::vector::top_k_indices;
@@ -130,11 +136,22 @@ impl TokenSelector for InfiniGenSelector {
         let scores: Vec<f32> = (0..n)
             .map(|i| clusterkv_tensor::vector::dot(self.partial_keys.row(i), &pq))
             .collect();
-        SelectionPlan::new(top_k_indices(&scores, request.budget.tokens())).with_stats(
-            PolicyStats {
+        let indices = top_k_indices(&scores, request.budget.tokens());
+        // Recall at token granularity: one single-token page per selection.
+        let pages = indices.iter().map(|&t| PageRequest::new(t, 1)).collect();
+        SelectionPlan::new(indices)
+            .with_stats(PolicyStats {
                 scored_vectors: n as u64,
                 ..PolicyStats::default()
-            },
+            })
+            .with_pages(pages)
+    }
+
+    fn page_table(&self) -> KvResidency {
+        KvResidency::Paged(
+            (0..self.partial_keys.rows())
+                .map(|t| PageRequest::new(t, 1))
+                .collect(),
         )
     }
 }
@@ -296,6 +313,29 @@ mod tests {
             picked.contains(&32),
             "appended hot token must be recallable"
         );
+    }
+
+    #[test]
+    fn plans_page_kv_at_token_granularity() {
+        let mut infinigen = InfiniGenSelector::new(0.5, 8);
+        prefill(&mut infinigen, &random_keys(32, 8, 11));
+        let q = gaussian_vec(&mut seeded(12), 8, 0.0, 1.0);
+        let plan = infinigen.plan(SelectionRequest::new(&q, 32, Budget::new(6)));
+        let KvResidency::Paged(pages) = &plan.residency else {
+            panic!(
+                "InfiniGen selections must be paged, got {:?}",
+                plan.residency
+            );
+        };
+        assert_eq!(pages.len(), plan.indices.len());
+        for (page, &token) in pages.iter().zip(&plan.indices) {
+            assert_eq!(page.page, token);
+            assert_eq!(page.tokens, 1);
+        }
+        let KvResidency::Paged(table) = infinigen.page_table() else {
+            panic!("page table must be paged");
+        };
+        assert_eq!(table.len(), 32, "one single-token page per token seen");
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //! token budget is filled. Selection is recallable, but because pages are cut
 //! purely by position a selected page may contain mostly unimportant tokens —
 //! the internal-fragmentation problem ClusterKV addresses (Fig. 3b).
+//!
+//! In the tiered serving stack Quest pages KV at its own positional-page
+//! granularity: plans carry one [`PageRequest`] per selected page, so a
+//! session with a bounded GPU cluster cache recalls whole pages on a miss,
+//! while a cache large enough for the full KV reproduces Quest's usual
+//! all-GPU deployment (no PCIe traffic).
 
 use clusterkv_model::policy::{
-    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
-    TokenSelector,
+    HeadContext, KvResidency, ObserveEvent, PageRequest, PolicyStats, SelectionPlan,
+    SelectionRequest, SelectorFactory, TokenSelector,
 };
 use clusterkv_tensor::vector::argsort_descending;
 use serde::{Deserialize, Serialize};
@@ -135,6 +141,7 @@ impl TokenSelector for QuestSelector {
 
         let budget_tokens = request.budget.tokens();
         let mut selected = Vec::with_capacity(budget_tokens);
+        let mut pages = Vec::new();
         for &page_idx in &order {
             if selected.len() >= budget_tokens {
                 break;
@@ -143,12 +150,27 @@ impl TokenSelector for QuestSelector {
             let remaining = budget_tokens - selected.len();
             let take = page.len.min(remaining);
             selected.extend(page.start..page.start + take);
+            // Recall at page granularity: the attended prefix of the page
+            // must be materialised on the GPU.
+            pages.push(PageRequest::new(page_idx, take));
         }
         selected.retain(|&t| t < n);
-        SelectionPlan::new(selected).with_stats(PolicyStats {
-            scored_vectors: scored,
-            ..PolicyStats::default()
-        })
+        SelectionPlan::new(selected)
+            .with_stats(PolicyStats {
+                scored_vectors: scored,
+                ..PolicyStats::default()
+            })
+            .with_pages(pages)
+    }
+
+    fn page_table(&self) -> KvResidency {
+        KvResidency::Paged(
+            self.pages
+                .iter()
+                .enumerate()
+                .map(|(i, p)| PageRequest::new(i, p.len))
+                .collect(),
+        )
     }
 }
 
@@ -302,6 +324,28 @@ mod tests {
             second.stats.scored_vectors, 8,
             "stats are per call, not cumulative"
         );
+    }
+
+    #[test]
+    fn plans_page_kv_at_page_granularity() {
+        let mut q = QuestSelector::new(4, 8);
+        prefill(&mut q, &keys_with_hot_token(20, 8, 9));
+        let mut query = vec![0.0; 8];
+        query[0] = 1.0;
+        let plan = q.plan(SelectionRequest::new(&query, 20, Budget::new(6)));
+        let KvResidency::Paged(pages) = &plan.residency else {
+            panic!("Quest selections must be paged, got {:?}", plan.residency);
+        };
+        // Budget 6 with page size 4: one full page plus a trimmed one; the
+        // page requests cover exactly the attended prefixes.
+        assert_eq!(pages.iter().map(|p| p.tokens).sum::<usize>(), 6);
+        assert!(pages.iter().all(|p| p.page < q.num_pages()));
+        // The page table advertises every page at its full size.
+        let KvResidency::Paged(table) = q.page_table() else {
+            panic!("page table must be paged");
+        };
+        assert_eq!(table.len(), q.num_pages());
+        assert_eq!(table.iter().map(|p| p.tokens).sum::<usize>(), 20);
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! StreamingLLM keeps the first few tokens (attention sinks) and the most
 //! recent tokens, dropping everything in between. It is the simplest
 //! fixed-pattern, non-recallable compression scheme (the "fixed patterns"
-//! reference [9] of the paper) and serves as a lower bound for selection
+//! reference \[9\] of the paper) and serves as a lower bound for selection
 //! quality in the recall experiments.
+//!
+//! In the tiered serving stack StreamingLLM is **cache-trivially resident**
+//! ([`KvResidency::Resident`](clusterkv_model::policy::KvResidency)): its
+//! working set only ever gains the token just produced on the GPU and drops
+//! tokens permanently, so nothing is ever recalled over PCIe and its plans
+//! carry no page requests.
 
 use clusterkv_model::policy::{
     HeadContext, ObserveEvent, SelectionPlan, SelectionRequest, SelectorFactory, TokenSelector,
@@ -157,6 +163,17 @@ mod tests {
         let out = select(&mut s, 100, 8);
         assert_eq!(out.len(), 8);
         assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plans_are_trivially_resident() {
+        use clusterkv_model::policy::KvResidency;
+        let mut s = StreamingSelector::new(4);
+        prefill(&mut s, &Matrix::zeros(100, 8));
+        let plan = s.plan(SelectionRequest::new(&[0.0; 8], 100, Budget::new(12)));
+        assert_eq!(plan.residency, KvResidency::Resident);
+        assert_eq!(s.page_table(), KvResidency::Resident);
+        assert_eq!(plan.stats.transfer.transfers, 0);
     }
 
     #[test]

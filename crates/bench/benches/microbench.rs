@@ -11,7 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clusterkv::{
-    select_clusters, ClusterCache, ClusterKvConfig, DistanceMetric, KMeans, SemanticClustering,
+    select_clusters, ClusterCache, ClusterCacheConfig, ClusterKvConfig, DistanceMetric, KMeans,
+    PageRequest, SemanticClustering,
 };
 use clusterkv_baselines::QuestFactory;
 use clusterkv_kvcache::types::Budget;
@@ -82,15 +83,23 @@ fn bench_quest_selection(c: &mut Criterion) {
     group.finish();
 }
 
-/// Cluster-cache lookup and update cost.
+/// Tiered cluster-cache lookup and update cost.
 fn bench_cache(c: &mut Criterion) {
+    use clusterkv_kvcache::types::{Bytes, HeadId, LayerId};
     let mut group = c.benchmark_group("cluster_cache");
-    let selections: Vec<Vec<usize>> = (0..64).map(|i| ((i % 7)..(i % 7 + 20)).collect()).collect();
-    group.bench_function("access_r1", |b| {
+    let selections: Vec<Vec<PageRequest>> = (0..64)
+        .map(|i| {
+            ((i % 7)..(i % 7 + 20))
+                .map(|p| PageRequest::new(p, p + 10))
+                .collect()
+        })
+        .collect();
+    group.bench_function("access_lru", |b| {
         b.iter(|| {
-            let mut cache = ClusterCache::new(1);
+            // Room for roughly one step's worth of pages (LRU churn).
+            let mut cache = ClusterCache::new(ClusterCacheConfig::new(Bytes(20 * 20 * 256), 64));
             for sel in &selections {
-                black_box(cache.access(sel, |c| c + 10));
+                black_box(cache.access(LayerId(0), HeadId(0), sel));
             }
             black_box(cache.stats())
         })

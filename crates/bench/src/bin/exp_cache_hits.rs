@@ -1,74 +1,117 @@
 //! Experiment E11 — §V-C "Effectiveness of caching".
 //!
-//! Measures the token-level hit rate of the cluster-granularity cache for
-//! recency windows R = 1 and R = 2 on a NarrativeQA-style episode, and the
-//! decoding-throughput improvement the cache buys compared to fetching every
-//! selected token from CPU memory. Also sweeps the incremental-clustering
-//! period `m` as an extra ablation.
+//! Drives the tiered cluster cache (`clusterkv_kvcache::cluster_cache`) with
+//! a NarrativeQA-style episode and measures, instead of assuming:
+//!
+//! 1. the token-level hit rate at capacities equivalent to the paper's
+//!    recency windows R = 1 and R = 2, and the decoding-throughput gain the
+//!    cache buys over recalling every selected cluster from CPU memory;
+//! 2. the hit rate as a function of GPU cache capacity — non-decreasing in
+//!    capacity and exactly 100 % once the cache holds the full KV (nothing
+//!    is ever offloaded, so nothing is ever recalled);
+//! 3. the incremental-clustering period `m` ablation.
 //!
 //! Run with: `cargo run --release -p clusterkv-bench --bin exp_cache_hits`
 
-use clusterkv::{ClusterKvConfig, ClusterKvFactory};
-use clusterkv_kvcache::types::Budget;
+use clusterkv::{ClusterCache, ClusterCacheConfig, ClusterKvConfig, ClusterKvFactory};
+use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_kvcache::DeviceModel;
 use clusterkv_metrics::{fmt, Table};
 use clusterkv_model::latency::StepCost;
 use clusterkv_model::policy::{HeadContext, SelectorFactory};
 use clusterkv_model::{LatencyModel, ModelPreset};
-use clusterkv_workloads::{run_episode, Episode, EpisodeConfig};
+use clusterkv_workloads::{run_episode_cached, Episode, EpisodeConfig, EpisodeResult};
 
 const BUDGET: usize = 1024;
 const CONTEXT_LEN: usize = 8192;
+const DECODE_STEPS: usize = 64;
 
-fn hit_rate_for(config: ClusterKvConfig, episode: &Episode) -> f64 {
+/// Run one ClusterKV head over the episode against a cache of the given
+/// capacity, returning the measured episode result (hit rate, recalled
+/// tokens, selection work).
+fn run_with_capacity(config: ClusterKvConfig, episode: &Episode, capacity: Bytes) -> EpisodeResult {
     let factory = ClusterKvFactory::new(config);
     let mut selector = factory.create(HeadContext {
         layer: 2,
         head: 0,
         head_dim: episode.config.head_dim,
     });
-    let result = run_episode(episode, selector.as_mut(), Budget::new(BUDGET));
-    result.stats.cache.hit_rate()
+    let mut cache = ClusterCache::new(ClusterCacheConfig::new(capacity, episode.config.head_dim));
+    run_episode_cached(episode, selector.as_mut(), Budget::new(BUDGET), &mut cache)
+}
+
+/// Capacity equivalent to the paper's recency window `R`: room for `R`
+/// steps of selected clusters (budget plus one trimmed cluster of slack).
+fn r_equivalent_capacity(r: usize, config: &ClusterKvConfig, head_dim: usize) -> Bytes {
+    ClusterCacheConfig::for_recency_window(r, BUDGET + config.tokens_per_cluster, head_dim)
+        .gpu_capacity
 }
 
 fn main() {
     let episode = Episode::generate(
         EpisodeConfig::default()
             .with_context_len(CONTEXT_LEN)
-            .with_decode_steps(64)
+            .with_decode_steps(DECODE_STEPS)
             .with_num_topics(40)
             .with_seed(0xCAC4E),
     );
+    let head_dim = episode.config.head_dim;
     let model = LatencyModel::new(ModelPreset::Llama31_8b.config(), DeviceModel::ada6000());
 
+    // Per-step recall cost measured on the episode, fed into the analytical
+    // decode model (real recall traffic, not an assumed uniform rate).
+    let cost_of = |result: &EpisodeResult| {
+        let transferred_per_step = result.stats.transfer.tokens_moved as f64 / DECODE_STEPS as f64;
+        move |ctx: usize| StepCost {
+            scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
+            attended_tokens: BUDGET as f64,
+            transferred_tokens_per_head: transferred_per_step,
+        }
+    };
+
     println!("# Cluster-cache effectiveness (§V-C)\n");
+    let no_cache = run_with_capacity(ClusterKvConfig::default(), &episode, Bytes(0));
+    let no_cache_run = model.run(
+        CONTEXT_LEN,
+        256,
+        Some((CONTEXT_LEN / 80, 10)),
+        cost_of(&no_cache),
+    );
     let mut table = Table::new(vec![
         "Recency window R",
         "Token hit rate",
+        "Recalled / step",
         "Throughput vs no cache",
     ]);
-    let no_cache = model.run(CONTEXT_LEN, 256, Some((CONTEXT_LEN / 80, 10)), |ctx| {
-        StepCost {
-            scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
-            attended_tokens: BUDGET as f64,
-            transferred_tokens_per_head: BUDGET as f64,
-        }
-    });
     for r in [1usize, 2] {
-        let hit = hit_rate_for(ClusterKvConfig::default().with_recency_window(r), &episode);
-        let cached = model.run(CONTEXT_LEN, 256, Some((CONTEXT_LEN / 80, 10)), |ctx| {
-            StepCost {
-                scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
-                attended_tokens: BUDGET as f64,
-                transferred_tokens_per_head: BUDGET as f64 * (1.0 - hit),
-            }
-        });
+        let config = ClusterKvConfig::default();
+        let result = run_with_capacity(
+            config,
+            &episode,
+            r_equivalent_capacity(r, &config, head_dim),
+        );
+        let cached_run = model.run(
+            CONTEXT_LEN,
+            256,
+            Some((CONTEXT_LEN / 80, 10)),
+            cost_of(&result),
+        );
         table.row(vec![
             r.to_string(),
-            format!("{:.1}%", hit * 100.0),
+            format!("{:.1}%", result.stats.cache.hit_rate() * 100.0),
+            format!(
+                "{} tokens",
+                fmt(
+                    result.stats.transfer.tokens_moved as f64 / DECODE_STEPS as f64,
+                    0
+                )
+            ),
             format!(
                 "{}x",
-                fmt(cached.decode_throughput / no_cache.decode_throughput, 2)
+                fmt(
+                    cached_run.decode_throughput / no_cache_run.decode_throughput,
+                    2
+                )
             ),
         ]);
     }
@@ -78,14 +121,80 @@ fn main() {
          over loading directly from CPU memory.\n"
     );
 
+    println!("# Hit rate vs GPU cache capacity\n");
+    let full_kv = Bytes(4 * head_dim as u64 * (CONTEXT_LEN + DECODE_STEPS) as u64);
+    let mut table = Table::new(vec![
+        "Capacity (fraction of full KV)",
+        "Capacity",
+        "Token hit rate",
+        "Bytes recalled",
+    ]);
+    let mut previous = -1.0f64;
+    let mut monotone = true;
+    for (label, capacity) in [
+        ("0", Bytes(0)),
+        ("1/16", Bytes(full_kv.get() / 16)),
+        ("1/8", Bytes(full_kv.get() / 8)),
+        ("1/4", Bytes(full_kv.get() / 4)),
+        ("1/2", Bytes(full_kv.get() / 2)),
+        ("1", full_kv),
+        ("2", Bytes(2 * full_kv.get())),
+    ] {
+        let result = run_with_capacity(ClusterKvConfig::default(), &episode, capacity);
+        let hit = result.stats.cache.hit_rate();
+        monotone &= hit >= previous;
+        previous = hit;
+        table.row(vec![
+            label.to_string(),
+            capacity.to_string(),
+            format!("{:.1}%", hit * 100.0),
+            result.stats.transfer.bytes_to_device.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    assert!(monotone, "hit rate must be non-decreasing in capacity");
+    assert!(
+        (previous - 1.0).abs() < 1e-12,
+        "capacity >= full KV must never recall (hit rate {previous})"
+    );
+    println!(
+        "Hit rate is monotonically non-decreasing in capacity and reaches 100% once the cache \
+         holds the full KV.\n"
+    );
+
     println!("# Ablation — incremental clustering period m (C+ = 4)\n");
+    // A longer decode so the smaller periods actually trigger incremental
+    // clustering runs (320 steps = 4 runs at m = 80, none at m = 640).
+    let long_decode = Episode::generate(
+        EpisodeConfig::default()
+            .with_context_len(CONTEXT_LEN)
+            .with_decode_steps(320)
+            .with_num_topics(40)
+            .with_seed(0xCAC4E),
+    );
     let mut table = Table::new(vec!["m (steps between clustering)", "Token hit rate"]);
     for m in [80usize, 160, 320, 640] {
-        let hit = hit_rate_for(
-            ClusterKvConfig::default().with_decode_cluster_period(m),
-            &episode,
+        let config = ClusterKvConfig::default().with_decode_cluster_period(m);
+        let factory = ClusterKvFactory::new(config);
+        let mut selector = factory.create(HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim,
+        });
+        let mut cache = ClusterCache::new(ClusterCacheConfig::new(
+            r_equivalent_capacity(1, &config, head_dim),
+            head_dim,
+        ));
+        let result = run_episode_cached(
+            &long_decode,
+            selector.as_mut(),
+            Budget::new(BUDGET),
+            &mut cache,
         );
-        table.row(vec![m.to_string(), format!("{:.1}%", hit * 100.0)]);
+        table.row(vec![
+            m.to_string(),
+            format!("{:.1}%", result.stats.cache.hit_rate() * 100.0),
+        ]);
     }
     println!("{}", table.render());
 }

@@ -5,35 +5,84 @@
 //! budgets of 512/1024/2048, including the prefill breakdown and the
 //! clustering overhead (§V-C: 6–8 % of prefill).
 //!
+//! The per-step PCIe recall traffic is *measured* by running each budget's
+//! selection against the tiered cluster cache on an 8k-context episode
+//! (R = 1 equivalent capacity), instead of assuming a uniform hit rate.
+//!
 //! Run with: `cargo run --release -p clusterkv-bench --bin fig12_latency`
 
+use clusterkv::{ClusterCache, ClusterCacheConfig, ClusterKvConfig, ClusterKvFactory};
+use clusterkv_kvcache::types::Budget;
 use clusterkv_kvcache::DeviceModel;
 use clusterkv_metrics::{fmt, Table};
 use clusterkv_model::latency::StepCost;
+use clusterkv_model::policy::{HeadContext, SelectorFactory};
 use clusterkv_model::{LatencyModel, ModelPreset};
+use clusterkv_workloads::{run_episode_cached, Episode, EpisodeConfig};
 
 const PROMPTS: [usize; 3] = [8_192, 16_384, 32_768];
 const DECODES: [usize; 3] = [256, 512, 1024];
 const BUDGETS: [usize; 3] = [512, 1024, 2048];
-/// Token-level hit rate of the cluster cache with R = 1 (§V-C).
-const CACHE_HIT_RATE: f64 = 0.63;
+const MEASURE_CONTEXT: usize = 8_192;
+const MEASURE_STEPS: usize = 64;
 
-fn clusterkv_cost(budget: usize) -> impl Fn(usize) -> StepCost {
+/// Measured cluster-cache behaviour of one budget: (token hit rate,
+/// recalled tokens per step) on the reference episode.
+fn measured_recall(episode: &Episode, budget: usize) -> (f64, f64) {
+    let config = ClusterKvConfig::default();
+    let factory = ClusterKvFactory::new(config);
+    let mut selector = factory.create(HeadContext {
+        layer: 2,
+        head: 0,
+        head_dim: episode.config.head_dim,
+    });
+    let mut cache = ClusterCache::new(ClusterCacheConfig::for_recency_window(
+        1,
+        budget + config.tokens_per_cluster,
+        episode.config.head_dim,
+    ));
+    let result = run_episode_cached(episode, selector.as_mut(), Budget::new(budget), &mut cache);
+    (
+        result.stats.cache.hit_rate(),
+        result.stats.transfer.tokens_moved as f64 / MEASURE_STEPS as f64,
+    )
+}
+
+fn clusterkv_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) -> StepCost {
     move |context_len: usize| StepCost {
         // Centroids scored per head: C0 = L/80 plus C+ clusters added during
         // decoding (4 every 320 steps — negligible next to C0).
         scored_vectors_per_head: (context_len as f64 / 80.0).max(1.0),
         attended_tokens: budget as f64,
-        transferred_tokens_per_head: budget as f64 * (1.0 - CACHE_HIT_RATE),
+        transferred_tokens_per_head: transferred_per_step,
     }
 }
 
 fn main() {
     let model = LatencyModel::new(ModelPreset::Llama31_8b.config(), DeviceModel::ada6000());
+    let episode = Episode::generate(
+        EpisodeConfig::default()
+            .with_context_len(MEASURE_CONTEXT)
+            .with_decode_steps(MEASURE_STEPS)
+            .with_num_topics(40)
+            .with_seed(0xF16),
+    );
+    let recall: Vec<(f64, f64)> = BUDGETS
+        .iter()
+        .map(|&b| measured_recall(&episode, b))
+        .collect();
     println!(
         "# Fig. 12 — latency vs full KV ({} on analytical Ada-6000 device model)\n",
         ModelPreset::Llama31_8b
     );
+    for (&b, &(hit, per_step)) in BUDGETS.iter().zip(&recall) {
+        println!(
+            "measured cluster-cache recall at B={b}: hit rate {:.1}%, {} tokens/step",
+            hit * 100.0,
+            fmt(per_step, 0)
+        );
+    }
+    println!();
 
     let mut table = Table::new(vec![
         "P",
@@ -50,8 +99,8 @@ fn main() {
             let full = model.run(p, d, None, StepCost::full_kv);
             let mut budget_totals = Vec::new();
             let mut at_1024 = None;
-            for &b in &BUDGETS {
-                let r = model.run(p, d, Some((p / 80, 10)), clusterkv_cost(b));
+            for (&b, &(_, per_step)) in BUDGETS.iter().zip(&recall) {
+                let r = model.run(p, d, Some((p / 80, 10)), clusterkv_cost(b, per_step));
                 budget_totals.push(r.total.get());
                 if b == 1024 {
                     at_1024 = Some(r);

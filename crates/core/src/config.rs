@@ -44,12 +44,15 @@ pub struct ClusterKvConfig {
     /// Number of new clusters created per incremental clustering run
     /// (`C+ = 4` in the paper).
     pub decode_new_clusters: usize,
-    /// Recency window of the cluster-granularity GPU cache: KV of clusters
-    /// selected in the last `R` steps stay resident (`R = 1` in the paper).
-    pub recency_window: usize,
     /// Seed for the (deterministic) random centroid initialisation.
     pub seed: u64,
 }
+
+// Note: the paper's recency window `R` (§IV-D) is not an algorithm
+// parameter here — residency is owned by the serving stack. Size the
+// session's GPU cluster cache instead (`ServeEngineBuilder::
+// kv_cache_capacity`, `ClusterCacheConfig::for_recency_window`): a capacity
+// holding `R` steps of selected KV is the LRU analogue of `R`.
 
 impl Default for ClusterKvConfig {
     fn default() -> Self {
@@ -61,7 +64,6 @@ impl Default for ClusterKvConfig {
             max_kmeans_iters: 20,
             decode_cluster_period: 320,
             decode_new_clusters: 4,
-            recency_window: 1,
             seed: 0x5EED,
         }
     }
@@ -103,12 +105,6 @@ impl ClusterKvConfig {
     /// Set the number of attention-sink tokens (builder style).
     pub fn with_sink_tokens(mut self, sink_tokens: usize) -> Self {
         self.sink_tokens = sink_tokens;
-        self
-    }
-
-    /// Set the recency window `R` of the cluster cache (builder style).
-    pub fn with_recency_window(mut self, recency_window: usize) -> Self {
-        self.recency_window = recency_window;
         self
     }
 
@@ -166,7 +162,6 @@ mod tests {
         assert_eq!(c.tokens_per_cluster, 80);
         assert_eq!(c.decode_cluster_period, 320);
         assert_eq!(c.decode_new_clusters, 4);
-        assert_eq!(c.recency_window, 1);
         assert_eq!(c.distance, DistanceMetric::Cosine);
         assert_eq!(ClusterKvConfig::paper(), c);
         assert!(c.validate().is_ok());
@@ -198,14 +193,12 @@ mod tests {
             .with_distance(DistanceMetric::InnerProduct)
             .with_tokens_per_cluster(40)
             .with_sink_tokens(8)
-            .with_recency_window(2)
             .with_decode_cluster_period(160)
             .with_decode_new_clusters(8)
             .with_seed(99);
         assert_eq!(c.distance, DistanceMetric::InnerProduct);
         assert_eq!(c.tokens_per_cluster, 40);
         assert_eq!(c.sink_tokens, 8);
-        assert_eq!(c.recency_window, 2);
         assert_eq!(c.decode_cluster_period, 160);
         assert_eq!(c.decode_new_clusters, 8);
         assert_eq!(c.seed, 99);

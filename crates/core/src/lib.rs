@@ -17,18 +17,21 @@
 //! * [`distance`] — the semantic distance (§III-B): cosine, plus L2 and
 //!   inner-product alternatives used in the Fig. 11b ablation.
 //! * [`kmeans`] — k-means over key vectors under a configurable distance.
-//! * [`clustering`] — [`SemanticClustering`](clustering::SemanticClustering):
-//!   attention-sink handling, prefill clustering and incremental decode
-//!   clustering (§III-B).
+//! * [`clustering`] — [`SemanticClustering`]: attention-sink handling,
+//!   prefill clustering and incremental decode clustering (§III-B).
 //! * [`metadata`] — cluster sizes, prefix sums and label-sorted token
 //!   indices (the Fig. 8 metadata).
 //! * [`selection`] — greedy cluster selection under a token budget with
 //!   trimming of the last cluster (§III-C, §IV-C).
-//! * [`cache`] — the cluster-granularity GPU cache with recency window `R`
-//!   (§IV-D).
-//! * [`policy`] — [`ClusterKvSelector`](policy::ClusterKvSelector), the
+//! * [`policy`] — [`ClusterKvSelector`], the
 //!   [`TokenSelector`](clusterkv_model::TokenSelector) implementation that
 //!   plugs into the inference engine, and its factory.
+//!
+//! The cluster-granularity GPU cache of §IV-D lives in `clusterkv-kvcache`
+//! as the session-level tiered hierarchy ([`ClusterCache`], re-exported
+//! here): plans produced by [`ClusterKvSelector`] carry their cluster page
+//! decomposition, and the serving engine resolves residency against a
+//! capacity-bounded GPU resident set (DESIGN.md §3).
 //!
 //! # Quickstart
 //!
@@ -62,7 +65,6 @@
 
 #![warn(missing_docs)]
 
-pub mod cache;
 pub mod clustering;
 pub mod config;
 pub mod distance;
@@ -71,8 +73,8 @@ pub mod metadata;
 pub mod policy;
 pub mod selection;
 
-pub use cache::ClusterCache;
 pub use clustering::SemanticClustering;
+pub use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig, PageRequest};
 pub use config::ClusterKvConfig;
 pub use distance::DistanceMetric;
 pub use kmeans::KMeans;

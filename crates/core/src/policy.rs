@@ -2,54 +2,44 @@
 //!
 //! [`ClusterKvSelector`] wires the pieces of the algorithm together exactly
 //! as the system of Fig. 5 does for one head: semantic clustering at prefill,
-//! incremental clustering during decoding, centroid-based selection at every
-//! step, and a cluster-granularity cache that turns repeated selections into
-//! GPU-cache hits instead of PCIe transfers. Every [`plan`] call returns the
-//! selected token indices together with the cost of exactly that call
-//! (centroids scored, tokens transferred, cache hits/misses), so the engine
-//! can aggregate statistics per session.
+//! incremental clustering during decoding and centroid-based selection at
+//! every step. Every [`plan`] call returns the selected token indices, the
+//! selection work of exactly that call (centroids scored) and the selection's
+//! cluster-granularity page decomposition; the *residency* outcome (which
+//! clusters hit the GPU cache vs. required a PCIe recall) is resolved by
+//! whoever owns the session's tiered
+//! [`ClusterCache`](clusterkv_kvcache::cluster_cache::ClusterCache) — the
+//! serving engine or the episode harness (DESIGN.md §3).
 //!
 //! [`plan`]: clusterkv_model::policy::TokenSelector::plan
 
-use crate::cache::ClusterCache;
 use crate::clustering::SemanticClustering;
 use crate::config::ClusterKvConfig;
 use crate::selection::select_clusters;
-use clusterkv_kvcache::stats::{CacheStats, TransferStats};
-use clusterkv_kvcache::types::Bytes;
+use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_model::policy::{
-    HeadContext, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory,
-    TokenSelector,
+    HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest,
+    SelectorFactory, TokenSelector,
 };
 use clusterkv_tensor::rng::derive_seed;
 
 /// ClusterKV selection state for a single attention head.
 #[derive(Debug, Clone)]
 pub struct ClusterKvSelector {
-    head_dim: usize,
     clustering: SemanticClustering,
-    cache: ClusterCache,
 }
 
 impl ClusterKvSelector {
     /// Create a selector for a head of dimension `head_dim`.
     pub fn new(config: ClusterKvConfig, head_dim: usize) -> Self {
         Self {
-            head_dim,
             clustering: SemanticClustering::new(config, head_dim),
-            cache: ClusterCache::new(config.recency_window),
         }
     }
 
     /// The clustering state (centroids, metadata, sinks, pending tokens).
     pub fn clustering(&self) -> &SemanticClustering {
         &self.clustering
-    }
-
-    /// Cumulative token-level hit/miss statistics of the cluster cache
-    /// (diagnostic view; per-call deltas flow through the selection plans).
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
     }
 }
 
@@ -72,27 +62,22 @@ impl TokenSelector for ClusterKvSelector {
         }
 
         let result = select_clusters(request.query, &self.clustering, request.budget);
+        let pages = result.page_requests(self.clustering.metadata());
+        SelectionPlan::new(result.token_indices)
+            .with_stats(PolicyStats {
+                scored_vectors: result.scored_centroids as u64,
+                ..PolicyStats::default()
+            })
+            .with_pages(pages)
+    }
 
-        // Model the cluster-granularity GPU cache: only missed clusters cost
-        // a PCIe transfer.
+    fn page_table(&self) -> KvResidency {
         let metadata = self.clustering.metadata();
-        let access = self
-            .cache
-            .access(&result.selected_clusters, |c| metadata.cluster_size(c));
-        let mut transfer = TransferStats::new();
-        if access.missed_tokens > 0 {
-            let bytes = Bytes::of_f16(2 * access.missed_tokens * self.head_dim);
-            transfer.record(access.missed_tokens as u64, bytes);
-        }
-
-        SelectionPlan::new(result.token_indices).with_stats(PolicyStats {
-            scored_vectors: result.scored_centroids as u64,
-            transfer,
-            cache: CacheStats {
-                hits: access.hit_tokens as u64,
-                misses: access.missed_tokens as u64,
-            },
-        })
+        KvResidency::Paged(
+            (0..metadata.num_clusters())
+                .map(|c| PageRequest::new(c, metadata.cluster_size(c)))
+                .collect(),
+        )
     }
 }
 
@@ -188,26 +173,57 @@ mod tests {
     }
 
     #[test]
-    fn repeated_queries_hit_the_cluster_cache() {
+    fn plans_are_paged_at_cluster_granularity() {
         let mut sel = ClusterKvSelector::new(test_config(), 8);
         observe_prefill(&mut sel, &prefill_keys(80, 8, 4));
         let q = gaussian_vec(&mut seeded(5), 8, 0.0, 1.0);
+        let plan = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        let KvResidency::Paged(pages) = &plan.residency else {
+            panic!(
+                "ClusterKV selections must be paged, got {:?}",
+                plan.residency
+            );
+        };
+        assert!(!pages.is_empty());
+        let metadata = sel.clustering().metadata();
+        for p in pages {
+            assert!(p.page < metadata.num_clusters());
+            assert_eq!(p.tokens, metadata.cluster_size(p.page));
+        }
+        // The page table covers every cluster (for cache warm admission).
+        let KvResidency::Paged(table) = sel.page_table() else {
+            panic!("page table must be paged");
+        };
+        assert_eq!(table.len(), metadata.num_clusters());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_tiered_cluster_cache() {
+        use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
+        use clusterkv_kvcache::types::{HeadId, LayerId};
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        observe_prefill(&mut sel, &prefill_keys(80, 8, 4));
+        let q = gaussian_vec(&mut seeded(5), 8, 0.0, 1.0);
+        // Room for two steps' worth of selected clusters.
+        let mut cache = ClusterCache::new(ClusterCacheConfig::for_recency_window(2, 24, 8));
+
         let first = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
-        assert!(first.stats.cache.misses > 0);
-        assert_eq!(first.stats.cache.hits, 0, "cold cache has no hits");
-        assert_eq!(
-            first.stats.transfer.tokens_moved, first.stats.cache.misses,
-            "every missed token is transferred"
-        );
-        // The same query selects the same clusters, which are now cached.
+        let KvResidency::Paged(pages) = &first.residency else {
+            panic!("paged plan expected");
+        };
+        let cold = cache.access(LayerId(0), HeadId(0), pages);
+        assert!(cold.missed_tokens > 0);
+        assert_eq!(cold.hit_tokens, 0, "cold cache has no hits");
+
+        // The same query selects the same clusters, which are now resident.
         let second = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
-        assert_eq!(second.stats.cache.misses, 0, "no new misses expected");
-        assert!(second.stats.cache.hits > 0);
-        assert_eq!(second.stats.transfer.tokens_moved, 0);
-        // The cumulative diagnostic view agrees with the per-call deltas.
-        let total = sel.cache_stats();
-        assert_eq!(total.misses, first.stats.cache.misses);
-        assert_eq!(total.hits, second.stats.cache.hits);
+        let KvResidency::Paged(pages) = &second.residency else {
+            panic!("paged plan expected");
+        };
+        let warm = cache.access(LayerId(0), HeadId(0), pages);
+        assert_eq!(warm.missed_tokens, 0, "no new misses expected");
+        assert!(warm.hit_tokens > 0);
+        assert_eq!(cache.transfers().tokens_moved, cold.missed_tokens);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! and are charged against the budget first.
 
 use crate::clustering::SemanticClustering;
+use crate::metadata::ClusterMetadata;
+use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_kvcache::types::Budget;
 use clusterkv_tensor::vector::argsort_descending;
 use serde::{Deserialize, Serialize};
@@ -39,6 +41,19 @@ impl SelectionResult {
     /// Whether nothing was selected.
     pub fn is_empty(&self) -> bool {
         self.token_indices.is_empty()
+    }
+
+    /// The selection as cluster-granularity page requests for the tiered KV
+    /// cache: one page per selected cluster, sized to the *whole* cluster.
+    /// Recall operates at cluster granularity (Fig. 8's prefix-sum gather
+    /// moves whole clusters) even when the last cluster's attention set was
+    /// trimmed to the budget; sinks and pending decode tokens stay pinned on
+    /// the GPU and are never paged.
+    pub fn page_requests(&self, metadata: &ClusterMetadata) -> Vec<PageRequest> {
+        self.selected_clusters
+            .iter()
+            .map(|&c| PageRequest::new(c, metadata.cluster_size(c)))
+            .collect()
     }
 }
 
@@ -221,6 +236,19 @@ mod tests {
         assert_eq!(result.len(), 7);
         assert!(result.trimmed_last_cluster);
         assert_eq!(result.selected_clusters.len(), 1);
+    }
+
+    #[test]
+    fn page_requests_cover_selected_clusters_at_full_size() {
+        let sc = directional_clustering();
+        // Budget 7 trims the aligned 10-token cluster to 3 attended tokens,
+        // but recall stays cluster granular: the page covers all 10.
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(7));
+        assert!(result.trimmed_last_cluster);
+        let pages = result.page_requests(sc.metadata());
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].page, result.selected_clusters[0]);
+        assert_eq!(pages[0].tokens, 10);
     }
 
     #[test]

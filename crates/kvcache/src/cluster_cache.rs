@@ -1,0 +1,633 @@
+//! Tiered cluster-granularity KV cache: a capacity-bounded GPU resident set
+//! over a CPU backing store (DESIGN.md §3).
+//!
+//! After prefill the full KV cache lives in CPU DRAM; the GPU keeps
+//! centroids, metadata and a bounded *selected-KV cache* holding the KV of
+//! recently selected clusters (Fig. 5). [`ClusterCache`] models that
+//! hierarchy for one session: pages (clusters for ClusterKV, positional
+//! pages for Quest, single tokens for InfiniGen) are admitted into a GPU
+//! [`MemoryTier`] with deterministic LRU eviction, and every access reports
+//! which pages hit the resident set and which had to be recalled over PCIe.
+//!
+//! Residency never changes *what* is attended — only what the recall costs.
+//! The serving engine enforces that invariant with a parity suite (token
+//! streams are byte-identical with the cache enabled or disabled).
+
+use crate::stats::{CacheStats, TransferStats};
+use crate::tier::{MemoryTier, TierKind};
+use crate::types::{Bytes, HeadId, LayerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Identity of one KV page within a session: the attention head it belongs
+/// to plus the policy-defined page id (cluster id for ClusterKV, page index
+/// for Quest, token position for InfiniGen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageKey {
+    /// Layer of the owning head.
+    pub layer: LayerId,
+    /// Query head the page belongs to (residency is tracked at query-head
+    /// granularity, matching the per-head selectors).
+    pub head: HeadId,
+    /// Policy-defined page id, unique within the head.
+    pub page: usize,
+}
+
+/// One entry of a selection plan's paged-recall request: a page id and the
+/// number of tokens the page currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageRequest {
+    /// Policy-defined page id, unique within the head.
+    pub page: usize,
+    /// Tokens in the page at request time (pages may grow, e.g. Quest's
+    /// youngest page).
+    pub tokens: usize,
+}
+
+impl PageRequest {
+    /// Build a request.
+    pub fn new(page: usize, tokens: usize) -> Self {
+        Self { page, tokens }
+    }
+}
+
+/// Sizing of the tiered cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterCacheConfig {
+    /// Capacity of the GPU-resident selected-KV cache. `0` disables caching:
+    /// every selected page is recalled from CPU memory at every step (the
+    /// "no cache" configuration of §V-C).
+    pub gpu_capacity: Bytes,
+    /// K+V bytes of a single token of a single head (`4 · head_dim` under
+    /// the fp16 cost model).
+    pub bytes_per_token: Bytes,
+}
+
+impl ClusterCacheConfig {
+    /// Config for heads of dimension `head_dim` with the given GPU capacity.
+    pub fn new(gpu_capacity: Bytes, head_dim: usize) -> Self {
+        Self {
+            gpu_capacity,
+            bytes_per_token: Bytes::of_f16(2 * head_dim),
+        }
+    }
+
+    /// Capacity holding `steps` decode steps' worth of a `budget_tokens`
+    /// selection for one head — the LRU analogue of the paper's recency
+    /// window `R = steps` (§IV-D). Multiply `budget_tokens` by the number of
+    /// selective heads when sizing a whole-session cache.
+    pub fn for_recency_window(steps: usize, budget_tokens: usize, head_dim: usize) -> Self {
+        let per_step = Bytes::of_f16(2 * head_dim).get() * budget_tokens as u64;
+        Self::new(Bytes(per_step * steps as u64), head_dim)
+    }
+}
+
+/// Outcome of one per-head cache access (one decode step of one head).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Pages served entirely from the GPU resident set.
+    pub hit_pages: usize,
+    /// Pages that were fully or partially recalled from CPU memory.
+    pub missed_pages: usize,
+    /// Tokens served from the GPU resident set.
+    pub hit_tokens: u64,
+    /// Tokens recalled from CPU memory over PCIe.
+    pub missed_tokens: u64,
+    /// Bytes moved host-to-device for the misses.
+    pub bytes_recalled: Bytes,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ResidentPage {
+    tokens: usize,
+    stamp: u64,
+}
+
+/// Capacity-bounded GPU resident set with deterministic LRU eviction over a
+/// CPU backing store.
+///
+/// # Examples
+///
+/// ```
+/// use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig, PageRequest};
+/// use clusterkv_kvcache::types::{Bytes, HeadId, LayerId};
+///
+/// // Room for 8 tokens of head_dim 4 (4 * 8 = 32 bytes per token).
+/// let mut cache = ClusterCache::new(ClusterCacheConfig::new(Bytes(16 * 16), 4));
+/// let (l, h) = (LayerId(0), HeadId(0));
+/// let cold = cache.access(l, h, &[PageRequest::new(0, 8)]);
+/// assert_eq!(cold.missed_tokens, 8);
+/// let warm = cache.access(l, h, &[PageRequest::new(0, 8)]);
+/// assert_eq!(warm.hit_tokens, 8);
+/// assert_eq!(warm.bytes_recalled, Bytes(0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterCache {
+    bytes_per_token: Bytes,
+    gpu: MemoryTier,
+    cpu: MemoryTier,
+    resident: HashMap<PageKey, ResidentPage>,
+    /// LRU order: stamp → page. Stamps are unique (a monotone clock), so
+    /// eviction order is fully deterministic.
+    lru: BTreeMap<u64, PageKey>,
+    /// Pages ever seen (admitted, accessed or declined): warm admission only
+    /// applies to pages the cache has never seen, so a page evicted under
+    /// capacity pressure cannot sneak back in for free.
+    known: HashSet<PageKey>,
+    /// Heads whose KV has been offloaded wholesale (a warm call declined):
+    /// capacity is fixed and page tables only grow, so the decision is
+    /// permanent and later warm calls can skip their table scan entirely.
+    offloaded: HashSet<(LayerId, HeadId)>,
+    clock: u64,
+    stats: CacheStats,
+    transfers: TransferStats,
+}
+
+impl ClusterCache {
+    /// Create a cache with the given sizing over a default host-DRAM backing
+    /// tier.
+    pub fn new(config: ClusterCacheConfig) -> Self {
+        Self::with_tiers(
+            MemoryTier::new(TierKind::Gpu, config.gpu_capacity),
+            MemoryTier::host_dram(),
+            config.bytes_per_token,
+        )
+    }
+
+    /// Create a cache over explicit GPU/CPU tiers (e.g. a small DRAM tier to
+    /// exercise backing-store overflow).
+    pub fn with_tiers(gpu: MemoryTier, cpu: MemoryTier, bytes_per_token: Bytes) -> Self {
+        Self {
+            bytes_per_token,
+            gpu,
+            cpu,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            known: HashSet::new(),
+            offloaded: HashSet::new(),
+            clock: 0,
+            stats: CacheStats::new(),
+            transfers: TransferStats::new(),
+        }
+    }
+
+    /// Whether the cache can hold anything at all (`gpu_capacity > 0`).
+    pub fn enabled(&self) -> bool {
+        self.gpu.capacity().get() > 0
+    }
+
+    /// GPU capacity of the resident set.
+    pub fn capacity(&self) -> Bytes {
+        self.gpu.capacity()
+    }
+
+    /// Bytes currently resident on the GPU.
+    pub fn resident_bytes(&self) -> Bytes {
+        self.gpu.used()
+    }
+
+    /// Number of pages currently resident on the GPU.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether a page is currently GPU resident.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    /// Whether a head's KV has been offloaded wholesale (some
+    /// [`warm`](Self::warm) call declined). Callers can skip building the
+    /// head's page table once this is true — the decision is permanent.
+    pub fn is_offloaded(&self, layer: LayerId, head: HeadId) -> bool {
+        self.offloaded.contains(&(layer, head))
+    }
+
+    /// The GPU tier (resident set).
+    pub fn gpu(&self) -> &MemoryTier {
+        &self.gpu
+    }
+
+    /// The CPU tier (backing store).
+    pub fn cpu(&self) -> &MemoryTier {
+        &self.cpu
+    }
+
+    /// Token-level hit/miss statistics accumulated over every access.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Host-to-device transfer accounting accumulated over every access.
+    pub fn transfers(&self) -> TransferStats {
+        self.transfers
+    }
+
+    /// Record the size of the full KV cache held in the CPU backing store
+    /// (grows as the context grows; replaces the previous size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError`](crate::tier::AllocationError) if the full
+    /// KV no longer fits in host DRAM.
+    pub fn set_backing(&mut self, total_kv: Bytes) -> Result<(), crate::tier::AllocationError> {
+        self.cpu.allocate("kv-backing", total_kv)
+    }
+
+    fn page_bytes(&self, tokens: usize) -> Bytes {
+        Bytes(self.bytes_per_token.get() * tokens as u64)
+    }
+
+    fn alloc_name(key: PageKey) -> String {
+        format!("l{}h{}p{}", key.layer.0, key.head.0, key.page)
+    }
+
+    fn touch(&mut self, key: PageKey) {
+        if let Some(entry) = self.resident.get_mut(&key) {
+            self.lru.remove(&entry.stamp);
+            self.clock += 1;
+            entry.stamp = self.clock;
+            self.lru.insert(self.clock, key);
+        }
+    }
+
+    fn drop_page(&mut self, key: PageKey) {
+        if let Some(entry) = self.resident.remove(&key) {
+            self.lru.remove(&entry.stamp);
+            self.gpu.free(&Self::alloc_name(key));
+        }
+    }
+
+    /// Evict least-recently-used pages until `size` fits; returns whether it
+    /// does. Never evicts anything when `size` exceeds the total capacity.
+    fn evict_until_fits(&mut self, size: Bytes) -> bool {
+        if size.get() > self.gpu.capacity().get() {
+            return false;
+        }
+        while !self.gpu.fits(size) {
+            let victim = match self.lru.iter().next() {
+                Some((_, &key)) => key,
+                None => return false,
+            };
+            self.drop_page(victim);
+        }
+        true
+    }
+
+    fn admit(&mut self, key: PageKey, tokens: usize) {
+        let size = self.page_bytes(tokens);
+        if !self.evict_until_fits(size) {
+            return;
+        }
+        self.gpu
+            .allocate(&Self::alloc_name(key), size)
+            .expect("eviction made room");
+        self.clock += 1;
+        self.resident.insert(
+            key,
+            ResidentPage {
+                tokens,
+                stamp: self.clock,
+            },
+        );
+        self.lru.insert(self.clock, key);
+    }
+
+    /// Keep a head's just-produced KV resident instead of offloading it —
+    /// all or nothing, without eviction and without recall accounting. If
+    /// the *entire* page table fits (new pages plus growth of resident
+    /// ones), everything is admitted: the head was never under memory
+    /// pressure, so nothing is offloaded and nothing will ever be recalled
+    /// (capacity ≥ full KV ⇒ 100 % hit rate). Otherwise the call is a no-op:
+    /// the head's KV is offloaded wholesale (Fig. 5) and the GPU set holds
+    /// only pages recalled by [`access`](Self::access). A page that was ever
+    /// evicted keeps the head in offload mode — it cannot sneak back in for
+    /// free. Returns the number of newly admitted pages.
+    pub fn warm(&mut self, layer: LayerId, head: HeadId, pages: &[PageRequest]) -> usize {
+        if self.offloaded.contains(&(layer, head)) {
+            return 0;
+        }
+        let mut needed = Bytes(0);
+        for req in pages {
+            let key = PageKey {
+                layer,
+                head,
+                page: req.page,
+            };
+            match self.resident.get(&key) {
+                Some(entry) => {
+                    needed += self.page_bytes(req.tokens.saturating_sub(entry.tokens));
+                }
+                None if self.known.contains(&key) => {
+                    self.offloaded.insert((layer, head));
+                    return 0;
+                }
+                None => needed += self.page_bytes(req.tokens),
+            }
+        }
+        if !self.gpu.fits(needed) {
+            // Capacity is fixed and the head's table only grows: once it
+            // stops fitting it never fits again.
+            self.offloaded.insert((layer, head));
+            return 0;
+        }
+        let mut admitted = 0;
+        for req in pages {
+            let key = PageKey {
+                layer,
+                head,
+                page: req.page,
+            };
+            match self.resident.get(&key) {
+                Some(entry) if req.tokens > entry.tokens => {
+                    self.gpu
+                        .allocate(&Self::alloc_name(key), self.page_bytes(req.tokens))
+                        .expect("total growth checked");
+                    self.resident
+                        .get_mut(&key)
+                        .expect("checked resident")
+                        .tokens = req.tokens;
+                }
+                Some(_) => {}
+                None => {
+                    self.known.insert(key);
+                    self.admit(key, req.tokens);
+                    admitted += 1;
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Look up the pages selected by one head at one decode step: resident
+    /// pages hit (and are refreshed in LRU order), the rest are recalled
+    /// from CPU memory, admitted, and older pages are evicted to make room.
+    /// A resident page that has grown recalls only the new tokens.
+    pub fn access(&mut self, layer: LayerId, head: HeadId, pages: &[PageRequest]) -> StepOutcome {
+        let mut out = StepOutcome::default();
+        for req in pages {
+            let key = PageKey {
+                layer,
+                head,
+                page: req.page,
+            };
+            self.known.insert(key);
+            match self.resident.get(&key) {
+                Some(entry) if entry.tokens >= req.tokens => {
+                    out.hit_pages += 1;
+                    out.hit_tokens += req.tokens as u64;
+                    self.touch(key);
+                }
+                Some(entry) => {
+                    // Partial hit: the resident prefix is free, the new
+                    // tokens are recalled and the page is re-admitted at its
+                    // grown size.
+                    let grown = req.tokens - entry.tokens;
+                    out.missed_pages += 1;
+                    out.hit_tokens += entry.tokens as u64;
+                    out.missed_tokens += grown as u64;
+                    out.bytes_recalled += self.page_bytes(grown);
+                    self.drop_page(key);
+                    self.admit(key, req.tokens);
+                }
+                None => {
+                    out.missed_pages += 1;
+                    out.missed_tokens += req.tokens as u64;
+                    out.bytes_recalled += self.page_bytes(req.tokens);
+                    self.admit(key, req.tokens);
+                }
+            }
+        }
+        self.stats.record_hits(out.hit_tokens);
+        self.stats.record_misses(out.missed_tokens);
+        if out.missed_tokens > 0 {
+            self.transfers.record(out.missed_tokens, out.bytes_recalled);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LayerId = LayerId(0);
+    const H: HeadId = HeadId(0);
+
+    /// A cache holding `tokens` tokens of head_dim 1 (4 bytes per token).
+    fn cache_for(tokens: u64) -> ClusterCache {
+        ClusterCache::new(ClusterCacheConfig::new(Bytes(4 * tokens), 1))
+    }
+
+    fn reqs(pages: &[(usize, usize)]) -> Vec<PageRequest> {
+        pages.iter().map(|&(p, t)| PageRequest::new(p, t)).collect()
+    }
+
+    #[test]
+    fn cold_accesses_miss_then_hit() {
+        let mut c = cache_for(32);
+        let cold = c.access(L, H, &reqs(&[(0, 4), (1, 4)]));
+        assert_eq!(cold.missed_pages, 2);
+        assert_eq!(cold.missed_tokens, 8);
+        assert_eq!(cold.bytes_recalled, Bytes(32));
+        let warm = c.access(L, H, &reqs(&[(0, 4), (1, 4)]));
+        assert_eq!(warm.hit_pages, 2);
+        assert_eq!(warm.hit_tokens, 8);
+        assert_eq!(warm.missed_tokens, 0);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(c.transfers().transfers, 1, "one recall op per miss step");
+        assert_eq!(c.transfers().bytes_to_device, Bytes(32));
+    }
+
+    #[test]
+    fn zero_capacity_disables_residency() {
+        let mut c = cache_for(0);
+        assert!(!c.enabled());
+        for _ in 0..3 {
+            let out = c.access(L, H, &reqs(&[(0, 4)]));
+            assert_eq!(out.missed_tokens, 4);
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.resident_pages(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Capacity for exactly two 4-token pages.
+        let mut c = cache_for(8);
+        c.access(L, H, &reqs(&[(0, 4)]));
+        c.access(L, H, &reqs(&[(1, 4)]));
+        // Touch page 0 so page 1 becomes the LRU victim.
+        c.access(L, H, &reqs(&[(0, 4)]));
+        c.access(L, H, &reqs(&[(2, 4)]));
+        assert!(c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 0
+        }));
+        assert!(!c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 1
+        }));
+        let out = c.access(L, H, &reqs(&[(1, 4)]));
+        assert_eq!(out.missed_tokens, 4, "evicted page must be recalled");
+    }
+
+    #[test]
+    fn page_larger_than_capacity_is_streamed_not_admitted() {
+        let mut c = cache_for(8);
+        c.access(L, H, &reqs(&[(0, 4)]));
+        let out = c.access(L, H, &reqs(&[(9, 100)]));
+        assert_eq!(out.missed_tokens, 100);
+        assert_eq!(c.resident_pages(), 1, "oversized page must not evict");
+        assert!(c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 0
+        }));
+    }
+
+    #[test]
+    fn grown_page_recalls_only_the_delta() {
+        let mut c = cache_for(32);
+        c.access(L, H, &reqs(&[(0, 4)]));
+        let out = c.access(L, H, &reqs(&[(0, 6)]));
+        assert_eq!(out.hit_tokens, 4);
+        assert_eq!(out.missed_tokens, 2);
+        assert_eq!(out.bytes_recalled, Bytes(8));
+        let again = c.access(L, H, &reqs(&[(0, 6)]));
+        assert_eq!(again.hit_tokens, 6);
+    }
+
+    #[test]
+    fn warm_is_all_or_nothing_and_offload_is_permanent() {
+        // Capacity for two 4-token pages: a 3-page table does not fully fit,
+        // so nothing is admitted and the head enters offload mode for good.
+        let mut c = cache_for(8);
+        assert_eq!(c.warm(L, H, &reqs(&[(0, 4), (1, 4), (2, 4)])), 0);
+        assert_eq!(c.resident_bytes(), Bytes(0));
+        assert!(c.is_offloaded(L, H));
+        assert_eq!(c.warm(L, H, &reqs(&[(0, 4)])), 0, "offload is sticky");
+        // Another head's 2-page table fits and is admitted in full.
+        let h1 = HeadId(1);
+        assert!(!c.is_offloaded(L, h1));
+        assert_eq!(c.warm(L, h1, &reqs(&[(0, 4), (1, 4)])), 2);
+        assert_eq!(c.resident_bytes(), Bytes(32));
+    }
+
+    #[test]
+    fn warm_never_readmits_evicted_pages() {
+        let mut c = cache_for(8);
+        assert_eq!(c.warm(L, H, &reqs(&[(0, 4), (1, 4)])), 2);
+        // A big recall evicts both warm pages...
+        c.access(L, H, &reqs(&[(5, 8)]));
+        assert!(!c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 0
+        }));
+        // ...after which the head stays in offload mode: a table containing
+        // the evicted page cannot be re-warmed for free.
+        assert_eq!(c.warm(L, H, &reqs(&[(0, 4)])), 0);
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.missed_tokens, 4);
+    }
+
+    #[test]
+    fn warm_grows_resident_pages_without_recall() {
+        let mut c = cache_for(32);
+        c.warm(L, H, &reqs(&[(0, 4)]));
+        // The page absorbed two fresh on-device tokens.
+        c.warm(L, H, &reqs(&[(0, 6)]));
+        let out = c.access(L, H, &reqs(&[(0, 6)]));
+        assert_eq!(out.hit_tokens, 6);
+        assert_eq!(out.missed_tokens, 0);
+        assert_eq!(c.resident_bytes(), Bytes(24));
+    }
+
+    #[test]
+    fn warm_pages_hit_without_any_recall() {
+        let mut c = cache_for(64);
+        c.warm(L, H, &reqs(&[(0, 8), (1, 8)]));
+        let out = c.access(L, H, &reqs(&[(0, 8), (1, 8)]));
+        assert_eq!(out.hit_tokens, 16);
+        assert_eq!(out.missed_tokens, 0);
+        assert_eq!(c.transfers().transfers, 0);
+        assert!((c.stats().hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heads_do_not_collide() {
+        let mut c = cache_for(64);
+        c.access(LayerId(0), HeadId(0), &reqs(&[(0, 4)]));
+        let other_head = c.access(LayerId(0), HeadId(1), &reqs(&[(0, 4)]));
+        assert_eq!(other_head.missed_tokens, 4, "same page id, different head");
+        let other_layer = c.access(LayerId(1), HeadId(0), &reqs(&[(0, 4)]));
+        assert_eq!(other_layer.missed_tokens, 4);
+        assert_eq!(c.resident_pages(), 3);
+    }
+
+    #[test]
+    fn accesses_are_deterministic() {
+        let pattern: Vec<Vec<PageRequest>> = (0..50)
+            .map(|i| reqs(&[(i % 5, 3), ((i + 2) % 7, 2)]))
+            .collect();
+        let run = || {
+            let mut c = cache_for(16);
+            let outs: Vec<StepOutcome> = pattern.iter().map(|p| c.access(L, H, p)).collect();
+            (outs, c.stats(), c.transfers())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn larger_capacity_never_lowers_the_hit_rate() {
+        // LRU is a stack algorithm: for a fixed access pattern the hit rate
+        // is non-decreasing in capacity (the property exp_cache_hits sweeps).
+        let pattern: Vec<Vec<PageRequest>> = (0..80)
+            .map(|i| reqs(&[(i % 6, 4), ((i * 3) % 11, 4)]))
+            .collect();
+        let hit_rate = |tokens: u64| {
+            let mut c = cache_for(tokens);
+            for p in &pattern {
+                c.access(L, H, p);
+            }
+            c.stats().hit_rate()
+        };
+        let rates: Vec<f64> = [0u64, 8, 16, 32, 64, 128]
+            .iter()
+            .map(|&t| hit_rate(t))
+            .collect();
+        for pair in rates.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-12,
+                "hit rate decreased with capacity: {rates:?}"
+            );
+        }
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn backing_store_tracks_full_kv_and_overflows() {
+        let mut c = ClusterCache::with_tiers(
+            MemoryTier::new(TierKind::Gpu, Bytes(64)),
+            MemoryTier::new(TierKind::Cpu, Bytes(100)),
+            Bytes(4),
+        );
+        c.set_backing(Bytes(40)).unwrap();
+        c.set_backing(Bytes(90)).unwrap();
+        assert_eq!(c.cpu().used(), Bytes(90));
+        let err = c.set_backing(Bytes(120)).unwrap_err();
+        assert_eq!(err.tier, TierKind::Cpu);
+        assert_eq!(err.available, Bytes(100));
+    }
+
+    #[test]
+    fn recency_window_sizing_matches_budget_steps() {
+        let cfg = ClusterCacheConfig::for_recency_window(2, 100, 8);
+        // 2 steps * 100 tokens * 32 bytes (2 tensors * 2 bytes * 8 dims).
+        assert_eq!(cfg.gpu_capacity, Bytes(2 * 100 * 32));
+        assert_eq!(cfg.bytes_per_token, Bytes(32));
+    }
+}

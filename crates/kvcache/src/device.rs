@@ -8,7 +8,8 @@
 //! (FLOPs / peak throughput), plus a fixed launch overhead. Decoding with a
 //! long context is strongly memory-bound, which is exactly the regime the
 //! paper exploits, so the *shape* of the comparisons survives the
-//! substitution (see DESIGN.md §2).
+//! substitution (see `DESIGN.md` §2 at the repository root for the full
+//! rationale, and §3 there for the memory hierarchy this model prices).
 
 use crate::types::Bytes;
 use serde::{Deserialize, Serialize};

@@ -5,22 +5,25 @@
 //! moves data between the two over PCIe. This crate provides that substrate
 //! in simulation:
 //!
-//! * [`types`] — strongly-typed identifiers ([`TokenId`](types::TokenId),
-//!   [`Budget`](types::Budget), …) shared across the workspace.
-//! * [`store`] — the per-layer, per-head [`KvStore`](store::KvStore) holding
-//!   key/value vectors for all previous tokens ("CPU memory" in the paper).
-//! * [`selected`] — [`SelectedKv`](selected::SelectedKv), the gathered subset
-//!   `K_S, V_S` that actually participates in attention.
-//! * [`device`] — an analytical [`DeviceModel`](device::DeviceModel)
-//!   (bandwidths + overheads) used to estimate prefill/decoding latency and
-//!   host-to-device transfer cost; this is the substitute for the paper's
-//!   NVIDIA Ada 6000 testbed.
+//! * [`types`] — strongly-typed identifiers ([`TokenId`], [`Budget`], …)
+//!   shared across the workspace.
+//! * [`store`] — the per-layer, per-head [`KvStore`] holding key/value
+//!   vectors for all previous tokens ("CPU memory" in the paper).
+//! * [`selected`] — [`SelectedKv`], the gathered subset `K_S, V_S` that
+//!   actually participates in attention.
+//! * [`device`] — an analytical [`DeviceModel`] (bandwidths + overheads)
+//!   used to estimate prefill/decoding latency and host-to-device transfer
+//!   cost; this is the substitute for the paper's NVIDIA Ada 6000 testbed.
 //! * [`tier`] — a two-tier memory simulator (GPU HBM + CPU DRAM) tracking
 //!   residency and capacity.
+//! * [`cluster_cache`] — [`ClusterCache`], the session-level tiered KV
+//!   hierarchy: a capacity-bounded GPU resident set of KV pages with
+//!   deterministic LRU eviction over a CPU backing store (DESIGN.md §3).
 //! * [`stats`] — transfer / cache-hit counters used by the experiments.
 
 #![warn(missing_docs)]
 
+pub mod cluster_cache;
 pub mod device;
 pub mod selected;
 pub mod stats;
@@ -28,6 +31,7 @@ pub mod store;
 pub mod tier;
 pub mod types;
 
+pub use cluster_cache::{ClusterCache, ClusterCacheConfig, PageKey, PageRequest, StepOutcome};
 pub use device::DeviceModel;
 pub use selected::SelectedKv;
 pub use stats::{CacheStats, TransferStats};

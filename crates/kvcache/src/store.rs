@@ -3,7 +3,9 @@
 //! A [`KvStore`] holds the keys and values of every token seen so far for a
 //! single attention head. Selection policies read keys (or their metadata)
 //! to decide which tokens participate in attention, then gather the selected
-//! rows into a [`SelectedKv`](crate::SelectedKv).
+//! rows into a [`SelectedKv`].
+//!
+//! [`SelectedKv`]: crate::selected::SelectedKv
 
 use crate::selected::SelectedKv;
 use crate::types::Bytes;

@@ -71,6 +71,9 @@ pub struct MemoryTier {
     kind: TierKind,
     capacity: Bytes,
     allocations: HashMap<String, Bytes>,
+    /// Running sum of `allocations` so `used()`/`fits()` are O(1) — the
+    /// cluster cache calls them on every page admission and eviction.
+    used: Bytes,
 }
 
 impl MemoryTier {
@@ -80,6 +83,7 @@ impl MemoryTier {
             kind,
             capacity,
             allocations: HashMap::new(),
+            used: Bytes(0),
         }
     }
 
@@ -105,7 +109,7 @@ impl MemoryTier {
 
     /// Bytes currently allocated.
     pub fn used(&self) -> Bytes {
-        self.allocations.values().copied().sum()
+        self.used
     }
 
     /// Bytes still free.
@@ -123,7 +127,7 @@ impl MemoryTier {
     /// Returns [`AllocationError`] if the allocation would exceed capacity.
     pub fn allocate(&mut self, name: &str, size: Bytes) -> Result<(), AllocationError> {
         let existing = self.allocations.get(name).copied().unwrap_or(Bytes(0));
-        let used_without = self.used().get() - existing.get();
+        let used_without = self.used.get() - existing.get();
         if used_without + size.get() > self.capacity.get() {
             return Err(AllocationError {
                 tier: self.kind,
@@ -132,12 +136,15 @@ impl MemoryTier {
             });
         }
         self.allocations.insert(name.to_string(), size);
+        self.used = Bytes(used_without + size.get());
         Ok(())
     }
 
     /// Free a named region. Freeing an unknown name is a no-op.
     pub fn free(&mut self, name: &str) {
-        self.allocations.remove(name);
+        if let Some(size) = self.allocations.remove(name) {
+            self.used = Bytes(self.used.get() - size.get());
+        }
     }
 
     /// Size of a named region, if present.
@@ -215,5 +222,85 @@ mod tests {
     fn presets_have_expected_capacity() {
         assert_eq!(MemoryTier::ada6000_gpu().capacity(), Bytes(48 * (1 << 30)));
         assert_eq!(MemoryTier::host_dram().capacity(), Bytes(256 * (1 << 30)));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// Replay an op sequence against both the tier and a flat model map;
+        /// op = (name_index, size, is_free).
+        fn names() -> [&'static str; 4] {
+            ["kv", "centroids", "metadata", "selected"]
+        }
+
+        proptest! {
+            #[test]
+            fn alloc_free_round_trips_never_leak_capacity(
+                // Encoded op: low 2 bits name, next 6 bits size, next 2 bits
+                // kind (0 = free, else allocate) — the shim proptest has no
+                // tuple strategies.
+                ops in proptest::collection::vec(0u64..1024, 0..48),
+                capacity in 1u64..128,
+            ) {
+                let mut tier = MemoryTier::new(TierKind::Gpu, Bytes(capacity));
+                let mut model: HashMap<&str, u64> = HashMap::new();
+                for op in ops {
+                    let name = names()[(op & 3) as usize];
+                    let size = (op >> 2) & 63;
+                    let kind = (op >> 8) & 3;
+                    if kind == 0 {
+                        tier.free(name);
+                        model.remove(name);
+                    } else {
+                        match tier.allocate(name, Bytes(size)) {
+                            Ok(()) => { model.insert(name, size); }
+                            Err(err) => {
+                                // A rejected allocation reports the exact
+                                // availability for *this* name (its current
+                                // size is reusable) and changes nothing.
+                                let used_without: u64 = model
+                                    .iter()
+                                    .filter(|(n, _)| **n != name)
+                                    .map(|(_, &s)| s)
+                                    .sum();
+                                prop_assert_eq!(err.available, Bytes(capacity - used_without));
+                                prop_assert_eq!(err.requested, Bytes(size));
+                                prop_assert!(size + used_without > capacity);
+                            }
+                        }
+                    }
+                    // Interleaved named allocations stay consistent with the
+                    // model: per-name sizes, total usage, and the invariant
+                    // used + available == capacity.
+                    let used: u64 = model.values().sum();
+                    prop_assert_eq!(tier.used(), Bytes(used));
+                    prop_assert_eq!(tier.available(), Bytes(capacity - used));
+                    prop_assert!(used <= capacity, "capacity leaked");
+                    for name in names() {
+                        prop_assert_eq!(
+                            tier.allocation(name),
+                            model.get(name).map(|&s| Bytes(s))
+                        );
+                    }
+                }
+                // Freeing everything returns the tier to pristine state.
+                for name in names() {
+                    tier.free(name);
+                }
+                prop_assert_eq!(tier.used(), Bytes(0));
+                prop_assert_eq!(tier.available(), Bytes(capacity));
+            }
+
+            #[test]
+            fn fits_agrees_with_allocate(extra in 0u64..100, preallocated in 0u64..80) {
+                let mut tier = MemoryTier::new(TierKind::Cpu, Bytes(100));
+                tier.allocate("base", Bytes(preallocated)).unwrap();
+                let fits = tier.fits(Bytes(extra));
+                let outcome = tier.allocate("probe", Bytes(extra));
+                prop_assert_eq!(fits, outcome.is_ok());
+            }
+        }
     }
 }

@@ -46,6 +46,18 @@ impl ModelConfig {
         (2 * 2 * self.num_layers * self.num_kv_heads * self.head_dim) as u64
     }
 
+    /// Bytes of selected KV one decode step touches across every
+    /// selective-layer query head (fp16 K+V), the natural unit for sizing a
+    /// session's GPU cluster cache: a capacity of `N ×` this value holds
+    /// roughly `N` steps' worth of selections (the LRU analogue of the
+    /// paper's recency window `R = N`, §IV-D). Pass the selection budget
+    /// plus one cluster/page of slack as `tokens_per_step` — recall is page
+    /// granular and overshoots the budget by up to one trimmed page.
+    pub fn selected_kv_bytes_per_step(&self, tokens_per_step: usize) -> u64 {
+        let selective_heads = (self.num_layers - self.dense_layers) * self.num_heads;
+        (selective_heads * tokens_per_step) as u64 * (4 * self.head_dim) as u64
+    }
+
     /// Approximate parameter count (weights only, ignoring embeddings
     /// sharing), used for prefill FLOP estimation.
     pub fn approx_params(&self) -> u64 {

@@ -46,6 +46,37 @@ impl StepCost {
             transferred_tokens_per_head: 0.0,
         }
     }
+
+    /// Map the totals one decode step actually accumulated across every
+    /// selective-layer head (vectors scored, tokens attended, tokens
+    /// recalled on cluster-cache misses) onto the per-head descriptor the
+    /// pricing formulas expect. This is how the serving engine charges PCIe
+    /// recall for real misses instead of a uniform assumed rate.
+    ///
+    /// Residency (and therefore `transferred`) is tracked at query-head
+    /// granularity, so the per-KV-head division reconstructs the same total
+    /// bytes the cache recorded.
+    pub fn from_step_totals(
+        config: &ModelConfig,
+        scored: u64,
+        attended: u64,
+        transferred: u64,
+    ) -> Self {
+        let selective = (config.num_layers - config.dense_layers) as f64;
+        if selective == 0.0 {
+            return Self {
+                scored_vectors_per_head: 0.0,
+                attended_tokens: 0.0,
+                transferred_tokens_per_head: 0.0,
+            };
+        }
+        Self {
+            scored_vectors_per_head: scored as f64 / (selective * config.num_heads as f64),
+            attended_tokens: attended as f64 / (selective * config.num_heads as f64),
+            transferred_tokens_per_head: transferred as f64
+                / (selective * config.num_kv_heads as f64),
+        }
+    }
 }
 
 /// Prefill latency split into base model time and clustering overhead.
@@ -357,6 +388,23 @@ mod tests {
         assert!(r.total.get() > r.prefill.total.get());
         assert!(r.total.get() > r.decode.get());
         assert!(r.decode_throughput > 0.0);
+    }
+
+    #[test]
+    fn step_cost_from_totals_reconstructs_per_head_values() {
+        // tiny(): 2 layers, 2 heads, 2 kv heads, 0 dense layers => 4
+        // selective query heads and 4 selective kv heads.
+        let cfg = crate::config::ModelConfig::tiny();
+        let cost = StepCost::from_step_totals(&cfg, 400, 96, 48);
+        assert!((cost.scored_vectors_per_head - 100.0).abs() < 1e-12);
+        assert!((cost.attended_tokens - 24.0).abs() < 1e-12);
+        assert!((cost.transferred_tokens_per_head - 12.0).abs() < 1e-12);
+        // All layers dense: nothing selective to price.
+        let mut dense = cfg;
+        dense.dense_layers = dense.num_layers;
+        let zero = StepCost::from_step_totals(&dense, 0, 0, 0);
+        assert_eq!(zero.attended_tokens, 0.0);
+        assert_eq!(zero.transferred_tokens_per_head, 0.0);
     }
 
     #[test]

@@ -9,11 +9,10 @@
 //!   drive the analytical latency model).
 //! * [`rope`] — rotary position embeddings applied to queries and keys.
 //! * [`weights`] — deterministic synthetic weight generation.
-//! * [`policy`] — the [`TokenSelector`](policy::TokenSelector) trait that
-//!   ClusterKV and every baseline implement (request/plan shaped:
-//!   [`SelectionRequest`](policy::SelectionRequest) →
-//!   [`SelectionPlan`](policy::SelectionPlan)), plus
-//!   [`FullAttentionSelector`](policy::FullAttentionSelector).
+//! * [`policy`] — the [`TokenSelector`] trait that ClusterKV and every
+//!   baseline implement (request/plan shaped: [`SelectionRequest`] →
+//!   [`SelectionPlan`] carrying indices, stats and its
+//!   [`KvResidency`] paging), plus [`FullAttentionSelector`].
 //! * [`attention`] — multi-head attention over a selected subset of the KV
 //!   cache.
 //! * [`serve`] — the serving engine: weights loaded once, N independent
@@ -41,8 +40,8 @@ pub use config::{ModelConfig, ModelPreset};
 pub use engine::InferenceEngine;
 pub use latency::{InferenceBreakdown, LatencyModel};
 pub use policy::{
-    FullAttentionSelector, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest,
-    SelectorFactory, TokenSelector,
+    FullAttentionSelector, KvResidency, ObserveEvent, PageRequest, PolicyStats, SelectionPlan,
+    SelectionRequest, SelectorFactory, TokenSelector,
 };
 pub use serve::{
     DecodeOutput, EngineError, ServeEngine, ServeEngineBuilder, SessionId, SessionReport,

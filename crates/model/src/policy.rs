@@ -18,6 +18,8 @@ use clusterkv_kvcache::types::Budget;
 use clusterkv_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
+pub use clusterkv_kvcache::cluster_cache::PageRequest;
+
 /// Identity of the head a selector instance is attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct HeadContext {
@@ -50,6 +52,20 @@ impl PolicyStats {
         self.scored_vectors += other.scored_vectors;
         self.transfer.merge(&other.transfer);
         self.cache.merge(&other.cache);
+    }
+
+    /// Charge the residency outcome of one head-step cluster-cache access:
+    /// token hits/misses into the cache counters, plus one transfer
+    /// operation for the recalled bytes when anything missed. Used by every
+    /// owner of a session cache (the serving engine, the episode harness) so
+    /// the charging rules cannot diverge.
+    pub fn charge_recall(&mut self, outcome: &clusterkv_kvcache::cluster_cache::StepOutcome) {
+        self.cache.record_hits(outcome.hit_tokens);
+        self.cache.record_misses(outcome.missed_tokens);
+        if outcome.missed_tokens > 0 {
+            self.transfer
+                .record(outcome.missed_tokens, outcome.bytes_recalled);
+        }
     }
 }
 
@@ -99,6 +115,26 @@ impl<'a> SelectionRequest<'a> {
     }
 }
 
+/// How the KV selected by a plan is materialised on the GPU (DESIGN.md §3).
+///
+/// Residency affects accounting and modeled latency only — never which
+/// tokens are attended. The serving stack's parity suite enforces that
+/// token streams are byte-identical whatever the cache configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum KvResidency {
+    /// All selected KV is permanently GPU resident: full attention, and
+    /// eviction-style policies (StreamingLLM, H2O) whose retained working
+    /// set never leaves the GPU, so nothing is ever recalled over PCIe.
+    #[default]
+    Resident,
+    /// The selected KV is paged at the policy's own granularity (clusters
+    /// for ClusterKV, positional pages for Quest, single tokens for
+    /// InfiniGen) and must be looked up in the session's
+    /// [`ClusterCache`](clusterkv_kvcache::cluster_cache::ClusterCache);
+    /// misses are recalled from CPU memory.
+    Paged(Vec<PageRequest>),
+}
+
 /// The outcome of one [`TokenSelector::plan`] call: the token indices to
 /// attend to plus the cost accounting of exactly this call.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -113,16 +149,23 @@ pub struct SelectionPlan {
     /// may cover `budget.tokens() + 1` tokens when the plan omits the
     /// current position.
     pub indices: Vec<usize>,
-    /// Selection work, transfers and cache hits of this call only.
+    /// Selection work reported by the policy for this call only. The
+    /// residency outcome (cache hits, transfers) is filled in by whoever
+    /// owns the session's cluster cache — the serving engine or the episode
+    /// harness — before the stats are aggregated.
     pub stats: PolicyStats,
+    /// How the selected KV is materialised on the GPU.
+    pub residency: KvResidency,
 }
 
 impl SelectionPlan {
-    /// Plan attending to the given indices, with zeroed stats.
+    /// Plan attending to the given indices, with zeroed stats and trivially
+    /// resident KV.
     pub fn new(indices: Vec<usize>) -> Self {
         Self {
             indices,
             stats: PolicyStats::default(),
+            residency: KvResidency::Resident,
         }
     }
 
@@ -135,6 +178,13 @@ impl SelectionPlan {
     /// Attach per-call stats.
     pub fn with_stats(mut self, stats: PolicyStats) -> Self {
         self.stats = stats;
+        self
+    }
+
+    /// Mark the selected KV as paged through the session's cluster cache at
+    /// the given page decomposition.
+    pub fn with_pages(mut self, pages: Vec<PageRequest>) -> Self {
+        self.residency = KvResidency::Paged(pages);
         self
     }
 
@@ -172,6 +222,15 @@ pub trait TokenSelector: Send {
 
     /// Plan the token set for one decoding step.
     fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan;
+
+    /// The full page decomposition of this selector's current state, used by
+    /// the serving stack to warm the GPU cluster cache with pages whose KV
+    /// was just produced on-device (prefill clustering, incremental decode
+    /// clustering) while capacity allows. Policies whose KV never pages
+    /// return [`KvResidency::Resident`] (the default).
+    fn page_table(&self) -> KvResidency {
+        KvResidency::Resident
+    }
 }
 
 /// Factory creating one selector per `(layer, head)`.

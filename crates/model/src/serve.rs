@@ -18,14 +18,17 @@
 
 use crate::attention::{attend_selected, full_attention_weights};
 use crate::config::ModelConfig;
+use crate::latency::{LatencyModel, StepCost};
 use crate::policy::{
-    FullAttentionSelector, HeadContext, ObserveEvent, PolicyStats, SelectionRequest,
+    FullAttentionSelector, HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionRequest,
     SelectorFactory, TokenSelector,
 };
 use crate::rope::Rope;
 use crate::trace::{AttentionTrace, TraceStep};
 use crate::weights::ModelWeights;
-use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
+use clusterkv_kvcache::device::{DeviceModel, Seconds};
+use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_tensor::ops::{rms_norm, silu};
 use clusterkv_tensor::vector::argmax;
@@ -138,8 +141,38 @@ pub struct SessionReport {
     /// Number of decode steps the session ran.
     pub generated_tokens: usize,
     /// Policy statistics accumulated over every selection plan of the
-    /// session.
+    /// session, including the residency outcomes (cluster-cache hits and
+    /// PCIe recalls) charged by the engine.
     pub stats: PolicyStats,
+    /// Modeled decode-side latency of the session under the engine's
+    /// roofline device model, with PCIe transfer charged only for
+    /// cluster-cache misses.
+    pub modeled_decode_time: Seconds,
+}
+
+impl SessionReport {
+    /// Token-level hit rate of the session's cluster cache in `[0, 1]`
+    /// (`0.0` when the session's policy never paged KV).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.stats.cache.hit_rate()
+    }
+
+    /// Bytes recalled from CPU memory over PCIe across the whole session.
+    pub fn bytes_recalled(&self) -> Bytes {
+        self.stats.transfer.bytes_to_device
+    }
+}
+
+/// Totals one decode step accumulates across every selective-layer head,
+/// mapped onto a [`StepCost`] after the step to price its latency.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepAccounting {
+    /// Vectors scored during selection.
+    scored: u64,
+    /// Tokens attended by selective-layer heads.
+    attended: u64,
+    /// Tokens recalled from CPU memory on cluster-cache misses.
+    transferred: u64,
 }
 
 /// Per-session state: everything that differs between concurrent sequences.
@@ -160,8 +193,17 @@ struct SessionState {
     /// then the previously generated token — overridable for external
     /// sampling via [`ServeEngine::set_next_input`]).
     next_input: Option<usize>,
-    /// Policy statistics accumulated from every selection plan.
+    /// Policy statistics accumulated from every selection plan, with
+    /// residency outcomes filled in from `cache`.
     stats: PolicyStats,
+    /// The session's tiered KV hierarchy: GPU-resident selected-KV pages
+    /// over the CPU backing store. Capacity 0 models pure offload (every
+    /// selected page is recalled every step).
+    cache: ClusterCache,
+    /// Totals of the decode step currently in flight.
+    step: StepAccounting,
+    /// Modeled decode latency accumulated over every step.
+    modeled_decode: Seconds,
 }
 
 /// Builder for [`ServeEngine`], replacing the positional
@@ -173,12 +215,15 @@ pub struct ServeEngineBuilder {
     budget: Budget,
     policy: Option<Box<dyn SelectorFactory>>,
     max_sessions: usize,
+    kv_cache_capacity: Option<Bytes>,
+    device: DeviceModel,
 }
 
 impl ServeEngineBuilder {
     /// Start building an engine for the given model shape. Without further
     /// calls the engine uses synthetic weights from seed 0, an unbounded
-    /// budget and no default policy.
+    /// budget, no default policy, no GPU cluster cache (pure offload) and an
+    /// Ada-6000 device model.
     pub fn new(config: ModelConfig) -> Self {
         Self {
             config,
@@ -187,6 +232,8 @@ impl ServeEngineBuilder {
             budget: Budget::new(usize::MAX),
             policy: None,
             max_sessions: DEFAULT_MAX_SESSIONS,
+            kv_cache_capacity: None,
+            device: DeviceModel::ada6000(),
         }
     }
 
@@ -223,6 +270,30 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Give every session a GPU cluster cache of `capacity` bytes for its
+    /// selected-KV pages. Without this call (or with capacity 0) the engine
+    /// models pure offload: every selected page is recalled from CPU memory
+    /// at every step. Residency affects accounting and modeled latency
+    /// only — token streams are identical whatever the capacity.
+    ///
+    /// Residency is tracked per *query* head (selectors select
+    /// independently, so their pages are distinct even within a GQA group):
+    /// under GQA the same physical KV may be resident once per query head
+    /// sharing it. Size capacities with
+    /// [`ModelConfig::selected_kv_bytes_per_step`], which counts query
+    /// heads, rather than from `kv_bytes_per_token`.
+    pub fn kv_cache_capacity(mut self, capacity: Bytes) -> Self {
+        self.kv_cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Device model used to price modeled decode latency and PCIe recall
+    /// (default [`DeviceModel::ada6000`]).
+    pub fn device(mut self, device: DeviceModel) -> Self {
+        self.device = device;
+        self
+    }
+
     /// Validate the configuration and build the engine.
     ///
     /// # Errors
@@ -235,6 +306,7 @@ impl ServeEngineBuilder {
             .weights
             .unwrap_or_else(|| ModelWeights::synthetic(&self.config, self.synthetic_seed));
         let rope = Rope::new(self.config.head_dim, 10_000.0);
+        let latency = LatencyModel::new(self.config, self.device);
         Ok(ServeEngine {
             config: self.config,
             weights,
@@ -244,6 +316,8 @@ impl ServeEngineBuilder {
             sessions: HashMap::new(),
             next_session: 0,
             max_sessions: self.max_sessions,
+            kv_cache_capacity: self.kv_cache_capacity.unwrap_or(Bytes(0)),
+            latency,
         })
     }
 }
@@ -259,6 +333,10 @@ pub struct ServeEngine {
     sessions: HashMap<u64, SessionState>,
     next_session: u64,
     max_sessions: usize,
+    /// GPU capacity of each session's cluster cache (0 = pure offload).
+    kv_cache_capacity: Bytes,
+    /// Roofline pricing of modeled per-step decode latency.
+    latency: LatencyModel,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -409,6 +487,12 @@ impl ServeEngine {
                 prefilled: false,
                 next_input: None,
                 stats: PolicyStats::default(),
+                cache: ClusterCache::new(ClusterCacheConfig::new(
+                    self.kv_cache_capacity,
+                    self.config.head_dim,
+                )),
+                step: StepAccounting::default(),
+                modeled_decode: Seconds::zero(),
             },
         );
         Ok(id)
@@ -429,6 +513,7 @@ impl ServeEngine {
             context_len: sess.num_tokens,
             generated_tokens: sess.generated_tokens,
             stats: sess.stats,
+            modeled_decode_time: sess.modeled_decode,
         })
     }
 
@@ -441,13 +526,39 @@ impl ServeEngine {
         Ok(self.session(id)?.num_tokens)
     }
 
-    /// Policy statistics accumulated over every selection plan of a session.
+    /// Policy statistics accumulated over every selection plan of a session,
+    /// including the residency outcomes charged by the engine.
     ///
     /// # Errors
     ///
     /// [`EngineError::UnknownSession`] if the id is not resident.
     pub fn session_stats(&self, id: SessionId) -> Result<PolicyStats, EngineError> {
         Ok(self.session(id)?.stats)
+    }
+
+    /// A session's tiered KV hierarchy (GPU resident set + CPU backing
+    /// store), for inspection.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn session_cache(&self, id: SessionId) -> Result<&ClusterCache, EngineError> {
+        Ok(&self.session(id)?.cache)
+    }
+
+    /// Modeled decode latency accumulated by a session so far (roofline
+    /// device model; PCIe transfer charged only for cluster-cache misses).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn modeled_decode_time(&self, id: SessionId) -> Result<Seconds, EngineError> {
+        Ok(self.session(id)?.modeled_decode)
+    }
+
+    /// GPU capacity of each session's cluster cache (0 = pure offload).
+    pub fn kv_cache_capacity(&self) -> Bytes {
+        self.kv_cache_capacity
     }
 
     /// Enable tracing of a specific `(layer, head)` pair of a session. Must
@@ -579,13 +690,25 @@ impl ServeEngine {
                 let selected: Vec<usize> = if use_selection {
                     let plan =
                         sess.selectors[layer][head].plan(SelectionRequest::new(&q, n, budget));
-                    sess.stats.merge(&plan.stats);
+                    let mut stats = plan.stats;
+                    // Residency: resolve the plan's page requests against the
+                    // session's cluster cache; only misses cross PCIe.
+                    if let KvResidency::Paged(pages) = &plan.residency {
+                        let outcome = sess.cache.access(LayerId(layer), HeadId(head), pages);
+                        stats.charge_recall(&outcome);
+                        sess.step.transferred += outcome.missed_tokens;
+                    }
+                    sess.stats.merge(&stats);
                     let mut sel = plan.indices;
                     // The token being generated always attends to itself: its
                     // KV was just produced on the GPU and is not subject to
                     // selection (policies may not even have observed it yet).
                     if !sel.contains(&position) {
                         sel.push(position);
+                    }
+                    if layer >= config.dense_layers {
+                        sess.step.scored += stats.scored_vectors;
+                        sess.step.attended += sel.len() as u64;
                     }
                     sel
                 } else {
@@ -629,6 +752,31 @@ impl ServeEngine {
 
         sess.num_tokens += 1;
         Ok(rms_norm(&x, &weights.final_norm, 1e-6))
+    }
+
+    /// Admit pages whose KV was just produced on the GPU (prefill
+    /// clustering, incremental decode clustering) into the session's cluster
+    /// cache while capacity allows, and grow the CPU backing store to the
+    /// full KV size.
+    fn settle_session_memory(config: &ModelConfig, sess: &mut SessionState) {
+        if sess.cache.enabled() {
+            for layer in config.dense_layers..config.num_layers {
+                for head in 0..config.num_heads {
+                    // Once a head's KV is offloaded the decision is permanent
+                    // — skip building its page table again every step.
+                    if sess.cache.is_offloaded(LayerId(layer), HeadId(head)) {
+                        continue;
+                    }
+                    if let KvResidency::Paged(pages) = sess.selectors[layer][head].page_table() {
+                        sess.cache.warm(LayerId(layer), HeadId(head), &pages);
+                    }
+                }
+            }
+        }
+        let total = Bytes(sess.num_tokens as u64 * config.kv_bytes_per_token());
+        sess.cache
+            .set_backing(total)
+            .expect("host DRAM exhausted by simulated KV");
     }
 
     /// Process a session's whole prompt with full causal attention, then hand
@@ -691,6 +839,9 @@ impl ServeEngine {
                 }
             }
         }
+        // The prefill KV was produced on the GPU: pages stay resident while
+        // cache capacity allows, the rest is offloaded to the backing store.
+        Self::settle_session_memory(config, sess);
         sess.prefilled = true;
         sess.next_input = Some(*prompt.last().expect("prompt checked non-empty"));
         Ok(last)
@@ -703,6 +854,7 @@ impl ServeEngine {
             rope,
             budget,
             sessions,
+            latency,
             ..
         } = self;
         let sess = sessions
@@ -713,6 +865,7 @@ impl ServeEngine {
         }
         let token = sess.next_input.ok_or(EngineError::NotPrefilled)?;
         let position = sess.num_tokens;
+        sess.step = StepAccounting::default();
         let hidden = Self::forward_token(config, weights, rope, *budget, sess, token, true)?;
 
         // Notify selectors of the new keys appended at `position`.
@@ -726,6 +879,17 @@ impl ServeEngine {
                 });
             }
         }
+        // New KV (and any freshly created clusters) was produced on-device;
+        // settle what stays resident, then price the step: GPU time from the
+        // roofline model plus PCIe recall for exactly this step's misses.
+        Self::settle_session_memory(config, sess);
+        let cost = StepCost::from_step_totals(
+            config,
+            sess.step.scored,
+            sess.step.attended,
+            sess.step.transferred,
+        );
+        sess.modeled_decode += latency.decode_step(sess.num_tokens, &cost);
 
         // Tied-embedding logits.
         let logits: Vec<f32> = (0..config.vocab_size)
@@ -822,7 +986,7 @@ impl ServeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{FullAttentionFactory, OracleTopKFactory};
+    use crate::policy::{FullAttentionFactory, OracleTopKFactory, SelectionPlan};
 
     fn tiny_serve(budget: usize) -> ServeEngine {
         ServeEngine::builder(ModelConfig::tiny())
@@ -1059,6 +1223,141 @@ mod tests {
         }
         assert_eq!(got_a, alone_a);
         assert_eq!(got_b, alone_b);
+    }
+
+    fn clusterkv_like_engine(capacity: Bytes) -> ServeEngine {
+        // A paged policy without depending on the core crate: exercise the
+        // cache through a minimal cluster-shaped selector.
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(PagedTopKFactory))
+            .kv_cache_capacity(capacity)
+            .build()
+            .unwrap()
+    }
+
+    /// Test-only paged policy: exact top-k selection reported as one
+    /// four-token-aligned page per selected token group.
+    struct PagedTopKSelector {
+        inner: crate::policy::OracleTopKSelector,
+    }
+
+    impl TokenSelector for PagedTopKSelector {
+        fn name(&self) -> &str {
+            "PagedTopK"
+        }
+        fn observe(&mut self, event: ObserveEvent<'_>) {
+            self.inner.observe(event);
+        }
+        fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+            let plan = self.inner.plan(request);
+            if request.budget.covers(request.num_tokens) {
+                return plan;
+            }
+            let pages: Vec<crate::policy::PageRequest> = plan
+                .indices
+                .iter()
+                .map(|&t| crate::policy::PageRequest::new(t / 4, 4))
+                .collect();
+            let stats = plan.stats;
+            SelectionPlan::new(plan.indices)
+                .with_stats(stats)
+                .with_pages(pages)
+        }
+    }
+
+    struct PagedTopKFactory;
+
+    impl SelectorFactory for PagedTopKFactory {
+        fn name(&self) -> &str {
+            "PagedTopK"
+        }
+        fn create(&self, ctx: HeadContext) -> Box<dyn TokenSelector> {
+            Box::new(PagedTopKSelector {
+                inner: crate::policy::OracleTopKSelector::new(ctx.head_dim),
+            })
+        }
+    }
+
+    #[test]
+    fn residency_changes_accounting_but_never_token_streams() {
+        let prompt: Vec<usize> = (0..32).map(|i| (i * 5 + 1) % 128).collect();
+        let run = |capacity: Bytes| {
+            let mut eng = clusterkv_like_engine(capacity);
+            let s = eng.create_session().unwrap();
+            let stream = eng.generate(s, &prompt, 8).unwrap();
+            (stream, eng.release(s).unwrap())
+        };
+        let (cold_stream, cold) = run(Bytes(0));
+        let (warm_stream, warm) = run(Bytes(1 << 20));
+        assert_eq!(warm_stream, cold_stream, "residency must not change tokens");
+        assert_eq!(cold.stats.cache.hits, 0, "no cache, no hits");
+        assert!(cold.stats.cache.misses > 0);
+        assert!(warm.stats.cache.hits > 0);
+        assert!(
+            warm.bytes_recalled() < cold.bytes_recalled(),
+            "cache must reduce PCIe traffic: {} vs {}",
+            warm.bytes_recalled(),
+            cold.bytes_recalled()
+        );
+        assert!(
+            warm.modeled_decode_time < cold.modeled_decode_time,
+            "misses must cost transfer time: {} vs {}",
+            warm.modeled_decode_time,
+            cold.modeled_decode_time
+        );
+        assert!(warm.cache_hit_rate() > cold.cache_hit_rate());
+    }
+
+    #[test]
+    fn backing_store_tracks_the_full_kv_size() {
+        let mut eng = clusterkv_like_engine(Bytes(1 << 16));
+        let s = eng.create_session().unwrap();
+        let prompt: Vec<usize> = (0..24).map(|i| (i * 3) % 128).collect();
+        eng.prefill(s, &prompt).unwrap();
+        eng.decode_batch(&[s, s]).unwrap();
+        let cache = eng.session_cache(s).unwrap();
+        let expected = 26 * eng.config().kv_bytes_per_token();
+        assert_eq!(cache.cpu().used(), Bytes(expected));
+        assert!(cache.resident_bytes() <= cache.capacity());
+    }
+
+    #[test]
+    fn resident_policies_keep_the_cache_empty() {
+        let mut eng = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(FullAttentionFactory))
+            .kv_cache_capacity(Bytes(1 << 20))
+            .build()
+            .unwrap();
+        assert_eq!(eng.kv_cache_capacity(), Bytes(1 << 20));
+        let s = eng.create_session().unwrap();
+        eng.generate(s, &[1, 2, 3, 4, 5, 6], 4).unwrap();
+        let cache = eng.session_cache(s).unwrap();
+        assert_eq!(cache.resident_pages(), 0, "FullKV never pages");
+        let report = eng.release(s).unwrap();
+        assert_eq!(report.stats.cache.total(), 0);
+        assert_eq!(report.bytes_recalled(), Bytes(0));
+        assert!(report.modeled_decode_time.get() > 0.0);
+    }
+
+    #[test]
+    fn modeled_decode_time_grows_with_each_step() {
+        let mut eng = clusterkv_like_engine(Bytes(1 << 20));
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &(0..16).collect::<Vec<_>>()).unwrap();
+        assert_eq!(
+            eng.modeled_decode_time(s).unwrap(),
+            Seconds::zero(),
+            "prefill charges no decode time"
+        );
+        eng.decode_batch(&[s]).unwrap();
+        let after_one = eng.modeled_decode_time(s).unwrap();
+        assert!(after_one.get() > 0.0);
+        eng.decode_batch(&[s]).unwrap();
+        assert!(eng.modeled_decode_time(s).unwrap() > after_one);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `#![proptest_config(ProptestConfig::with_cases(n))]` attribute,
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, half-open range
 //! strategies over the primitive numeric types, and
-//! [`collection::vec`](collection::vec) (nestable).
+//! [`collection::vec`](collection::vec()) (nestable).
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded from the
 //! test's module path and name), so failures are reproducible. There is no
@@ -137,7 +137,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact length or a half-open range.
+    /// Length specification for [`vec()`]: an exact length or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -4,7 +4,7 @@
 //!
 //! * [`vector`] — dot products, norms, cosine similarity, top-k selection and
 //!   other 1-D helpers used by the clustering and selection algorithms.
-//! * [`matrix`] — a small row-major [`Matrix`](matrix::Matrix) type with
+//! * [`matrix`] — a small row-major [`Matrix`] type with
 //!   matrix multiplication, transposition and row views, used to hold key /
 //!   value / weight tensors.
 //! * [`ops`] — softmax, RMS normalisation and activation functions used by

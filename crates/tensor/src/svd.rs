@@ -1,6 +1,6 @@
 //! One-sided Jacobi singular value decomposition.
 //!
-//! The InfiniGen baseline ([`clusterkv-baselines`]) generates *partial* query
+//! The InfiniGen baseline (`clusterkv-baselines`) generates *partial* query
 //! and key projection weights offline by taking an SVD of the query/key
 //! weight product and keeping only the channels with the largest singular
 //! values. This module provides the SVD that step needs; it favours clarity

@@ -6,10 +6,13 @@
 //! [`SelectionPlan`]: clusterkv_model::policy::SelectionPlan
 
 use crate::semantic::Episode;
-use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::cluster_cache::ClusterCache;
+use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_model::attention::{attention_output_error, full_attention_weights};
-use clusterkv_model::policy::{ObserveEvent, PolicyStats, SelectionRequest, TokenSelector};
+use clusterkv_model::policy::{
+    KvResidency, ObserveEvent, PolicyStats, SelectionRequest, TokenSelector,
+};
 use clusterkv_tensor::vector::top_k_indices;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -52,26 +55,56 @@ fn mean(v: &[f64]) -> f64 {
     }
 }
 
-/// Run `selector` over `episode` with the given budget.
-///
-/// The harness mirrors the engine's decode loop for a single head: the
-/// selector observes the prefill keys, then at every step plans the token
-/// set for the query, the exact top-`B` set and attention error are measured
-/// against full attention, and the step's generated key/value are appended
-/// to both the store and the selector (so incremental clustering and
-/// recallability across appended tokens are exercised). The per-call plan
-/// statistics are merged into [`EpisodeResult::stats`].
+/// Run `selector` over `episode` with the given budget, without a GPU
+/// cluster cache: every page a plan requests is charged as a PCIe recall
+/// (the "no cache" / pure-offload configuration of §V-C).
 pub fn run_episode(
     episode: &Episode,
     selector: &mut dyn TokenSelector,
     budget: Budget,
 ) -> EpisodeResult {
+    let mut cache = ClusterCache::new(clusterkv_kvcache::cluster_cache::ClusterCacheConfig::new(
+        Bytes(0),
+        episode.config.head_dim,
+    ));
+    run_episode_cached(episode, selector, budget, &mut cache)
+}
+
+/// Run `selector` over `episode` with the given budget, resolving each
+/// plan's page requests against `cache` — the single-head analogue of the
+/// serving engine's per-session residency tracking.
+///
+/// The harness mirrors the engine's decode loop for a single head: the
+/// selector observes the prefill keys (after which never-offloaded pages are
+/// warm-admitted into the cache while capacity allows), then at every step
+/// plans the token set for the query, the plan's pages are looked up in the
+/// cache (misses become transfers), the exact top-`B` set and attention
+/// error are measured against full attention, and the step's generated
+/// key/value are appended to both the store and the selector (so incremental
+/// clustering and recallability across appended tokens are exercised). The
+/// per-call plan statistics and residency outcomes are merged into
+/// [`EpisodeResult::stats`].
+pub fn run_episode_cached(
+    episode: &Episode,
+    selector: &mut dyn TokenSelector,
+    budget: Budget,
+    cache: &mut ClusterCache,
+) -> EpisodeResult {
+    const HARNESS_HEAD: (LayerId, HeadId) = (LayerId(0), HeadId(0));
     let head_dim = episode.config.head_dim;
     let mut store = KvStore::new(head_dim);
     store.append_batch(&episode.keys, &episode.values);
     selector.observe(ObserveEvent::Prefill {
         keys: &episode.keys,
     });
+    let warm = |selector: &dyn TokenSelector, cache: &mut ClusterCache| {
+        if cache.enabled() && !cache.is_offloaded(HARNESS_HEAD.0, HARNESS_HEAD.1) {
+            if let KvResidency::Paged(pages) = selector.page_table() {
+                cache.warm(HARNESS_HEAD.0, HARNESS_HEAD.1, &pages);
+            }
+        }
+    };
+    warm(selector, cache);
 
     let mut per_step_recall = Vec::with_capacity(episode.decode_steps());
     let mut per_step_error = Vec::with_capacity(episode.decode_steps());
@@ -83,6 +116,10 @@ pub fn run_episode(
         let n = store.len();
         let plan = selector.plan(SelectionRequest::new(query, n, budget));
         stats.merge(&plan.stats);
+        if let KvResidency::Paged(pages) = &plan.residency {
+            let outcome = cache.access(HARNESS_HEAD.0, HARNESS_HEAD.1, pages);
+            stats.charge_recall(&outcome);
+        }
         let selected = plan.indices;
         per_step_selected.push(selected.len());
 
@@ -100,13 +137,15 @@ pub fn run_episode(
         });
         per_step_error.push(attention_output_error(&store, query, &selected) as f64);
 
-        // Append the generated token and let the policy observe it.
+        // Append the generated token and let the policy observe it; KV of
+        // freshly clustered pages stays resident while capacity allows.
         let position = store.len();
         store.append(&episode.decode_keys[step], &episode.decode_values[step]);
         selector.observe(ObserveEvent::Append {
             position,
             key: &episode.decode_keys[step],
         });
+        warm(selector, cache);
     }
 
     EpisodeResult {
@@ -174,6 +213,55 @@ mod tests {
         for &err in &r.per_step_error {
             assert!(err >= 0.0);
         }
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_select_identically() {
+        use clusterkv::{ClusterKvConfig, ClusterKvFactory};
+        use clusterkv_model::policy::SelectorFactory;
+        let e = episode();
+        let factory = ClusterKvFactory::new(
+            ClusterKvConfig::default()
+                .with_sink_tokens(8)
+                .with_tokens_per_cluster(16),
+        );
+        let ctx = clusterkv_model::policy::HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim: 32,
+        };
+        let mut plain = factory.create(ctx);
+        let uncached = run_episode(&e, plain.as_mut(), Budget::new(32));
+        let mut cached_sel = factory.create(ctx);
+        let mut cache = ClusterCache::new(
+            clusterkv_kvcache::cluster_cache::ClusterCacheConfig::for_recency_window(4, 32, 32),
+        );
+        let cached = run_episode_cached(&e, cached_sel.as_mut(), Budget::new(32), &mut cache);
+        // Residency changes accounting only, never selection or accuracy.
+        assert_eq!(cached.per_step_selected, uncached.per_step_selected);
+        assert_eq!(cached.per_step_recall, uncached.per_step_recall);
+        assert_eq!(cached.stats.scored_vectors, uncached.stats.scored_vectors);
+        // The uncached run recalls every selected page at every step; the
+        // cached run hits and moves strictly fewer tokens.
+        assert_eq!(uncached.stats.cache.hits, 0);
+        assert!(cached.stats.cache.hits > 0);
+        assert!(
+            cached.stats.transfer.tokens_moved < uncached.stats.transfer.tokens_moved,
+            "cache must reduce recall traffic"
+        );
+    }
+
+    #[test]
+    fn resident_policies_never_touch_the_cache() {
+        let e = episode();
+        let mut sel = FullAttentionSelector;
+        let mut cache = ClusterCache::new(
+            clusterkv_kvcache::cluster_cache::ClusterCacheConfig::new(Bytes(1 << 20), 32),
+        );
+        let r = run_episode_cached(&e, &mut sel, Budget::new(32), &mut cache);
+        assert_eq!(r.stats.cache.total(), 0);
+        assert_eq!(r.stats.transfer.transfers, 0);
+        assert_eq!(cache.resident_pages(), 0);
     }
 
     #[test]

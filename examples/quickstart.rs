@@ -11,7 +11,7 @@
 //! along the way.
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
-use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_model::policy::FullAttentionFactory;
 use clusterkv_model::{ModelPreset, ServeEngine};
 
@@ -29,10 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_sink_tokens(8)
         .with_tokens_per_cluster(16)
         .with_decode_cluster_period(8);
+    // The GPU cluster cache holds about one step's worth of selected
+    // clusters (R = 1 equivalent); the full KV lives in the CPU backing
+    // store and is recalled on misses.
+    let capacity = Bytes(config.selected_kv_bytes_per_step(64 + ckv_config.tokens_per_cluster));
     let mut engine = ServeEngine::builder(config)
         .synthetic_weights(42)
         .budget(Budget::new(64))
         .policy(Box::new(ClusterKvFactory::new(ckv_config)))
+        .kv_cache_capacity(capacity)
         .build()?;
 
     let clusterkv = engine.create_session()?; // default policy: ClusterKV
@@ -74,11 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  cluster-cache hit rate  : {:.1}%",
-        report.stats.cache.hit_rate() * 100.0
+        report.cache_hit_rate() * 100.0
     );
     println!(
         "  tokens fetched from CPU : {}",
         report.stats.transfer.tokens_moved
     );
+    println!("  bytes recalled via PCIe : {}", report.bytes_recalled());
+    println!("  modeled decode latency  : {}", report.modeled_decode_time);
     Ok(())
 }

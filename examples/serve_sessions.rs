@@ -7,13 +7,14 @@
 //!
 //! Six sessions — four ClusterKV "users" with different prompts, one Quest
 //! session and one full-KV reference — are prefilled independently and then
-//! advanced together, one batched decode step at a time. At the end every
-//! session is released and its accumulated selection statistics printed,
-//! demonstrating that cost accounting is tracked per session.
+//! advanced together, one batched decode step at a time. Every session owns
+//! a tiered KV hierarchy (a bounded GPU cluster cache over the CPU backing
+//! store), so at the end each release report carries the session's cache
+//! hit rate and the bytes it recalled over PCIe.
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_baselines::QuestFactory;
-use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_model::policy::FullAttentionFactory;
 use clusterkv_model::{ModelPreset, ServeEngine, SessionId};
 
@@ -22,15 +23,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.max_context = 4096;
 
     // The engine owns weights and configuration exactly once; the ClusterKV
-    // factory is the default policy for new sessions.
+    // factory is the default policy for new sessions. Each session gets a
+    // GPU cluster cache holding about one step's worth of selected clusters
+    // (R = 1 equivalent) — smaller than the full KV of these prompts, so
+    // recalls are real.
     let ckv_config = ClusterKvConfig::default()
         .with_sink_tokens(8)
         .with_tokens_per_cluster(16)
         .with_decode_cluster_period(8);
+    let capacity = Bytes(config.selected_kv_bytes_per_step(64));
     let mut engine = ServeEngine::builder(config)
         .synthetic_weights(42)
         .budget(Budget::new(64))
         .policy(Box::new(ClusterKvFactory::new(ckv_config)))
+        .kv_cache_capacity(capacity)
         .build()?;
 
     // Four concurrent ClusterKV sessions with distinct prompts...
@@ -87,16 +93,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nper-session selection statistics at release:");
+    println!("\nper-session residency statistics at release:");
     for (id, policy) in sessions {
         let report = engine.release(id)?;
         println!(
-            "{:<10} {:>8}  scored={:<6} cache hit rate={:>5.1}%  tokens fetched={}",
+            "{:<10} {:>8}  scored={:<6} cache hit rate={:>5.1}%  recalled={:>10}  \
+             modeled decode={}",
             report.id.to_string(),
             policy,
             report.stats.scored_vectors,
-            report.stats.cache.hit_rate() * 100.0,
-            report.stats.transfer.tokens_moved,
+            report.cache_hit_rate() * 100.0,
+            report.bytes_recalled().to_string(),
+            report.modeled_decode_time,
         );
     }
     assert_eq!(engine.num_sessions(), 0);

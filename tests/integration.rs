@@ -2,6 +2,7 @@
 //! workload generator, the inference engine, ClusterKV and the baselines,
 //! the cluster cache and the analytical latency model.
 
+use clusterkv::{ClusterCache, ClusterCacheConfig};
 use clusterkv::{ClusterKvConfig, ClusterKvFactory, DistanceMetric};
 use clusterkv_bench::{
     clusterkv_config_for_ablation, evaluate, evaluate_clusterkv_variant, Method,
@@ -12,7 +13,7 @@ use clusterkv_model::latency::StepCost;
 use clusterkv_model::policy::{HeadContext, SelectorFactory};
 use clusterkv_model::{InferenceEngine, LatencyModel, ModelConfig, ModelPreset};
 use clusterkv_workloads::{
-    perplexity_proxy, run_episode, Episode, EpisodeConfig, LongBenchDataset,
+    perplexity_proxy, run_episode, run_episode_cached, Episode, EpisodeConfig, LongBenchDataset,
 };
 
 fn accuracy_episode(context_len: usize, seed: u64) -> Episode {
@@ -147,22 +148,86 @@ fn more_clusters_do_not_hurt_recall() {
 
 #[test]
 fn cluster_cache_hit_rate_grows_with_recency_window() {
-    // §V-C: R = 2 retains more clusters than R = 1.
+    // §V-C: a GPU cache sized for R = 2 steps of selected KV retains more
+    // clusters than one sized for R = 1.
     let episode = accuracy_episode(2048, 0xF0);
     let hit_rate = |r: usize| {
-        let factory = ClusterKvFactory::new(ClusterKvConfig::default().with_recency_window(r));
+        let config = ClusterKvConfig::default();
+        let factory = ClusterKvFactory::new(config);
         let mut sel = factory.create(HeadContext {
             layer: 2,
             head: 0,
             head_dim: episode.config.head_dim,
         });
-        let result = run_episode(&episode, sel.as_mut(), Budget::new(256));
+        // One step's cluster-granularity recall can overshoot the budget by
+        // up to one trimmed cluster, so the R-step-equivalent capacity is
+        // sized for budget + tokens_per_cluster tokens per step.
+        let mut cache = ClusterCache::new(ClusterCacheConfig::for_recency_window(
+            r,
+            256 + config.tokens_per_cluster,
+            episode.config.head_dim,
+        ));
+        let result = run_episode_cached(&episode, sel.as_mut(), Budget::new(256), &mut cache);
         result.stats.cache.hit_rate()
     };
     let r1 = hit_rate(1);
     let r2 = hit_rate(2);
     assert!(r1 > 0.2, "R=1 hit rate {r1:.2} unexpectedly low");
     assert!(r2 >= r1, "R=2 hit rate {r2:.2} must be >= R=1 {r1:.2}");
+}
+
+#[test]
+fn cache_hit_rate_is_monotone_in_capacity_and_saturates_at_full_kv() {
+    // The §V-C capacity story end-to-end: a larger GPU cluster cache never
+    // hits less, and once it holds the full KV nothing is ever recalled.
+    let episode = accuracy_episode(512, 0xCA);
+    let head_dim = episode.config.head_dim;
+    let bytes_per_token = 4 * head_dim as u64; // K+V fp16
+    let full_kv = bytes_per_token * (512 + episode.decode_steps()) as u64;
+    let run_at = |capacity: u64| {
+        let factory = ClusterKvFactory::new(ClusterKvConfig::default());
+        let mut sel = factory.create(HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim,
+        });
+        let mut cache = ClusterCache::new(ClusterCacheConfig::new(
+            clusterkv_kvcache::types::Bytes(capacity),
+            head_dim,
+        ));
+        run_episode_cached(&episode, sel.as_mut(), Budget::new(64), &mut cache).stats
+    };
+    let capacities = [
+        0,
+        full_kv / 16,
+        full_kv / 8,
+        full_kv / 4,
+        full_kv / 2,
+        full_kv,
+        2 * full_kv,
+    ];
+    let rates: Vec<f64> = capacities
+        .iter()
+        .map(|&c| run_at(c).cache.hit_rate())
+        .collect();
+    for (pair, caps) in rates.windows(2).zip(capacities.windows(2)) {
+        assert!(
+            pair[1] >= pair[0],
+            "hit rate fell from {:.3} to {:.3} when capacity grew {} -> {}: {rates:?}",
+            pair[0],
+            pair[1],
+            caps[0],
+            caps[1]
+        );
+    }
+    assert_eq!(rates[0], 0.0, "no cache, no hits");
+    let saturated = run_at(2 * full_kv);
+    assert_eq!(
+        saturated.cache.hit_rate(),
+        1.0,
+        "capacity >= full KV must never recall"
+    );
+    assert_eq!(saturated.transfer.bytes_to_device.get(), 0);
 }
 
 #[test]

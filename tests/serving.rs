@@ -4,7 +4,7 @@
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_baselines::QuestFactory;
-use clusterkv_kvcache::types::Budget;
+use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_model::policy::SelectorFactory;
 use clusterkv_model::{InferenceEngine, ModelConfig, ServeEngine, SessionId};
 
@@ -183,6 +183,121 @@ fn releasing_a_session_does_not_disturb_the_others() {
             "session {s} diverged after a release"
         );
     }
+}
+
+/// The same N sequences decoded one by one, each in its own engine with the
+/// given cluster-cache capacity.
+fn sequential_streams_with_cache(
+    factory: &dyn SelectorFactory,
+    budget: usize,
+    capacity: Bytes,
+) -> Vec<Vec<usize>> {
+    prompts()
+        .iter()
+        .map(|prompt| {
+            let mut engine = ServeEngine::builder(ModelConfig::tiny())
+                .synthetic_weights(SEED)
+                .budget(Budget::new(budget))
+                .kv_cache_capacity(capacity)
+                .build()
+                .unwrap();
+            let id = engine.create_session_with(factory).unwrap();
+            engine.generate(id, prompt, DECODE_STEPS).unwrap()
+        })
+        .collect()
+}
+
+/// The same N sequences decoded concurrently through `decode_batch`, with
+/// the given cluster-cache capacity.
+fn batched_streams_with_cache(
+    factory: &dyn SelectorFactory,
+    budget: usize,
+    capacity: Bytes,
+) -> Vec<Vec<usize>> {
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(budget))
+        .kv_cache_capacity(capacity)
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session_with(factory).unwrap())
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        engine.prefill(*id, &prompt).unwrap();
+    }
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    for _ in 0..DECODE_STEPS {
+        let outs = engine.decode_batch(&ids).unwrap();
+        for (stream, out) in streams.iter_mut().zip(&outs) {
+            stream.push(out.next_token);
+        }
+    }
+    streams
+}
+
+#[test]
+fn token_streams_are_invariant_to_cluster_cache_residency() {
+    // Residency is accounting and latency only: enabling the cluster cache
+    // (at any capacity) must leave every decode token stream byte-identical,
+    // for the cluster-paged policy and the page-paged baseline, across both
+    // batched and sequential decoding.
+    let clusterkv = clusterkv_factory();
+    let quest = QuestFactory::default();
+    let factories: [&dyn SelectorFactory; 2] = [&clusterkv, &quest];
+    // Disabled (pure offload), a tight cache and an effectively infinite one.
+    let capacities = [Bytes(0), Bytes(2 * 24 * 32), Bytes(1 << 22)];
+    for factory in factories {
+        let reference = sequential_streams(factory, 24);
+        assert!(
+            reference.iter().any(|s| !s.is_empty()),
+            "reference streams must be non-trivial"
+        );
+        for capacity in capacities {
+            let sequential = sequential_streams_with_cache(factory, 24, capacity);
+            assert_eq!(
+                sequential,
+                reference,
+                "{}: sequential streams changed with cache capacity {capacity}",
+                factory.name()
+            );
+            let batched = batched_streams_with_cache(factory, 24, capacity);
+            assert_eq!(
+                batched,
+                reference,
+                "{}: batched streams changed with cache capacity {capacity}",
+                factory.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_sessions_report_hits_and_reduced_recall_traffic() {
+    let factory = clusterkv_factory();
+    let stats_at = |capacity: Bytes| {
+        let mut engine = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(SEED)
+            .budget(Budget::new(24))
+            .kv_cache_capacity(capacity)
+            .build()
+            .unwrap();
+        let id = engine.create_session_with(&factory).unwrap();
+        engine.generate(id, &prompts()[0], DECODE_STEPS).unwrap();
+        engine.release(id).unwrap()
+    };
+    let offload = stats_at(Bytes(0));
+    let cached = stats_at(Bytes(1 << 22));
+    assert_eq!(offload.stats.cache.hits, 0);
+    assert!(offload.stats.cache.misses > 0);
+    assert!(cached.cache_hit_rate() > offload.cache_hit_rate());
+    assert!(
+        cached.bytes_recalled() < offload.bytes_recalled(),
+        "cache must cut recalled bytes: {} vs {}",
+        cached.bytes_recalled(),
+        offload.bytes_recalled()
+    );
+    assert!(cached.modeled_decode_time < offload.modeled_decode_time);
 }
 
 #[test]
