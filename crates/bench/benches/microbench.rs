@@ -5,6 +5,7 @@
 //! * cluster selection & indexing vs number of clusters (Concern 2),
 //! * Quest page-metadata scoring (the baseline ClusterKV's selection cost is
 //!   compared against),
+//! * per-step top-k: partial selection vs the previous full argsort,
 //! * cluster-cache lookups.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -83,6 +84,38 @@ fn bench_quest_selection(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-step top-k cost: `select_nth_unstable_by` partial selection (the
+/// current `top_k_indices`) vs the previous full `O(n log n)` argsort. Quest
+/// and H2O rank every page/token each decode step, so for small `k` over a
+/// long context the partial selection is the difference between `O(n)` and
+/// a full sort per step.
+fn bench_top_k(c: &mut Criterion) {
+    use clusterkv_tensor::vector::top_k_indices;
+    let mut group = c.benchmark_group("top_k");
+    let n = 8192;
+    let scores = gaussian_vec(&mut seeded(23), n, 0.0, 1.0);
+    // The pre-fix reference: argsort everything, keep the prefix.
+    let full_argsort_top_k = |s: &[f32], k: usize| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..s.len()).collect();
+        idx.sort_by(|&i, &j| s[j].total_cmp(&s[i]).then(i.cmp(&j)));
+        idx.truncate(k);
+        idx
+    };
+    for &k in &[16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("full_argsort", k),
+            &scores,
+            |b, s: &Vec<f32>| b.iter(|| black_box(full_argsort_top_k(s, k))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select_nth", k),
+            &scores,
+            |b, s: &Vec<f32>| b.iter(|| black_box(top_k_indices(s, k))),
+        );
+    }
+    group.finish();
+}
+
 /// Tiered cluster-cache lookup and update cost.
 fn bench_cache(c: &mut Criterion) {
     use clusterkv_kvcache::types::{Bytes, HeadId, LayerId};
@@ -112,6 +145,7 @@ criterion_group!(
     bench_clustering,
     bench_selection,
     bench_quest_selection,
+    bench_top_k,
     bench_cache
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p clusterkv-bench --bin fig09_longbench`
 
-use clusterkv_bench::{evaluate, Method};
+use clusterkv_bench::{evaluate_sweep, Method};
 use clusterkv_metrics::{fmt, mean, Table};
 use clusterkv_workloads::{Episode, LongBenchDataset};
 use std::collections::BTreeMap;
@@ -25,9 +25,12 @@ fn main() {
         let mut table = Table::new(vec!["Method", "B=256", "B=512", "B=1024", "B=2048"]);
         for method in Method::all() {
             let mut cells = vec![method.name().to_string()];
-            for &budget in &BUDGETS {
-                let result = evaluate(method, &episode, budget);
-                let score = profile.score(&result);
+            // The four budgets run concurrently (thread-count invariant).
+            for (result, &budget) in evaluate_sweep(method, &episode, &BUDGETS)
+                .iter()
+                .zip(&BUDGETS)
+            {
+                let score = profile.score(result);
                 cells.push(fmt(score, 2));
                 averages
                     .entry((method.name().to_string(), budget))

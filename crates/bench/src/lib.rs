@@ -1,8 +1,8 @@
 //! Shared pieces of the experiment binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md §4 for the experiment index). This library provides the
-//! method enumeration and the per-episode evaluation loop they share.
+//! (each binary's module docs name its experiment). This library provides
+//! the method enumeration and the per-episode evaluation loop they share.
 
 #![warn(missing_docs)]
 
@@ -10,7 +10,7 @@ use clusterkv::{ClusterKvConfig, ClusterKvFactory, DistanceMetric};
 use clusterkv_baselines::{InfiniGenFactory, QuestFactory};
 use clusterkv_kvcache::types::Budget;
 use clusterkv_model::policy::{FullAttentionFactory, HeadContext, SelectorFactory};
-use clusterkv_workloads::{run_episode, Episode, EpisodeResult};
+use clusterkv_workloads::{run_budget_sweep, run_episode, Episode, EpisodeResult};
 use serde::{Deserialize, Serialize};
 
 /// The methods compared in the paper's accuracy figures (Fig. 9, 10, 11).
@@ -78,6 +78,23 @@ pub fn evaluate(method: Method, episode: &Episode, budget: usize) -> EpisodeResu
         head_dim: episode.config.head_dim,
     });
     run_episode(episode, selector.as_mut(), Budget::new(budget))
+}
+
+/// Evaluate one method at every budget of a sweep, budgets fanned out across
+/// the thread pool (`RAYON_NUM_THREADS`); results come back in budget order,
+/// identical to [`evaluate`] per budget.
+pub fn evaluate_sweep(method: Method, episode: &Episode, budgets: &[usize]) -> Vec<EpisodeResult> {
+    let factory = method.factory();
+    run_budget_sweep(
+        episode,
+        factory.as_ref(),
+        HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim: episode.config.head_dim,
+        },
+        budgets,
+    )
 }
 
 /// Evaluate a ClusterKV variant (custom configuration) on one episode — used

@@ -37,7 +37,10 @@ impl DistanceMetric {
     }
 
     /// Index of the closest centroid to `v`, or `None` when `centroids` is
-    /// empty. Ties break toward the lower index.
+    /// empty. Ties break toward the lower index. NaN distances are never
+    /// selected — the same contract as
+    /// [`argmin`](clusterkv_tensor::vector::argmin) — so `None` is also
+    /// returned when every candidate's distance is NaN.
     pub fn nearest<'a, I>(self, v: &[f32], centroids: I) -> Option<usize>
     where
         I: IntoIterator<Item = &'a [f32]>,
@@ -45,6 +48,12 @@ impl DistanceMetric {
         let mut best: Option<(usize, f32)> = None;
         for (i, c) in centroids.into_iter().enumerate() {
             let d = self.distance(v, c);
+            // A NaN distance must be skipped explicitly: `d >= bd` is false
+            // for NaN, so without this guard a NaN candidate would *replace*
+            // the best — the opposite of the contract above.
+            if d.is_nan() {
+                continue;
+            }
             match best {
                 Some((_, bd)) if d >= bd => {}
                 _ => best = Some((i, d)),
@@ -113,6 +122,33 @@ mod tests {
             DistanceMetric::Cosine.nearest(&v2, refs.iter().copied()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn nearest_skips_nan_distances() {
+        // Mirrors the argmax/argmin NaN tests: a NaN distance must never win.
+        // Under L2, a centroid containing NaN yields a NaN distance.
+        let good = vec![5.0f32, 0.0];
+        let poisoned = vec![f32::NAN, 0.0];
+        let v = [5.1f32, 0.0];
+        // The poisoned centroid comes *after* the best: `d >= bd` is false
+        // for NaN, so the unguarded update would have replaced the winner.
+        let after: Vec<&[f32]> = vec![&good, &poisoned];
+        assert_eq!(DistanceMetric::L2.nearest(&v, after), Some(0));
+        // And before: it must not be retained as the initial best either.
+        let before: Vec<&[f32]> = vec![&poisoned, &good];
+        assert_eq!(DistanceMetric::L2.nearest(&v, before), Some(1));
+        for metric in DistanceMetric::all() {
+            let refs: Vec<&[f32]> = vec![&poisoned, &good, &poisoned];
+            assert_eq!(metric.nearest(&v, refs), Some(1), "{metric}");
+        }
+    }
+
+    #[test]
+    fn nearest_of_all_nan_is_none() {
+        let poisoned = vec![f32::NAN, f32::NAN];
+        let refs: Vec<&[f32]> = vec![&poisoned, &poisoned];
+        assert_eq!(DistanceMetric::Cosine.nearest(&[1.0, 0.0], refs), None);
     }
 
     #[test]

@@ -13,15 +13,19 @@
 //! (seeded) and the remaining ones are chosen by farthest-first traversal
 //! (k-means++-style). This costs the same `O(k·L·d)` as one assignment pass,
 //! is deterministic for a fixed seed, and avoids the degenerate local minima
-//! that uniform sampling occasionally produces for small `k` — see
-//! DESIGN.md §6.
+//! that uniform sampling occasionally produces for small `k`.
 
 use crate::distance::DistanceMetric;
 use clusterkv_tensor::rng::{sample_distinct_indices, seeded};
-use clusterkv_tensor::vector::mean_of;
+use clusterkv_tensor::vector::{argmax, mean_of};
 use clusterkv_tensor::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Minimum rows each worker of the parallel assignment sweep receives: one
+/// `nearest` call is `O(C·d)`, cheap enough that splitting a small prompt's
+/// keys across threads costs more than it saves.
+const ASSIGN_MIN_ROWS_PER_WORKER: usize = 64;
 
 /// Result of running k-means on a set of key vectors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -104,12 +108,11 @@ impl KMeans {
             .map(|i| self.metric.distance(keys.row(i), keys.row(first)))
             .collect();
         while init.len() < k {
-            let next = min_dist
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .expect("n > 0");
+            // `argmax` skips NaN distances (a NaN key would otherwise poison
+            // farthest-first traversal) and breaks ties toward the lower
+            // index, keeping initialisation deterministic. All-NaN
+            // degenerate input falls back to index 0.
+            let next = argmax(&min_dist).unwrap_or(0);
             init.push(next);
             for (i, md) in min_dist.iter_mut().enumerate() {
                 let d = self.metric.distance(keys.row(i), keys.row(next));
@@ -127,14 +130,20 @@ impl KMeans {
             iterations += 1;
 
             // Assignment step (parallel across rows, mirroring the batched
-            // Torch kernels of §IV-B).
+            // Torch kernels of §IV-B). Chunk-parallel per-row assignments
+            // are order-preserving, so the labeling is identical at every
+            // thread count.
             let centroid_rows: Vec<&[f32]> = centroids.iter_rows().collect();
             let new_labels: Vec<usize> = (0..n)
                 .into_par_iter()
+                .with_min_len(ASSIGN_MIN_ROWS_PER_WORKER)
                 .map(|i| {
+                    // `nearest` returns None only when every distance is NaN
+                    // (degenerate NaN keys); pin such rows to cluster 0
+                    // deterministically rather than panicking the sweep.
                     self.metric
                         .nearest(keys.row(i), centroid_rows.iter().copied())
-                        .expect("at least one centroid")
+                        .unwrap_or(0)
                 })
                 .collect();
 

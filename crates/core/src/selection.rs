@@ -13,8 +13,14 @@ use crate::clustering::SemanticClustering;
 use crate::metadata::ClusterMetadata;
 use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_kvcache::types::Budget;
-use clusterkv_tensor::vector::argsort_descending;
+use clusterkv_tensor::vector::{argsort_descending, dot};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Minimum centroids per worker when scoring in parallel: one score is a
+/// single `d`-dimensional dot product, so small cluster counts (short
+/// contexts) stay on one thread.
+const SCORE_MIN_CENTROIDS_PER_WORKER: usize = 128;
 
 /// Outcome of one cluster-granularity selection step.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -115,10 +121,24 @@ pub fn select_clusters(
         };
     }
 
-    // Score clusters by inner product between the query and centroids.
-    let scores = centroids
-        .matvec_t(query)
-        .expect("query dimension matches centroid dimension");
+    // Score clusters by inner product between the query and centroids —
+    // data-parallel across centroid rows (the §IV-C batched scoring kernel).
+    // Chunked row-wise dot products are order-preserving and each row's
+    // arithmetic is unchanged, so scores are byte-identical at any thread
+    // count.
+    assert_eq!(
+        centroids.cols(),
+        query.len(),
+        "query dimension matches centroid dimension"
+    );
+    let centroid_rows: Vec<&[f32]> = centroids.iter_rows().collect();
+    let scores: Vec<f32> = centroid_rows
+        .into_par_iter()
+        .with_min_len(SCORE_MIN_CENTROIDS_PER_WORKER)
+        .map(|row| dot(row, query))
+        .collect();
+    // NaN scores (a degenerate query or poisoned centroid) rank strictly
+    // last and deterministically, so a NaN can never hijack the budget.
     let order = argsort_descending(&scores);
 
     let mut selected_clusters = Vec::new();
@@ -299,6 +319,39 @@ mod tests {
         let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(8));
         assert_eq!(result.token_indices, vec![0, 1, 2]);
         assert_eq!(result.scored_centroids, 0);
+    }
+
+    #[test]
+    fn nan_scores_neither_panic_nor_win_selection() {
+        // Regression: a NaN query poisons every centroid score. The old
+        // `partial_cmp().unwrap_or(Equal)` ranking was a non-total order
+        // (sort_by may panic) and nondeterministic; with NaN ranked last the
+        // selection falls back to cluster-index order, deterministically.
+        let sc = directional_clustering();
+        let nan_query = [f32::NAN, 0.0, 0.0, 0.0];
+        let first = select_clusters(&nan_query, &sc, Budget::new(14));
+        let second = select_clusters(&nan_query, &sc, Budget::new(14));
+        assert_eq!(first.token_indices, second.token_indices);
+        assert_eq!(first.selected_clusters, second.selected_clusters);
+        assert!(first.len() <= 14);
+        assert_unique(&first);
+        // Sinks are still retained ahead of any (all-NaN-scored) cluster.
+        for s in 0..4 {
+            assert!(first.token_indices.contains(&s), "sink {s} missing");
+        }
+        // All scores are NaN, so clusters are consumed in index order.
+        assert_eq!(first.selected_clusters, vec![0]);
+    }
+
+    #[test]
+    fn nan_scores_respect_budget_at_every_size() {
+        let sc = directional_clustering();
+        let nan_query = [f32::NAN; 4];
+        for budget in [0usize, 1, 4, 7, 14, 34, 100] {
+            let result = select_clusters(&nan_query, &sc, Budget::new(budget));
+            assert!(result.len() <= budget);
+            assert_unique(&result);
+        }
     }
 
     #[test]

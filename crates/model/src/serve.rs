@@ -13,6 +13,18 @@
 //! selection-plan attention during decoding, with the head's selector
 //! observing every produced key.
 //!
+//! Execution is multithreaded (DESIGN.md §4): [`decode_batch`] fans the
+//! batch's distinct sessions across the rayon pool (sessions are fully
+//! isolated, so this is embarrassingly parallel), and within one session the
+//! per-head work — query projection, selection planning, attention — plus
+//! the large row-wise projections run data-parallel. Everything
+//! order-sensitive (cluster-cache LRU accesses, stats accumulation, traces)
+//! happens sequentially in head order after the parallel phase, so token
+//! streams and every per-session statistic are byte-identical at any thread
+//! count (`RAYON_NUM_THREADS`).
+//!
+//! [`decode_batch`]: ServeEngine::decode_batch
+//!
 //! [`InferenceEngine`](crate::engine::InferenceEngine) is a thin
 //! single-session adapter over this type.
 
@@ -33,10 +45,23 @@ use clusterkv_kvcache::KvStore;
 use clusterkv_tensor::ops::{rms_norm, silu};
 use clusterkv_tensor::vector::argmax;
 use clusterkv_tensor::Matrix;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Default cap on concurrently resident sessions.
 pub const DEFAULT_MAX_SESSIONS: usize = 256;
+
+/// Minimum output rows per worker for the row-wise projections (attention
+/// output, FFN gate/up/down, logits): one row is a single `O(hidden)` dot
+/// product, so tiny test models stay on one thread while production-sized
+/// projections split.
+const PROJ_MIN_ROWS_PER_WORKER: usize = 256;
+
+/// Context length from which the per-head attention phase fans out across
+/// workers: below this, one head's work (projection, planning, attending at
+/// most this many tokens) is cheaper than a thread spawn, so heads stay on
+/// one thread. Deterministic in the token position, hence parity-safe.
+const HEAD_PAR_MIN_CONTEXT: usize = 512;
 
 /// Errors produced by the serving engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,6 +186,26 @@ impl SessionReport {
     pub fn bytes_recalled(&self) -> Bytes {
         self.stats.transfer.bytes_to_device
     }
+}
+
+/// Per-head result of the parallel phase of one token's attention: pure
+/// compute (query projection, selection planning, attention) runs
+/// data-parallel across heads; everything order-sensitive — cluster-cache
+/// accesses (LRU stamps), stats accumulation, traces — is applied from these
+/// outcomes sequentially in head order, which is what keeps N-thread and
+/// 1-thread runs byte-identical.
+struct HeadOutcome {
+    /// Token indices attended (the plan plus the forced current position).
+    selected: Vec<usize>,
+    /// Per-call stats reported by the selector (`None` during prefill).
+    stats: Option<PolicyStats>,
+    /// Page decomposition of the plan (`None` during prefill or when the
+    /// selected KV is trivially resident).
+    pages: Option<Vec<crate::policy::PageRequest>>,
+    /// Attention output of the head.
+    output: Vec<f32>,
+    /// Post-RoPE query (consumed again only by traced heads).
+    query: Vec<f32>,
 }
 
 /// Totals one decode step accumulates across every selective-layer head,
@@ -636,6 +681,17 @@ impl ServeEngine {
             .collect()
     }
 
+    /// `w[..rows] · v`, row-parallel. Chunked per-row dot products preserve
+    /// order and per-row arithmetic, so the result is identical at any
+    /// thread count.
+    fn par_rows_matvec(w: &Matrix, v: &[f32], rows: usize) -> Vec<f32> {
+        (0..rows)
+            .into_par_iter()
+            .with_min_len(PROJ_MIN_ROWS_PER_WORKER)
+            .map(|d| clusterkv_tensor::vector::dot(w.row(d), v))
+            .collect()
+    }
+
     /// Run one token of one session through the transformer. `use_selection`
     /// is false during prefill (full causal attention) and true during
     /// decoding.
@@ -664,89 +720,122 @@ impl ServeEngine {
         let mut x = weights.embedding.row(token).to_vec();
         let head_dim = config.head_dim;
         let num_heads = config.num_heads;
-        let num_kv_heads = config.num_kv_heads;
 
         for layer in 0..config.num_layers {
             let lw = &weights.layers[layer];
             let h = rms_norm(&x, &lw.attn_norm, 1e-6);
 
             // KV projections for this layer (one per KV head), RoPE on keys.
-            for kv_head in 0..num_kv_heads {
+            // Sequential on purpose: one projection is microseconds of work,
+            // far below the cost of enlisting a worker.
+            for kv_head in 0..config.num_kv_heads {
                 let mut k = Self::project_head(&lw.wk, &h, kv_head, head_dim);
                 let v = Self::project_head(&lw.wv, &h, kv_head, head_dim);
                 rope.apply(&mut k, position);
                 sess.kv[layer][kv_head].append(&k, &v);
             }
 
-            // Attention per query head.
-            let mut attn_concat = vec![0.0f32; num_heads * head_dim];
-            for head in 0..num_heads {
-                let mut q = Self::project_head(&lw.wq, &h, head, head_dim);
-                rope.apply(&mut q, position);
-                let kv_head = Self::kv_head_of(config, head);
-                let store = &sess.kv[layer][kv_head];
-                let n = store.len();
+            // Attention, phase 1 (parallel across query heads): project the
+            // query, plan the token set, attend. Each head owns its selector
+            // and reads its KV-group's store — pure, order-free compute.
+            // Heads fan out only once the context is long enough for one
+            // head's attention to outweigh a spawn (`min_len = num_heads`
+            // forces a single chunk below the threshold).
+            let head_min_len = if position >= HEAD_PAR_MIN_CONTEXT {
+                1
+            } else {
+                num_heads
+            };
+            let kv_layer = &sess.kv[layer];
+            let head_outcomes: Vec<HeadOutcome> = sess.selectors[layer]
+                .iter_mut()
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .with_min_len(head_min_len)
+                .map(|(head, selector)| {
+                    let mut q = Self::project_head(&lw.wq, &h, head, head_dim);
+                    rope.apply(&mut q, position);
+                    let store = &kv_layer[Self::kv_head_of(config, head)];
+                    let n = store.len();
+                    let (selected, stats, pages) = if use_selection {
+                        let plan = selector.plan(SelectionRequest::new(&q, n, budget));
+                        let mut sel = plan.indices;
+                        // The token being generated always attends to
+                        // itself: its KV was just produced on the GPU and is
+                        // not subject to selection (policies may not even
+                        // have observed it yet).
+                        if !sel.contains(&position) {
+                            sel.push(position);
+                        }
+                        let pages = match plan.residency {
+                            KvResidency::Paged(pages) => Some(pages),
+                            KvResidency::Resident => None,
+                        };
+                        (sel, Some(plan.stats), pages)
+                    } else {
+                        ((0..n).collect(), None, None)
+                    };
+                    let out = attend_selected(store, &q, &selected);
+                    HeadOutcome {
+                        selected,
+                        stats,
+                        pages,
+                        output: out.output,
+                        query: q,
+                    }
+                })
+                .collect();
 
-                let selected: Vec<usize> = if use_selection {
-                    let plan =
-                        sess.selectors[layer][head].plan(SelectionRequest::new(&q, n, budget));
-                    let mut stats = plan.stats;
+            // Attention, phase 2 (sequential, in head order): cluster-cache
+            // accesses (whose LRU stamps are order-sensitive), stats
+            // accumulation, traces and the output concatenation all consume
+            // the outcomes exactly as the sequential engine did.
+            let mut attn_concat = vec![0.0f32; num_heads * head_dim];
+            for (head, outcome) in head_outcomes.into_iter().enumerate() {
+                if let Some(mut stats) = outcome.stats {
                     // Residency: resolve the plan's page requests against the
                     // session's cluster cache; only misses cross PCIe.
-                    if let KvResidency::Paged(pages) = &plan.residency {
-                        let outcome = sess.cache.access(LayerId(layer), HeadId(head), pages);
-                        stats.charge_recall(&outcome);
-                        sess.step.transferred += outcome.missed_tokens;
+                    if let Some(pages) = &outcome.pages {
+                        let access = sess.cache.access(LayerId(layer), HeadId(head), pages);
+                        stats.charge_recall(&access);
+                        sess.step.transferred += access.missed_tokens;
                     }
                     sess.stats.merge(&stats);
-                    let mut sel = plan.indices;
-                    // The token being generated always attends to itself: its
-                    // KV was just produced on the GPU and is not subject to
-                    // selection (policies may not even have observed it yet).
-                    if !sel.contains(&position) {
-                        sel.push(position);
-                    }
                     if layer >= config.dense_layers {
                         sess.step.scored += stats.scored_vectors;
-                        sess.step.attended += sel.len() as u64;
+                        sess.step.attended += outcome.selected.len() as u64;
                     }
-                    sel
-                } else {
-                    (0..n).collect()
-                };
-                let out = attend_selected(store, &q, &selected);
-
-                if use_selection {
                     if let Some(trace) = sess.traces.get_mut(&(layer, head)) {
+                        let store = &sess.kv[layer][Self::kv_head_of(config, head)];
                         trace.push(TraceStep {
                             position,
-                            full_weights: full_attention_weights(store, &q),
-                            selected: selected.clone(),
+                            full_weights: full_attention_weights(store, &outcome.query),
+                            selected: outcome.selected.clone(),
                         });
                     }
                 }
-                attn_concat[head * head_dim..(head + 1) * head_dim].copy_from_slice(&out.output);
+                attn_concat[head * head_dim..(head + 1) * head_dim]
+                    .copy_from_slice(&outcome.output);
             }
 
-            // Output projection and residual.
-            let attn_out: Vec<f32> = (0..config.hidden_dim())
-                .map(|d| clusterkv_tensor::vector::dot(lw.wo.row(d), &attn_concat))
-                .collect();
+            // Output projection and residual (row-parallel).
+            let attn_out = Self::par_rows_matvec(&lw.wo, &attn_concat, config.hidden_dim());
             for (xi, ai) in x.iter_mut().zip(&attn_out) {
                 *xi += ai;
             }
 
-            // FFN with SiLU gating and residual.
+            // FFN with SiLU gating and residual (row-parallel).
             let h2 = rms_norm(&x, &lw.ffn_norm, 1e-6);
-            let gate: Vec<f32> = (0..config.ffn_dim)
-                .map(|d| silu(clusterkv_tensor::vector::dot(lw.w_gate.row(d), &h2)))
-                .collect();
-            let up: Vec<f32> = (0..config.ffn_dim)
-                .map(|d| clusterkv_tensor::vector::dot(lw.w_up.row(d), &h2))
-                .collect();
+            let mut gate = Self::par_rows_matvec(&lw.w_gate, &h2, config.ffn_dim);
+            for g in gate.iter_mut() {
+                *g = silu(*g);
+            }
+            let up = Self::par_rows_matvec(&lw.w_up, &h2, config.ffn_dim);
             let gated: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| g * u).collect();
-            for (d, xd) in x.iter_mut().enumerate().take(config.hidden_dim()) {
-                *xd += clusterkv_tensor::vector::dot(lw.w_down.row(d), &gated);
+            let down = Self::par_rows_matvec(&lw.w_down, &gated, config.hidden_dim());
+            for (xd, dd) in x.iter_mut().zip(&down) {
+                *xd += dd;
             }
         }
 
@@ -829,16 +918,34 @@ impl ServeEngine {
         // Notify selectors of the prefill keys (per query head, sharing one
         // copy of the associated KV head's keys across its query-head group)
         // — this is where semantic clustering runs in ClusterKV (Fig. 5,
-        // step 1).
+        // step 1), the heaviest per-head work of a session's lifetime, so it
+        // fans out across every selective (layer, head) pair. Selectors are
+        // independent, making the observes order-free.
         let group = config.num_heads / config.num_kv_heads;
-        for layer in config.dense_layers..config.num_layers {
-            for kv_head in 0..config.num_kv_heads {
-                let keys = sess.kv[layer][kv_head].keys().clone();
-                for head in kv_head * group..(kv_head + 1) * group {
-                    sess.selectors[layer][head].observe(ObserveEvent::Prefill { keys: &keys });
-                }
-            }
-        }
+        let keys_per_layer: Vec<Vec<Matrix>> = (config.dense_layers..config.num_layers)
+            .map(|layer| {
+                (0..config.num_kv_heads)
+                    .map(|kv_head| sess.kv[layer][kv_head].keys().clone())
+                    .collect()
+            })
+            .collect();
+        sess.selectors[config.dense_layers..]
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(li, heads)| {
+                heads
+                    .iter_mut()
+                    .enumerate()
+                    .map(move |(head, sel)| (li, head, sel))
+            })
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .with_min_len(1)
+            .for_each(|(li, head, sel)| {
+                sel.observe(ObserveEvent::Prefill {
+                    keys: &keys_per_layer[li][head / group],
+                });
+            });
         // The prefill KV was produced on the GPU: pages stay resident while
         // cache capacity allows, the rest is offloaded to the backing store.
         Self::settle_session_memory(config, sess);
@@ -860,25 +967,59 @@ impl ServeEngine {
         let sess = sessions
             .get_mut(&id.0)
             .ok_or(EngineError::UnknownSession(id))?;
+        Self::decode_one(config, weights, rope, *budget, latency, id, sess)
+    }
+
+    /// Advance one session by one decoding step. Free of `&mut self` so
+    /// [`decode_batch`](Self::decode_batch) can run disjoint sessions on
+    /// different threads against the shared (read-only) model state.
+    fn decode_one(
+        config: &ModelConfig,
+        weights: &ModelWeights,
+        rope: &Rope,
+        budget: Budget,
+        latency: &LatencyModel,
+        id: SessionId,
+        sess: &mut SessionState,
+    ) -> Result<DecodeOutput, EngineError> {
         if !sess.prefilled {
             return Err(EngineError::NotPrefilled);
         }
         let token = sess.next_input.ok_or(EngineError::NotPrefilled)?;
         let position = sess.num_tokens;
         sess.step = StepAccounting::default();
-        let hidden = Self::forward_token(config, weights, rope, *budget, sess, token, true)?;
+        let hidden = Self::forward_token(config, weights, rope, budget, sess, token, true)?;
 
-        // Notify selectors of the new keys appended at `position`.
-        for layer in config.dense_layers..config.num_layers {
-            for head in 0..config.num_heads {
-                let kv_head = Self::kv_head_of(config, head);
-                let key = sess.kv[layer][kv_head].key(position).to_vec();
-                sess.selectors[layer][head].observe(ObserveEvent::Append {
+        // Notify selectors of the new keys appended at `position` — parallel
+        // across the independent (layer, head) selectors, one key snapshot
+        // per KV head. Incremental clustering (ClusterKV's periodic k-means
+        // over the decode buffer) runs inside these observes.
+        let group = config.num_heads / config.num_kv_heads;
+        let key_per_layer: Vec<Vec<Vec<f32>>> = (config.dense_layers..config.num_layers)
+            .map(|layer| {
+                (0..config.num_kv_heads)
+                    .map(|kv_head| sess.kv[layer][kv_head].key(position).to_vec())
+                    .collect()
+            })
+            .collect();
+        sess.selectors[config.dense_layers..]
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(li, heads)| {
+                heads
+                    .iter_mut()
+                    .enumerate()
+                    .map(move |(head, sel)| (li, head, sel))
+            })
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .with_min_len(1)
+            .for_each(|(li, head, sel)| {
+                sel.observe(ObserveEvent::Append {
                     position,
-                    key: &key,
+                    key: &key_per_layer[li][head / group],
                 });
-            }
-        }
+            });
         // New KV (and any freshly created clusters) was produced on-device;
         // settle what stays resident, then price the step: GPU time from the
         // roofline model plus PCIe recall for exactly this step's misses.
@@ -891,8 +1032,10 @@ impl ServeEngine {
         );
         sess.modeled_decode += latency.decode_step(sess.num_tokens, &cost);
 
-        // Tied-embedding logits.
+        // Tied-embedding logits (row-parallel over the vocabulary).
         let logits: Vec<f32> = (0..config.vocab_size)
+            .into_par_iter()
+            .with_min_len(PROJ_MIN_ROWS_PER_WORKER)
             .map(|t| clusterkv_tensor::vector::dot(weights.embedding.row(t), &hidden))
             .collect();
         let next_token = argmax(&logits).unwrap_or(0);
@@ -922,16 +1065,19 @@ impl ServeEngine {
         self.decode_session(id)
     }
 
-    /// Advance every listed session by one decoding step, in order, each
-    /// consuming its own pending input token (the last prompt token right
-    /// after prefill, afterwards its previously generated token unless
-    /// overridden via [`set_next_input`](Self::set_next_input)).
+    /// Advance every listed session by one decoding step, each consuming its
+    /// own pending input token (the last prompt token right after prefill,
+    /// afterwards its previously generated token unless overridden via
+    /// [`set_next_input`](Self::set_next_input)).
     ///
-    /// Sessions are fully isolated, so the outputs are identical to calling
-    /// [`decode_step`](Self::decode_step) on each session separately; the
-    /// batch entry point is where a real deployment amortises weight reads
-    /// and kernel launches across sequences. A session may appear multiple
-    /// times, advancing multiple steps.
+    /// The batch's **distinct sessions fan out across the thread pool**
+    /// (`RAYON_NUM_THREADS` workers): sessions are fully isolated, so the
+    /// outputs are byte-identical to calling
+    /// [`decode_step`](Self::decode_step) on each session separately, at any
+    /// thread count — the serving parity suite enforces this. A session may
+    /// appear multiple times, advancing multiple steps; its steps run
+    /// sequentially on one worker, in batch order. Outputs are returned in
+    /// the order of `ids`, exactly as the sequential engine produced them.
     ///
     /// # Errors
     ///
@@ -958,7 +1104,61 @@ impl ServeEngine {
                 });
             }
         }
-        ids.iter().map(|&id| self.decode_session(id)).collect()
+
+        // Group the batch by session: each distinct session becomes one unit
+        // of work carrying the output slots its steps fill.
+        let mut slots_per_id: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (slot, &id) in ids.iter().enumerate() {
+            slots_per_id.entry(id.0).or_default().push(slot);
+        }
+        let Self {
+            config,
+            weights,
+            rope,
+            budget,
+            sessions,
+            latency,
+            ..
+        } = self;
+        let budget = *budget;
+        let mut work: Vec<(u64, Vec<usize>, &mut SessionState)> = sessions
+            .iter_mut()
+            .filter_map(|(&raw, sess)| slots_per_id.remove(&raw).map(|slots| (raw, slots, sess)))
+            .collect();
+        // Sort by id so the work list (and thus chunk assignment) does not
+        // depend on HashMap iteration order.
+        work.sort_unstable_by_key(|&(raw, _, _)| raw);
+
+        // Fan distinct sessions across the pool; inside one unit the steps
+        // run in batch order. Every tool the step needs (`config`, weights,
+        // RoPE tables, the latency model) is shared immutably; all mutable
+        // state is per-session and moves into exactly one unit.
+        let per_session: Vec<Vec<(usize, Result<DecodeOutput, EngineError>)>> = work
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|(raw, slots, sess)| {
+                let id = SessionId(raw);
+                slots
+                    .into_iter()
+                    .map(|slot| {
+                        (
+                            slot,
+                            Self::decode_one(config, weights, rope, budget, latency, id, sess),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Scatter the per-session outputs back into batch order.
+        let mut out: Vec<Option<DecodeOutput>> = ids.iter().map(|_| None).collect();
+        for (slot, result) in per_session.into_iter().flatten() {
+            out[slot] = Some(result?);
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every batch slot is produced by exactly one session unit"))
+            .collect())
     }
 
     /// Greedily generate `steps` tokens for a session after prefilling it

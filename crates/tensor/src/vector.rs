@@ -164,10 +164,34 @@ pub fn argmin(a: &[f32]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
+/// Total descending order over the indices of `a`: larger values first, NaN
+/// values (of either sign) ranked strictly last, ties broken by the lower
+/// index. Being total (unlike `partial_cmp` with a NaN-to-`Equal` fallback,
+/// which is not transitive and may panic `sort_by`), it is safe for every
+/// `sort`/`select_nth` primitive and makes rankings of NaN-bearing scores
+/// deterministic.
+#[inline]
+fn cmp_desc_nan_last(a: &[f32], i: usize, j: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a[i].is_nan(), a[j].is_nan()) {
+        (false, false) => a[j].total_cmp(&a[i]).then(i.cmp(&j)),
+        (true, true) => i.cmp(&j),
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
 /// Indices of the `k` largest elements, in descending order of value.
 ///
 /// When `k >= a.len()` all indices are returned. Ties are broken by the lower
-/// index first so the result is deterministic.
+/// index first so the result is deterministic; NaN entries rank strictly
+/// last, so they are only emitted once every finite value is exhausted.
+///
+/// Uses `select_nth_unstable_by` partial selection: the `O(n)` partition
+/// moves the top `k` to the front and only that prefix is sorted, so a
+/// per-step top-k over a long context costs `O(n + k log k)` rather than a
+/// full `O(n log n)` argsort (see the `top_k` group in
+/// `crates/bench/benches/microbench.rs`).
 ///
 /// # Examples
 ///
@@ -178,19 +202,24 @@ pub fn argmin(a: &[f32]) -> Option<usize> {
 pub fn top_k_indices(a: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..a.len()).collect();
     let k = k.min(a.len());
-    idx.sort_by(|&i, &j| {
-        a[j].partial_cmp(&a[i])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(i.cmp(&j))
-    });
-    idx.truncate(k);
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, |&i, &j| cmp_desc_nan_last(a, i, j));
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(|&i, &j| cmp_desc_nan_last(a, i, j));
     idx
 }
 
 /// Indices sorted by descending value (a full argsort); used when the caller
-/// needs the complete importance ranking rather than only the top-k.
+/// needs the complete importance ranking rather than only the top-k. NaN
+/// entries rank strictly last, ties break toward the lower index.
 pub fn argsort_descending(a: &[f32]) -> Vec<usize> {
-    top_k_indices(a, a.len())
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    idx.sort_unstable_by(|&i, &j| cmp_desc_nan_last(a, i, j));
+    idx
 }
 
 /// Mean of a set of equal-length vectors.
@@ -272,6 +301,63 @@ mod tests {
     fn top_k_breaks_ties_by_lower_index() {
         let v = [0.5, 0.5, 0.5];
         assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_ranks_nan_strictly_last() {
+        let v = [1.0, f32::NAN, 2.0, -f32::NAN, 0.5];
+        // Finite values fill the top-k before any NaN appears.
+        assert_eq!(top_k_indices(&v, 2), vec![2, 0]);
+        assert_eq!(top_k_indices(&v, 3), vec![2, 0, 4]);
+        // Asking for more than the finite count appends NaNs, lower index
+        // first, regardless of NaN sign.
+        assert_eq!(top_k_indices(&v, 5), vec![2, 0, 4, 1, 3]);
+        assert_eq!(argsort_descending(&v), vec![2, 0, 4, 1, 3]);
+    }
+
+    #[test]
+    fn all_nan_scores_rank_by_index() {
+        let v = [f32::NAN; 4];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+        assert_eq!(argsort_descending(&v), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nan_heavy_inputs_never_panic_the_sort() {
+        // The previous comparator (`partial_cmp().unwrap_or(Equal)`) was not
+        // a total order, for which `sort_by` may panic ("user-provided
+        // comparison function does not correctly implement a total order").
+        // Exercise many NaN/finite interleavings to pin the fix.
+        for n in [3usize, 17, 64, 257] {
+            let v: Vec<f32> = (0..n)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        f32::NAN
+                    } else {
+                        (i as f32 * 7.3) % 5.0 - 2.5
+                    }
+                })
+                .collect();
+            for k in [1, 2, n / 2, n] {
+                let idx = top_k_indices(&v, k);
+                assert_eq!(idx.len(), k.min(n));
+                let unique: std::collections::HashSet<_> = idx.iter().collect();
+                assert_eq!(unique.len(), idx.len());
+                // Deterministic: a second ranking is identical.
+                assert_eq!(idx, top_k_indices(&v, k));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_selection_matches_full_argsort_prefix() {
+        let v: Vec<f32> = (0..512)
+            .map(|i| ((i * 37) % 101) as f32 * 0.7 - 30.0)
+            .collect();
+        let full = argsort_descending(&v);
+        for k in [1usize, 7, 32, 100, 511, 512] {
+            assert_eq!(top_k_indices(&v, k), full[..k.min(v.len())]);
+        }
     }
 
     #[test]

@@ -11,9 +11,11 @@ use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_model::attention::{attention_output_error, full_attention_weights};
 use clusterkv_model::policy::{
-    KvResidency, ObserveEvent, PolicyStats, SelectionRequest, TokenSelector,
+    HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionRequest, SelectorFactory,
+    TokenSelector,
 };
 use clusterkv_tensor::vector::top_k_indices;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -158,6 +160,29 @@ pub fn run_episode_cached(
     }
 }
 
+/// Run one policy over the same episode at several budgets — one fresh
+/// selector per budget, budgets fanned out across the thread pool (each
+/// budget's run is an independent single-head simulation, so this is
+/// embarrassingly parallel). Results come back in budget order and are
+/// identical to calling [`run_episode`] per budget sequentially, at any
+/// `RAYON_NUM_THREADS`; the experiment binaries (`fig09`, `fig11`) use this
+/// to sweep budgets on multicore hosts.
+pub fn run_budget_sweep(
+    episode: &Episode,
+    factory: &dyn SelectorFactory,
+    ctx: HeadContext,
+    budgets: &[usize],
+) -> Vec<EpisodeResult> {
+    budgets
+        .par_iter()
+        .with_min_len(1)
+        .map(|&budget| {
+            let mut selector = factory.create(ctx);
+            run_episode(episode, selector.as_mut(), Budget::new(budget))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +287,34 @@ mod tests {
         assert_eq!(r.stats.cache.total(), 0);
         assert_eq!(r.stats.transfer.transfers, 0);
         assert_eq!(cache.resident_pages(), 0);
+    }
+
+    #[test]
+    fn budget_sweep_matches_sequential_runs() {
+        use clusterkv::{ClusterKvConfig, ClusterKvFactory};
+        use clusterkv_model::policy::SelectorFactory;
+        let e = episode();
+        let factory = ClusterKvFactory::new(
+            ClusterKvConfig::default()
+                .with_sink_tokens(8)
+                .with_tokens_per_cluster(16),
+        );
+        let ctx = HeadContext {
+            layer: 2,
+            head: 0,
+            head_dim: 32,
+        };
+        let budgets = [16usize, 32, 64];
+        let swept = run_budget_sweep(&e, &factory, ctx, &budgets);
+        assert_eq!(swept.len(), budgets.len());
+        for (result, &budget) in swept.iter().zip(&budgets) {
+            let mut selector = factory.create(ctx);
+            let sequential = run_episode(&e, selector.as_mut(), Budget::new(budget));
+            assert_eq!(result.budget, budget);
+            assert_eq!(result.per_step_recall, sequential.per_step_recall);
+            assert_eq!(result.per_step_selected, sequential.per_step_selected);
+            assert_eq!(result.stats, sequential.stats);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod language_modeling;
 pub mod longbench;
 pub mod semantic;
 
-pub use harness::{run_episode, run_episode_cached, EpisodeResult};
+pub use harness::{run_budget_sweep, run_episode, run_episode_cached, EpisodeResult};
 pub use language_modeling::{perplexity_proxy, PerplexityPoint};
 pub use longbench::{LongBenchDataset, LongBenchProfile, ScoreMetric};
 pub use semantic::{Episode, EpisodeConfig};

@@ -7,10 +7,13 @@
 //!
 //! Six sessions — four ClusterKV "users" with different prompts, one Quest
 //! session and one full-KV reference — are prefilled independently and then
-//! advanced together, one batched decode step at a time. Every session owns
-//! a tiered KV hierarchy (a bounded GPU cluster cache over the CPU backing
-//! store), so at the end each release report carries the session's cache
-//! hit rate and the bytes it recalled over PCIe.
+//! advanced together, one batched decode step at a time. Each batched step
+//! fans the sessions out across the rayon worker pool (set
+//! `RAYON_NUM_THREADS` to pin the width; token streams are identical at any
+//! thread count — DESIGN.md §4). Every session owns a tiered KV hierarchy
+//! (a bounded GPU cluster cache over the CPU backing store), so at the end
+//! each release report carries the session's cache hit rate and the bytes
+//! it recalled over PCIe.
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_baselines::QuestFactory;
@@ -63,9 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "serving {} concurrent sessions on one engine (budget {})\n",
+        "serving {} concurrent sessions on one engine (budget {}, {} worker thread(s))\n",
         engine.num_sessions(),
-        engine.budget().tokens()
+        engine.budget().tokens(),
+        rayon::current_num_threads()
     );
 
     // Lockstep batched decoding: every step advances all sessions once.

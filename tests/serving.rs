@@ -1,16 +1,55 @@
 //! Serving-API tests: batched multi-session decoding must be observationally
 //! identical to sequential single-session inference, for ClusterKV and the
 //! baselines, and the session lifecycle must isolate sequences completely.
+//! The thread-count parity suite at the bottom additionally proves that the
+//! rayon-backed engine produces byte-identical token streams, cache
+//! accounting and modeled latency at 1, 2 and N worker threads.
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_baselines::QuestFactory;
 use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_model::policy::SelectorFactory;
 use clusterkv_model::{InferenceEngine, ModelConfig, ServeEngine, SessionId};
+use std::sync::Mutex;
 
 const SEED: u64 = 21;
 const DECODE_STEPS: usize = 8;
 const NUM_SESSIONS: usize = 4;
+
+/// Serialises tests that mutate the process-global `RAYON_NUM_THREADS`.
+/// Engine results are thread-count invariant (that is the point of the
+/// parity suite), so concurrent tests reading a shifting value stay correct;
+/// the lock only keeps the sweeps themselves from interleaving. Recover from
+/// poisoning (the data is unit) so a genuine parity failure in one test is
+/// not obscured by a `PoisonError` in the other.
+static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn thread_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    THREAD_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores (or removes) `RAYON_NUM_THREADS` on drop, so a failing parity
+/// assertion cannot leak its sweep value into later tests.
+struct ThreadEnvRestore {
+    prev: Option<String>,
+}
+
+impl Drop for ThreadEnvRestore {
+    fn drop(&mut self) {
+        match self.prev.take() {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+}
+
+fn with_thread_count<R>(threads: usize, body: impl FnOnce() -> R) -> R {
+    let _restore = ThreadEnvRestore {
+        prev: std::env::var("RAYON_NUM_THREADS").ok(),
+    };
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    body()
+}
 
 fn prompts() -> Vec<Vec<usize>> {
     (0..NUM_SESSIONS)
@@ -336,4 +375,118 @@ fn per_session_stats_match_single_session_runs() {
     assert_eq!(engine.session_stats(ids[0]).unwrap(), reference);
     let report = engine.release(ids[0]).unwrap();
     assert_eq!(report.stats, reference);
+}
+
+/// Everything one mixed-policy run produces that must be invariant to the
+/// worker-thread count.
+#[derive(Debug, PartialEq)]
+struct MixedRunObservables {
+    streams: Vec<Vec<usize>>,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+    bytes_recalled: Vec<u64>,
+    /// Bit patterns of each session's modeled decode time (exact f64 parity).
+    modeled_bits: Vec<u64>,
+    /// Bit patterns of each session's cache hit rate.
+    hit_rate_bits: Vec<u64>,
+}
+
+/// The mixed-policy multi-session scenario: ClusterKV and Quest sessions
+/// side by side in one engine with a bounded cluster cache, decoded in
+/// lockstep through `decode_batch`.
+fn mixed_policy_run(batched: bool) -> MixedRunObservables {
+    let clusterkv = clusterkv_factory();
+    let quest = QuestFactory::default();
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24))
+        .kv_cache_capacity(Bytes(2 * 24 * 32))
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|s| {
+            if s % 2 == 0 {
+                engine.create_session_with(&clusterkv).unwrap()
+            } else {
+                engine.create_session_with(&quest).unwrap()
+            }
+        })
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        engine.prefill(*id, &prompt).unwrap();
+    }
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    if batched {
+        for _ in 0..DECODE_STEPS {
+            let outs = engine.decode_batch(&ids).unwrap();
+            for (stream, out) in streams.iter_mut().zip(&outs) {
+                stream.push(out.next_token);
+            }
+        }
+    } else {
+        for (stream, &id) in streams.iter_mut().zip(&ids) {
+            for _ in 0..DECODE_STEPS {
+                stream.push(engine.decode_batch(&[id]).unwrap()[0].next_token);
+            }
+        }
+    }
+    let mut observables = MixedRunObservables {
+        streams,
+        hits: Vec::new(),
+        misses: Vec::new(),
+        bytes_recalled: Vec::new(),
+        modeled_bits: Vec::new(),
+        hit_rate_bits: Vec::new(),
+    };
+    for &id in &ids {
+        let report = engine.release(id).unwrap();
+        observables.hits.push(report.stats.cache.hits);
+        observables.misses.push(report.stats.cache.misses);
+        observables.bytes_recalled.push(report.bytes_recalled().0);
+        observables
+            .modeled_bits
+            .push(report.modeled_decode_time.get().to_bits());
+        observables
+            .hit_rate_bits
+            .push(report.cache_hit_rate().to_bits());
+    }
+    observables
+}
+
+#[test]
+fn thread_count_parity_for_batched_mixed_policy_decode() {
+    let _guard = thread_env_lock();
+    // 1 worker, 2 workers, and more workers than sessions (forcing chunk
+    // sizes of one session each plus idle capacity).
+    let reference = with_thread_count(1, || mixed_policy_run(true));
+    assert!(
+        reference.streams.iter().any(|s| !s.is_empty()),
+        "scenario must be non-trivial"
+    );
+    assert!(
+        reference.misses.iter().any(|&m| m > 0),
+        "the tight cache must produce recall traffic for parity to be meaningful"
+    );
+    for threads in [2usize, 8] {
+        let run = with_thread_count(threads, || mixed_policy_run(true));
+        assert_eq!(
+            run, reference,
+            "streams / hit rates / recalled bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn thread_count_parity_between_batched_and_sequential_decode() {
+    let _guard = thread_env_lock();
+    // Batched at N threads == session-at-a-time at 1 thread: the full
+    // contract of the parallel engine in one assertion.
+    let sequential_1 = with_thread_count(1, || mixed_policy_run(false));
+    for threads in [2usize, 4] {
+        let batched_n = with_thread_count(threads, || mixed_policy_run(true));
+        assert_eq!(
+            batched_n, sequential_1,
+            "batched {threads}-thread decode must reproduce 1-thread sequential decode"
+        );
+    }
 }
