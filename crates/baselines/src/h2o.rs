@@ -107,6 +107,26 @@ impl TokenSelector for H2oSelector {
                     });
                 }
             }
+            // Retention is per token with zero initial score, so chunked
+            // prefill appends incrementally (positions offset by the chunk
+            // start) and needs no reconcile.
+            ObserveEvent::PrefillChunk { start, keys } => {
+                assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+                for i in 0..keys.rows() {
+                    self.retained.push(Retained {
+                        position: start + i,
+                        key: keys.row(i).to_vec(),
+                        accumulated: 0.0,
+                    });
+                }
+            }
+            ObserveEvent::PrefillDone { total_tokens } => {
+                debug_assert_eq!(
+                    total_tokens,
+                    self.retained.len(),
+                    "chunks must cover the prompt"
+                );
+            }
             ObserveEvent::Append { position, key } => {
                 assert_eq!(key.len(), self.head_dim, "key dim mismatch");
                 self.retained.push(Retained {

@@ -44,6 +44,12 @@ pub struct InfiniGenSelector {
     partial_keys: Matrix,
     /// Raw keys buffered before the projection exists (pre-prefill appends).
     raw_keys: Matrix,
+    /// Prompt keys accumulated across `PrefillChunk` events. The partial
+    /// projection comes from an SVD over *all* prompt keys, so chunked
+    /// prefill buffers and reconciles on `PrefillDone` — the only strategy
+    /// whose projection (and hence every later partial key) is
+    /// byte-identical to a monolithic prefill.
+    chunk_buffer: Matrix,
 }
 
 impl InfiniGenSelector {
@@ -64,6 +70,7 @@ impl InfiniGenSelector {
             projection: None,
             partial_keys: Matrix::zeros(0, partial_dims),
             raw_keys: Matrix::zeros(0, head_dim),
+            chunk_buffer: Matrix::zeros(0, head_dim),
         }
     }
 
@@ -84,6 +91,31 @@ impl InfiniGenSelector {
             None => v.iter().take(self.partial_dims).copied().collect(),
         }
     }
+
+    /// The global prefill pass: derive the partial projection from an SVD of
+    /// the full prompt keys, then project and record every prompt key.
+    /// Called directly for a monolithic `Prefill` and on `PrefillDone` for
+    /// buffered chunks.
+    fn prefill_full(&mut self, keys: &Matrix) {
+        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+        // Build the partial projection from the dominant right-singular
+        // vectors of the prefill keys (stand-in for the offline weight SVD).
+        if keys.rows() >= 2 {
+            if let Ok(decomp) = svd(keys) {
+                let truncated = decomp.truncate(self.partial_dims);
+                self.projection = Some(truncated.v);
+            }
+        }
+        for i in 0..keys.rows() {
+            let partial = self.project(keys.row(i));
+            self.partial_keys
+                .push_row(&partial)
+                .expect("partial dims consistent");
+            self.raw_keys
+                .push_row(keys.row(i))
+                .expect("raw dims consistent");
+        }
+    }
 }
 
 impl TokenSelector for InfiniGenSelector {
@@ -93,26 +125,25 @@ impl TokenSelector for InfiniGenSelector {
 
     fn observe(&mut self, event: ObserveEvent<'_>) {
         match event {
-            ObserveEvent::Prefill { keys } => {
+            ObserveEvent::Prefill { keys } => self.prefill_full(keys),
+            ObserveEvent::PrefillChunk { start, keys } => {
                 assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
-                // Build the partial projection from the dominant
-                // right-singular vectors of the prefill keys (stand-in for
-                // the offline weight SVD).
-                if keys.rows() >= 2 {
-                    if let Ok(decomp) = svd(keys) {
-                        let truncated = decomp.truncate(self.partial_dims);
-                        self.projection = Some(truncated.v);
-                    }
+                debug_assert_eq!(start, self.chunk_buffer.rows(), "chunks must be contiguous");
+                for row in keys.iter_rows() {
+                    self.chunk_buffer
+                        .push_row(row)
+                        .expect("chunk key dims consistent");
                 }
-                for i in 0..keys.rows() {
-                    let partial = self.project(keys.row(i));
-                    self.partial_keys
-                        .push_row(&partial)
-                        .expect("partial dims consistent");
-                    self.raw_keys
-                        .push_row(keys.row(i))
-                        .expect("raw dims consistent");
-                }
+            }
+            ObserveEvent::PrefillDone { total_tokens } => {
+                debug_assert_eq!(
+                    total_tokens,
+                    self.chunk_buffer.rows(),
+                    "chunks must cover the prompt"
+                );
+                let keys =
+                    std::mem::replace(&mut self.chunk_buffer, Matrix::zeros(0, self.head_dim));
+                self.prefill_full(&keys);
             }
             ObserveEvent::Append { key, .. } => {
                 assert_eq!(key.len(), self.head_dim, "key dim mismatch");

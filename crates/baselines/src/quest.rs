@@ -117,11 +117,20 @@ impl TokenSelector for QuestSelector {
 
     fn observe(&mut self, event: ObserveEvent<'_>) {
         match event {
-            ObserveEvent::Prefill { keys } => {
+            // Page metadata builds token by token, so chunked prefill is
+            // naturally incremental: each chunk extends the page min/max
+            // exactly as a monolithic prefill would.
+            ObserveEvent::Prefill { keys } | ObserveEvent::PrefillChunk { keys, .. } => {
                 assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
                 for i in 0..keys.rows() {
                     self.add_key(self.num_tokens, keys.row(i));
                 }
+            }
+            ObserveEvent::PrefillDone { total_tokens } => {
+                debug_assert_eq!(
+                    total_tokens, self.num_tokens,
+                    "chunks must cover the prompt"
+                );
             }
             ObserveEvent::Append { key, .. } => {
                 assert_eq!(key.len(), self.head_dim, "key dim mismatch");

@@ -47,6 +47,15 @@ impl TokenSelector for StreamingSelector {
     fn observe(&mut self, event: ObserveEvent<'_>) {
         match event {
             ObserveEvent::Prefill { keys } => self.num_tokens = keys.rows(),
+            ObserveEvent::PrefillChunk { start, keys } => {
+                self.num_tokens = self.num_tokens.max(start + keys.rows());
+            }
+            ObserveEvent::PrefillDone { total_tokens } => {
+                debug_assert_eq!(
+                    total_tokens, self.num_tokens,
+                    "chunks must cover the prompt"
+                );
+            }
             ObserveEvent::Append { position, .. } => {
                 self.num_tokens = self.num_tokens.max(position + 1);
             }

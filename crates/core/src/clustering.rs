@@ -60,6 +60,11 @@ impl SemanticClustering {
         &self.config
     }
 
+    /// Dimensionality of the clustered key vectors.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
     /// Cluster centroids (`C × d`).
     pub fn centroids(&self) -> &Matrix {
         &self.centroids

@@ -22,11 +22,21 @@ use clusterkv_model::policy::{
     SelectorFactory, TokenSelector,
 };
 use clusterkv_tensor::rng::derive_seed;
+use clusterkv_tensor::Matrix;
 
 /// ClusterKV selection state for a single attention head.
 #[derive(Debug, Clone)]
 pub struct ClusterKvSelector {
     clustering: SemanticClustering,
+    /// Prompt keys accumulated across `PrefillChunk` events, clustered as a
+    /// whole on `PrefillDone`. Semantic clustering is a global pass over the
+    /// prompt (k-means initialisation samples from *all* keys), so chunked
+    /// prefill buffers and reconciles at the end rather than clustering each
+    /// prefix — the only strategy whose final state is byte-identical to a
+    /// monolithic prefill, which the serving parity suite requires. Nothing
+    /// plans against a session mid-prefill, so no speculative prefix
+    /// clusters are needed.
+    chunk_buffer: Matrix,
 }
 
 impl ClusterKvSelector {
@@ -34,6 +44,7 @@ impl ClusterKvSelector {
     pub fn new(config: ClusterKvConfig, head_dim: usize) -> Self {
         Self {
             clustering: SemanticClustering::new(config, head_dim),
+            chunk_buffer: Matrix::zeros(0, head_dim),
         }
     }
 
@@ -51,6 +62,26 @@ impl TokenSelector for ClusterKvSelector {
     fn observe(&mut self, event: ObserveEvent<'_>) {
         match event {
             ObserveEvent::Prefill { keys } => self.clustering.prefill(keys),
+            ObserveEvent::PrefillChunk { start, keys } => {
+                debug_assert_eq!(start, self.chunk_buffer.rows(), "chunks must be contiguous");
+                for row in keys.iter_rows() {
+                    self.chunk_buffer
+                        .push_row(row)
+                        .expect("chunk key dims consistent");
+                }
+            }
+            ObserveEvent::PrefillDone { total_tokens } => {
+                debug_assert_eq!(
+                    total_tokens,
+                    self.chunk_buffer.rows(),
+                    "chunks must cover the prompt"
+                );
+                let keys = std::mem::replace(
+                    &mut self.chunk_buffer,
+                    Matrix::zeros(0, self.clustering.head_dim()),
+                );
+                self.clustering.prefill(&keys);
+            }
             ObserveEvent::Append { position, key } => self.clustering.append(position, key),
         }
     }

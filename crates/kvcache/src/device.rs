@@ -48,6 +48,13 @@ impl std::ops::AddAssign for Seconds {
     }
 }
 
+impl std::ops::Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
 impl std::ops::Mul<f64> for Seconds {
     type Output = Seconds;
     fn mul(self, rhs: f64) -> Seconds {

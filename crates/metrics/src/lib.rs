@@ -36,6 +36,121 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
+/// Nearest-rank percentile (`p` in `[0, 100]`); `0.0` for an empty slice.
+/// NaN values sort last (total order), so degenerate inputs cannot panic.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// Nearest-rank percentile of an already ascending-sorted slice.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Mean / p50 / p95 / p99 of one latency distribution (seconds, or any
+/// consistent unit) — the summary every serving experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+impl LatencySummary {
+    /// Summarise a set of values (all zeros for an empty slice).
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            mean: mean(values),
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+        }
+    }
+
+    /// The summary as table cells `[mean, p50, p95, p99]`, each formatted in
+    /// milliseconds with the given number of decimals (inputs are seconds).
+    pub fn millis_cells(&self, decimals: usize) -> Vec<String> {
+        [self.mean, self.p50, self.p95, self.p99]
+            .iter()
+            .map(|v| fmt(v * 1e3, decimals))
+            .collect()
+    }
+}
+
+/// One served request's end-to-end measurements, the row format every
+/// serving experiment shares (emitted by `clusterkv-sched` from its
+/// per-request metrics) so bench binaries stop hand-formatting report
+/// fields. Times are in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRow {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Time to first token: arrival → first generated token.
+    pub ttft: f64,
+    /// Mean time between output tokens (0 for single-token requests).
+    pub tbt: f64,
+    /// End-to-end latency: arrival → last token.
+    pub e2e: f64,
+    /// Token-level hit rate of the session's GPU cluster cache in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Number of generated tokens.
+    pub generated: usize,
+}
+
+/// Render per-request rows as a markdown table (TTFT/TBT/E2E in ms).
+pub fn request_table(rows: &[RequestRow]) -> Table {
+    let mut t = Table::new(vec![
+        "Request",
+        "TTFT (ms)",
+        "TBT (ms)",
+        "E2E (ms)",
+        "Hit rate",
+        "Tokens",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("r{}", r.id),
+            fmt(r.ttft * 1e3, 2),
+            fmt(r.tbt * 1e3, 3),
+            fmt(r.e2e * 1e3, 2),
+            format!("{}%", fmt(r.hit_rate * 100.0, 1)),
+            r.generated.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Extract one per-request metric as a plottable [`Series`] (x = request
+/// id, y = `metric(row)`), e.g.
+/// `request_series("TTFT", &rows, |r| r.ttft)`.
+pub fn request_series(
+    label: impl Into<String>,
+    rows: &[RequestRow],
+    metric: impl Fn(&RequestRow) -> f64,
+) -> Series {
+    let mut s = Series::new(label);
+    for r in rows {
+        s.push(r.id as f64, metric(r));
+    }
+    s
+}
+
 /// A named series of `(x, y)` points — one line in a figure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Series {
@@ -419,7 +534,70 @@ mod tests {
         assert_eq!(fmt(2.0, 0), "2");
     }
 
+    #[test]
+    fn percentile_nearest_rank_on_known_values() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn latency_summary_from_values() {
+        let s = LatencySummary::from_values(&[0.001, 0.002, 0.003, 0.004]);
+        assert!((s.mean - 0.0025).abs() < 1e-12);
+        assert_eq!(s.p50, 0.002);
+        assert_eq!(s.p99, 0.004);
+        let cells = s.millis_cells(1);
+        assert_eq!(cells, vec!["2.5", "2.0", "4.0", "4.0"]);
+        let empty = LatencySummary::from_values(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn request_rows_render_as_table_and_series() {
+        let rows = vec![
+            RequestRow {
+                id: 0,
+                ttft: 0.010,
+                tbt: 0.002,
+                e2e: 0.050,
+                hit_rate: 0.75,
+                generated: 20,
+            },
+            RequestRow {
+                id: 1,
+                ttft: 0.020,
+                tbt: 0.003,
+                e2e: 0.080,
+                hit_rate: 0.5,
+                generated: 21,
+            },
+        ];
+        let table = request_table(&rows).render();
+        assert!(table.contains("| Request | TTFT (ms) |"));
+        assert!(table.contains("| r0 | 10.00 | 2.000 | 50.00 | 75.0% | 20 |"));
+        let series = request_series("TTFT", &rows, |r| r.ttft);
+        assert_eq!(series.label, "TTFT");
+        assert_eq!(series.points, vec![(0.0, 0.010), (1.0, 0.020)]);
+    }
+
     proptest! {
+        #[test]
+        fn percentile_is_within_min_max(v in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+                let x = percentile(&v, p);
+                prop_assert!(x >= lo && x <= hi);
+            }
+        }
+
         #[test]
         fn mean_is_within_min_max(v in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
             let m = mean(&v);

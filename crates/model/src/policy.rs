@@ -74,14 +74,54 @@ impl PolicyStats {
 /// Folds the former `on_prefill` / `on_append` callbacks into one explicit
 /// event stream: the engine (or harness) feeds every selector the same
 /// sequence of events it would see attached to a real attention head.
+///
+/// Prompt keys arrive in one of two equivalent shapes:
+///
+/// * **Monolithic** — a single [`Prefill`](ObserveEvent::Prefill) event with
+///   every prompt key (what the single-head harness emits).
+/// * **Chunked** — a contiguous run of
+///   [`PrefillChunk`](ObserveEvent::PrefillChunk) events starting at
+///   position 0 followed by exactly one
+///   [`PrefillDone`](ObserveEvent::PrefillDone) (what the serving engine
+///   emits, so a scheduler can interleave the chunks of one session's
+///   prompt with other sessions' decode steps).
+///
+/// Implementations **must** leave the selector in a byte-identical state
+/// whichever shape delivered the same keys: naturally incremental policies
+/// (Quest's page metadata, exact top-k, H2O, StreamingLLM) process each
+/// chunk as it arrives, while policies whose prefill pass is global
+/// (ClusterKV's semantic clustering, InfiniGen's key-subspace SVD) buffer
+/// the chunks and reconcile on `PrefillDone` by running the same pass a
+/// monolithic `Prefill` would have run. The chunked-prefill parity suite in
+/// `tests/serving.rs` enforces this for every shipped policy.
 #[derive(Debug, Clone, Copy)]
 pub enum ObserveEvent<'a> {
     /// The post-RoPE keys of the whole prompt, observed once after prefill
     /// (rows are token positions). This is where semantic clustering runs in
-    /// ClusterKV (Fig. 5, step 1).
+    /// ClusterKV (Fig. 5, step 1). Equivalent to one
+    /// [`PrefillChunk`](ObserveEvent::PrefillChunk) at `start == 0` followed
+    /// by [`PrefillDone`](ObserveEvent::PrefillDone).
     Prefill {
         /// Prompt keys, one row per token position.
         keys: &'a Matrix,
+    },
+    /// One contiguous chunk of prompt keys, observed as soon as the chunk's
+    /// tokens have been forwarded. Chunks of one prompt arrive in order and
+    /// without gaps (`start` equals the number of prompt keys observed so
+    /// far).
+    PrefillChunk {
+        /// Absolute position of the chunk's first token.
+        start: usize,
+        /// The chunk's post-RoPE keys, one row per token position.
+        keys: &'a Matrix,
+    },
+    /// The prompt is complete: no further [`PrefillChunk`]s will arrive.
+    /// Policies that buffered chunks run their global prefill pass here.
+    ///
+    /// [`PrefillChunk`]: ObserveEvent::PrefillChunk
+    PrefillDone {
+        /// Total prompt length (the sum of all chunk lengths).
+        total_tokens: usize,
     },
     /// The key of a newly generated token, observed once per decoding step.
     Append {
@@ -203,9 +243,11 @@ impl SelectionPlan {
 ///
 /// The engine drives a selector through two entry points:
 ///
-/// 1. [`observe`](TokenSelector::observe) — once with
-///    [`ObserveEvent::Prefill`] after the prompt is processed, then once per
-///    generated token with [`ObserveEvent::Append`].
+/// 1. [`observe`](TokenSelector::observe) — the prompt keys (either one
+///    [`ObserveEvent::Prefill`], or [`ObserveEvent::PrefillChunk`]s followed
+///    by [`ObserveEvent::PrefillDone`] when prefill is chunked; both shapes
+///    must leave byte-identical state), then once per generated token with
+///    [`ObserveEvent::Append`].
 /// 2. [`plan`](TokenSelector::plan) — once per decoding step, returning the
 ///    indices `I_T` of the tokens to attend to together with the per-call
 ///    [`PolicyStats`].
@@ -301,12 +343,21 @@ impl TokenSelector for OracleTopKSelector {
 
     fn observe(&mut self, event: ObserveEvent<'_>) {
         match event {
-            ObserveEvent::Prefill { keys } => {
+            // Exact top-k is naturally incremental: monolithic and chunked
+            // prefill both just append rows, so no reconcile step is needed.
+            ObserveEvent::Prefill { keys } | ObserveEvent::PrefillChunk { keys, .. } => {
                 for row in keys.iter_rows() {
                     self.keys
                         .push_row(row)
                         .expect("prefill key dims consistent");
                 }
+            }
+            ObserveEvent::PrefillDone { total_tokens } => {
+                debug_assert_eq!(
+                    total_tokens,
+                    self.keys.rows(),
+                    "chunks must cover the prompt"
+                );
             }
             ObserveEvent::Append { key, .. } => {
                 self.keys.push_row(key).expect("append key dims consistent");
@@ -431,6 +482,30 @@ mod tests {
             plan.stats.scored_vectors, 0,
             "covered context is not scored"
         );
+    }
+
+    #[test]
+    fn oracle_chunked_prefill_matches_monolithic() {
+        let full = keys_matrix(21, 4);
+        let mut mono = OracleTopKSelector::new(4);
+        mono.observe(ObserveEvent::Prefill { keys: &full });
+        let mut chunked = OracleTopKSelector::new(4);
+        let mut start = 0;
+        for len in [1usize, 7, 13] {
+            let chunk =
+                Matrix::from_rows((start..start + len).map(|i| full.row(i).to_vec()).collect())
+                    .unwrap();
+            chunked.observe(ObserveEvent::PrefillChunk {
+                start,
+                keys: &chunk,
+            });
+            start += len;
+        }
+        chunked.observe(ObserveEvent::PrefillDone { total_tokens: 21 });
+        let q = [1.0, -0.5, 0.25, 2.0];
+        let a = mono.plan(SelectionRequest::new(&q, 21, Budget::new(5)));
+        let b = chunked.plan(SelectionRequest::new(&q, 21, Budget::new(5)));
+        assert_eq!(a, b, "chunked prefill must reproduce monolithic state");
     }
 
     #[test]

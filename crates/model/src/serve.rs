@@ -208,6 +208,23 @@ struct HeadOutcome {
     query: Vec<f32>,
 }
 
+/// Lifecycle of one session, from creation to decodability.
+///
+/// Replaces the former `prefilled: bool`: chunked prefill
+/// ([`ServeEngine::prefill_chunk`]) introduces a third state in which some
+/// prompt tokens are forwarded but the session is not yet decodable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionPhase {
+    /// Created; no prompt tokens forwarded yet.
+    Fresh,
+    /// At least one prefill chunk forwarded; more may follow until
+    /// [`ServeEngine::finish_prefill`] seals the prompt.
+    Prefilling,
+    /// Prefill complete (selectors reconciled, memory settled); the session
+    /// decodes.
+    Ready,
+}
+
 /// Totals one decode step accumulates across every selective-layer head,
 /// mapped onto a [`StepCost`] after the step to price its latency.
 #[derive(Debug, Clone, Copy, Default)]
@@ -233,7 +250,8 @@ struct SessionState {
     num_tokens: usize,
     /// Number of decode steps run.
     generated_tokens: usize,
-    prefilled: bool,
+    /// Where the session is in its prefill → decode lifecycle.
+    phase: SessionPhase,
     /// Token fed to the next decode step (last prompt token after prefill,
     /// then the previously generated token — overridable for external
     /// sampling via [`ServeEngine::set_next_input`]).
@@ -529,7 +547,7 @@ impl ServeEngine {
                 traces: HashMap::new(),
                 num_tokens: 0,
                 generated_tokens: 0,
-                prefilled: false,
+                phase: SessionPhase::Fresh,
                 next_input: None,
                 stats: PolicyStats::default(),
                 cache: ClusterCache::new(ClusterCacheConfig::new(
@@ -606,6 +624,34 @@ impl ServeEngine {
         self.kv_cache_capacity
     }
 
+    /// Cap on concurrently resident sessions.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Whether the engine was built with a default selection policy (i.e.
+    /// [`create_session`](Self::create_session) works without an explicit
+    /// factory).
+    pub fn has_default_policy(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// The engine's analytical latency model (roofline pricing of prefill
+    /// and decode steps on the configured device). The serving scheduler
+    /// uses this to advance its modeled clock.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Whether a session has finished prefill and is decodable.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn is_ready(&self, id: SessionId) -> Result<bool, EngineError> {
+        Ok(self.session(id)?.phase == SessionPhase::Ready)
+    }
+
     /// Enable tracing of a specific `(layer, head)` pair of a session. Must
     /// be called before decoding; tracing records exact attention weights,
     /// which is expensive but only for the traced heads.
@@ -659,7 +705,7 @@ impl ServeEngine {
     pub fn set_next_input(&mut self, id: SessionId, token: usize) -> Result<(), EngineError> {
         let vocab = self.config.vocab_size;
         let sess = self.session_mut(id)?;
-        if !sess.prefilled {
+        if sess.phase != SessionPhase::Ready {
             return Err(EngineError::NotPrefilled);
         }
         if token >= vocab {
@@ -868,67 +914,15 @@ impl ServeEngine {
             .expect("host DRAM exhausted by simulated KV");
     }
 
-    /// Process a session's whole prompt with full causal attention, then hand
-    /// each head's prefill keys to its selector. Returns the final hidden
-    /// state of the last prompt token and arms the session for decoding
-    /// (its next decode input is the last prompt token).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for unknown sessions, repeated prefills, empty
-    /// prompts, out-of-vocabulary tokens or context overflow.
-    pub fn prefill(&mut self, id: SessionId, prompt: &[usize]) -> Result<Vec<f32>, EngineError> {
-        let Self {
-            config,
-            weights,
-            rope,
-            budget,
-            sessions,
-            ..
-        } = self;
-        let sess = sessions
-            .get_mut(&id.0)
-            .ok_or(EngineError::UnknownSession(id))?;
-        if sess.prefilled {
-            return Err(EngineError::AlreadyPrefilled);
-        }
-        if prompt.is_empty() {
-            return Err(EngineError::EmptyPrompt);
-        }
-        // Validate the whole prompt upfront: a prefill that errored halfway
-        // through would otherwise leave partial KV entries behind while the
-        // session still accepts a retry, silently shifting every position of
-        // the retried prompt.
-        if sess.num_tokens + prompt.len() > config.max_context {
-            return Err(EngineError::ContextOverflow {
-                requested: sess.num_tokens + prompt.len(),
-                max: config.max_context,
-            });
-        }
-        if let Some(&token) = prompt.iter().find(|&&t| t >= config.vocab_size) {
-            return Err(EngineError::TokenOutOfVocab {
-                token,
-                vocab: config.vocab_size,
-            });
-        }
-        let mut last = Vec::new();
-        for &token in prompt {
-            last = Self::forward_token(config, weights, rope, *budget, sess, token, false)?;
-        }
-        // Notify selectors of the prefill keys (per query head, sharing one
-        // copy of the associated KV head's keys across its query-head group)
-        // — this is where semantic clustering runs in ClusterKV (Fig. 5,
-        // step 1), the heaviest per-head work of a session's lifetime, so it
-        // fans out across every selective (layer, head) pair. Selectors are
-        // independent, making the observes order-free.
-        let group = config.num_heads / config.num_kv_heads;
-        let keys_per_layer: Vec<Vec<Matrix>> = (config.dense_layers..config.num_layers)
-            .map(|layer| {
-                (0..config.num_kv_heads)
-                    .map(|kv_head| sess.kv[layer][kv_head].keys().clone())
-                    .collect()
-            })
-            .collect();
+    /// Fan an observe event out across every selective `(layer, head)`
+    /// selector of a session. The closure receives the selector's layer
+    /// offset (0 = first selective layer) and the head index, and must be
+    /// order-free: selectors are independent, so the fan-out runs
+    /// data-parallel (DESIGN.md §4).
+    fn observe_selective<F>(config: &ModelConfig, sess: &mut SessionState, observe: F)
+    where
+        F: Fn(usize, usize, &mut Box<dyn TokenSelector>) + Sync,
+    {
         sess.selectors[config.dense_layers..]
             .iter_mut()
             .enumerate()
@@ -941,16 +935,164 @@ impl ServeEngine {
             .collect::<Vec<_>>()
             .into_par_iter()
             .with_min_len(1)
-            .for_each(|(li, head, sel)| {
-                sel.observe(ObserveEvent::Prefill {
-                    keys: &keys_per_layer[li][head / group],
-                });
+            .for_each(|(li, head, sel)| observe(li, head, sel));
+    }
+
+    /// Forward one contiguous chunk of a session's prompt with full causal
+    /// attention, letting every selective head's selector observe the
+    /// chunk's keys ([`ObserveEvent::PrefillChunk`]). Returns the final
+    /// hidden state of the chunk's last token.
+    ///
+    /// Chunks are resumable: a prompt may arrive over any number of calls
+    /// (the serving scheduler interleaves the chunks of one session with
+    /// other sessions' decode steps), and the session becomes decodable only
+    /// after [`finish_prefill`](Self::finish_prefill). Decode token streams,
+    /// selector statistics and cache accounting are byte-identical whatever
+    /// the chunking — including the monolithic [`prefill`](Self::prefill),
+    /// which is a wrapper over this path.
+    ///
+    /// Each call validates its whole chunk upfront (vocabulary, context
+    /// fit), so a failed call forwards nothing and the session keeps
+    /// accepting corrected chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`], [`EngineError::AlreadyPrefilled`]
+    /// (the session already finished prefill), [`EngineError::EmptyPrompt`]
+    /// (empty chunk), [`EngineError::TokenOutOfVocab`] or
+    /// [`EngineError::ContextOverflow`].
+    pub fn prefill_chunk(
+        &mut self,
+        id: SessionId,
+        chunk: &[usize],
+    ) -> Result<Vec<f32>, EngineError> {
+        let Self {
+            config,
+            weights,
+            rope,
+            budget,
+            sessions,
+            ..
+        } = self;
+        let sess = sessions
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
+        if sess.phase == SessionPhase::Ready {
+            return Err(EngineError::AlreadyPrefilled);
+        }
+        if chunk.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        // Validate the whole chunk upfront: a chunk that errored halfway
+        // through would otherwise leave partial KV entries behind while the
+        // session still accepts a retry, silently shifting every position of
+        // the retried tokens.
+        if sess.num_tokens + chunk.len() > config.max_context {
+            return Err(EngineError::ContextOverflow {
+                requested: sess.num_tokens + chunk.len(),
+                max: config.max_context,
             });
+        }
+        if let Some(&token) = chunk.iter().find(|&&t| t >= config.vocab_size) {
+            return Err(EngineError::TokenOutOfVocab {
+                token,
+                vocab: config.vocab_size,
+            });
+        }
+        let start = sess.num_tokens;
+        let mut last = Vec::new();
+        for &token in chunk {
+            last = Self::forward_token(config, weights, rope, *budget, sess, token, false)?;
+        }
+        // Notify selectors of the chunk's keys (per query head, sharing one
+        // copy of the associated KV head's chunk rows across its query-head
+        // group). Selectors are independent, making the observes order-free;
+        // policies whose prefill pass is global (ClusterKV's clustering,
+        // InfiniGen's SVD) buffer here and reconcile on `PrefillDone`.
+        let group = config.num_heads / config.num_kv_heads;
+        let end = sess.num_tokens;
+        let keys_per_layer: Vec<Vec<Matrix>> = (config.dense_layers..config.num_layers)
+            .map(|layer| {
+                (0..config.num_kv_heads)
+                    .map(|kv_head| {
+                        let keys = sess.kv[layer][kv_head].keys();
+                        Matrix::from_rows((start..end).map(|i| keys.row(i).to_vec()).collect())
+                            .expect("chunk rows share the store's dimensionality")
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::observe_selective(config, sess, |li, head, sel| {
+            sel.observe(ObserveEvent::PrefillChunk {
+                start,
+                keys: &keys_per_layer[li][head / group],
+            });
+        });
+        sess.phase = SessionPhase::Prefilling;
+        sess.next_input = Some(*chunk.last().expect("chunk checked non-empty"));
+        Ok(last)
+    }
+
+    /// Seal a chunked prefill: selectors reconcile their prompt state
+    /// ([`ObserveEvent::PrefillDone`] — this is where ClusterKV's semantic
+    /// clustering runs, Fig. 5 step 1, the heaviest per-head work of a
+    /// session's lifetime), the prefill KV settles into the tiered memory
+    /// hierarchy, and the session becomes decodable (its next decode input
+    /// is the last prompt token).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`], [`EngineError::AlreadyPrefilled`]
+    /// (already sealed) or [`EngineError::EmptyPrompt`] (no chunks were
+    /// forwarded).
+    pub fn finish_prefill(&mut self, id: SessionId) -> Result<(), EngineError> {
+        let Self {
+            config, sessions, ..
+        } = self;
+        let sess = sessions
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
+        match sess.phase {
+            SessionPhase::Ready => return Err(EngineError::AlreadyPrefilled),
+            SessionPhase::Fresh => return Err(EngineError::EmptyPrompt),
+            SessionPhase::Prefilling => {}
+        }
+        let total_tokens = sess.num_tokens;
+        Self::observe_selective(config, sess, |_, _, sel| {
+            sel.observe(ObserveEvent::PrefillDone { total_tokens });
+        });
         // The prefill KV was produced on the GPU: pages stay resident while
         // cache capacity allows, the rest is offloaded to the backing store.
         Self::settle_session_memory(config, sess);
-        sess.prefilled = true;
-        sess.next_input = Some(*prompt.last().expect("prompt checked non-empty"));
+        sess.phase = SessionPhase::Ready;
+        Ok(())
+    }
+
+    /// Process a session's whole prompt with full causal attention, then hand
+    /// each head's prefill keys to its selector. Returns the final hidden
+    /// state of the last prompt token and arms the session for decoding
+    /// (its next decode input is the last prompt token).
+    ///
+    /// This is the monolithic wrapper over the resumable
+    /// [`prefill_chunk`](Self::prefill_chunk) / [`finish_prefill`]
+    /// path: one chunk covering the whole prompt, then the seal. Outputs are
+    /// byte-identical to any other chunking of the same prompt.
+    ///
+    /// [`finish_prefill`]: Self::finish_prefill
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown sessions, repeated or in-progress
+    /// prefills, empty prompts, out-of-vocabulary tokens or context
+    /// overflow.
+    pub fn prefill(&mut self, id: SessionId, prompt: &[usize]) -> Result<Vec<f32>, EngineError> {
+        // Reject a session mid-chunked-prefill: silently appending the whole
+        // prompt after partial chunks is never what the caller meant.
+        if self.session(id)?.phase == SessionPhase::Prefilling {
+            return Err(EngineError::AlreadyPrefilled);
+        }
+        let last = self.prefill_chunk(id, prompt)?;
+        self.finish_prefill(id)?;
         Ok(last)
     }
 
@@ -982,7 +1124,7 @@ impl ServeEngine {
         id: SessionId,
         sess: &mut SessionState,
     ) -> Result<DecodeOutput, EngineError> {
-        if !sess.prefilled {
+        if sess.phase != SessionPhase::Ready {
             return Err(EngineError::NotPrefilled);
         }
         let token = sess.next_input.ok_or(EngineError::NotPrefilled)?;
@@ -1089,7 +1231,7 @@ impl ServeEngine {
         let mut steps_per_id: HashMap<u64, usize> = HashMap::new();
         for &id in ids {
             let sess = self.session(id)?;
-            if !sess.prefilled || sess.next_input.is_none() {
+            if sess.phase != SessionPhase::Ready || sess.next_input.is_none() {
                 return Err(EngineError::NotPrefilled);
             }
             let steps = steps_per_id.entry(id.0).or_insert(0);
@@ -1164,16 +1306,45 @@ impl ServeEngine {
     /// Greedily generate `steps` tokens for a session after prefilling it
     /// with `prompt`, returning the generated token ids.
     ///
+    /// This stays a direct single-session driver rather than a client of the
+    /// `clusterkv-sched` scheduler: it is the "one sequence, run it to the
+    /// end" convenience path, with no queueing, admission or modeled clock
+    /// to consult — routing it through a one-request scheduler would add a
+    /// policy layer that cannot change any output. Multi-request serving
+    /// (arrivals, chunked prefill interleaved with decode, latency
+    /// accounting) belongs to `clusterkv_sched::Scheduler`, which drives the
+    /// same [`prefill_chunk`](Self::prefill_chunk) /
+    /// [`decode_batch`](Self::decode_batch) primitives.
+    ///
+    /// The whole generation is validated upfront (`prompt.len() + steps`
+    /// must fit the context window): either the call succeeds in full, or it
+    /// fails before forwarding anything — an error never leaves the session
+    /// half-advanced with some tokens generated but none returned.
+    ///
     /// # Errors
     ///
-    /// Propagates any error from [`prefill`](Self::prefill) or
-    /// [`decode_batch`](Self::decode_batch).
+    /// [`EngineError::ContextOverflow`] if the prompt plus every requested
+    /// step cannot fit `max_context`, reported before any work; otherwise
+    /// propagates the validation errors of [`prefill`](Self::prefill).
     pub fn generate(
         &mut self,
         id: SessionId,
         prompt: &[usize],
         steps: usize,
     ) -> Result<Vec<usize>, EngineError> {
+        // Validate the decode phase upfront. Decode inputs are always
+        // in-vocabulary (greedy argmax continuations), so the only way a
+        // step could fail after prefill succeeded is running out of context
+        // — which would discard the tokens already generated. Checking the
+        // full span here makes mid-generation failure impossible.
+        let start = self.session(id)?.num_tokens;
+        let requested = start + prompt.len() + steps;
+        if requested > self.config.max_context {
+            return Err(EngineError::ContextOverflow {
+                requested,
+                max: self.config.max_context,
+            });
+        }
         self.prefill(id, prompt)?;
         let mut out = Vec::with_capacity(steps);
         for _ in 0..steps {
@@ -1273,6 +1444,134 @@ mod tests {
             eng.prefill(ghost, &[1]).unwrap_err(),
             EngineError::UnknownSession(ghost)
         );
+    }
+
+    #[test]
+    fn chunked_prefill_matches_monolithic() {
+        let prompt: Vec<usize> = (0..25).map(|i| (i * 5 + 2) % 128).collect();
+        let mut mono = tiny_serve(8);
+        let sm = mono.create_session().unwrap();
+        let mono_hidden = mono.prefill(sm, &prompt).unwrap();
+        let mono_stream: Vec<usize> = (0..6)
+            .map(|_| mono.decode_batch(&[sm]).unwrap()[0].next_token)
+            .collect();
+
+        for chunk_size in [1usize, 3, 7, prompt.len()] {
+            let mut eng = tiny_serve(8);
+            let s = eng.create_session().unwrap();
+            let mut last = Vec::new();
+            for chunk in prompt.chunks(chunk_size) {
+                last = eng.prefill_chunk(s, chunk).unwrap();
+            }
+            eng.finish_prefill(s).unwrap();
+            assert_eq!(last, mono_hidden, "chunk {chunk_size}: hidden diverged");
+            let stream: Vec<usize> = (0..6)
+                .map(|_| eng.decode_batch(&[s]).unwrap()[0].next_token)
+                .collect();
+            assert_eq!(stream, mono_stream, "chunk {chunk_size}: stream diverged");
+            assert_eq!(
+                eng.session_stats(s).unwrap(),
+                mono.session_stats(sm).unwrap(),
+                "chunk {chunk_size}: stats diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_lifecycle_guards() {
+        let mut eng = tiny_serve(64);
+        let s = eng.create_session().unwrap();
+        // Nothing fed yet: the prompt cannot be sealed and decode is barred.
+        assert_eq!(eng.finish_prefill(s).unwrap_err(), EngineError::EmptyPrompt);
+        assert_eq!(
+            eng.decode_batch(&[s]).unwrap_err(),
+            EngineError::NotPrefilled
+        );
+        eng.prefill_chunk(s, &[1, 2, 3]).unwrap();
+        // Mid-prefill: still not decodable, and the monolithic entry point
+        // refuses to splice a whole prompt after partial chunks.
+        assert_eq!(
+            eng.decode_batch(&[s]).unwrap_err(),
+            EngineError::NotPrefilled
+        );
+        assert_eq!(
+            eng.set_next_input(s, 1).unwrap_err(),
+            EngineError::NotPrefilled
+        );
+        assert_eq!(
+            eng.prefill(s, &[4, 5]).unwrap_err(),
+            EngineError::AlreadyPrefilled
+        );
+        assert_eq!(
+            eng.prefill_chunk(s, &[]).unwrap_err(),
+            EngineError::EmptyPrompt
+        );
+        eng.prefill_chunk(s, &[4, 5]).unwrap();
+        eng.finish_prefill(s).unwrap();
+        assert_eq!(eng.context_len(s).unwrap(), 5);
+        // Sealed: no further prompt tokens, no double seal.
+        assert_eq!(
+            eng.prefill_chunk(s, &[6]).unwrap_err(),
+            EngineError::AlreadyPrefilled
+        );
+        assert_eq!(
+            eng.finish_prefill(s).unwrap_err(),
+            EngineError::AlreadyPrefilled
+        );
+        eng.decode_batch(&[s]).unwrap();
+        let ghost = SessionId(999);
+        assert_eq!(
+            eng.prefill_chunk(ghost, &[1]).unwrap_err(),
+            EngineError::UnknownSession(ghost)
+        );
+        assert_eq!(
+            eng.finish_prefill(ghost).unwrap_err(),
+            EngineError::UnknownSession(ghost)
+        );
+    }
+
+    #[test]
+    fn failed_chunk_is_atomic_and_resumable() {
+        let mut eng = tiny_serve(64);
+        let s = eng.create_session().unwrap();
+        eng.prefill_chunk(s, &[1, 2]).unwrap();
+        let err = eng.prefill_chunk(s, &[3, 9999]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::TokenOutOfVocab { token: 9999, .. }
+        ));
+        // The failed chunk forwarded nothing; a corrected chunk resumes.
+        assert_eq!(eng.context_len(s).unwrap(), 2);
+        eng.prefill_chunk(s, &[3, 4]).unwrap();
+        eng.finish_prefill(s).unwrap();
+        assert_eq!(eng.context_len(s).unwrap(), 4);
+        assert_eq!(eng.kv_store(s, 0, 0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn generate_validates_the_whole_run_upfront() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.max_context = 6;
+        let mut eng = ServeEngine::builder(cfg)
+            .synthetic_weights(7)
+            .budget(Budget::new(64))
+            .policy(Box::new(FullAttentionFactory))
+            .build()
+            .unwrap();
+        let s = eng.create_session().unwrap();
+        // 4 prompt + 3 steps > 6: rejected before any work, so the session
+        // is untouched (no partially generated tokens are ever discarded).
+        let err = eng.generate(s, &[1, 2, 3, 4], 3).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ContextOverflow {
+                requested: 7,
+                max: 6
+            }
+        );
+        assert_eq!(eng.context_len(s).unwrap(), 0, "nothing was advanced");
+        // The same session then runs the fitting request in full.
+        assert_eq!(eng.generate(s, &[1, 2, 3, 4], 2).unwrap().len(), 2);
     }
 
     #[test]

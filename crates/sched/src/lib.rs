@@ -1,0 +1,1160 @@
+//! Continuous-batching serving scheduler over [`ServeEngine`].
+//!
+//! Real long-context serving systems do not run one request to completion
+//! before starting the next: they keep a request queue, admit sessions under
+//! memory bounds, and each engine *tick* assemble a mixed batch of prefill
+//! chunks (new requests working through their prompts) and decode steps
+//! (admitted requests generating tokens) under a token budget. This crate
+//! provides that layer for the ClusterKV serving stack (DESIGN.md §5):
+//!
+//! * [`Request`] — prompt, generation length, priority and arrival time (an
+//!   open-loop trace, e.g. from
+//!   `clusterkv_workloads::harness::generate_traffic`).
+//! * [`Scheduler`] — owns a [`ServeEngine`], a waiting queue and the running
+//!   set; [`Scheduler::tick`] admits, assembles and executes one mixed
+//!   batch, advancing a *modeled* clock priced by the engine's roofline
+//!   [`LatencyModel`](clusterkv_model::LatencyModel); [`Scheduler::run`]
+//!   ticks until every submitted request completed.
+//! * [`SchedPolicy`] — FCFS and priority-with-aging continuous batching,
+//!   plus the run-to-completion baseline real systems moved away from.
+//! * [`ServingReport`] / [`RequestMetrics`] — per-request TTFT, mean TBT and
+//!   end-to-end latency, plus the released session's cache accounting,
+//!   exportable as `clusterkv_metrics::RequestRow`s.
+//!
+//! Scheduling never changes what a request generates: sessions are fully
+//! isolated and chunked prefill is byte-identical to monolithic prefill, so
+//! every policy produces identical per-request token streams and differs
+//! only in *when* tokens come out (the modeled timestamps). The scheduler
+//! itself is deterministic — same submissions, same report, at any
+//! `RAYON_NUM_THREADS` — which `tests/scheduler.rs` enforces.
+
+#![warn(missing_docs)]
+
+use clusterkv_kvcache::device::Seconds;
+use clusterkv_kvcache::types::Bytes;
+use clusterkv_metrics::RequestRow;
+use clusterkv_model::latency::StepCost;
+use clusterkv_model::{EngineError, ServeEngine, SessionId};
+use serde::{Deserialize, Serialize};
+
+/// Default prefill chunk size (tokens per session per tick), matching the
+/// chunk sizes production chunked-prefill systems use relative to their
+/// batch budget.
+pub const DEFAULT_CHUNK_TOKENS: usize = 64;
+
+/// Default per-tick token budget shared by prefill chunks and decode steps.
+pub const DEFAULT_TICK_TOKEN_BUDGET: usize = 256;
+
+/// Opaque handle for a submitted request (submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One serving request of an open-loop trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Prompt token ids.
+    pub prompt: Vec<usize>,
+    /// Number of tokens to generate (must be at least 1).
+    pub max_new_tokens: usize,
+    /// Priority class; larger is more urgent. Ignored by FCFS.
+    pub priority: u32,
+    /// Modeled arrival time. The scheduler never starts a request before
+    /// its arrival (open-loop traffic).
+    pub arrival_time: Seconds,
+}
+
+/// Queue-ordering policy of the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Continuous batching, first come first served: arrived requests are
+    /// admitted in arrival order (ties by submission order).
+    Fcfs,
+    /// Continuous batching with priority plus aging: a waiting request's
+    /// effective priority is `priority + aging_per_second · wait_time`, so
+    /// low-priority requests cannot starve behind a stream of urgent ones —
+    /// any positive rate eventually lifts them to the front
+    /// (`admission_never_starves` in this crate's tests).
+    PriorityAging {
+        /// Effective-priority units gained per modeled second of waiting.
+        /// Must be positive for the no-starvation guarantee.
+        aging_per_second: f64,
+    },
+    /// The baseline continuous batching replaced: one request at a time,
+    /// FCFS, prefilled and decoded to completion before the next is
+    /// admitted. Exists so `exp_serving` can measure what interleaving buys.
+    RunToCompletion,
+}
+
+impl SchedPolicy {
+    /// Short name for tables and legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "CB-FCFS",
+            SchedPolicy::PriorityAging { .. } => "CB-PriorityAging",
+            SchedPolicy::RunToCompletion => "RunToCompletion",
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Queue-ordering policy.
+    pub policy: SchedPolicy,
+    /// Cap on concurrently admitted (running) requests. Must not exceed the
+    /// engine's own session cap.
+    pub max_sessions: usize,
+    /// Prefill chunk size: at most this many prompt tokens of one session
+    /// are forwarded per tick.
+    pub chunk_tokens: usize,
+    /// Per-tick token budget shared by decode steps (1 token each) and
+    /// prefill chunks; decode is served first (tail latency), the remainder
+    /// goes to prefill.
+    pub tick_token_budget: usize,
+    /// Admission bound on KV memory: the sum of every running request's
+    /// worst-case KV footprint (`(prompt + max_new_tokens) ·
+    /// kv_bytes_per_token`) never exceeds this. `None` disables the bound.
+    pub kv_capacity: Option<Bytes>,
+}
+
+impl SchedConfig {
+    /// A continuous-batching FCFS configuration with default chunk/budget
+    /// sizes and no KV bound.
+    pub fn fcfs(max_sessions: usize) -> Self {
+        Self {
+            policy: SchedPolicy::Fcfs,
+            max_sessions,
+            chunk_tokens: DEFAULT_CHUNK_TOKENS,
+            tick_token_budget: DEFAULT_TICK_TOKEN_BUDGET,
+            kv_capacity: None,
+        }
+    }
+
+    /// Replace the policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the prefill chunk size.
+    pub fn with_chunk_tokens(mut self, chunk_tokens: usize) -> Self {
+        self.chunk_tokens = chunk_tokens;
+        self
+    }
+
+    /// Replace the per-tick token budget.
+    pub fn with_tick_token_budget(mut self, budget: usize) -> Self {
+        self.tick_token_budget = budget;
+        self
+    }
+
+    /// Bound admission by total worst-case KV bytes of running requests.
+    pub fn with_kv_capacity(mut self, capacity: Bytes) -> Self {
+        self.kv_capacity = Some(capacity);
+        self
+    }
+}
+
+/// Errors produced by the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The scheduler configuration failed validation.
+    InvalidConfig(String),
+    /// A submitted request can never be served (empty prompt, zero
+    /// generation length, context overflow, or a worst-case KV footprint
+    /// larger than the admission capacity).
+    Unservable {
+        /// Why the request was rejected.
+        reason: String,
+    },
+    /// The underlying engine reported an error.
+    Engine(EngineError),
+    /// A tick made no progress although work remained (a bug guard; cannot
+    /// happen for validated configurations).
+    Stalled,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::InvalidConfig(msg) => write!(f, "invalid scheduler config: {msg}"),
+            SchedError::Unservable { reason } => write!(f, "unservable request: {reason}"),
+            SchedError::Engine(e) => write!(f, "engine error: {e}"),
+            SchedError::Stalled => write!(f, "scheduler stalled with work remaining"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<EngineError> for SchedError {
+    fn from(e: EngineError) -> Self {
+        SchedError::Engine(e)
+    }
+}
+
+/// A request waiting in the queue (arrived or future).
+#[derive(Debug, Clone)]
+struct Waiting {
+    id: RequestId,
+    prompt: Vec<usize>,
+    max_new: usize,
+    priority: u32,
+    arrival: Seconds,
+    /// Worst-case KV footprint reserved at admission.
+    kv_bytes: Bytes,
+}
+
+/// A request admitted into the engine.
+#[derive(Debug)]
+struct Running {
+    id: RequestId,
+    session: SessionId,
+    prompt: Vec<usize>,
+    max_new: usize,
+    priority: u32,
+    arrival: Seconds,
+    admitted_at: Seconds,
+    kv_bytes: Bytes,
+    /// Prompt tokens forwarded so far (`fed == prompt.len()` ⇒ decodable).
+    fed: usize,
+    /// Generated token stream so far.
+    tokens: Vec<usize>,
+    first_token_at: Option<Seconds>,
+    last_token_at: Seconds,
+    /// Tick index of the last decode step this request ran (least recently
+    /// served decodes first, so a tick budget smaller than the running set
+    /// round-robins instead of starving the tail).
+    last_decode_tick: u64,
+}
+
+/// Final measurements of one completed request. All times are modeled
+/// (roofline device model), not wall clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestMetrics {
+    /// The request.
+    pub id: RequestId,
+    /// Arrival time of the request.
+    pub arrival: Seconds,
+    /// When the request was admitted into the engine.
+    pub admitted_at: Seconds,
+    /// When the first generated token completed.
+    pub first_token_at: Seconds,
+    /// When the last generated token completed.
+    pub finished_at: Seconds,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// The generated token stream (identical across scheduling policies).
+    pub tokens: Vec<usize>,
+    /// Priority class the request was submitted with.
+    pub priority: u32,
+    /// Token-level hit rate of the session's GPU cluster cache.
+    pub cache_hit_rate: f64,
+    /// Bytes recalled from CPU memory over PCIe.
+    pub bytes_recalled: Bytes,
+}
+
+impl RequestMetrics {
+    /// Time to first token: arrival → first generated token.
+    pub fn ttft(&self) -> Seconds {
+        self.first_token_at - self.arrival
+    }
+
+    /// Mean time between output tokens (zero for single-token requests).
+    pub fn tbt_mean(&self) -> Seconds {
+        if self.tokens.len() < 2 {
+            return Seconds::zero();
+        }
+        (self.finished_at - self.first_token_at) * (1.0 / (self.tokens.len() - 1) as f64)
+    }
+
+    /// End-to-end latency: arrival → last generated token.
+    pub fn e2e(&self) -> Seconds {
+        self.finished_at - self.arrival
+    }
+
+    /// Export as the shared per-request row format of `clusterkv-metrics`.
+    pub fn row(&self) -> RequestRow {
+        RequestRow {
+            id: self.id.0,
+            ttft: self.ttft().get(),
+            tbt: self.tbt_mean().get(),
+            e2e: self.e2e().get(),
+            hit_rate: self.cache_hit_rate,
+            generated: self.tokens.len(),
+        }
+    }
+}
+
+/// What one tick did (for tests and progress displays).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickOutcome {
+    /// Requests admitted this tick.
+    pub admitted: Vec<RequestId>,
+    /// Prompt tokens forwarded as prefill chunks.
+    pub prefill_tokens: usize,
+    /// Decode steps executed (1 token each).
+    pub decode_tokens: usize,
+    /// Modeled duration of the tick's work.
+    pub elapsed: Seconds,
+    /// Requests that finished this tick.
+    pub completed: Vec<RequestId>,
+}
+
+impl TickOutcome {
+    /// Whether the tick did any work (admission, prefill or decode).
+    pub fn did_work(&self) -> bool {
+        !self.admitted.is_empty() || self.prefill_tokens > 0 || self.decode_tokens > 0
+    }
+}
+
+/// Aggregate outcome of serving a whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Per-request metrics, ordered by request id.
+    pub requests: Vec<RequestMetrics>,
+    /// Modeled time from clock zero to the last completion.
+    pub makespan: Seconds,
+    /// Total generated tokens across all requests.
+    pub total_generated: usize,
+}
+
+impl ServingReport {
+    /// Generation throughput over the makespan (tokens per modeled second).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan.get() > 0.0 {
+            self.total_generated as f64 / self.makespan.get()
+        } else {
+            0.0
+        }
+    }
+
+    /// Every request's TTFT in seconds, ordered by request id.
+    pub fn ttfts(&self) -> Vec<f64> {
+        self.requests.iter().map(|r| r.ttft().get()).collect()
+    }
+
+    /// Every request's end-to-end latency in seconds, ordered by request id.
+    pub fn e2es(&self) -> Vec<f64> {
+        self.requests.iter().map(|r| r.e2e().get()).collect()
+    }
+
+    /// Mean TTFT in seconds (0 for an empty report).
+    pub fn mean_ttft(&self) -> f64 {
+        clusterkv_metrics::mean(&self.ttfts())
+    }
+
+    /// Export every request as a `clusterkv-metrics` row, ordered by id.
+    pub fn request_rows(&self) -> Vec<RequestRow> {
+        self.requests.iter().map(RequestMetrics::row).collect()
+    }
+}
+
+/// The continuous-batching scheduler (see the crate docs for the model).
+pub struct Scheduler {
+    engine: ServeEngine,
+    config: SchedConfig,
+    clock: Seconds,
+    ticks: u64,
+    next_id: u64,
+    waiting: Vec<Waiting>,
+    running: Vec<Running>,
+    completed: Vec<RequestMetrics>,
+    /// Modeled cost of streaming the weights once (one fused decode batch
+    /// pays it once, not once per session) — see [`Scheduler::tick`].
+    weight_stream: Seconds,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("config", &self.config)
+            .field("clock", &self.clock)
+            .field("waiting", &self.waiting.len())
+            .field("running", &self.running.len())
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// Wrap an engine. The engine must have a default selection policy
+    /// (sessions are created at admission) and session capacity for
+    /// `config.max_sessions`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] for zero chunk/budget/session sizes, a
+    /// session cap above the engine's, an engine without a default policy,
+    /// or a non-positive aging rate.
+    pub fn new(engine: ServeEngine, config: SchedConfig) -> Result<Self, SchedError> {
+        if config.max_sessions == 0 {
+            return Err(SchedError::InvalidConfig("max_sessions must be > 0".into()));
+        }
+        if config.max_sessions > engine.max_sessions() {
+            return Err(SchedError::InvalidConfig(format!(
+                "max_sessions ({}) exceeds the engine's session cap ({})",
+                config.max_sessions,
+                engine.max_sessions()
+            )));
+        }
+        if config.chunk_tokens == 0 {
+            return Err(SchedError::InvalidConfig("chunk_tokens must be > 0".into()));
+        }
+        if config.tick_token_budget == 0 {
+            return Err(SchedError::InvalidConfig(
+                "tick_token_budget must be > 0".into(),
+            ));
+        }
+        if let SchedPolicy::PriorityAging { aging_per_second } = config.policy {
+            // NaN fails this comparison too, which is exactly what we want.
+            if aging_per_second <= 0.0 || aging_per_second.is_nan() {
+                return Err(SchedError::InvalidConfig(
+                    "aging_per_second must be positive (zero reintroduces starvation)".into(),
+                ));
+            }
+        }
+        if !engine.has_default_policy() {
+            return Err(SchedError::InvalidConfig(
+                "engine needs a default selection policy (ServeEngineBuilder::policy)".into(),
+            ));
+        }
+        let weight_stream = engine.latency_model().decode_step(
+            0,
+            &StepCost {
+                scored_vectors_per_head: 0.0,
+                attended_tokens: 0.0,
+                transferred_tokens_per_head: 0.0,
+            },
+        );
+        Ok(Self {
+            engine,
+            config,
+            clock: Seconds::zero(),
+            ticks: 0,
+            next_id: 0,
+            waiting: Vec::new(),
+            running: Vec::new(),
+            completed: Vec::new(),
+            weight_stream,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// The modeled clock (monotone; starts at zero).
+    pub fn clock(&self) -> Seconds {
+        self.clock
+    }
+
+    /// Requests admitted and not yet completed.
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Requests submitted and not yet admitted (arrived or future).
+    pub fn num_waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Worst-case KV bytes reserved by the running requests (the quantity
+    /// the `kv_capacity` admission bound caps).
+    pub fn kv_reserved(&self) -> Bytes {
+        self.running.iter().map(|r| r.kv_bytes).sum()
+    }
+
+    /// Whether every submitted request has completed.
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.running.is_empty()
+    }
+
+    /// Borrow the underlying engine (for inspection).
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// Submit a request (admission control, step 1): requests that can
+    /// *never* be served — empty prompt, zero generation length, prompt +
+    /// generation beyond the context window, or a worst-case KV footprint
+    /// above `kv_capacity` — are rejected here, so the queue only ever holds
+    /// requests admission can eventually place.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Unservable`] with the rejection reason.
+    pub fn submit(&mut self, request: Request) -> Result<RequestId, SchedError> {
+        let cfg = self.engine.config();
+        if request.prompt.is_empty() {
+            return Err(SchedError::Unservable {
+                reason: "empty prompt".into(),
+            });
+        }
+        if request.max_new_tokens == 0 {
+            return Err(SchedError::Unservable {
+                reason: "max_new_tokens must be at least 1".into(),
+            });
+        }
+        let total = request.prompt.len() + request.max_new_tokens;
+        if total > cfg.max_context {
+            return Err(SchedError::Unservable {
+                reason: format!(
+                    "prompt + generation of {total} tokens exceeds the context window ({})",
+                    cfg.max_context
+                ),
+            });
+        }
+        if let Some(&token) = request.prompt.iter().find(|&&t| t >= cfg.vocab_size) {
+            return Err(SchedError::Unservable {
+                reason: format!(
+                    "token {token} outside vocabulary of size {}",
+                    cfg.vocab_size
+                ),
+            });
+        }
+        let kv_bytes = Bytes(total as u64 * cfg.kv_bytes_per_token());
+        if let Some(capacity) = self.config.kv_capacity {
+            if kv_bytes > capacity {
+                return Err(SchedError::Unservable {
+                    reason: format!(
+                        "worst-case KV of {kv_bytes} exceeds the admission capacity ({capacity})"
+                    ),
+                });
+            }
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.waiting.push(Waiting {
+            id,
+            prompt: request.prompt,
+            max_new: request.max_new_tokens,
+            priority: request.priority,
+            arrival: request.arrival_time,
+            kv_bytes,
+        });
+        Ok(id)
+    }
+
+    /// Submit a whole trace, returning the ids in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unservable request (earlier ones stay queued).
+    pub fn submit_all(
+        &mut self,
+        requests: impl IntoIterator<Item = Request>,
+    ) -> Result<Vec<RequestId>, SchedError> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Effective queue priority of a waiting request at the current clock.
+    fn effective_priority(&self, w: &Waiting) -> f64 {
+        match self.config.policy {
+            SchedPolicy::PriorityAging { aging_per_second } => {
+                w.priority as f64 + aging_per_second * (self.clock - w.arrival).get().max(0.0)
+            }
+            // FCFS / run-to-completion order purely by arrival.
+            SchedPolicy::Fcfs | SchedPolicy::RunToCompletion => 0.0,
+        }
+    }
+
+    /// Admission control, step 2: move arrived requests from the queue into
+    /// the engine, in policy order, while the session and KV bounds allow.
+    /// Admission is head-of-line blocking: once the front candidate does not
+    /// fit, nothing behind it is considered — later (smaller) requests
+    /// cannot overtake indefinitely, which is what makes every request
+    /// eventually admissible.
+    fn admit(&mut self) -> Result<Vec<RequestId>, SchedError> {
+        let mut admitted = Vec::new();
+        loop {
+            if self.running.len() >= self.config.max_sessions {
+                break;
+            }
+            if self.config.policy == SchedPolicy::RunToCompletion && !self.running.is_empty() {
+                break;
+            }
+            // Front of the queue among the *arrived* requests: highest
+            // effective priority, ties by (arrival, id). FCFS degenerates to
+            // (arrival, id) because effective priority is constant.
+            let Some(front) = self
+                .waiting
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.arrival <= self.clock)
+                .max_by(|(_, a), (_, b)| {
+                    self.effective_priority(a)
+                        .total_cmp(&self.effective_priority(b))
+                        .then_with(|| b.arrival.get().total_cmp(&a.arrival.get()))
+                        .then_with(|| b.id.cmp(&a.id))
+                })
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let fits = match self.config.kv_capacity {
+                Some(capacity) => self.kv_reserved() + self.waiting[front].kv_bytes <= capacity,
+                None => true,
+            };
+            if !fits {
+                break;
+            }
+            let w = self.waiting.remove(front);
+            let session = self.engine.create_session()?;
+            admitted.push(w.id);
+            self.running.push(Running {
+                id: w.id,
+                session,
+                prompt: w.prompt,
+                max_new: w.max_new,
+                priority: w.priority,
+                arrival: w.arrival,
+                admitted_at: self.clock,
+                kv_bytes: w.kv_bytes,
+                fed: 0,
+                tokens: Vec::new(),
+                first_token_at: None,
+                last_token_at: Seconds::zero(),
+                last_decode_tick: 0,
+            });
+        }
+        Ok(admitted)
+    }
+
+    /// Run one scheduler tick: admit arrived requests, assemble a mixed
+    /// batch of decode steps and prefill chunks under the token budget,
+    /// execute it against the engine, and advance the modeled clock by the
+    /// batch's roofline cost. Decode steps are priced per session by
+    /// diffing the engine's modeled decode time; a fused batch streams the
+    /// model weights once, so `(k-1)` weight passes are credited back for a
+    /// `k`-session decode batch — the throughput half of what continuous
+    /// batching buys (the latency half comes from interleaving prefill
+    /// chunks instead of blocking on whole prompts).
+    ///
+    /// If no request has arrived yet and nothing is running, the clock jumps
+    /// to the next arrival instead (open-loop traffic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; [`SchedError::Stalled`] if work remained
+    /// but the tick could not progress (a bug guard).
+    pub fn tick(&mut self) -> Result<TickOutcome, SchedError> {
+        self.ticks += 1;
+        let tick = self.ticks;
+        let mut outcome = TickOutcome {
+            admitted: Vec::new(),
+            prefill_tokens: 0,
+            decode_tokens: 0,
+            elapsed: Seconds::zero(),
+            completed: Vec::new(),
+        };
+        if self.is_idle() {
+            return Ok(outcome);
+        }
+        // Open-loop gap: nothing runnable until the next arrival.
+        if self.running.is_empty() {
+            let next = self
+                .waiting
+                .iter()
+                .map(|w| w.arrival.get())
+                .fold(f64::INFINITY, f64::min);
+            if next > self.clock.get() {
+                self.clock = Seconds(next);
+            }
+        }
+        outcome.admitted = self.admit()?;
+
+        // Assemble the tick's mixed batch under the token budget: decode
+        // first (one token per decodable session, least recently served
+        // first so an oversubscribed budget round-robins), prefill chunks
+        // with the remainder (admission order).
+        let mut budget = self.config.tick_token_budget;
+        let mut decode_order: Vec<usize> = (0..self.running.len())
+            .filter(|&i| self.running[i].fed == self.running[i].prompt.len())
+            .collect();
+        decode_order.sort_by_key(|&i| (self.running[i].last_decode_tick, self.running[i].id));
+        decode_order.truncate(budget);
+        budget -= decode_order.len();
+        let mut prefill_jobs: Vec<(usize, usize)> = Vec::new(); // (running idx, take)
+        for i in 0..self.running.len() {
+            if budget == 0 {
+                break;
+            }
+            let remaining = self.running[i].prompt.len() - self.running[i].fed;
+            if remaining == 0 {
+                continue;
+            }
+            let take = remaining.min(self.config.chunk_tokens).min(budget);
+            budget -= take;
+            prefill_jobs.push((i, take));
+        }
+
+        // Execute prefill chunks. A chunk covering prompt positions [a, b)
+        // of one session costs prefill(b) − prefill(a) (prefill(0) ≡ 0), so
+        // any chunking of a prompt telescopes to exactly the monolithic
+        // prefill cost — run-to-completion and continuous batching pay
+        // identical totals and differ only in interleaving.
+        let lm = self.engine.latency_model().clone();
+        let lm_prefill = move |tokens: usize| -> Seconds {
+            if tokens == 0 {
+                Seconds::zero()
+            } else {
+                lm.prefill(tokens)
+            }
+        };
+        let mut elapsed = Seconds::zero();
+        for &(i, take) in &prefill_jobs {
+            let r = &self.running[i];
+            let (from, to) = (r.fed, r.fed + take);
+            let session = r.session;
+            let chunk: Vec<usize> = r.prompt[from..to].to_vec();
+            self.engine.prefill_chunk(session, &chunk)?;
+            let r = &mut self.running[i];
+            r.fed = to;
+            if r.fed == r.prompt.len() {
+                self.engine.finish_prefill(session)?;
+            }
+            elapsed += lm_prefill(to) - lm_prefill(from);
+            outcome.prefill_tokens += take;
+        }
+
+        // Execute the decode steps as one fused batch.
+        if !decode_order.is_empty() {
+            let ids: Vec<SessionId> = decode_order
+                .iter()
+                .map(|&i| self.running[i].session)
+                .collect();
+            let before: Vec<Seconds> = ids
+                .iter()
+                .map(|&s| self.engine.modeled_decode_time(s))
+                .collect::<Result<_, _>>()?;
+            let outs = self.engine.decode_batch(&ids)?;
+            let mut batch_time = Seconds::zero();
+            let mut slowest = Seconds::zero();
+            for (&s, &b) in ids.iter().zip(&before) {
+                let step = self.engine.modeled_decode_time(s)? - b;
+                batch_time += step;
+                if step > slowest {
+                    slowest = step;
+                }
+            }
+            // Fused weight streaming: one pass for the whole batch instead
+            // of one per session (never cheaper than the slowest member).
+            batch_time = batch_time - self.weight_stream * (ids.len() - 1) as f64;
+            if batch_time < slowest {
+                batch_time = slowest;
+            }
+            elapsed += batch_time;
+            outcome.decode_tokens = outs.len();
+            self.clock += elapsed;
+            for (&i, out) in decode_order.iter().zip(&outs) {
+                let r = &mut self.running[i];
+                r.tokens.push(out.next_token);
+                r.last_decode_tick = tick;
+                if r.first_token_at.is_none() {
+                    r.first_token_at = Some(self.clock);
+                }
+                r.last_token_at = self.clock;
+            }
+        } else {
+            self.clock += elapsed;
+        }
+        outcome.elapsed = elapsed;
+
+        // Completions: release finished sessions and record their metrics.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].tokens.len() >= self.running[i].max_new {
+                let r = self.running.remove(i);
+                let report = self.engine.release(r.session)?;
+                outcome.completed.push(r.id);
+                self.completed.push(RequestMetrics {
+                    id: r.id,
+                    arrival: r.arrival,
+                    admitted_at: r.admitted_at,
+                    first_token_at: r
+                        .first_token_at
+                        .expect("completed requests generated at least one token"),
+                    finished_at: r.last_token_at,
+                    prompt_len: r.prompt.len(),
+                    tokens: r.tokens,
+                    priority: r.priority,
+                    cache_hit_rate: report.cache_hit_rate(),
+                    bytes_recalled: report.bytes_recalled(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        if !outcome.did_work() && !self.is_idle() {
+            return Err(SchedError::Stalled);
+        }
+        Ok(outcome)
+    }
+
+    /// Tick until every submitted request has completed, then report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`tick`](Self::tick) error.
+    pub fn run(&mut self) -> Result<ServingReport, SchedError> {
+        while !self.is_idle() {
+            self.tick()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Report over every completed request so far (ordered by id).
+    pub fn report(&self) -> ServingReport {
+        let mut requests = self.completed.clone();
+        requests.sort_by_key(|r| r.id);
+        let makespan = Seconds(
+            requests
+                .iter()
+                .map(|r| r.finished_at.get())
+                .fold(0.0, f64::max),
+        );
+        let total_generated = requests.iter().map(|r| r.tokens.len()).sum();
+        ServingReport {
+            requests,
+            makespan,
+            total_generated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterkv_kvcache::types::Budget;
+    use clusterkv_model::policy::OracleTopKFactory;
+    use clusterkv_model::ModelConfig;
+    use proptest::prelude::*;
+
+    fn engine() -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(13)
+            .budget(Budget::new(16))
+            .policy(Box::new(OracleTopKFactory))
+            .build()
+            .unwrap()
+    }
+
+    fn request(len: usize, new: usize, priority: u32, at: f64) -> Request {
+        Request {
+            prompt: (0..len).map(|i| (i * 7 + len) % 128).collect(),
+            max_new_tokens: new,
+            priority,
+            arrival_time: Seconds(at),
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = |cfg: SchedConfig| Scheduler::new(engine(), cfg).unwrap_err();
+        assert!(matches!(
+            bad(SchedConfig::fcfs(0)),
+            SchedError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            bad(SchedConfig::fcfs(4).with_chunk_tokens(0)),
+            SchedError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            bad(SchedConfig::fcfs(4).with_tick_token_budget(0)),
+            SchedError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            bad(SchedConfig::fcfs(100_000)),
+            SchedError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            bad(
+                SchedConfig::fcfs(4).with_policy(SchedPolicy::PriorityAging {
+                    aging_per_second: 0.0
+                })
+            ),
+            SchedError::InvalidConfig(_)
+        ));
+        // An engine without a default policy cannot admit.
+        let no_policy = ServeEngine::builder(ModelConfig::tiny()).build().unwrap();
+        assert!(matches!(
+            Scheduler::new(no_policy, SchedConfig::fcfs(4)).unwrap_err(),
+            SchedError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn submit_rejects_unservable_requests() {
+        let mut sched = Scheduler::new(engine(), SchedConfig::fcfs(4)).unwrap();
+        assert!(matches!(
+            sched.submit(request(0, 4, 0, 0.0)).unwrap_err(),
+            SchedError::Unservable { .. }
+        ));
+        assert!(matches!(
+            sched.submit(request(8, 0, 0, 0.0)).unwrap_err(),
+            SchedError::Unservable { .. }
+        ));
+        // tiny() has max_context 512.
+        assert!(matches!(
+            sched.submit(request(510, 8, 0, 0.0)).unwrap_err(),
+            SchedError::Unservable { .. }
+        ));
+        let mut oversized = request(8, 4, 0, 0.0);
+        oversized.prompt[3] = 9999; // out of vocabulary
+        assert!(matches!(
+            sched.submit(oversized).unwrap_err(),
+            SchedError::Unservable { .. }
+        ));
+        // A request whose worst-case KV can never fit the admission bound.
+        let kv_per_token = ModelConfig::tiny().kv_bytes_per_token();
+        let mut tight = Scheduler::new(
+            engine(),
+            SchedConfig::fcfs(4).with_kv_capacity(Bytes(4 * kv_per_token)),
+        )
+        .unwrap();
+        assert!(matches!(
+            tight.submit(request(8, 4, 0, 0.0)).unwrap_err(),
+            SchedError::Unservable { .. }
+        ));
+        assert!(tight.submit(request(2, 2, 0, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn fcfs_single_slot_serves_in_arrival_order() {
+        let mut sched = Scheduler::new(engine(), SchedConfig::fcfs(1)).unwrap();
+        // Submitted out of arrival order on purpose.
+        sched.submit(request(8, 2, 0, 0.002)).unwrap(); // r0 arrives second
+        sched.submit(request(8, 2, 0, 0.001)).unwrap(); // r1 arrives first
+        sched.submit(request(8, 2, 0, 0.003)).unwrap(); // r2 arrives last
+        let report = sched.run().unwrap();
+        let mut by_finish: Vec<(f64, u64)> = report
+            .requests
+            .iter()
+            .map(|r| (r.finished_at.get(), r.id.0))
+            .collect();
+        by_finish.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let order: Vec<u64> = by_finish.iter().map(|&(_, id)| id).collect();
+        assert_eq!(order, vec![1, 0, 2], "completion must follow arrival");
+    }
+
+    #[test]
+    fn aging_lifts_a_low_priority_request_over_later_urgent_ones() {
+        let cfg = SchedConfig::fcfs(1).with_policy(SchedPolicy::PriorityAging {
+            // Strong aging: any wait outweighs the priority gap.
+            aging_per_second: 1e9,
+        });
+        let mut sched = Scheduler::new(engine(), cfg).unwrap();
+        sched.submit(request(8, 2, 5, 0.0)).unwrap(); // r0: urgent, first
+        sched.submit(request(8, 2, 0, 0.0)).unwrap(); // r1: background
+        sched.submit(request(8, 2, 5, 0.000_1)).unwrap(); // r2: urgent, later
+        let report = sched.run().unwrap();
+        let finished = |id: u64| {
+            report
+                .requests
+                .iter()
+                .find(|r| r.id.0 == id)
+                .unwrap()
+                .finished_at
+        };
+        // r0 wins the empty queue; while it runs, r1 accrues age and must be
+        // admitted before the later urgent r2.
+        assert!(finished(1) < finished(2), "aged request served first");
+    }
+
+    #[test]
+    fn without_aging_priority_is_ignored_by_fcfs() {
+        let mut sched = Scheduler::new(engine(), SchedConfig::fcfs(1)).unwrap();
+        sched.submit(request(8, 2, 0, 0.0)).unwrap();
+        sched.submit(request(8, 2, 9, 0.000_1)).unwrap();
+        let report = sched.run().unwrap();
+        assert!(
+            report.requests[0].finished_at < report.requests[1].finished_at,
+            "FCFS serves by arrival regardless of priority"
+        );
+    }
+
+    #[test]
+    fn run_to_completion_is_exclusive() {
+        let cfg = SchedConfig::fcfs(4).with_policy(SchedPolicy::RunToCompletion);
+        let mut sched = Scheduler::new(engine(), cfg).unwrap();
+        for i in 0..3 {
+            sched.submit(request(10, 3, 0, 0.0001 * i as f64)).unwrap();
+        }
+        while !sched.is_idle() {
+            sched.tick().unwrap();
+            assert!(sched.num_running() <= 1, "RTC admits one request at a time");
+        }
+        assert_eq!(sched.report().requests.len(), 3);
+    }
+
+    #[test]
+    fn tick_respects_the_token_budget_and_bounds() {
+        let kv_per_token = ModelConfig::tiny().kv_bytes_per_token();
+        let capacity = Bytes(40 * kv_per_token);
+        let cfg = SchedConfig::fcfs(2)
+            .with_chunk_tokens(3)
+            .with_tick_token_budget(5)
+            .with_kv_capacity(capacity);
+        let mut sched = Scheduler::new(engine(), cfg).unwrap();
+        for i in 0..5 {
+            sched.submit(request(9 + i, 4, 0, 0.0)).unwrap();
+        }
+        let mut prefill_total = 0;
+        while !sched.is_idle() {
+            let out = sched.tick().unwrap();
+            assert!(
+                out.prefill_tokens + out.decode_tokens <= 5,
+                "tick exceeded its token budget: {out:?}"
+            );
+            assert!(sched.num_running() <= 2, "max_sessions bound violated");
+            assert!(sched.kv_reserved() <= capacity, "KV bound violated");
+            prefill_total += out.prefill_tokens;
+        }
+        let report = sched.report();
+        assert_eq!(report.requests.len(), 5);
+        assert_eq!(
+            prefill_total,
+            (0..5).map(|i| 9 + i).sum::<usize>(),
+            "every prompt token was prefilled exactly once"
+        );
+        for r in &report.requests {
+            assert_eq!(r.tokens.len(), 4);
+            assert!(r.ttft() > Seconds::zero());
+            assert!(r.e2e() >= r.ttft());
+            assert!(r.tbt_mean() > Seconds::zero());
+        }
+    }
+
+    #[test]
+    fn scheduling_policy_never_changes_token_streams() {
+        let streams = |policy: SchedPolicy| {
+            let cfg = SchedConfig::fcfs(3)
+                .with_policy(policy)
+                .with_chunk_tokens(4)
+                .with_tick_token_budget(6);
+            let mut sched = Scheduler::new(engine(), cfg).unwrap();
+            for i in 0..4 {
+                sched
+                    .submit(request(8 + 3 * i, 5, (i % 2) as u32, 0.0005 * i as f64))
+                    .unwrap();
+            }
+            let report = sched.run().unwrap();
+            report
+                .requests
+                .iter()
+                .map(|r| r.tokens.clone())
+                .collect::<Vec<_>>()
+        };
+        let fcfs = streams(SchedPolicy::Fcfs);
+        assert_eq!(
+            fcfs,
+            streams(SchedPolicy::RunToCompletion),
+            "RTC must generate identical tokens"
+        );
+        assert_eq!(
+            fcfs,
+            streams(SchedPolicy::PriorityAging {
+                aging_per_second: 10.0
+            }),
+            "aging must generate identical tokens"
+        );
+    }
+
+    #[test]
+    fn scheduler_is_deterministic() {
+        let run = || {
+            let mut sched = Scheduler::new(
+                engine(),
+                SchedConfig::fcfs(3)
+                    .with_chunk_tokens(5)
+                    .with_tick_token_budget(7),
+            )
+            .unwrap();
+            for i in 0..5 {
+                sched
+                    .submit(request(7 + i, 4, 0, 0.0002 * i as f64))
+                    .unwrap();
+            }
+            sched.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same trace must produce bit-identical reports");
+        assert!(a.makespan > Seconds::zero());
+        assert!(a.throughput() > 0.0);
+        assert_eq!(a.total_generated, 20);
+        assert_eq!(a.request_rows().len(), 5);
+    }
+
+    #[test]
+    fn clock_jumps_over_open_loop_gaps() {
+        let mut sched = Scheduler::new(engine(), SchedConfig::fcfs(2)).unwrap();
+        sched.submit(request(6, 1, 0, 5.0)).unwrap();
+        let out = sched.tick().unwrap();
+        assert_eq!(out.admitted, vec![RequestId(0)]);
+        assert!(sched.clock() >= Seconds(5.0), "clock jumped to the arrival");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn admission_invariants_hold_and_nothing_starves(
+            lens in proptest::collection::vec(1usize..24, 1..8),
+            news in proptest::collection::vec(1usize..5, 1..8),
+            prios in proptest::collection::vec(0u32..4, 1..8),
+            policy_pick in 0usize..3,
+            chunk in 1usize..9,
+            budget in 1usize..12,
+            max_sessions in 1usize..4,
+        ) {
+            let policy = match policy_pick {
+                0 => SchedPolicy::Fcfs,
+                1 => SchedPolicy::PriorityAging { aging_per_second: 50.0 },
+                _ => SchedPolicy::RunToCompletion,
+            };
+            let kv_per_token = ModelConfig::tiny().kv_bytes_per_token();
+            let capacity = Bytes(60 * kv_per_token);
+            let cfg = SchedConfig::fcfs(max_sessions)
+                .with_policy(policy)
+                .with_chunk_tokens(chunk)
+                .with_tick_token_budget(budget)
+                .with_kv_capacity(capacity);
+            let mut sched = Scheduler::new(engine(), cfg).unwrap();
+            let n = lens.len().min(news.len()).min(prios.len());
+            let mut expected = Vec::new();
+            for i in 0..n {
+                let r = request(lens[i].min(30), news[i], prios[i], 0.0003 * i as f64);
+                expected.push((r.prompt.len(), r.max_new_tokens));
+                sched.submit(r).unwrap();
+            }
+            let mut ticks = 0usize;
+            while !sched.is_idle() {
+                let out = sched.tick().unwrap();
+                prop_assert!(out.prefill_tokens + out.decode_tokens <= budget);
+                prop_assert!(sched.num_running() <= max_sessions);
+                prop_assert!(sched.kv_reserved() <= capacity);
+                ticks += 1;
+                prop_assert!(ticks < 200_000, "runaway schedule");
+            }
+            // No starvation: every submitted request completed in full.
+            let report = sched.report();
+            prop_assert_eq!(report.requests.len(), n);
+            for (r, &(plen, new)) in report.requests.iter().zip(&expected) {
+                prop_assert_eq!(r.prompt_len, plen);
+                prop_assert_eq!(r.tokens.len(), new);
+                prop_assert!(r.first_token_at >= r.admitted_at);
+                prop_assert!(r.finished_at >= r.first_token_at);
+                prop_assert!(r.admitted_at >= r.arrival);
+            }
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Runs a selection policy over an [`Episode`] and records the quantities
 //! the accuracy-style experiments need: recall of important tokens, attention
 //! output error, selection sizes and the policy's accumulated cost
-//! statistics (merged from the per-call [`SelectionPlan`]s).
+//! statistics (merged from the per-call [`SelectionPlan`]s) — plus the
+//! deterministic open-loop [traffic generator](generate_traffic) the serving
+//! experiments feed into `clusterkv_sched::Scheduler`.
 //!
 //! [`SelectionPlan`]: clusterkv_model::policy::SelectionPlan
 
@@ -160,6 +162,115 @@ pub fn run_episode_cached(
     }
 }
 
+/// Configuration of the open-loop traffic generator.
+///
+/// Arrivals follow a seeded Poisson process (exponential interarrival gaps
+/// at `arrival_rate` requests per modeled second); prompt and output lengths
+/// are drawn uniformly from inclusive ranges; priorities cycle through
+/// `priority_levels` classes deterministically. Everything is derived from
+/// `seed`, so the same configuration always produces byte-identical traces —
+/// the property the serving experiments and CI smoke rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of requests in the trace.
+    pub num_requests: usize,
+    /// Mean arrival rate in requests per modeled second.
+    pub arrival_rate: f64,
+    /// Inclusive `(min, max)` prompt length in tokens.
+    pub prompt_len: (usize, usize),
+    /// Inclusive `(min, max)` generation length in tokens.
+    pub output_len: (usize, usize),
+    /// Vocabulary size prompt tokens are drawn from.
+    pub vocab_size: usize,
+    /// Number of priority classes (`0..priority_levels`); 1 ⇒ uniform.
+    pub priority_levels: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A small mixed-length trace against the given vocabulary.
+    pub fn new(num_requests: usize, arrival_rate: f64, vocab_size: usize) -> Self {
+        Self {
+            num_requests,
+            arrival_rate,
+            prompt_len: (16, 96),
+            output_len: (4, 24),
+            vocab_size,
+            priority_levels: 1,
+            seed: 0,
+        }
+    }
+
+    /// Replace the prompt-length range.
+    pub fn with_prompt_len(mut self, min: usize, max: usize) -> Self {
+        self.prompt_len = (min, max);
+        self
+    }
+
+    /// Replace the output-length range.
+    pub fn with_output_len(mut self, min: usize, max: usize) -> Self {
+        self.output_len = (min, max);
+        self
+    }
+
+    /// Replace the number of priority classes.
+    pub fn with_priority_levels(mut self, levels: u32) -> Self {
+        self.priority_levels = levels;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate a deterministic open-loop request trace (sorted by arrival).
+///
+/// # Panics
+///
+/// Panics if `arrival_rate` is not positive, a range is inverted, or
+/// `priority_levels` is zero.
+pub fn generate_traffic(config: &TrafficConfig) -> Vec<clusterkv_sched::Request> {
+    assert!(config.arrival_rate > 0.0, "arrival_rate must be positive");
+    assert!(
+        config.prompt_len.0 >= 1 && config.prompt_len.0 <= config.prompt_len.1,
+        "prompt_len range must be non-empty"
+    );
+    assert!(
+        config.output_len.0 >= 1 && config.output_len.0 <= config.output_len.1,
+        "output_len range must be non-empty"
+    );
+    assert!(
+        config.priority_levels > 0,
+        "need at least one priority class"
+    );
+    use rand::Rng;
+    let mut rng = clusterkv_tensor::rng::seeded(config.seed);
+    let mut clock = 0.0f64;
+    (0..config.num_requests)
+        .map(|i| {
+            // Exponential interarrival gap via inverse transform (53-bit
+            // uniform in [0, 1); `1 - u` keeps the ln argument positive).
+            let u = (rng.gen::<u64>() >> 11) as f64 / (1u64 << 53) as f64;
+            clock += -(1.0 - u).ln() / config.arrival_rate;
+            let prompt_len = rng.gen_range(config.prompt_len.0..config.prompt_len.1 + 1);
+            let output_len = rng.gen_range(config.output_len.0..config.output_len.1 + 1);
+            let prompt = (0..prompt_len)
+                .map(|_| rng.gen_range(0..config.vocab_size))
+                .collect();
+            clusterkv_sched::Request {
+                prompt,
+                max_new_tokens: output_len,
+                priority: i as u32 % config.priority_levels,
+                arrival_time: clusterkv_kvcache::device::Seconds(clock),
+            }
+        })
+        .collect()
+}
+
 /// Run one policy over the same episode at several budgets — one fresh
 /// selector per budget, budgets fanned out across the thread pool (each
 /// budget's run is an independent single-head simulation, so this is
@@ -315,6 +426,68 @@ mod tests {
             assert_eq!(result.per_step_selected, sequential.per_step_selected);
             assert_eq!(result.stats, sequential.stats);
         }
+    }
+
+    #[test]
+    fn traffic_is_deterministic_and_in_bounds() {
+        let cfg = TrafficConfig::new(40, 100.0, 128)
+            .with_prompt_len(8, 24)
+            .with_output_len(2, 6)
+            .with_priority_levels(3)
+            .with_seed(42);
+        let a = generate_traffic(&cfg);
+        let b = generate_traffic(&cfg);
+        assert_eq!(a, b, "same seed must reproduce the trace exactly");
+        assert_eq!(a.len(), 40);
+        let mut last_arrival = 0.0;
+        for (i, r) in a.iter().enumerate() {
+            assert!((8..=24).contains(&r.prompt.len()));
+            assert!((2..=6).contains(&r.max_new_tokens));
+            assert!(r.prompt.iter().all(|&t| t < 128));
+            assert_eq!(r.priority, i as u32 % 3);
+            assert!(
+                r.arrival_time.get() > last_arrival,
+                "arrivals must be strictly increasing"
+            );
+            last_arrival = r.arrival_time.get();
+        }
+        // Mean interarrival ≈ 1/rate: with 40 samples just sanity-bound it.
+        let mean_gap = last_arrival / 40.0;
+        assert!(
+            (0.2 / 100.0..5.0 / 100.0).contains(&mean_gap),
+            "mean interarrival {mean_gap} implausible for rate 100"
+        );
+        // Different seeds and rates move the trace.
+        assert_ne!(generate_traffic(&cfg.with_seed(43)), a);
+        let slow = TrafficConfig {
+            arrival_rate: 1.0,
+            ..cfg
+        };
+        assert!(
+            generate_traffic(&slow).last().unwrap().arrival_time > a.last().unwrap().arrival_time,
+            "lower arrival rate must spread arrivals out"
+        );
+    }
+
+    #[test]
+    fn traffic_feeds_the_scheduler() {
+        use clusterkv_model::{ModelConfig, ServeEngine};
+        use clusterkv_sched::{SchedConfig, Scheduler};
+        let cfg = TrafficConfig::new(6, 2_000.0, 128)
+            .with_prompt_len(6, 16)
+            .with_output_len(2, 4)
+            .with_seed(9);
+        let engine = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(3)
+            .budget(Budget::new(16))
+            .policy(Box::new(clusterkv_model::policy::OracleTopKFactory))
+            .build()
+            .unwrap();
+        let mut sched = Scheduler::new(engine, SchedConfig::fcfs(4)).unwrap();
+        sched.submit_all(generate_traffic(&cfg)).unwrap();
+        let report = sched.run().unwrap();
+        assert_eq!(report.requests.len(), 6);
+        assert!(report.total_generated >= 6 * 2);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   importance of Fig. 3a).
 //! * [`harness`] — runs any [`TokenSelector`](clusterkv_model::TokenSelector)
 //!   over an episode and records recall rates, attention-output errors and
-//!   selected sets; every accuracy-style figure is built on this harness.
+//!   selected sets; every accuracy-style figure is built on this harness. It
+//!   also hosts [`generate_traffic`], the deterministic open-loop request
+//!   trace generator the serving experiments feed into
+//!   `clusterkv_sched::Scheduler`.
 //! * [`longbench`] — the eight LongBench dataset profiles and the mapping
 //!   from measured retrieval quality to an F1 / ROUGE-L-style score.
 //! * [`language_modeling`] — the PG19 perplexity proxy: perplexity as a
@@ -26,7 +29,10 @@ pub mod language_modeling;
 pub mod longbench;
 pub mod semantic;
 
-pub use harness::{run_budget_sweep, run_episode, run_episode_cached, EpisodeResult};
+pub use harness::{
+    generate_traffic, run_budget_sweep, run_episode, run_episode_cached, EpisodeResult,
+    TrafficConfig,
+};
 pub use language_modeling::{perplexity_proxy, PerplexityPoint};
 pub use longbench::{LongBenchDataset, LongBenchProfile, ScoreMetric};
 pub use semantic::{Episode, EpisodeConfig};

@@ -1,0 +1,44 @@
+//! Helpers shared by the integration-test binaries that sweep
+//! `RAYON_NUM_THREADS` (each binary is its own process, so the lock only
+//! serialises tests *within* one binary — which is exactly the scope the
+//! process-global env var needs).
+
+use std::sync::Mutex;
+
+/// Serialises tests that mutate the process-global `RAYON_NUM_THREADS`.
+/// Engine results are thread-count invariant (that is the point of the
+/// parity suites), so concurrent tests reading a shifting value stay
+/// correct; the lock only keeps the sweeps themselves from interleaving.
+/// Recover from poisoning (the data is unit) so a genuine parity failure in
+/// one test is not obscured by a `PoisonError` in another.
+static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+pub fn thread_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    THREAD_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores (or removes) `RAYON_NUM_THREADS` on drop, so a failing parity
+/// assertion cannot leak its sweep value into later tests.
+struct ThreadEnvRestore {
+    prev: Option<String>,
+}
+
+impl Drop for ThreadEnvRestore {
+    fn drop(&mut self) {
+        match self.prev.take() {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+}
+
+/// Run `body` with `RAYON_NUM_THREADS` set to `threads`, restoring the
+/// previous value afterwards. Callers hold [`thread_env_lock`] across their
+/// whole sweep.
+pub fn with_thread_count<R>(threads: usize, body: impl FnOnce() -> R) -> R {
+    let _restore = ThreadEnvRestore {
+        prev: std::env::var("RAYON_NUM_THREADS").ok(),
+    };
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    body()
+}

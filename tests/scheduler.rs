@@ -1,0 +1,136 @@
+//! Scheduler integration tests: the continuous-batching layer over the full
+//! ClusterKV serving stack. Scheduling must never change *what* a request
+//! generates (only the modeled timestamps), continuous batching must beat
+//! the run-to-completion baseline on time-to-first-token under bursty
+//! traffic, and the whole report — streams, latencies, accounting — must be
+//! bit-identical at any worker-thread count.
+
+mod common;
+
+use clusterkv::{ClusterKvConfig, ClusterKvFactory};
+use clusterkv_kvcache::types::{Budget, Bytes};
+use clusterkv_model::{ModelConfig, ServeEngine};
+use clusterkv_sched::{SchedConfig, SchedPolicy, Scheduler, ServingReport};
+use clusterkv_workloads::{generate_traffic, TrafficConfig};
+use common::{thread_env_lock, with_thread_count};
+
+fn engine() -> ServeEngine {
+    let factory = ClusterKvFactory::new(
+        ClusterKvConfig::default()
+            .with_sink_tokens(4)
+            .with_tokens_per_cluster(8)
+            .with_decode_cluster_period(8)
+            .with_decode_new_clusters(2),
+    );
+    ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(21)
+        .budget(Budget::new(24))
+        .policy(Box::new(factory))
+        .kv_cache_capacity(Bytes(2 * 24 * 32))
+        .build()
+        .unwrap()
+}
+
+/// A bursty trace: arrivals far faster than modeled service, so the queue
+/// builds and the scheduling policy matters.
+fn burst_traffic() -> Vec<clusterkv_sched::Request> {
+    generate_traffic(
+        &TrafficConfig::new(8, 50_000.0, ModelConfig::tiny().vocab_size)
+            .with_prompt_len(12, 40)
+            .with_output_len(3, 8)
+            .with_priority_levels(2)
+            .with_seed(17),
+    )
+}
+
+fn serve(policy: SchedPolicy) -> ServingReport {
+    let cfg = SchedConfig::fcfs(4)
+        .with_policy(policy)
+        .with_chunk_tokens(12)
+        .with_tick_token_budget(20);
+    let mut sched = Scheduler::new(engine(), cfg).unwrap();
+    sched.submit_all(burst_traffic()).unwrap();
+    sched.run().unwrap()
+}
+
+fn streams(report: &ServingReport) -> Vec<Vec<usize>> {
+    report.requests.iter().map(|r| r.tokens.clone()).collect()
+}
+
+#[test]
+fn continuous_batching_beats_run_to_completion_on_ttft() {
+    let cb = serve(SchedPolicy::Fcfs);
+    let rtc = serve(SchedPolicy::RunToCompletion);
+    // Identical per-request outputs: scheduling decides when, never what.
+    assert_eq!(streams(&cb), streams(&rtc));
+    assert!(
+        cb.mean_ttft() < rtc.mean_ttft(),
+        "continuous batching must beat run-to-completion on mean TTFT: \
+         {} vs {}",
+        cb.mean_ttft(),
+        rtc.mean_ttft()
+    );
+    // Fused decode batches also buy throughput, not just latency.
+    assert!(cb.makespan <= rtc.makespan);
+    assert_eq!(cb.total_generated, rtc.total_generated);
+}
+
+#[test]
+fn priority_aging_preserves_outputs_and_reorders_service() {
+    let fcfs = serve(SchedPolicy::Fcfs);
+    let aged = serve(SchedPolicy::PriorityAging {
+        aging_per_second: 100.0,
+    });
+    assert_eq!(streams(&fcfs), streams(&aged));
+    // The burst alternates priorities 0/1; under aging the urgent class must
+    // not finish later on average than under FCFS.
+    let mean_finish = |r: &ServingReport, prio: u32| {
+        let v: Vec<f64> = r
+            .requests
+            .iter()
+            .filter(|m| m.priority == prio)
+            .map(|m| m.finished_at.get())
+            .collect();
+        clusterkv_metrics::mean(&v)
+    };
+    assert!(mean_finish(&aged, 1) <= mean_finish(&fcfs, 1) + 1e-12);
+}
+
+#[test]
+fn serving_report_is_thread_count_invariant() {
+    // The scheduler's clock is driven entirely by modeled costs, which the
+    // engine guarantees are thread-invariant — so the full report (streams,
+    // TTFTs, cache accounting, makespan) must be bit-identical at any
+    // RAYON_NUM_THREADS, batched decode and all.
+    let _guard = thread_env_lock();
+    let reference = with_thread_count(1, || serve(SchedPolicy::Fcfs));
+    assert!(reference.makespan.get() > 0.0);
+    for threads in [2usize, 8] {
+        let run = with_thread_count(threads, || serve(SchedPolicy::Fcfs));
+        assert_eq!(
+            run, reference,
+            "serving report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn kv_admission_bound_holds_under_traffic() {
+    let kv_per_token = ModelConfig::tiny().kv_bytes_per_token();
+    let capacity = Bytes(2 * 48 * kv_per_token); // ~2 worst-case requests
+    let cfg = SchedConfig::fcfs(4)
+        .with_chunk_tokens(12)
+        .with_tick_token_budget(20)
+        .with_kv_capacity(capacity);
+    let mut sched = Scheduler::new(engine(), cfg).unwrap();
+    sched.submit_all(burst_traffic()).unwrap();
+    let unbounded = serve(SchedPolicy::Fcfs);
+    while !sched.is_idle() {
+        sched.tick().unwrap();
+        assert!(sched.kv_reserved() <= capacity, "KV bound violated");
+        assert!(sched.num_running() <= 4);
+    }
+    let report = sched.report();
+    // The bound throttles concurrency, never correctness.
+    assert_eq!(streams(&report), streams(&unbounded));
+}

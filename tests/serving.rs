@@ -5,51 +5,18 @@
 //! rayon-backed engine produces byte-identical token streams, cache
 //! accounting and modeled latency at 1, 2 and N worker threads.
 
+mod common;
+
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_baselines::QuestFactory;
 use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_model::policy::SelectorFactory;
 use clusterkv_model::{InferenceEngine, ModelConfig, ServeEngine, SessionId};
-use std::sync::Mutex;
+use common::{thread_env_lock, with_thread_count};
 
 const SEED: u64 = 21;
 const DECODE_STEPS: usize = 8;
 const NUM_SESSIONS: usize = 4;
-
-/// Serialises tests that mutate the process-global `RAYON_NUM_THREADS`.
-/// Engine results are thread-count invariant (that is the point of the
-/// parity suite), so concurrent tests reading a shifting value stay correct;
-/// the lock only keeps the sweeps themselves from interleaving. Recover from
-/// poisoning (the data is unit) so a genuine parity failure in one test is
-/// not obscured by a `PoisonError` in the other.
-static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
-
-fn thread_env_lock() -> std::sync::MutexGuard<'static, ()> {
-    THREAD_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Restores (or removes) `RAYON_NUM_THREADS` on drop, so a failing parity
-/// assertion cannot leak its sweep value into later tests.
-struct ThreadEnvRestore {
-    prev: Option<String>,
-}
-
-impl Drop for ThreadEnvRestore {
-    fn drop(&mut self) {
-        match self.prev.take() {
-            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
-            None => std::env::remove_var("RAYON_NUM_THREADS"),
-        }
-    }
-}
-
-fn with_thread_count<R>(threads: usize, body: impl FnOnce() -> R) -> R {
-    let _restore = ThreadEnvRestore {
-        prev: std::env::var("RAYON_NUM_THREADS").ok(),
-    };
-    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-    body()
-}
 
 fn prompts() -> Vec<Vec<usize>> {
     (0..NUM_SESSIONS)
@@ -451,6 +418,116 @@ fn mixed_policy_run(batched: bool) -> MixedRunObservables {
             .push(report.cache_hit_rate().to_bits());
     }
     observables
+}
+
+/// Everything one run produces that must be invariant to how the prompt was
+/// chunked during prefill: the decode streams, the per-session policy stats
+/// (selection work), and the full cache/transfer/latency accounting.
+#[derive(Debug, PartialEq)]
+struct ChunkedRunObservables {
+    streams: Vec<Vec<usize>>,
+    scored: Vec<u64>,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+    bytes_recalled: Vec<u64>,
+    modeled_bits: Vec<u64>,
+}
+
+/// Decode `DECODE_STEPS` for `NUM_SESSIONS` sessions whose prompts were
+/// prefilled in chunks of `chunk` tokens (`None` = monolithic `prefill`),
+/// under a bounded cluster cache so residency accounting is non-trivial.
+fn chunked_prefill_run(
+    factory: &dyn SelectorFactory,
+    chunk: Option<usize>,
+) -> ChunkedRunObservables {
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24))
+        .kv_cache_capacity(Bytes(2 * 24 * 32))
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session_with(factory).unwrap())
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        match chunk {
+            None => {
+                engine.prefill(*id, &prompt).unwrap();
+            }
+            Some(size) => {
+                for piece in prompt.chunks(size) {
+                    engine.prefill_chunk(*id, piece).unwrap();
+                }
+                engine.finish_prefill(*id).unwrap();
+            }
+        }
+    }
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    for _ in 0..DECODE_STEPS {
+        let outs = engine.decode_batch(&ids).unwrap();
+        for (stream, out) in streams.iter_mut().zip(&outs) {
+            stream.push(out.next_token);
+        }
+    }
+    let mut observables = ChunkedRunObservables {
+        streams,
+        scored: Vec::new(),
+        hits: Vec::new(),
+        misses: Vec::new(),
+        bytes_recalled: Vec::new(),
+        modeled_bits: Vec::new(),
+    };
+    for &id in &ids {
+        let report = engine.release(id).unwrap();
+        observables.scored.push(report.stats.scored_vectors);
+        observables.hits.push(report.stats.cache.hits);
+        observables.misses.push(report.stats.cache.misses);
+        observables.bytes_recalled.push(report.bytes_recalled().0);
+        observables
+            .modeled_bits
+            .push(report.modeled_decode_time.get().to_bits());
+    }
+    observables
+}
+
+#[test]
+fn chunked_prefill_parity_across_chunk_sizes_and_threads() {
+    // The acceptance gate of the chunked-prefill refactor: for the
+    // cluster-paged policy (prefill clustering reconciles on the final
+    // chunk) and the page-paged baseline (naturally incremental), any chunk
+    // size — including chunk 1 and one chunk covering the whole prompt —
+    // must reproduce the monolithic prefill byte for byte: token streams,
+    // selector stats, cache hit accounting and modeled latency, at every
+    // worker-thread count.
+    let _guard = thread_env_lock();
+    let clusterkv = clusterkv_factory();
+    let quest = QuestFactory::default();
+    let factories: [&dyn SelectorFactory; 2] = [&clusterkv, &quest];
+    for factory in factories {
+        let reference = with_thread_count(1, || chunked_prefill_run(factory, None));
+        assert!(
+            reference.streams.iter().all(|s| s.len() == DECODE_STEPS),
+            "scenario must be non-trivial"
+        );
+        assert!(
+            reference.misses.iter().any(|&m| m > 0),
+            "{}: the bounded cache must produce recall traffic for the \
+             accounting parity to be meaningful",
+            factory.name()
+        );
+        for threads in [1usize, 2, 8] {
+            for chunk in [1usize, 7, 64, usize::MAX] {
+                let run = with_thread_count(threads, || chunked_prefill_run(factory, Some(chunk)));
+                assert_eq!(
+                    run,
+                    reference,
+                    "{}: chunked prefill (chunk {chunk}, {threads} threads) \
+                     diverged from monolithic prefill",
+                    factory.name()
+                );
+            }
+        }
+    }
 }
 
 #[test]
