@@ -6,7 +6,10 @@
 //! * Quest page-metadata scoring (the baseline ClusterKV's selection cost is
 //!   compared against),
 //! * per-step top-k: partial selection vs the previous full argsort,
-//! * cluster-cache lookups.
+//! * cluster-cache lookups,
+//! * the blocked kernel layer vs its scalar references (DESIGN.md §6):
+//!   centroid scoring, Gram-trick k-means assignment and fused
+//!   gather+attend, each at n ∈ {512, 2048, 8192}.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -140,12 +143,108 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blocked centroid scoring (`matvec_t_into` into a warm workspace) vs the
+/// scalar per-row `dot`-and-collect reference, over the row counts the
+/// decode path sees (centroid tables and full key matrices).
+fn bench_centroid_scoring_kernels(c: &mut Criterion) {
+    use clusterkv_tensor::kernels::{matvec_t_into, matvec_t_reference, Workspace};
+    let mut group = c.benchmark_group("centroid_scoring");
+    for &n in &[512usize, 2048, 8192] {
+        let m = random_keys(n, 64, 31);
+        let q = gaussian_vec(&mut seeded(32), 64, 0.0, 1.0);
+        let mut ws = Workspace::new();
+        matvec_t_into(&m, &q, &mut ws.scores);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &m, |b, m| {
+            b.iter(|| {
+                matvec_t_into(m, &q, &mut ws.scores);
+                black_box(ws.scores.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &m, |b, m| {
+            b.iter(|| black_box(matvec_t_reference(m, &q)))
+        });
+    }
+    group.finish();
+}
+
+/// Gram-trick k-means assignment (cached norms, blocked matvec per row) vs
+/// the per-pair `metric.distance` reference sweep.
+fn bench_kmeans_assignment_kernels(c: &mut Criterion) {
+    use clusterkv::{assign_labels, assign_labels_reference};
+    use clusterkv_tensor::kernels::{row_norms_sq_into, Workspace};
+    let mut group = c.benchmark_group("kmeans_assignment");
+    group.sample_size(10);
+    for &n in &[512usize, 2048, 8192] {
+        let keys = random_keys(n, 64, 37);
+        let k = (n / 80).max(4);
+        let picks: Vec<usize> = (0..k).map(|c| c * n / k).collect();
+        let centroids = keys.select_rows(&picks);
+        let mut norms = Vec::new();
+        row_norms_sq_into(&keys, &mut norms);
+        let mut ws = Workspace::new();
+        group.bench_with_input(BenchmarkId::new("blocked_gram", n), &keys, |b, keys| {
+            b.iter(|| {
+                black_box(assign_labels(
+                    DistanceMetric::Cosine,
+                    keys,
+                    &norms,
+                    &centroids,
+                    &mut ws,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &keys, |b, keys| {
+            b.iter(|| {
+                black_box(assign_labels_reference(
+                    DistanceMetric::Cosine,
+                    keys,
+                    &centroids,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fused gather + attend through a reusable workspace vs the allocating
+/// scalar pipeline, over a budget-sized selection of a long context.
+fn bench_gather_attend_kernels(c: &mut Criterion) {
+    use clusterkv_kvcache::KvStore;
+    use clusterkv_model::attention::{attend_selected_reference, attend_selected_ws};
+    use clusterkv_tensor::kernels::Workspace;
+    let mut group = c.benchmark_group("gather_attend");
+    for &n in &[512usize, 2048, 8192] {
+        let keys = random_keys(n, 64, 41);
+        let values = random_keys(n, 64, 43);
+        let mut store = KvStore::new(64);
+        store.append_batch(&keys, &values);
+        let q = gaussian_vec(&mut seeded(47), 64, 0.0, 1.0);
+        // A budget-sized, scattered selection (every 8th token).
+        let indices: Vec<usize> = (0..n).step_by(8).collect();
+        let mut ws = Workspace::new();
+        attend_selected_ws(&store, &q, &indices, &mut ws);
+        group.bench_with_input(BenchmarkId::new("blocked_ws", n), &store, |b, store| {
+            b.iter(|| {
+                attend_selected_ws(store, &q, &indices, &mut ws);
+                black_box(ws.out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &store, |b, store| {
+            b.iter(|| black_box(attend_selected_reference(store, &q, &indices)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_clustering,
     bench_selection,
     bench_quest_selection,
     bench_top_k,
-    bench_cache
+    bench_cache,
+    bench_centroid_scoring_kernels,
+    bench_kmeans_assignment_kernels,
+    bench_gather_attend_kernels
 );
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 use crate::config::ClusterKvConfig;
 use crate::kmeans::KMeans;
 use crate::metadata::ClusterMetadata;
+use clusterkv_tensor::kernels::{norm_sq, row_norms_sq_into, Workspace};
 use clusterkv_tensor::rng::derive_seed;
 use clusterkv_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -28,12 +29,22 @@ pub struct SemanticClustering {
     head_dim: usize,
     /// Centroids of all clusters created so far (`C × d`).
     centroids: Matrix,
+    /// Cached squared norms `‖c‖²`, aligned with the rows of `centroids` and
+    /// extended whenever clusters are created (prefill, incremental flush).
+    /// Feeds Gram-trick rescoring without recomputation; consistency with
+    /// recomputation is pinned by the norm-cache tests.
+    centroid_norms: Vec<f32>,
     /// Sizes / prefix sums / sorted indices of those clusters.
     metadata: ClusterMetadata,
     /// Positions of the attention-sink tokens (always retained).
     sinks: Vec<usize>,
     /// Decode-time keys awaiting incremental clustering: `(position, key)`.
     buffer: Vec<(usize, Vec<f32>)>,
+    /// Cached squared norms `‖x‖²` of the buffered keys, maintained per
+    /// append so the incremental k-means sweep never recomputes them.
+    buffer_norms: Vec<f32>,
+    /// Scratch workspace reused by every k-means sweep of this head.
+    ws: Workspace,
     /// Number of incremental clustering runs performed so far.
     incremental_runs: usize,
     /// Total number of tokens observed (prefill + decode).
@@ -47,9 +58,12 @@ impl SemanticClustering {
             config,
             head_dim,
             centroids: Matrix::zeros(0, head_dim),
+            centroid_norms: Vec::new(),
             metadata: ClusterMetadata::new(),
             sinks: Vec::new(),
             buffer: Vec::new(),
+            buffer_norms: Vec::new(),
+            ws: Workspace::new(),
             incremental_runs: 0,
             num_tokens: 0,
         }
@@ -68,6 +82,21 @@ impl SemanticClustering {
     /// Cluster centroids (`C × d`).
     pub fn centroids(&self) -> &Matrix {
         &self.centroids
+    }
+
+    /// Cached squared centroid norms (`‖c‖²`), aligned with
+    /// [`centroids`](Self::centroids). Maintained incrementally as clusters
+    /// are created; always consistent with recomputing
+    /// [`norm_sq`] over the rows.
+    pub fn centroid_norms(&self) -> &[f32] {
+        &self.centroid_norms
+    }
+
+    /// Cached squared norms of the pending (buffered) decode keys, in buffer
+    /// order — the `‖x‖²` side of the Gram trick for the next incremental
+    /// sweep.
+    pub fn pending_norms(&self) -> &[f32] {
+        &self.buffer_norms
     }
 
     /// Cluster metadata (sizes, prefix sums, token indices).
@@ -109,8 +138,24 @@ impl SemanticClustering {
     ///
     /// Panics if `keys.cols() != head_dim` or if called more than once.
     pub fn prefill(&mut self, keys: &Matrix) {
+        let mut norms = Vec::new();
+        row_norms_sq_into(keys, &mut norms);
+        self.prefill_with_norms(keys, &norms);
+    }
+
+    /// [`prefill`](Self::prefill) with caller-cached squared row norms
+    /// (`‖x‖²`, one per row of `keys`) — the path taken by the ClusterKV
+    /// selector, whose chunked-prefill buffer maintains the norms
+    /// incrementally as chunks arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch, a second prefill, or a norm cache whose
+    /// length differs from `keys.rows()`.
+    pub fn prefill_with_norms(&mut self, keys: &Matrix, norms: &[f32]) {
         assert_eq!(keys.cols(), self.head_dim, "prefill key dim mismatch");
         assert_eq!(self.num_tokens, 0, "prefill may only be called once");
+        assert_eq!(norms.len(), keys.rows(), "norm cache out of date");
         let len = keys.rows();
         self.num_tokens = len;
         let sink = self.config.sink_tokens.min(len);
@@ -127,7 +172,7 @@ impl SemanticClustering {
             derive_seed(self.config.seed, PREFILL_SEED_LABEL),
         );
         let clustered_keys = keys.slice_rows(sink, len);
-        let result = kmeans.fit(&clustered_keys, c0);
+        let result = kmeans.fit_with_norms(&clustered_keys, &norms[sink..], c0, &mut self.ws);
         let assignments: Vec<(usize, usize)> = result
             .labels
             .iter()
@@ -135,9 +180,11 @@ impl SemanticClustering {
             .map(|(i, &label)| (sink + i, label))
             .collect();
         self.metadata.extend(&assignments, result.num_clusters());
-        for row in result.centroids.iter_rows() {
-            self.centroids.push_row(row).expect("centroid dims match");
-        }
+        self.centroids
+            .extend_rows(&result.centroids)
+            .expect("centroid dims match");
+        self.centroid_norms
+            .extend_from_slice(&result.centroid_norms);
     }
 
     /// Observe a decode-time key at absolute position `position`. Buffers the
@@ -150,6 +197,9 @@ impl SemanticClustering {
     pub fn append(&mut self, position: usize, key: &[f32]) {
         assert_eq!(key.len(), self.head_dim, "append key dim mismatch");
         self.buffer.push((position, key.to_vec()));
+        // Maintain the ‖x‖² cache per append: one blocked self-dot now saves
+        // recomputing every buffered norm at each sweep iteration later.
+        self.buffer_norms.push(norm_sq(key));
         self.num_tokens = self.num_tokens.max(position + 1);
         if self.buffer.len() >= self.config.decode_cluster_period {
             self.flush_pending();
@@ -162,15 +212,18 @@ impl SemanticClustering {
         if self.buffer.is_empty() {
             return;
         }
-        let keys = Matrix::from_rows(self.buffer.iter().map(|(_, k)| k.clone()).collect())
-            .expect("buffer keys have equal dims");
+        let mut keys = Matrix::zeros(0, self.head_dim);
+        keys.reserve_rows(self.buffer.len());
+        for (_, key) in &self.buffer {
+            keys.push_row(key).expect("buffer keys have equal dims");
+        }
         let k = self.config.decode_new_clusters.min(keys.rows());
         let kmeans = KMeans::new(
             self.config.distance,
             self.config.max_kmeans_iters,
             derive_seed(self.config.seed, 0xD000 + self.incremental_runs as u64),
         );
-        let result = kmeans.fit(&keys, k);
+        let result = kmeans.fit_with_norms(&keys, &self.buffer_norms, k, &mut self.ws);
         let assignments: Vec<(usize, usize)> = result
             .labels
             .iter()
@@ -178,11 +231,14 @@ impl SemanticClustering {
             .map(|(i, &label)| (self.buffer[i].0, label))
             .collect();
         self.metadata.extend(&assignments, result.num_clusters());
-        for row in result.centroids.iter_rows() {
-            self.centroids.push_row(row).expect("centroid dims match");
-        }
+        self.centroids
+            .extend_rows(&result.centroids)
+            .expect("centroid dims match");
+        self.centroid_norms
+            .extend_from_slice(&result.centroid_norms);
         self.incremental_runs += 1;
         self.buffer.clear();
+        self.buffer_norms.clear();
     }
 }
 
@@ -297,6 +353,62 @@ mod tests {
         assert_eq!(sc.num_clusters(), sc.metadata().num_clusters());
         assert_eq!(sc.centroids().rows(), sc.num_clusters());
         assert_eq!(sc.centroids().cols(), 8);
+    }
+
+    /// The norm-cache invariant: whatever sequence of prefills, appends and
+    /// flushes ran, the cached `‖c‖²`/`‖x‖²` values equal recomputation.
+    fn assert_norm_caches_consistent(sc: &SemanticClustering) {
+        assert_eq!(sc.centroid_norms().len(), sc.centroids().rows());
+        for (c, row) in sc.centroids().iter_rows().enumerate() {
+            assert_eq!(
+                sc.centroid_norms()[c],
+                clusterkv_tensor::kernels::norm_sq(row),
+                "centroid {c} norm cache stale"
+            );
+        }
+        assert_eq!(sc.pending_norms().len(), sc.pending_indices().len());
+    }
+
+    #[test]
+    fn norm_caches_survive_incremental_updates_and_flushes() {
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill(&random_keys(40, 8, 21));
+        assert_norm_caches_consistent(&sc);
+        let mut rng = seeded(22);
+        // Appends below the period keep pending norms aligned with the
+        // buffer; crossing the period flushes both together.
+        for i in 0..15 {
+            sc.append(40 + i, &gaussian_vec(&mut rng, 8, 0.0, 1.0));
+            assert_norm_caches_consistent(&sc);
+        }
+        // Partial-buffer flush reconciles too.
+        sc.append(55, &[0.25; 8]);
+        sc.flush_pending();
+        assert_eq!(sc.pending_norms().len(), 0);
+        assert_norm_caches_consistent(&sc);
+    }
+
+    #[test]
+    fn prefill_with_norms_matches_plain_prefill() {
+        let keys = random_keys(48, 8, 31);
+        let mut plain = SemanticClustering::new(config_small(), 8);
+        plain.prefill(&keys);
+        let mut cached = SemanticClustering::new(config_small(), 8);
+        let mut norms = Vec::new();
+        clusterkv_tensor::kernels::row_norms_sq_into(&keys, &mut norms);
+        cached.prefill_with_norms(&keys, &norms);
+        assert_eq!(plain.centroids(), cached.centroids());
+        assert_eq!(plain.centroid_norms(), cached.centroid_norms());
+        assert_eq!(plain.metadata().sizes(), cached.metadata().sizes());
+        assert_norm_caches_consistent(&cached);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stale_norm_cache_panics() {
+        let keys = random_keys(20, 8, 33);
+        let mut sc = SemanticClustering::new(config_small(), 8);
+        sc.prefill_with_norms(&keys, &[1.0; 3]); // wrong length
     }
 
     #[test]

@@ -36,6 +36,31 @@ impl DistanceMetric {
         }
     }
 
+    /// Distance reconstructed from precomputed parts: the inner product
+    /// `⟨a,b⟩` and the squared norms `‖a‖²`, `‖b‖²`. This is the Gram-trick
+    /// evaluation the blocked k-means assignment uses (`‖a−b‖² =
+    /// ‖a‖² − 2⟨a,b⟩ + ‖b‖²`): norms are computed once per row/centroid and
+    /// cached, so each pair costs one dot product instead of three.
+    ///
+    /// Agrees with [`distance`](Self::distance) up to floating-point
+    /// reassociation (property-tested within `1e-4` relative error); the
+    /// zero-norm cosine convention (distance 1) is preserved exactly.
+    #[inline]
+    pub fn distance_from_parts(self, dot: f32, a_norm_sq: f32, b_norm_sq: f32) -> f32 {
+        match self {
+            DistanceMetric::Cosine => {
+                let denom = a_norm_sq.sqrt() * b_norm_sq.sqrt();
+                if denom == 0.0 {
+                    1.0
+                } else {
+                    1.0 - dot / denom
+                }
+            }
+            DistanceMetric::L2 => a_norm_sq - 2.0 * dot + b_norm_sq,
+            DistanceMetric::InnerProduct => -dot,
+        }
+    }
+
     /// Index of the closest centroid to `v`, or `None` when `centroids` is
     /// empty. Ties break toward the lower index. NaN distances are never
     /// selected — the same contract as
@@ -187,7 +212,36 @@ mod tests {
         assert_eq!(DistanceMetric::all().len(), 3);
     }
 
+    #[test]
+    fn distance_from_parts_preserves_zero_norm_convention() {
+        use clusterkv_tensor::kernels::norm_sq;
+        use clusterkv_tensor::vector::dot as sdot;
+        let zero = [0.0f32; 4];
+        let b = [1.0f32, -2.0, 0.5, 3.0];
+        let m = DistanceMetric::Cosine;
+        assert_eq!(
+            m.distance_from_parts(sdot(&zero, &b), norm_sq(&zero), norm_sq(&b)),
+            m.distance(&zero, &b)
+        );
+        assert_eq!(m.distance(&zero, &b), 1.0);
+    }
+
     proptest! {
+        #[test]
+        fn distance_from_parts_matches_direct(
+            a in proptest::collection::vec(-5.0f32..5.0, 8),
+            b in proptest::collection::vec(-5.0f32..5.0, 8),
+        ) {
+            use clusterkv_tensor::kernels::{dot_blocked, norm_sq};
+            for m in DistanceMetric::all() {
+                let direct = m.distance(&a, &b);
+                let parts = m.distance_from_parts(dot_blocked(&a, &b), norm_sq(&a), norm_sq(&b));
+                let scale = direct.abs().max(parts.abs()).max(1.0);
+                prop_assert!((direct - parts).abs() <= 1e-4 * scale,
+                    "{m}: {direct} vs {parts}");
+            }
+        }
+
         #[test]
         fn distances_are_symmetric_for_cosine_and_l2(
             a in proptest::collection::vec(-5.0f32..5.0, 8),

@@ -8,6 +8,19 @@
 //! the custom centroid-update CUDA kernel of §IV-B computes, here implemented
 //! as a parallel CPU reduction.
 //!
+//! The assignment sweep is a blocked Gram-trick kernel (DESIGN.md §6): each
+//! row scores every centroid with one blocked matvec
+//! ([`matvec_t_into`]) and the
+//! distance is reconstructed from the inner product and **cached squared
+//! norms** (`‖x−c‖² = ‖x‖² − 2x·c + ‖c‖²`;
+//! [`DistanceMetric::distance_from_parts`]). Row norms are computed once per
+//! fit — or passed in by callers that maintain them incrementally
+//! ([`fit_with_norms`](KMeans::fit_with_norms)) — instead of once per
+//! row-centroid *pair* per iteration, which is what the naive
+//! `metric.distance` sweep costs under the cosine metric (three dot products
+//! per pair). The naive sweep survives as [`assign_labels_reference`] for
+//! property tests and the `exp_hotpath` speedup gate.
+//!
 //! One deliberate deviation from the paper: instead of sampling the initial
 //! centroids uniformly at random, the first centroid is sampled randomly
 //! (seeded) and the remaining ones are chosen by farthest-first traversal
@@ -16,15 +29,18 @@
 //! that uniform sampling occasionally produces for small `k`.
 
 use crate::distance::DistanceMetric;
+use clusterkv_tensor::kernels::{matvec_t_into, row_norms_sq_into, Workspace};
 use clusterkv_tensor::rng::{sample_distinct_indices, seeded};
 use clusterkv_tensor::vector::{argmax, mean_of};
 use clusterkv_tensor::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Minimum rows each worker of the parallel assignment sweep receives: one
-/// `nearest` call is `O(C·d)`, cheap enough that splitting a small prompt's
-/// keys across threads costs more than it saves.
+/// Rows per chunk of the parallel assignment sweep: one row's assignment is
+/// `O(C·d)`, cheap enough that splitting a small prompt's keys across
+/// threads costs more than it saves. The chunk size is a constant (not a
+/// function of the thread count), so chunk boundaries — and therefore every
+/// per-row result — are identical at every `RAYON_NUM_THREADS`.
 const ASSIGN_MIN_ROWS_PER_WORKER: usize = 64;
 
 /// Result of running k-means on a set of key vectors.
@@ -32,6 +48,11 @@ const ASSIGN_MIN_ROWS_PER_WORKER: usize = 64;
 pub struct Clustering {
     /// Cluster centroids (`C × d`).
     pub centroids: Matrix,
+    /// Cached squared norms `‖c‖²` of the final centroids, aligned with the
+    /// rows of `centroids`. Callers that keep centroids around
+    /// (`SemanticClustering`) cache these so later Gram-trick scoring never
+    /// recomputes them.
+    pub centroid_norms: Vec<f32>,
     /// Cluster label of every input row.
     pub labels: Vec<usize>,
     /// Number of assignment/update iterations performed.
@@ -50,11 +71,133 @@ impl Clustering {
     pub fn empty(dim: usize) -> Self {
         Self {
             centroids: Matrix::zeros(0, dim),
+            centroid_norms: Vec::new(),
             labels: Vec::new(),
             iterations: 0,
             converged: true,
         }
     }
+}
+
+/// Predigest the per-centroid norm column for one assignment sweep: the
+/// cosine metric consumes `‖c‖` (square roots taken once per centroid per
+/// iteration instead of once per pair), L2 consumes `‖c‖²` as-is, and the
+/// inner product needs no norms at all.
+fn predigest_centroid_norms(metric: DistanceMetric, norms_sq: &mut [f32]) {
+    if metric == DistanceMetric::Cosine {
+        for n in norms_sq.iter_mut() {
+            *n = n.sqrt();
+        }
+    }
+}
+
+/// Label of one row given its centroid inner products and predigested norms.
+/// Mirrors [`DistanceMetric::nearest`]: ties break toward the lower index,
+/// NaN distances are never selected, an all-NaN row falls back to cluster 0.
+#[inline]
+fn label_of_row(metric: DistanceMetric, scores: &[f32], row_norm_sq: f32, cnorms: &[f32]) -> usize {
+    let row_norm = match metric {
+        DistanceMetric::Cosine => row_norm_sq.sqrt(),
+        _ => row_norm_sq,
+    };
+    let mut best: Option<(usize, f32)> = None;
+    for (c, &s) in scores.iter().enumerate() {
+        let d = match metric {
+            DistanceMetric::Cosine => {
+                let denom = row_norm * cnorms[c];
+                if denom == 0.0 {
+                    1.0
+                } else {
+                    1.0 - s / denom
+                }
+            }
+            DistanceMetric::L2 => row_norm_sq - 2.0 * s + cnorms[c],
+            DistanceMetric::InnerProduct => -s,
+        };
+        if d.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bd)) if d >= bd => {}
+            _ => best = Some((c, d)),
+        }
+    }
+    best.map(|(c, _)| c).unwrap_or(0)
+}
+
+/// Blocked Gram-trick assignment sweep: the label of every row of `keys`
+/// under `metric`, given cached squared row norms. Row chunks fan out across
+/// the thread pool; per-row arithmetic is canonical (one blocked matvec per
+/// row), so the labeling is identical at every thread count. `ws` provides
+/// the score scratch of the sequential path; parallel chunks carry their own
+/// per-worker scratch.
+///
+/// # Panics
+///
+/// Panics if `row_norms.len() != keys.rows()` or the dimensionalities of
+/// `keys` and `centroids` differ.
+pub fn assign_labels(
+    metric: DistanceMetric,
+    keys: &Matrix,
+    row_norms: &[f32],
+    centroids: &Matrix,
+    ws: &mut Workspace,
+) -> Vec<usize> {
+    assert_eq!(row_norms.len(), keys.rows(), "row norm cache out of date");
+    assert_eq!(keys.cols(), centroids.cols(), "key/centroid dim mismatch");
+    let n = keys.rows();
+    let k = centroids.rows();
+    if n == 0 || k == 0 {
+        return vec![0; n];
+    }
+    row_norms_sq_into(centroids, &mut ws.centroid_norms);
+    predigest_centroid_norms(metric, &mut ws.centroid_norms);
+    if n <= ASSIGN_MIN_ROWS_PER_WORKER {
+        // Sequential fast path on the caller's workspace: no allocation
+        // beyond the returned labels.
+        let mut labels = Vec::with_capacity(n);
+        for (i, &rn) in row_norms.iter().enumerate() {
+            matvec_t_into(centroids, keys.row(i), &mut ws.scores);
+            labels.push(label_of_row(metric, &ws.scores, rn, &ws.centroid_norms));
+        }
+        return labels;
+    }
+    let cnorms = &ws.centroid_norms;
+    let starts: Vec<usize> = (0..n).step_by(ASSIGN_MIN_ROWS_PER_WORKER).collect();
+    let chunks: Vec<Vec<usize>> = starts
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|start| {
+            let end = (start + ASSIGN_MIN_ROWS_PER_WORKER).min(n);
+            let mut scores = Vec::with_capacity(k);
+            (start..end)
+                .map(|i| {
+                    matvec_t_into(centroids, keys.row(i), &mut scores);
+                    label_of_row(metric, &scores, row_norms[i], cnorms)
+                })
+                .collect()
+        })
+        .collect();
+    chunks.concat()
+}
+
+/// The pre-kernel-layer assignment sweep: one `metric.distance` call per
+/// row-centroid pair (three scalar dot products per pair under cosine).
+/// Kept as the reference the blocked sweep is property-tested and speedup-
+/// gated against (`exp_hotpath`).
+pub fn assign_labels_reference(
+    metric: DistanceMetric,
+    keys: &Matrix,
+    centroids: &Matrix,
+) -> Vec<usize> {
+    let centroid_rows: Vec<&[f32]> = centroids.iter_rows().collect();
+    (0..keys.rows())
+        .map(|i| {
+            metric
+                .nearest(keys.row(i), centroid_rows.iter().copied())
+                .unwrap_or(0)
+        })
+        .collect()
 }
 
 /// K-means configuration.
@@ -78,12 +221,35 @@ impl KMeans {
         }
     }
 
-    /// Cluster the rows of `keys` into (at most) `k` clusters.
+    /// Cluster the rows of `keys` into (at most) `k` clusters, computing the
+    /// squared row norms on entry and using a throwaway workspace. Callers
+    /// that cache row norms incrementally (`SemanticClustering`) or reuse a
+    /// workspace across sweeps use [`fit_with_norms`](Self::fit_with_norms).
     ///
     /// Degenerate inputs are handled without panicking: `k == 0` or an empty
     /// matrix yields an empty clustering, and `k >= rows` assigns every row
     /// to its own cluster.
     pub fn fit(&self, keys: &Matrix, k: usize) -> Clustering {
+        let mut ws = Workspace::new();
+        let mut norms = Vec::new();
+        row_norms_sq_into(keys, &mut norms);
+        self.fit_with_norms(keys, &norms, k, &mut ws)
+    }
+
+    /// [`fit`](Self::fit) with caller-cached squared row norms (`‖x‖²`, one
+    /// per row of `keys`) and a reusable scratch workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_norms.len() != keys.rows()`.
+    pub fn fit_with_norms(
+        &self,
+        keys: &Matrix,
+        row_norms: &[f32],
+        k: usize,
+        ws: &mut Workspace,
+    ) -> Clustering {
+        assert_eq!(row_norms.len(), keys.rows(), "row norm cache out of date");
         let n = keys.rows();
         let dim = keys.cols();
         if n == 0 || k == 0 {
@@ -92,6 +258,7 @@ impl KMeans {
         if k >= n {
             return Clustering {
                 centroids: keys.clone(),
+                centroid_norms: row_norms.to_vec(),
                 labels: (0..n).collect(),
                 iterations: 0,
                 converged: true,
@@ -100,12 +267,17 @@ impl KMeans {
 
         // Initialise centroids with farthest-first traversal: a random first
         // pick, then repeatedly the key farthest (under the metric) from all
-        // centroids chosen so far.
+        // centroids chosen so far. Distances come from the Gram parts — one
+        // blocked matvec against the newest pick plus the cached row norms.
         let mut rng = seeded(self.seed);
         let first = sample_distinct_indices(&mut rng, n, 1)[0];
         let mut init = vec![first];
+        matvec_t_into(keys, keys.row(first), &mut ws.scores);
         let mut min_dist: Vec<f32> = (0..n)
-            .map(|i| self.metric.distance(keys.row(i), keys.row(first)))
+            .map(|i| {
+                self.metric
+                    .distance_from_parts(ws.scores[i], row_norms[i], row_norms[first])
+            })
             .collect();
         while init.len() < k {
             // `argmax` skips NaN distances (a NaN key would otherwise poison
@@ -114,8 +286,11 @@ impl KMeans {
             // degenerate input falls back to index 0.
             let next = argmax(&min_dist).unwrap_or(0);
             init.push(next);
+            matvec_t_into(keys, keys.row(next), &mut ws.scores);
             for (i, md) in min_dist.iter_mut().enumerate() {
-                let d = self.metric.distance(keys.row(i), keys.row(next));
+                let d =
+                    self.metric
+                        .distance_from_parts(ws.scores[i], row_norms[i], row_norms[next]);
                 if d < *md {
                     *md = d;
                 }
@@ -129,23 +304,9 @@ impl KMeans {
         while iterations < self.max_iters {
             iterations += 1;
 
-            // Assignment step (parallel across rows, mirroring the batched
-            // Torch kernels of §IV-B). Chunk-parallel per-row assignments
-            // are order-preserving, so the labeling is identical at every
-            // thread count.
-            let centroid_rows: Vec<&[f32]> = centroids.iter_rows().collect();
-            let new_labels: Vec<usize> = (0..n)
-                .into_par_iter()
-                .with_min_len(ASSIGN_MIN_ROWS_PER_WORKER)
-                .map(|i| {
-                    // `nearest` returns None only when every distance is NaN
-                    // (degenerate NaN keys); pin such rows to cluster 0
-                    // deterministically rather than panicking the sweep.
-                    self.metric
-                        .nearest(keys.row(i), centroid_rows.iter().copied())
-                        .unwrap_or(0)
-                })
-                .collect();
+            // Assignment step: the blocked Gram-trick sweep (parallel across
+            // row chunks, mirroring the batched Torch kernels of §IV-B).
+            let new_labels = assign_labels(self.metric, keys, row_norms, &centroids, ws);
 
             let changed = new_labels != labels;
             labels = new_labels;
@@ -169,8 +330,11 @@ impl KMeans {
             }
         }
 
+        let mut centroid_norms = Vec::with_capacity(k);
+        row_norms_sq_into(&centroids, &mut centroid_norms);
         Clustering {
             centroids,
+            centroid_norms,
             labels,
             iterations,
             converged,
@@ -187,6 +351,7 @@ impl Default for KMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clusterkv_tensor::kernels::norm_sq;
     use clusterkv_tensor::rng::{gaussian_vec, seeded as seeded_rng};
     use proptest::prelude::*;
 
@@ -269,6 +434,8 @@ mod tests {
         assert_eq!(result.num_clusters(), 3);
         assert_eq!(result.labels, vec![0, 1, 2]);
         assert!(result.converged);
+        // The norm cache covers the adopted rows.
+        assert_eq!(result.centroid_norms, vec![1.0, 1.0, 1.0]);
     }
 
     #[test]
@@ -278,6 +445,7 @@ mod tests {
         let b = KMeans::new(DistanceMetric::Cosine, 20, 1).fit(&keys, 4);
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.centroid_norms, b.centroid_norms);
     }
 
     #[test]
@@ -295,6 +463,86 @@ mod tests {
             assert_eq!(result.labels.len(), keys.rows());
             assert!(result.labels.iter().all(|&l| l < result.num_clusters()));
         }
+    }
+
+    #[test]
+    fn centroid_norm_cache_matches_recomputation() {
+        let (keys, _) = blobs(20, 8, 17);
+        for metric in DistanceMetric::all() {
+            let result = KMeans::new(metric, 10, 3).fit(&keys, 4);
+            assert_eq!(result.centroid_norms.len(), result.num_clusters());
+            for (c, row) in result.centroids.iter_rows().enumerate() {
+                assert_eq!(
+                    result.centroid_norms[c],
+                    norm_sq(row),
+                    "{metric}: centroid {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_assignment_matches_reference_on_separated_data() {
+        // On well-separated data the Gram-trick reassociation cannot flip a
+        // label: blocked and reference sweeps agree exactly.
+        let (keys, _) = blobs(40, 16, 23);
+        let mut norms = Vec::new();
+        clusterkv_tensor::kernels::row_norms_sq_into(&keys, &mut norms);
+        let centroids = keys.select_rows(&[0, 45, 85]);
+        let mut ws = Workspace::new();
+        for metric in DistanceMetric::all() {
+            let blocked = assign_labels(metric, &keys, &norms, &centroids, &mut ws);
+            let reference = assign_labels_reference(metric, &keys, &centroids);
+            assert_eq!(blocked, reference, "{metric}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_thread_count_invariant() {
+        // > ASSIGN_MIN_ROWS_PER_WORKER rows so the parallel path engages;
+        // chunk boundaries are thread-count independent, so labels match the
+        // sequential sweep bit for bit.
+        let (keys, _) = blobs(80, 8, 29); // 240 rows
+        let mut norms = Vec::new();
+        clusterkv_tensor::kernels::row_norms_sq_into(&keys, &mut norms);
+        let centroids = keys.select_rows(&[1, 90, 170]);
+        let mut ws = Workspace::new();
+        let reference = assign_labels(DistanceMetric::Cosine, &keys, &norms, &centroids, &mut ws);
+        // Restore the caller's RAYON_NUM_THREADS (CI pins it to 1 for the
+        // single-thread sweep) even if an assertion below panics.
+        struct EnvRestore(Option<String>);
+        impl Drop for EnvRestore {
+            fn drop(&mut self) {
+                match self.0.take() {
+                    Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+                    None => std::env::remove_var("RAYON_NUM_THREADS"),
+                }
+            }
+        }
+        let _restore = EnvRestore(std::env::var("RAYON_NUM_THREADS").ok());
+        for threads in ["1", "2", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let got = assign_labels(DistanceMetric::Cosine, &keys, &norms, &centroids, &mut ws);
+            assert_eq!(got, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn nan_rows_fall_back_to_cluster_zero() {
+        let mut rows: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32 + 1.0; 4]).collect();
+        rows[3] = vec![f32::NAN; 4];
+        let keys = Matrix::from_rows(rows).unwrap();
+        let mut norms = Vec::new();
+        clusterkv_tensor::kernels::row_norms_sq_into(&keys, &mut norms);
+        let centroids = keys.select_rows(&[0, 5]);
+        let mut ws = Workspace::new();
+        let labels = assign_labels(DistanceMetric::Cosine, &keys, &norms, &centroids, &mut ws);
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[3], 0, "all-NaN row pins to cluster 0");
+        assert_eq!(
+            labels,
+            assign_labels_reference(DistanceMetric::Cosine, &keys, &centroids)
+        );
     }
 
     #[test]
@@ -341,6 +589,40 @@ mod tests {
             prop_assert!(c <= n.max(1));
             for &l in &result.labels {
                 prop_assert!(l < c);
+            }
+            prop_assert_eq!(result.centroid_norms.len(), c);
+        }
+
+        #[test]
+        fn blocked_assignment_agrees_with_reference_within_ties(
+            n in 2usize..50,
+            k in 1usize..6,
+            seed in 0u64..200,
+        ) {
+            // The two sweeps may only disagree where floating-point
+            // reassociation moves a near-tie: whenever they disagree, the
+            // two candidate distances must be within tolerance.
+            let mut rng = seeded_rng(seed);
+            let rows: Vec<Vec<f32>> = (0..n).map(|_| gaussian_vec(&mut rng, 8, 0.0, 1.0)).collect();
+            let keys = Matrix::from_rows(rows).unwrap();
+            let picks: Vec<usize> = (0..k.min(n)).map(|i| i * n / k.min(n).max(1)).collect();
+            let centroids = keys.select_rows(&picks);
+            let mut norms = Vec::new();
+            clusterkv_tensor::kernels::row_norms_sq_into(&keys, &mut norms);
+            let mut ws = Workspace::new();
+            for metric in DistanceMetric::all() {
+                let blocked = assign_labels(metric, &keys, &norms, &centroids, &mut ws);
+                let reference = assign_labels_reference(metric, &keys, &centroids);
+                for i in 0..n {
+                    if blocked[i] != reference[i] {
+                        let db = metric.distance(keys.row(i), centroids.row(blocked[i]));
+                        let dr = metric.distance(keys.row(i), centroids.row(reference[i]));
+                        let scale = db.abs().max(dr.abs()).max(1.0);
+                        prop_assert!((db - dr).abs() <= 1e-4 * scale,
+                            "{}: row {} labels {} vs {} with distances {} vs {}",
+                            metric, i, blocked[i], reference[i], db, dr);
+                    }
+                }
             }
         }
     }

@@ -77,7 +77,7 @@ pub use clustering::SemanticClustering;
 pub use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig, PageRequest};
 pub use config::ClusterKvConfig;
 pub use distance::DistanceMetric;
-pub use kmeans::KMeans;
+pub use kmeans::{assign_labels, assign_labels_reference, KMeans};
 pub use metadata::ClusterMetadata;
 pub use policy::{ClusterKvFactory, ClusterKvSelector};
-pub use selection::{select_clusters, SelectionResult};
+pub use selection::{select_clusters, select_clusters_ws, SelectionResult};

@@ -15,12 +15,13 @@
 
 use crate::clustering::SemanticClustering;
 use crate::config::ClusterKvConfig;
-use crate::selection::select_clusters;
+use crate::selection::select_clusters_ws;
 use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_model::policy::{
     HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest,
     SelectorFactory, TokenSelector,
 };
+use clusterkv_tensor::kernels::{norm_sq, Workspace};
 use clusterkv_tensor::rng::derive_seed;
 use clusterkv_tensor::Matrix;
 
@@ -37,6 +38,12 @@ pub struct ClusterKvSelector {
     /// plans against a session mid-prefill, so no speculative prefix
     /// clusters are needed.
     chunk_buffer: Matrix,
+    /// Squared norms `‖x‖²` of `chunk_buffer`'s rows, maintained per chunk
+    /// so the reconcile-time clustering pass starts from cached norms.
+    chunk_norms: Vec<f32>,
+    /// Scratch reused by every `plan` call (centroid scores, rankings):
+    /// after the first decode step the selection phase allocates nothing.
+    ws: Workspace,
 }
 
 impl ClusterKvSelector {
@@ -45,12 +52,26 @@ impl ClusterKvSelector {
         Self {
             clustering: SemanticClustering::new(config, head_dim),
             chunk_buffer: Matrix::zeros(0, head_dim),
+            chunk_norms: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 
     /// The clustering state (centroids, metadata, sinks, pending tokens).
     pub fn clustering(&self) -> &SemanticClustering {
         &self.clustering
+    }
+
+    /// Squared norms cached for the not-yet-reconciled prefill chunks (test
+    /// hook for the norm-cache consistency suite).
+    pub fn chunk_norms(&self) -> &[f32] {
+        &self.chunk_norms
+    }
+
+    /// Heap bytes currently held by this selector's scratch workspace
+    /// (stable across steady-state decode steps; see DESIGN.md §6).
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.allocated_bytes()
     }
 }
 
@@ -64,10 +85,14 @@ impl TokenSelector for ClusterKvSelector {
             ObserveEvent::Prefill { keys } => self.clustering.prefill(keys),
             ObserveEvent::PrefillChunk { start, keys } => {
                 debug_assert_eq!(start, self.chunk_buffer.rows(), "chunks must be contiguous");
+                self.chunk_buffer
+                    .extend_rows(keys)
+                    .expect("chunk key dims consistent");
+                // Norms are cached as the chunk arrives; the reconcile pass
+                // hands them to the k-means sweep untouched.
+                self.chunk_norms.reserve(keys.rows());
                 for row in keys.iter_rows() {
-                    self.chunk_buffer
-                        .push_row(row)
-                        .expect("chunk key dims consistent");
+                    self.chunk_norms.push(norm_sq(row));
                 }
             }
             ObserveEvent::PrefillDone { total_tokens } => {
@@ -80,7 +105,8 @@ impl TokenSelector for ClusterKvSelector {
                     &mut self.chunk_buffer,
                     Matrix::zeros(0, self.clustering.head_dim()),
                 );
-                self.clustering.prefill(&keys);
+                let norms = std::mem::take(&mut self.chunk_norms);
+                self.clustering.prefill_with_norms(&keys, &norms);
             }
             ObserveEvent::Append { position, key } => self.clustering.append(position, key),
         }
@@ -92,7 +118,12 @@ impl TokenSelector for ClusterKvSelector {
             return SelectionPlan::full(request.num_tokens);
         }
 
-        let result = select_clusters(request.query, &self.clustering, request.budget);
+        let result = select_clusters_ws(
+            request.query,
+            &self.clustering,
+            request.budget,
+            &mut self.ws,
+        );
         let pages = result.page_requests(self.clustering.metadata());
         SelectionPlan::new(result.token_indices)
             .with_stats(PolicyStats {
@@ -275,6 +306,65 @@ mod tests {
         let q = gaussian_vec(&mut rng, 8, 0.0, 1.0);
         let plan = sel.plan(SelectionRequest::new(&q, 48, Budget::new(20)));
         assert!(plan.len() <= 20);
+    }
+
+    #[test]
+    fn chunked_prefill_norm_cache_reconciles_consistently() {
+        let full = prefill_keys(30, 8, 8);
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        let mut start = 0;
+        for len in [5usize, 11, 14] {
+            let chunk =
+                Matrix::from_rows((start..start + len).map(|i| full.row(i).to_vec()).collect())
+                    .unwrap();
+            sel.observe(ObserveEvent::PrefillChunk {
+                start,
+                keys: &chunk,
+            });
+            start += len;
+            // Mid-prefill the chunk-norm cache tracks the buffer exactly.
+            assert_eq!(sel.chunk_norms().len(), start);
+            for (i, &n) in sel.chunk_norms().iter().enumerate() {
+                assert_eq!(n, clusterkv_tensor::kernels::norm_sq(full.row(i)));
+            }
+        }
+        sel.observe(ObserveEvent::PrefillDone { total_tokens: 30 });
+        // Reconciliation drains the cache into the clustering pass and the
+        // resulting centroid-norm cache matches recomputation.
+        assert!(sel.chunk_norms().is_empty());
+        let sc = sel.clustering();
+        for (c, row) in sc.centroids().iter_rows().enumerate() {
+            assert_eq!(
+                sc.centroid_norms()[c],
+                clusterkv_tensor::kernels::norm_sq(row)
+            );
+        }
+        // And the whole state equals a monolithic prefill.
+        let mut mono = ClusterKvSelector::new(test_config(), 8);
+        mono.observe(ObserveEvent::Prefill { keys: &full });
+        assert_eq!(mono.clustering().centroids(), sc.centroids());
+        assert_eq!(mono.clustering().centroid_norms(), sc.centroid_norms());
+    }
+
+    #[test]
+    fn plan_workspace_reaches_steady_state() {
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        observe_prefill(&mut sel, &prefill_keys(120, 8, 12));
+        let mut rng = seeded(13);
+        // Warm-up step sizes the buffers.
+        let q = gaussian_vec(&mut rng, 8, 0.0, 1.0);
+        let _ = sel.plan(SelectionRequest::new(&q, 120, Budget::new(24)));
+        let warm = sel.workspace_bytes();
+        assert!(warm > 0);
+        for _ in 0..20 {
+            let q = gaussian_vec(&mut rng, 8, 0.0, 1.0);
+            let _ = sel.plan(SelectionRequest::new(&q, 120, Budget::new(24)));
+        }
+        assert_eq!(
+            sel.workspace_bytes(),
+            warm,
+            "steady-state plans must not grow the workspace"
+        );
     }
 
     #[test]

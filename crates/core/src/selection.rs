@@ -13,13 +13,16 @@ use crate::clustering::SemanticClustering;
 use crate::metadata::ClusterMetadata;
 use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_kvcache::types::Budget;
-use clusterkv_tensor::vector::{argsort_descending, dot};
-use rayon::prelude::*;
+use clusterkv_tensor::kernels::{matvec_t_into, par_matvec_rows, Workspace};
+use clusterkv_tensor::vector::argsort_descending_into;
 use serde::{Deserialize, Serialize};
 
-/// Minimum centroids per worker when scoring in parallel: one score is a
-/// single `d`-dimensional dot product, so small cluster counts (short
-/// contexts) stay on one thread.
+/// Centroids per chunk when scoring in parallel: one score is a single
+/// `d`-dimensional dot product, so small cluster counts (short contexts)
+/// stay on one thread — scored by one blocked matvec straight into the
+/// caller's workspace, with no allocation. The chunk size is a constant, so
+/// per-row results (and thus the ranking) are identical at every thread
+/// count.
 const SCORE_MIN_CENTROIDS_PER_WORKER: usize = 128;
 
 /// Outcome of one cluster-granularity selection step.
@@ -80,6 +83,20 @@ pub fn select_clusters(
     clustering: &SemanticClustering,
     budget: Budget,
 ) -> SelectionResult {
+    select_clusters_ws(query, clustering, budget, &mut Workspace::new())
+}
+
+/// [`select_clusters`] with a caller-owned [`Workspace`]: centroid scores
+/// land in `ws.scores` (one blocked matvec over the centroid matrix) and the
+/// ranking in `ws.idx`, so a warmed workspace makes the scoring + ranking
+/// phase allocation-free. This is the path the `ClusterKV` selector's `plan`
+/// takes every decode step.
+pub fn select_clusters_ws(
+    query: &[f32],
+    clustering: &SemanticClustering,
+    budget: Budget,
+    ws: &mut Workspace,
+) -> SelectionResult {
     let budget_tokens = budget.tokens();
     let mut token_indices: Vec<usize> = Vec::with_capacity(budget_tokens);
     // Guard against duplicate emission: pending decode tokens can overlap
@@ -121,30 +138,32 @@ pub fn select_clusters(
         };
     }
 
-    // Score clusters by inner product between the query and centroids —
-    // data-parallel across centroid rows (the §IV-C batched scoring kernel).
-    // Chunked row-wise dot products are order-preserving and each row's
-    // arithmetic is unchanged, so scores are byte-identical at any thread
-    // count.
+    // Score clusters by inner product between the query and centroids — one
+    // blocked matvec over the centroid matrix (the §IV-C batched scoring
+    // kernel), chunk-parallel above SCORE_MIN_CENTROIDS_PER_WORKER. Per-row
+    // arithmetic is canonical (DESIGN.md §6), so scores are byte-identical
+    // at any thread count and chunking.
     assert_eq!(
         centroids.cols(),
         query.len(),
         "query dimension matches centroid dimension"
     );
-    let centroid_rows: Vec<&[f32]> = centroids.iter_rows().collect();
-    let scores: Vec<f32> = centroid_rows
-        .into_par_iter()
-        .with_min_len(SCORE_MIN_CENTROIDS_PER_WORKER)
-        .map(|row| dot(row, query))
-        .collect();
+    let rows = centroids.rows();
+    if rows <= SCORE_MIN_CENTROIDS_PER_WORKER {
+        matvec_t_into(centroids, query, &mut ws.scores);
+    } else {
+        let scores = par_matvec_rows(centroids, 0..rows, query, SCORE_MIN_CENTROIDS_PER_WORKER);
+        ws.scores.clear();
+        ws.scores.extend_from_slice(&scores);
+    }
     // NaN scores (a degenerate query or poisoned centroid) rank strictly
     // last and deterministically, so a NaN can never hijack the budget.
-    let order = argsort_descending(&scores);
+    argsort_descending_into(&ws.scores, &mut ws.idx);
 
     let mut selected_clusters = Vec::new();
     let mut trimmed = false;
     let mut remaining = budget_tokens - token_indices.len();
-    for &cluster in &order {
+    for &cluster in ws.idx.iter() {
         if remaining == 0 {
             break;
         }
@@ -352,6 +371,34 @@ mod tests {
             assert!(result.len() <= budget);
             assert_unique(&result);
         }
+    }
+
+    #[test]
+    fn workspace_path_matches_fresh_workspace_and_reuses_buffers() {
+        let sc = directional_clustering();
+        let queries = [
+            [1.0f32, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.3, -0.9, 0.2, 0.0],
+        ];
+        let mut ws = clusterkv_tensor::kernels::Workspace::new();
+        // Warm the buffers, then the steady state must not grow them.
+        let _ = select_clusters_ws(&queries[0], &sc, Budget::new(14), &mut ws);
+        let warm = ws.allocated_bytes();
+        for q in &queries {
+            for budget in [3usize, 7, 14, 34] {
+                let reused = select_clusters_ws(q, &sc, Budget::new(budget), &mut ws);
+                let fresh = select_clusters(q, &sc, Budget::new(budget));
+                assert_eq!(reused.token_indices, fresh.token_indices);
+                assert_eq!(reused.selected_clusters, fresh.selected_clusters);
+                assert_eq!(reused.trimmed_last_cluster, fresh.trimmed_last_cluster);
+            }
+        }
+        assert_eq!(
+            ws.allocated_bytes(),
+            warm,
+            "workspace must not grow in steady state"
+        );
     }
 
     #[test]

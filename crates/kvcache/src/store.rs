@@ -33,6 +33,15 @@ pub struct KvStore {
     head_dim: usize,
     keys: Matrix,
     values: Matrix,
+    /// Cached squared key norms (`‖k_i‖²`), maintained incrementally on
+    /// every append — the row-norm side of the Gram trick
+    /// (`‖x−c‖² = ‖x‖² − 2x·c + ‖c‖²`) for consumers that cluster or
+    /// rescore store keys without walking them again. Note the serving-path
+    /// clustering caches live elsewhere: selectors observe keys through
+    /// `ObserveEvent` (never through the store) and maintain their own
+    /// norms, so this cache serves store-side consumers (harness-style
+    /// rescoring, experiments) at one blocked self-dot per append.
+    key_norms: Vec<f32>,
 }
 
 impl KvStore {
@@ -42,7 +51,18 @@ impl KvStore {
             head_dim,
             keys: Matrix::zeros(0, head_dim),
             values: Matrix::zeros(0, head_dim),
+            key_norms: Vec::new(),
         }
+    }
+
+    /// Reserve capacity for `additional` more tokens (keys, values and the
+    /// norm cache), so a known-length run of appends — a prefill chunk, a
+    /// batched append — performs at most one reallocation per buffer
+    /// instead of amortized per-token growth.
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve_rows(additional);
+        self.values.reserve_rows(additional);
+        self.key_norms.reserve(additional);
     }
 
     /// Dimension of key/value vectors.
@@ -73,9 +93,13 @@ impl KvStore {
         assert_eq!(value.len(), self.head_dim, "value dim mismatch");
         self.keys.push_row(key).expect("checked key length");
         self.values.push_row(value).expect("checked value length");
+        self.key_norms.push(clusterkv_tensor::kernels::norm_sq(key));
     }
 
-    /// Append many tokens at once (e.g. the whole prefill).
+    /// Append many tokens at once (e.g. the whole prefill): the key/value
+    /// buffers grow by one reserved bulk copy each instead of per-token
+    /// `push_row` amortization. Observationally identical to appending the
+    /// rows one by one (property-tested).
     ///
     /// # Panics
     ///
@@ -85,9 +109,11 @@ impl KvStore {
         assert_eq!(keys.rows(), values.rows(), "key/value row count mismatch");
         assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
         assert_eq!(values.cols(), self.head_dim, "value dim mismatch");
-        for i in 0..keys.rows() {
-            self.keys.push_row(keys.row(i)).expect("checked");
-            self.values.push_row(values.row(i)).expect("checked");
+        self.reserve(keys.rows());
+        self.keys.extend_rows(keys).expect("checked");
+        self.values.extend_rows(values).expect("checked");
+        for row in keys.iter_rows() {
+            self.key_norms.push(clusterkv_tensor::kernels::norm_sq(row));
         }
     }
 
@@ -121,6 +147,22 @@ impl KvStore {
     #[inline]
     pub fn values(&self) -> &Matrix {
         &self.values
+    }
+
+    /// Cached squared norm `‖k_i‖²` of token `i`'s key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn key_norm_sq(&self, i: usize) -> f32 {
+        self.key_norms[i]
+    }
+
+    /// Cached squared key norms, one per token (aligned with row indices).
+    #[inline]
+    pub fn key_norms(&self) -> &[f32] {
+        &self.key_norms
     }
 
     /// Gather the keys/values of the given token indices into a
@@ -219,7 +261,42 @@ mod tests {
         assert_eq!(s.size_bytes().get(), 10 * 8 * 2 * 2);
     }
 
+    #[test]
+    fn key_norm_cache_tracks_appends() {
+        let s = filled_store(6, 3);
+        assert_eq!(s.key_norms().len(), 6);
+        for i in 0..6 {
+            assert_eq!(
+                s.key_norm_sq(i),
+                clusterkv_tensor::kernels::norm_sq(s.key(i)),
+                "token {i}"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn append_batch_is_observationally_identical_to_repeated_append(
+            n in 0usize..24,
+            dim in 1usize..8,
+            seed in proptest::collection::vec(-4.0f32..4.0, 0..192),
+        ) {
+            prop_assume!(seed.len() >= 2 * n * dim);
+            let keys = Matrix::from_flat(n, dim, seed[..n * dim].to_vec()).unwrap();
+            let values = Matrix::from_flat(n, dim, seed[n * dim..2 * n * dim].to_vec()).unwrap();
+            let mut bulk = KvStore::new(dim);
+            bulk.append_batch(&keys, &values);
+            let mut one_by_one = KvStore::new(dim);
+            for i in 0..n {
+                one_by_one.append(keys.row(i), values.row(i));
+            }
+            prop_assert_eq!(bulk.len(), one_by_one.len());
+            prop_assert_eq!(bulk.keys(), one_by_one.keys());
+            prop_assert_eq!(bulk.values(), one_by_one.values());
+            prop_assert_eq!(bulk.key_norms(), one_by_one.key_norms());
+            prop_assert_eq!(bulk.size_bytes(), one_by_one.size_bytes());
+        }
+
         #[test]
         fn len_equals_number_of_appends(n in 0usize..64, dim in 1usize..16) {
             let s = filled_store(n, dim);

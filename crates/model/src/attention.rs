@@ -1,18 +1,53 @@
 //! Attention computation over a (possibly compressed) KV cache.
+//!
+//! All paths route through the blocked kernels of
+//! [`clusterkv_tensor::kernels`] (DESIGN.md §6): logits are one blocked
+//! (gather-)matvec over the key matrix, the output one blocked weighted sum
+//! over the value matrix — no gathered row copies, no index vectors for the
+//! full-attention case, and with the `*_ws` variants no allocation at all
+//! once the caller's [`Workspace`] is warm. The per-row arithmetic is
+//! canonical, so [`attend_full`] is bit-identical to [`attend_selected`]
+//! over all indices. The pre-kernel scalar pipeline survives as
+//! [`attend_selected_reference`] for property tests and benches.
 
 use clusterkv_kvcache::KvStore;
-use clusterkv_tensor::ops::{attention_weights, softmax_in_place, weighted_sum};
-use clusterkv_tensor::vector::dot;
+use clusterkv_tensor::kernels::{attend_into, attention_weights_into, Workspace};
+use clusterkv_tensor::ops::{attention_weights, weighted_sum};
 
 /// Output of a single-head attention step.
+///
+/// The token indices the weights refer to are the `indices` the caller
+/// passed to [`attend_selected`] (or `0..store.len()` for [`attend_full`]);
+/// they are no longer cloned into the output — the caller already owns them.
 #[derive(Debug, Clone)]
 pub struct AttentionOutput {
     /// The attention output vector (`softmax(qK_Sᵀ/√d) · V_S`).
     pub output: Vec<f32>,
-    /// Attention weights over the *selected* tokens, aligned with `indices`.
+    /// Attention weights over the *selected* tokens, aligned with the
+    /// caller's index order.
     pub weights: Vec<f32>,
-    /// Indices of the selected tokens the weights refer to.
-    pub indices: Vec<usize>,
+}
+
+/// Compute single-head attention of `query` over the tokens at `indices`
+/// within `store`, reusing the caller's workspace: weights land in
+/// `ws.weights`, the output in `ws.out`. This is the serving engine's
+/// per-head decode path — allocation-free once the workspace is warm.
+///
+/// # Panics
+///
+/// Panics if `query.len() != store.head_dim()` or an index is out of bounds.
+pub fn attend_selected_ws(store: &KvStore, query: &[f32], indices: &[usize], ws: &mut Workspace) {
+    assert_eq!(query.len(), store.head_dim(), "query dim mismatch");
+    ws.out.clear();
+    ws.out.resize(store.head_dim(), 0.0);
+    attend_into(
+        store.keys(),
+        store.values(),
+        Some(indices),
+        query,
+        &mut ws.weights,
+        &mut ws.out,
+    );
 }
 
 /// Compute single-head attention of `query` over the tokens at `indices`
@@ -26,33 +61,68 @@ pub struct AttentionOutput {
 /// Panics if `query.len() != store.head_dim()` or an index is out of bounds.
 pub fn attend_selected(store: &KvStore, query: &[f32], indices: &[usize]) -> AttentionOutput {
     assert_eq!(query.len(), store.head_dim(), "query dim mismatch");
+    let mut weights = Vec::with_capacity(indices.len());
+    let mut output = vec![0.0f32; store.head_dim()];
+    attend_into(
+        store.keys(),
+        store.values(),
+        Some(indices),
+        query,
+        &mut weights,
+        &mut output,
+    );
+    AttentionOutput { output, weights }
+}
+
+/// Compute exact full attention over every token in the store, without
+/// materializing a `0..len` index vector: the kernels walk the key/value
+/// matrices contiguously. Bit-identical to [`attend_selected`] over
+/// `[0, 1, …, len-1]`.
+pub fn attend_full(store: &KvStore, query: &[f32]) -> AttentionOutput {
+    assert_eq!(query.len(), store.head_dim(), "query dim mismatch");
+    let mut weights = Vec::with_capacity(store.len());
+    let mut output = vec![0.0f32; store.head_dim()];
+    attend_into(
+        store.keys(),
+        store.values(),
+        None,
+        query,
+        &mut weights,
+        &mut output,
+    );
+    AttentionOutput { output, weights }
+}
+
+/// Exact attention weights of `query` over *all* tokens in the store into
+/// `ws.weights` (without computing the output, without an index vector and
+/// without allocating once warm). Used by importance traces and recall
+/// metrics, where only the weights matter.
+pub fn full_attention_weights_ws(store: &KvStore, query: &[f32], ws: &mut Workspace) {
+    attention_weights_into(store.keys(), None, query, &mut ws.weights);
+}
+
+/// Exact attention weights of `query` over *all* tokens in the store
+/// (allocating variant of [`full_attention_weights_ws`]).
+pub fn full_attention_weights(store: &KvStore, query: &[f32]) -> Vec<f32> {
+    let mut weights = Vec::with_capacity(store.len());
+    attention_weights_into(store.keys(), None, query, &mut weights);
+    weights
+}
+
+/// The pre-kernel-layer scalar attention pipeline (iterator logits via
+/// scalar `dot`, row-sequential `axpy` reduction), kept as the reference the
+/// blocked path is property-tested and speedup-gated against.
+pub fn attend_selected_reference(
+    store: &KvStore,
+    query: &[f32],
+    indices: &[usize],
+) -> AttentionOutput {
+    assert_eq!(query.len(), store.head_dim(), "query dim mismatch");
     let keys = indices.iter().map(|&i| store.key(i));
     let weights = attention_weights(query, keys);
     let values = indices.iter().map(|&i| store.value(i));
     let output = weighted_sum(&weights, values, store.head_dim());
-    AttentionOutput {
-        output,
-        weights,
-        indices: indices.to_vec(),
-    }
-}
-
-/// Compute exact full attention over every token in the store.
-pub fn attend_full(store: &KvStore, query: &[f32]) -> AttentionOutput {
-    let indices: Vec<usize> = (0..store.len()).collect();
-    attend_selected(store, query, &indices)
-}
-
-/// Exact attention weights of `query` over *all* tokens in the store
-/// (without computing the output). Used by importance traces and recall
-/// metrics, where only the weights matter.
-pub fn full_attention_weights(store: &KvStore, query: &[f32]) -> Vec<f32> {
-    let scale = 1.0 / (store.head_dim() as f32).sqrt();
-    let mut logits: Vec<f32> = (0..store.len())
-        .map(|i| dot(store.key(i), query) * scale)
-        .collect();
-    softmax_in_place(&mut logits);
-    logits
+    AttentionOutput { output, weights }
 }
 
 /// L2 error between the full-attention output and the output computed over a
@@ -103,16 +173,78 @@ mod tests {
     }
 
     #[test]
-    fn weights_sum_to_one_and_align_with_indices() {
+    fn weights_sum_to_one_and_align_with_index_order() {
         let store = store_with(
             vec![vec![2.0, 0.0], vec![0.0, 2.0], vec![-2.0, 0.0]],
             vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
         );
         let out = attend_selected(&store, &[1.0, 0.0], &[2, 0]);
-        assert_eq!(out.indices, vec![2, 0]);
+        assert_eq!(out.weights.len(), 2);
         assert!((out.weights.iter().sum::<f32>() - 1.0).abs() < 1e-5);
-        // Key 0 is aligned with the query, key 2 is anti-aligned.
+        // Key 0 is aligned with the query, key 2 is anti-aligned; weights
+        // stay aligned with the order of the caller's indices [2, 0].
         assert!(out.weights[1] > out.weights[0]);
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_variant() {
+        let store = store_with(
+            vec![
+                vec![1.0, 0.2],
+                vec![0.3, -0.9],
+                vec![0.7, 0.7],
+                vec![-1.0, 0.1],
+            ],
+            vec![
+                vec![0.5, 0.1],
+                vec![1.5, -0.5],
+                vec![0.0, 2.0],
+                vec![0.25, 0.25],
+            ],
+        );
+        let q = [0.4, -0.6];
+        let mut ws = Workspace::new();
+        attend_selected_ws(&store, &q, &[3, 1, 0], &mut ws);
+        let alloc = attend_selected(&store, &q, &[3, 1, 0]);
+        assert_eq!(ws.out, alloc.output);
+        assert_eq!(ws.weights, alloc.weights);
+        let warm = ws.allocated_bytes();
+        for _ in 0..10 {
+            attend_selected_ws(&store, &q, &[3, 1, 0], &mut ws);
+            full_attention_weights_ws(&store, &q, &mut ws);
+        }
+        assert_eq!(ws.allocated_bytes(), warm, "workspace must not grow");
+    }
+
+    #[test]
+    fn blocked_attention_matches_scalar_reference() {
+        let store = store_with(
+            vec![
+                vec![1.0, 0.5, -0.25, 2.0],
+                vec![0.3, -0.2, 0.8, -1.0],
+                vec![0.0, 1.0, 0.0, 0.5],
+                vec![2.0, -0.5, 1.5, 0.25],
+                vec![-0.75, 0.1, 0.9, -0.3],
+            ],
+            vec![
+                vec![0.1, 0.2, 0.3, 0.4],
+                vec![-0.4, 0.3, -0.2, 0.1],
+                vec![1.0, -1.0, 0.5, -0.5],
+                vec![0.0, 0.25, 0.5, 0.75],
+                vec![0.6, -0.6, 0.2, -0.2],
+            ],
+        );
+        let q = [0.7, -0.1, 0.4, 0.9];
+        for indices in [vec![0usize, 1, 2, 3, 4], vec![4, 2, 0], vec![1]] {
+            let blocked = attend_selected(&store, &q, &indices);
+            let reference = attend_selected_reference(&store, &q, &indices);
+            for (b, r) in blocked.weights.iter().zip(&reference.weights) {
+                assert!((b - r).abs() <= 1e-5, "weights {b} vs {r}");
+            }
+            for (b, r) in blocked.output.iter().zip(&reference.output) {
+                assert!((b - r).abs() <= 1e-4, "output {b} vs {r}");
+            }
+        }
     }
 
     #[test]
@@ -139,9 +271,7 @@ mod tests {
         let q = [0.7, -0.1];
         let w1 = full_attention_weights(&store, &q);
         let w2 = attend_full(&store, &q).weights;
-        for (a, b) in w1.iter().zip(&w2) {
-            assert!((a - b).abs() < 1e-6);
-        }
+        assert_eq!(w1, w2, "both full paths share the same kernels");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! [`InferenceEngine`](crate::engine::InferenceEngine) is a thin
 //! single-session adapter over this type.
 
-use crate::attention::{attend_selected, full_attention_weights};
+use crate::attention::full_attention_weights;
 use crate::config::ModelConfig;
 use crate::latency::{LatencyModel, StepCost};
 use crate::policy::{
@@ -42,6 +42,7 @@ use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
 use clusterkv_kvcache::device::{DeviceModel, Seconds};
 use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
+use clusterkv_tensor::kernels::{attend_into, matvec_rows_into, Workspace};
 use clusterkv_tensor::ops::{rms_norm, silu};
 use clusterkv_tensor::vector::argmax;
 use clusterkv_tensor::Matrix;
@@ -195,16 +196,17 @@ impl SessionReport {
 /// outcomes sequentially in head order, which is what keeps N-thread and
 /// 1-thread runs byte-identical.
 struct HeadOutcome {
-    /// Token indices attended (the plan plus the forced current position).
+    /// Token indices attended during decoding (the plan plus the forced
+    /// current position). Empty during prefill, where attention runs the
+    /// dedicated no-index-vec full path.
     selected: Vec<usize>,
     /// Per-call stats reported by the selector (`None` during prefill).
     stats: Option<PolicyStats>,
     /// Page decomposition of the plan (`None` during prefill or when the
     /// selected KV is trivially resident).
     pages: Option<Vec<crate::policy::PageRequest>>,
-    /// Attention output of the head.
-    output: Vec<f32>,
-    /// Post-RoPE query (consumed again only by traced heads).
+    /// Post-RoPE query, cloned out of the head's workspace only for traced
+    /// heads (empty otherwise — tracing is the one consumer).
     query: Vec<f32>,
 }
 
@@ -263,6 +265,18 @@ struct SessionState {
     /// over the CPU backing store. Capacity 0 models pure offload (every
     /// selected page is recalled every step).
     cache: ClusterCache,
+    /// One kernel workspace per query head (heads run data-parallel, each
+    /// worker owns its scratch). Buffers grow to the steady-state working
+    /// set during the first decode steps and are reused afterwards, so the
+    /// per-head attention phase performs no heap allocation (DESIGN.md §6).
+    workspaces: Vec<Workspace>,
+    /// Concatenated per-head attention outputs of the current layer; heads
+    /// write disjoint `head_dim` slices during the parallel phase.
+    concat: Vec<f32>,
+    /// Scratch for the per-KV-head key/value projections of one token.
+    k_scratch: Vec<f32>,
+    /// See `k_scratch`.
+    v_scratch: Vec<f32>,
     /// Totals of the decode step currently in flight.
     step: StepAccounting,
     /// Modeled decode latency accumulated over every step.
@@ -556,6 +570,12 @@ impl ServeEngine {
                 )),
                 step: StepAccounting::default(),
                 modeled_decode: Seconds::zero(),
+                workspaces: (0..self.config.num_heads)
+                    .map(|_| Workspace::new())
+                    .collect(),
+                concat: Vec::new(),
+                k_scratch: Vec::new(),
+                v_scratch: Vec::new(),
             },
         );
         Ok(id)
@@ -622,6 +642,24 @@ impl ServeEngine {
     /// GPU capacity of each session's cluster cache (0 = pure offload).
     pub fn kv_cache_capacity(&self) -> Bytes {
         self.kv_cache_capacity
+    }
+
+    /// Heap bytes currently held by a session's per-head kernel workspaces
+    /// (plus the layer concat and projection scratch). The buffers grow to
+    /// the steady-state working set during the first decode steps and then
+    /// stay fixed — the workspace-reuse test pins this, which is how the
+    /// engine documents that its per-head attention phase performs no heap
+    /// allocation in steady state (DESIGN.md §6).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn session_workspace_bytes(&self, id: SessionId) -> Result<usize, EngineError> {
+        let sess = self.session(id)?;
+        let per_head: usize = sess.workspaces.iter().map(|w| w.allocated_bytes()).sum();
+        Ok(per_head
+            + std::mem::size_of::<f32>()
+                * (sess.concat.capacity() + sess.k_scratch.capacity() + sess.v_scratch.capacity()))
     }
 
     /// Cap on concurrently resident sessions.
@@ -720,22 +758,22 @@ impl ServeEngine {
     }
 
     /// Project a hidden vector through the per-head slice of a projection
-    /// matrix `w` (whose rows are output channels).
-    fn project_head(w: &Matrix, hidden: &[f32], head: usize, head_dim: usize) -> Vec<f32> {
-        (0..head_dim)
-            .map(|d| clusterkv_tensor::vector::dot(w.row(head * head_dim + d), hidden))
-            .collect()
+    /// matrix `w` (whose rows are output channels) into a reusable buffer —
+    /// one blocked matvec over the head's row range.
+    fn project_head_into(
+        w: &Matrix,
+        hidden: &[f32],
+        head: usize,
+        head_dim: usize,
+        out: &mut Vec<f32>,
+    ) {
+        matvec_rows_into(w, head * head_dim..(head + 1) * head_dim, hidden, out);
     }
 
-    /// `w[..rows] · v`, row-parallel. Chunked per-row dot products preserve
-    /// order and per-row arithmetic, so the result is identical at any
-    /// thread count.
+    /// `w[..rows] · v` through the blocked kernel, row-chunk-parallel at a
+    /// constant chunk size — thread-count invariant (DESIGN.md §6).
     fn par_rows_matvec(w: &Matrix, v: &[f32], rows: usize) -> Vec<f32> {
-        (0..rows)
-            .into_par_iter()
-            .with_min_len(PROJ_MIN_ROWS_PER_WORKER)
-            .map(|d| clusterkv_tensor::vector::dot(w.row(d), v))
-            .collect()
+        clusterkv_tensor::kernels::par_matvec_rows(w, 0..rows, v, PROJ_MIN_ROWS_PER_WORKER)
     }
 
     /// Run one token of one session through the transformer. `use_selection`
@@ -773,39 +811,58 @@ impl ServeEngine {
 
             // KV projections for this layer (one per KV head), RoPE on keys.
             // Sequential on purpose: one projection is microseconds of work,
-            // far below the cost of enlisting a worker.
+            // far below the cost of enlisting a worker. The projections land
+            // in session-owned scratch, so no per-token buffers are built.
             for kv_head in 0..config.num_kv_heads {
-                let mut k = Self::project_head(&lw.wk, &h, kv_head, head_dim);
-                let v = Self::project_head(&lw.wv, &h, kv_head, head_dim);
-                rope.apply(&mut k, position);
-                sess.kv[layer][kv_head].append(&k, &v);
+                Self::project_head_into(&lw.wk, &h, kv_head, head_dim, &mut sess.k_scratch);
+                Self::project_head_into(&lw.wv, &h, kv_head, head_dim, &mut sess.v_scratch);
+                rope.apply(&mut sess.k_scratch, position);
+                sess.kv[layer][kv_head].append(&sess.k_scratch, &sess.v_scratch);
             }
 
             // Attention, phase 1 (parallel across query heads): project the
             // query, plan the token set, attend. Each head owns its selector
-            // and reads its KV-group's store — pure, order-free compute.
-            // Heads fan out only once the context is long enough for one
-            // head's attention to outweigh a spawn (`min_len = num_heads`
-            // forces a single chunk below the threshold).
+            // plus a persistent kernel workspace and writes its output
+            // straight into its disjoint slice of the layer's concat buffer
+            // — pure, order-free compute with no allocation once the
+            // workspace is warm. Heads fan out only once the context is long
+            // enough for one head's attention to outweigh a spawn
+            // (`min_len = num_heads` forces a single chunk below the
+            // threshold).
             let head_min_len = if position >= HEAD_PAR_MIN_CONTEXT {
                 1
             } else {
                 num_heads
             };
             let kv_layer = &sess.kv[layer];
-            let head_outcomes: Vec<HeadOutcome> = sess.selectors[layer]
+            let traces = &sess.traces;
+            sess.concat.clear();
+            sess.concat.resize(num_heads * head_dim, 0.0);
+            /// One head's unit of the parallel attention phase: its index,
+            /// selector, persistent workspace and concat-buffer slice.
+            type HeadWork<'a> = (
+                usize,
+                &'a mut Box<dyn TokenSelector>,
+                &'a mut Workspace,
+                &'a mut [f32],
+            );
+            let work: Vec<HeadWork<'_>> = sess.selectors[layer]
                 .iter_mut()
+                .zip(sess.workspaces.iter_mut())
+                .zip(sess.concat.chunks_mut(head_dim))
                 .enumerate()
-                .collect::<Vec<_>>()
+                .map(|(head, ((selector, ws), slot))| (head, selector, ws, slot))
+                .collect();
+            let head_outcomes: Vec<HeadOutcome> = work
                 .into_par_iter()
                 .with_min_len(head_min_len)
-                .map(|(head, selector)| {
-                    let mut q = Self::project_head(&lw.wq, &h, head, head_dim);
-                    rope.apply(&mut q, position);
+                .map(|(head, selector, ws, slot)| {
+                    Self::project_head_into(&lw.wq, &h, head, head_dim, &mut ws.q);
+                    rope.apply(&mut ws.q, position);
                     let store = &kv_layer[Self::kv_head_of(config, head)];
                     let n = store.len();
                     let (selected, stats, pages) = if use_selection {
-                        let plan = selector.plan(SelectionRequest::new(&q, n, budget));
+                        let plan = selector.plan(SelectionRequest::new(&ws.q, n, budget));
                         let mut sel = plan.indices;
                         // The token being generated always attends to
                         // itself: its KV was just produced on the GPU and is
@@ -820,24 +877,40 @@ impl ServeEngine {
                         };
                         (sel, Some(plan.stats), pages)
                     } else {
-                        ((0..n).collect(), None, None)
+                        // Prefill: full causal attention through the
+                        // dedicated no-index-vec path (no `(0..n)` vector).
+                        (Vec::new(), None, None)
                     };
-                    let out = attend_selected(store, &q, &selected);
+                    let indices = stats.as_ref().map(|_| selected.as_slice());
+                    attend_into(
+                        store.keys(),
+                        store.values(),
+                        indices,
+                        &ws.q,
+                        &mut ws.weights,
+                        slot,
+                    );
+                    // The query is consumed after the parallel phase only by
+                    // traced heads; everyone else skips the copy.
+                    let query = if traces.contains_key(&(layer, head)) {
+                        ws.q.clone()
+                    } else {
+                        Vec::new()
+                    };
                     HeadOutcome {
                         selected,
                         stats,
                         pages,
-                        output: out.output,
-                        query: q,
+                        query,
                     }
                 })
                 .collect();
 
             // Attention, phase 2 (sequential, in head order): cluster-cache
             // accesses (whose LRU stamps are order-sensitive), stats
-            // accumulation, traces and the output concatenation all consume
-            // the outcomes exactly as the sequential engine did.
-            let mut attn_concat = vec![0.0f32; num_heads * head_dim];
+            // accumulation and traces consume the outcomes exactly as the
+            // sequential engine did (outputs already sit in the concat
+            // buffer, written by the parallel phase).
             for (head, outcome) in head_outcomes.into_iter().enumerate() {
                 if let Some(mut stats) = outcome.stats {
                     // Residency: resolve the plan's page requests against the
@@ -861,12 +934,10 @@ impl ServeEngine {
                         });
                     }
                 }
-                attn_concat[head * head_dim..(head + 1) * head_dim]
-                    .copy_from_slice(&outcome.output);
             }
 
             // Output projection and residual (row-parallel).
-            let attn_out = Self::par_rows_matvec(&lw.wo, &attn_concat, config.hidden_dim());
+            let attn_out = Self::par_rows_matvec(&lw.wo, &sess.concat, config.hidden_dim());
             for (xi, ai) in x.iter_mut().zip(&attn_out) {
                 *xi += ai;
             }
@@ -1000,6 +1071,13 @@ impl ServeEngine {
             });
         }
         let start = sess.num_tokens;
+        // The chunk's length is known: reserve every store once instead of
+        // growing per token.
+        for layer_kv in sess.kv.iter_mut() {
+            for store in layer_kv.iter_mut() {
+                store.reserve(chunk.len());
+            }
+        }
         let mut last = Vec::new();
         for &token in chunk {
             last = Self::forward_token(config, weights, rope, *budget, sess, token, false)?;
@@ -1014,11 +1092,7 @@ impl ServeEngine {
         let keys_per_layer: Vec<Vec<Matrix>> = (config.dense_layers..config.num_layers)
             .map(|layer| {
                 (0..config.num_kv_heads)
-                    .map(|kv_head| {
-                        let keys = sess.kv[layer][kv_head].keys();
-                        Matrix::from_rows((start..end).map(|i| keys.row(i).to_vec()).collect())
-                            .expect("chunk rows share the store's dimensionality")
-                    })
+                    .map(|kv_head| sess.kv[layer][kv_head].keys().slice_rows(start, end))
                     .collect()
             })
             .collect();
@@ -1174,12 +1248,9 @@ impl ServeEngine {
         );
         sess.modeled_decode += latency.decode_step(sess.num_tokens, &cost);
 
-        // Tied-embedding logits (row-parallel over the vocabulary).
-        let logits: Vec<f32> = (0..config.vocab_size)
-            .into_par_iter()
-            .with_min_len(PROJ_MIN_ROWS_PER_WORKER)
-            .map(|t| clusterkv_tensor::vector::dot(weights.embedding.row(t), &hidden))
-            .collect();
+        // Tied-embedding logits (blocked matvec, row-chunk-parallel over the
+        // vocabulary).
+        let logits = Self::par_rows_matvec(&weights.embedding, &hidden, config.vocab_size);
         let next_token = argmax(&logits).unwrap_or(0);
         sess.generated_tokens += 1;
         sess.next_input = Some(next_token);
@@ -1857,6 +1928,31 @@ mod tests {
         assert!(after_one.get() > 0.0);
         eng.decode_batch(&[s]).unwrap();
         assert!(eng.modeled_decode_time(s).unwrap() > after_one);
+    }
+
+    #[test]
+    fn decode_workspaces_reach_steady_state() {
+        // The per-head workspaces (and projection/concat scratch) grow while
+        // the first decode steps size them, then stop: steady-state decode
+        // reuses the same buffers every step instead of allocating.
+        let mut eng = tiny_serve(8);
+        let s = eng.create_session().unwrap();
+        let prompt: Vec<usize> = (0..24).map(|i| (i * 3 + 1) % 128).collect();
+        eng.prefill(s, &prompt).unwrap();
+        // Warm-up: a few steps let every buffer reach its working size.
+        for _ in 0..4 {
+            eng.decode_batch(&[s]).unwrap();
+        }
+        let warm = eng.session_workspace_bytes(s).unwrap();
+        assert!(warm > 0, "workspaces are in use");
+        for _ in 0..12 {
+            eng.decode_batch(&[s]).unwrap();
+        }
+        assert_eq!(
+            eng.session_workspace_bytes(s).unwrap(),
+            warm,
+            "steady-state decode must not grow the workspaces"
+        );
     }
 
     #[test]

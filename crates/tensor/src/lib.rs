@@ -4,6 +4,9 @@
 //!
 //! * [`vector`] — dot products, norms, cosine similarity, top-k selection and
 //!   other 1-D helpers used by the clustering and selection algorithms.
+//! * [`kernels`] — blocked, zero-allocation kernels (scoring, gather +
+//!   attend, norm caching) plus the reusable [`Workspace`] scratch arena the
+//!   serving hot path runs on.
 //! * [`matrix`] — a small row-major [`Matrix`] type with
 //!   matrix multiplication, transposition and row views, used to hold key /
 //!   value / weight tensors.
@@ -27,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
 pub mod svd;
 pub mod vector;
 
+pub use kernels::Workspace;
 pub use matrix::Matrix;
 
 /// Error type for shape mismatches and invalid arguments in tensor routines.

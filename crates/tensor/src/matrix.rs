@@ -211,6 +211,34 @@ impl Matrix {
         Ok(())
     }
 
+    /// Reserve capacity for `additional` more rows, so a known-length run of
+    /// [`push_row`](Self::push_row) / [`extend_rows`](Self::extend_rows)
+    /// performs at most one reallocation instead of amortized growth.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
+    /// Append every row of `other` in one bulk copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the column counts differ.
+    /// An empty (0×0) matrix adopts `other`'s width.
+    pub fn extend_rows(&mut self, other: &Matrix) -> Result<()> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        if other.cols != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rows of length {}", self.cols),
+                found: format!("rows of length {}", other.cols),
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+        Ok(())
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Errors
@@ -244,6 +272,11 @@ impl Matrix {
     /// transpose of this matrix, yielding one score per row. This is the
     /// exact shape of the "query against keys/centroids" operation.
     ///
+    /// Routed through the blocked kernel
+    /// [`matvec_t_into`](crate::kernels::matvec_t_into); the pre-kernel
+    /// scalar path survives as
+    /// [`matvec_t_reference`](crate::kernels::matvec_t_reference).
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `v.len() != self.cols()`.
@@ -254,7 +287,9 @@ impl Matrix {
                 found: format!("vector of length {}", v.len()),
             });
         }
-        Ok(self.iter_rows().map(|r| crate::vector::dot(r, v)).collect())
+        let mut out = Vec::new();
+        crate::kernels::matvec_t_into(self, v, &mut out);
+        Ok(out)
     }
 
     /// `self · vec`: multiply this matrix by a column vector of length
@@ -284,11 +319,15 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (dst, &src) in indices.iter().enumerate() {
-            out.row_mut(dst).copy_from_slice(self.row(src));
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &src in indices {
+            data.extend_from_slice(self.row(src));
         }
-        out
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sub-matrix consisting of rows `start..end`.
@@ -434,6 +473,24 @@ mod tests {
         let s = m.slice_rows(1, 3);
         assert_eq!(s.rows(), 2);
         assert_eq!(s.row(0), &[1.0]);
+    }
+
+    #[test]
+    fn extend_rows_matches_repeated_push() {
+        let other = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut bulk = Matrix::from_rows(vec![vec![9.0, 8.0]]).unwrap();
+        bulk.reserve_rows(other.rows());
+        bulk.extend_rows(&other).unwrap();
+        let mut one_by_one = Matrix::from_rows(vec![vec![9.0, 8.0]]).unwrap();
+        for r in other.iter_rows() {
+            one_by_one.push_row(r).unwrap();
+        }
+        assert_eq!(bulk, one_by_one);
+        // Width mismatch is rejected; an empty matrix adopts the width.
+        assert!(bulk.extend_rows(&Matrix::zeros(1, 3)).is_err());
+        let mut empty = Matrix::default();
+        empty.extend_rows(&other).unwrap();
+        assert_eq!(empty, other);
     }
 
     #[test]

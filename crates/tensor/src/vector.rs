@@ -217,9 +217,18 @@ pub fn top_k_indices(a: &[f32], k: usize) -> Vec<usize> {
 /// needs the complete importance ranking rather than only the top-k. NaN
 /// entries rank strictly last, ties break toward the lower index.
 pub fn argsort_descending(a: &[f32]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..a.len()).collect();
-    idx.sort_unstable_by(|&i, &j| cmp_desc_nan_last(a, i, j));
+    let mut idx = Vec::new();
+    argsort_descending_into(a, &mut idx);
     idx
+}
+
+/// [`argsort_descending`] into a caller-owned buffer (cleared, then filled):
+/// the zero-allocation variant the selection hot path uses with a reusable
+/// [`Workspace`](crate::kernels::Workspace) index buffer.
+pub fn argsort_descending_into(a: &[f32], idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..a.len());
+    idx.sort_unstable_by(|&i, &j| cmp_desc_nan_last(a, i, j));
 }
 
 /// Mean of a set of equal-length vectors.

@@ -1,0 +1,102 @@
+//! Counting-allocator proof of the kernel layer's zero-allocation contract
+//! (DESIGN.md §6): once a [`Workspace`] is warm, the attention + selection
+//! hot-loop kernels — scoring, ranking, gather-attend, norm maintenance —
+//! perform **zero** heap allocations per decode step.
+//!
+//! The whole proof lives in a single `#[test]` so no concurrent test in this
+//! binary can allocate while the counters are being read (the allocator is
+//! process-global). Residual per-step allocations of the *serving* loop (a
+//! `SelectionPlan`'s index vector, per-session outputs) are outside the
+//! kernel layer and covered instead by the workspace-reuse steady-state
+//! tests in `serve.rs`, `selection.rs` and `policy.rs`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_kernel_hot_loop_performs_zero_allocations() {
+    use clusterkv_kvcache::KvStore;
+    use clusterkv_model::attention::{attend_selected_ws, full_attention_weights_ws};
+    use clusterkv_tensor::kernels::{
+        attention_weights_into, gather_matvec_t_into, matvec_t_into, norm_sq, row_norms_sq_into,
+        Workspace,
+    };
+    use clusterkv_tensor::rng::{gaussian_vec, seeded};
+    use clusterkv_tensor::vector::argsort_descending_into;
+    use clusterkv_tensor::Matrix;
+
+    // ---- setup (allocates freely) ------------------------------------
+    let n = 1024;
+    let dim = 64;
+    let mut rng = seeded(0x2A);
+    let keys = Matrix::from_flat(n, dim, gaussian_vec(&mut rng, n * dim, 0.0, 1.0)).unwrap();
+    let values = Matrix::from_flat(n, dim, gaussian_vec(&mut rng, n * dim, 0.0, 1.0)).unwrap();
+    let mut store = KvStore::new(dim);
+    store.append_batch(&keys, &values);
+    let query = gaussian_vec(&mut rng, dim, 0.0, 1.0);
+    let selected: Vec<usize> = (0..n).step_by(4).collect();
+    let mut ws = Workspace::new();
+
+    // ---- warm-up: one pass sizes every buffer ------------------------
+    matvec_t_into(&keys, &query, &mut ws.scores);
+    argsort_descending_into(&ws.scores, &mut ws.idx);
+    gather_matvec_t_into(&keys, &selected, &query, &mut ws.scores);
+    attention_weights_into(&keys, Some(&selected), &query, &mut ws.weights);
+    attend_selected_ws(&store, &query, &selected, &mut ws);
+    full_attention_weights_ws(&store, &query, &mut ws);
+    row_norms_sq_into(&keys, &mut ws.row_norms);
+
+    // ---- steady state: the decode-step kernel sequence, repeated -----
+    let mut sink = 0.0f32;
+    let before = allocations();
+    for _ in 0..100 {
+        // Selection: score every centroid/key row, rank the scores.
+        matvec_t_into(&keys, &query, &mut ws.scores);
+        argsort_descending_into(&ws.scores, &mut ws.idx);
+        // Attention over the selected tokens: fused gather + softmax +
+        // weighted sum into the workspace.
+        attend_selected_ws(&store, &query, &selected, &mut ws);
+        sink += ws.out[0] + ws.scores[ws.idx[0]];
+        // Trace-style exact weights via the no-index-vec full path.
+        full_attention_weights_ws(&store, &query, &mut ws);
+        // Norm-cache maintenance (the Gram-trick ingredients).
+        ws.row_norms.clear();
+        sink += norm_sq(&query);
+        row_norms_sq_into(&keys, &mut ws.row_norms);
+    }
+    let after = allocations();
+    assert!(sink.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm hot-loop kernels must not allocate (got {} allocations over 100 steps)",
+        after - before
+    );
+}
