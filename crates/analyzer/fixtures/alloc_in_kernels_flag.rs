@@ -1,0 +1,9 @@
+// Must-flag fixture: allocation inside an `analyzer: hot-path` region.
+// Expected: three no-alloc-in-kernels findings (vec!, collect, clone).
+
+// analyzer: hot-path
+pub fn kernel(out: &mut Vec<f32>) {
+    let scratch = vec![0.0f32; 8];
+    let doubled: Vec<f32> = scratch.iter().map(|x| x * 2.0).collect();
+    out.extend(doubled.iter().map(|x| x.clone()));
+}

@@ -1,0 +1,16 @@
+// Must-pass fixture: a hot-path kernel that only reuses the caller's buffer
+// (clear/reserve/push never reallocate once capacity is warm), next to a
+// cold helper that allocates freely outside any hot region.
+
+// analyzer: hot-path
+pub fn kernel(input: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(input.len());
+    for x in input {
+        out.push(x * 2.0);
+    }
+}
+
+pub fn cold_setup(n: usize) -> Vec<f32> {
+    (0..n).map(|i| i as f32).collect()
+}

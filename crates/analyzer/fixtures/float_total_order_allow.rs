@@ -1,0 +1,9 @@
+// Escape-hatch fixture: the first use is suppressed by an explicit
+// analyzer:allow with a reason; the second is not. Expected: exactly one
+// float-total-order finding, on the last line of the function.
+
+pub fn rank_scores(scores: &mut Vec<(f32, usize)>) {
+    // analyzer:allow(float-total-order, demonstrating the escape hatch)
+    scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+}

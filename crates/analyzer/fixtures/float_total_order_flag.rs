@@ -1,0 +1,6 @@
+// Must-flag fixture: ranking floats through `partial_cmp` outside the
+// blessed helpers. Expected: one float-total-order finding on the sort line.
+
+pub fn rank_scores(scores: &mut Vec<(f32, usize)>) {
+    scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+}

@@ -1,0 +1,8 @@
+// Must-pass fixture: total-order ranking, with the forbidden name appearing
+// only in a comment and a string literal (the lexer must not flag either).
+// The right way is total_cmp — partial_cmp is banned in code.
+
+pub fn rank_scores(scores: &mut Vec<(f32, usize)>) {
+    scores.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let _doc = "see the float-total-order rule: partial_cmp is not total";
+}

@@ -1,0 +1,15 @@
+// Must-flag fixture: hash containers in production code whose iteration
+// order could leak into a report. Expected: three no-hashmap-iteration-order
+// findings (import, field type, constructor).
+
+use std::collections::HashMap;
+
+pub struct Report {
+    pub counts: HashMap<String, u64>,
+}
+
+pub fn build() -> Report {
+    Report {
+        counts: HashMap::new(),
+    }
+}

@@ -1,0 +1,8 @@
+// Must-flag fixture: an unsafe block in a file that is not on the
+// analyzer's allowlist. Expected: one unsafe-gate finding (even though a
+// SAFETY comment is present — the allowlist entry is also required).
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    // SAFETY: caller guarantees xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+// Must-flag fixture under an allowlisting policy: the file is allowed to
+// contain unsafe, but this block has no SAFETY comment above it.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+
+    unsafe { *xs.get_unchecked(0) }
+}

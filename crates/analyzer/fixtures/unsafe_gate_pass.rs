@@ -1,0 +1,9 @@
+// Must-pass fixture *under a policy that allowlists this file*: every
+// unsafe block carries a SAFETY comment immediately above it. Under the
+// repo policy (which does not allowlist fixtures) the same file must flag.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

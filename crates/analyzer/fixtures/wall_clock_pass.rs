@@ -1,0 +1,15 @@
+// Must-pass fixture: time modeled as a plain f64 seconds value, advanced by
+// the simulation — never sampled from the machine. Mentions of Instant stay
+// inside comments and strings only.
+
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    pub fn advance(&mut self, dt: f64) {
+        // Unlike Instant::now(), modeled time only moves when told to.
+        self.now += dt;
+        let _why = "deterministic replay needs modeled time, not Instant";
+    }
+}

@@ -1,0 +1,508 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The analyzer has the same offline constraint as the rest of the workspace
+//! (no registry access, so no `syn`/`proc-macro2`): it ships its own lexer.
+//! The scanner is deliberately *lexical*, not syntactic — it only needs to
+//! answer "is this occurrence of `partial_cmp` code, or a string, or a
+//! comment?", so it classifies the source into a flat token stream and leaves
+//! grammar to the rule engine's small, local pattern matches.
+//!
+//! What it gets right (because the rules depend on it):
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string, raw string (`r"…"`, `r#"…"#`), byte string, char and lifetime
+//!   literals — so a rule never fires on a forbidden name that appears
+//!   inside quotes (e.g. in the analyzer's own rule tables);
+//! - 1-based line/column positions for every token, for `file:line`
+//!   diagnostics.
+//!
+//! Everything else (numeric literal grammar, operator gluing) is kept
+//! single-character simple: rules match identifier/punct *sequences*, so
+//! `::` is two `:` tokens and that is fine.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `partial_cmp`, `HashMap`, …).
+    Ident,
+    /// A single punctuation/operator character (`{`, `:`, `#`, …).
+    Punct,
+    /// String / raw string / byte string / char / numeric literal.
+    Literal,
+    /// `// …` comment, text includes the `//` prefix.
+    LineComment,
+    /// `/* … */` comment (nesting-aware), text includes the delimiters.
+    BlockComment,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: usize,
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Scanner {
+    fn new(src: &str) -> Self {
+        Scanner {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a flat token stream. Never fails: unrecognised bytes are
+/// emitted as single-character `Punct` tokens, and unterminated literals or
+/// comments simply run to end-of-file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut s = Scanner::new(src);
+    let mut out = Vec::new();
+
+    while let Some(c) = s.peek() {
+        let (line, col) = (s.line, s.col);
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && s.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = s.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                s.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && s.peek_at(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = s.peek() {
+                if ch == '/' && s.peek_at(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    s.bump();
+                    s.bump();
+                } else if ch == '*' && s.peek_at(1) == Some('/') {
+                    depth = depth.saturating_sub(1);
+                    text.push('*');
+                    text.push('/');
+                    s.bump();
+                    s.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    s.bump();
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifiers — with lookahead for string prefixes (r"", r#""#,
+        // b"", br"", b'').
+        if is_ident_start(c) {
+            if let Some(tok) = try_prefixed_literal(&mut s, line, col) {
+                out.push(tok);
+                continue;
+            }
+            let mut text = String::new();
+            while let Some(ch) = s.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                s.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let text = lex_quoted(&mut s);
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            // `'a` followed by something that is not a closing quote is a
+            // lifetime; `'x'` / `'\n'` are char literals.
+            let one = s.peek_at(1);
+            let two = s.peek_at(2);
+            let is_lifetime = matches!(one, Some(ch) if is_ident_start(ch)) && two != Some('\'');
+            if is_lifetime {
+                let mut text = String::from('\'');
+                s.bump();
+                while let Some(ch) = s.peek() {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    s.bump();
+                }
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::from('\'');
+                s.bump();
+                while let Some(ch) = s.peek() {
+                    if ch == '\\' {
+                        text.push(ch);
+                        s.bump();
+                        if let Some(esc) = s.bump() {
+                            text.push(esc);
+                        }
+                        continue;
+                    }
+                    text.push(ch);
+                    s.bump();
+                    if ch == '\'' || ch == '\n' {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal (loose: consumes alphanumerics/underscores, which
+        // covers 0x1F, 1_000u64; `1.5` lexes as Literal Punct Literal).
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(ch) = s.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                s.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Anything else: one punct character.
+        s.bump();
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// If the scanner sits on a string-prefix identifier (`r`, `b`, `br`, `rb`)
+/// immediately followed by a (possibly raw) string or byte-char literal,
+/// consume the whole literal and return it; otherwise consume nothing.
+fn try_prefixed_literal(s: &mut Scanner, line: usize, col: usize) -> Option<Token> {
+    let c = s.peek()?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // Work out the prefix shape without consuming.
+    let mut idx = 1;
+    if (c == 'b' && s.peek_at(idx) == Some('r')) || (c == 'r' && s.peek_at(idx) == Some('b')) {
+        idx += 1;
+    }
+    let mut hashes = 0usize;
+    while s.peek_at(idx + hashes) == Some('#') {
+        hashes += 1;
+    }
+    let raw = c == 'r' || s.peek_at(1) == Some('r');
+    let next = s.peek_at(idx + hashes);
+    let is_string = next == Some('"') && (hashes == 0 || raw);
+    let is_byte_char = c == 'b' && idx == 1 && hashes == 0 && next == Some('\'');
+    if !is_string && !is_byte_char {
+        return None;
+    }
+
+    let mut text = String::new();
+    for _ in 0..(idx + hashes + 1) {
+        if let Some(ch) = s.bump() {
+            text.push(ch);
+        }
+    }
+    if is_byte_char {
+        while let Some(ch) = s.peek() {
+            if ch == '\\' {
+                text.push(ch);
+                s.bump();
+                if let Some(esc) = s.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(ch);
+            s.bump();
+            if ch == '\'' {
+                break;
+            }
+        }
+    } else if raw {
+        // Raw string: ends at `"` followed by `hashes` hash marks; no
+        // escapes.
+        'outer: while let Some(ch) = s.peek() {
+            if ch == '"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if s.peek_at(1 + h) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..(1 + hashes) {
+                        if let Some(done) = s.bump() {
+                            text.push(done);
+                        }
+                    }
+                    break 'outer;
+                }
+            }
+            text.push(ch);
+            s.bump();
+        }
+    } else {
+        // Cooked (byte) string with escapes; the opening quote was already
+        // consumed above.
+        while let Some(ch) = s.peek() {
+            if ch == '\\' {
+                text.push(ch);
+                s.bump();
+                if let Some(esc) = s.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(ch);
+            s.bump();
+            if ch == '"' {
+                break;
+            }
+        }
+    }
+    Some(Token {
+        kind: TokenKind::Literal,
+        text,
+        line,
+        col,
+    })
+}
+
+/// Consume a cooked string literal starting at the current `"`.
+fn lex_quoted(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    text.push('"');
+    s.bump();
+    while let Some(ch) = s.peek() {
+        if ch == '\\' {
+            text.push(ch);
+            s.bump();
+            if let Some(esc) = s.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(ch);
+        s.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() {}");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "fn".into()),
+                (TokenKind::Ident, "main".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, "{".into()),
+                (TokenKind::Punct, "}".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn forbidden_name_in_string_is_a_literal() {
+        let toks = lex(r#"let s = "partial_cmp";"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "partial_cmp"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text.contains("partial_cmp")));
+    }
+
+    #[test]
+    fn forbidden_name_in_comment_is_a_comment() {
+        let toks = lex("// partial_cmp is banned\nlet x = 1;");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "partial_cmp"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text, "ident");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r##"let s = r#"quote " inside HashMap"#; next"##);
+        assert!(!toks.iter().any(|t| t.text == "HashMap"));
+        assert_eq!(toks.last().unwrap().text, "next");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let a = b"Instant"; let c = b'x'; tail"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "Instant"));
+        assert_eq!(toks.last().unwrap().text, "tail");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'y'"));
+    }
+
+    #[test]
+    fn char_escapes_do_not_break_the_stream() {
+        let toks = lex(r"let q = '\''; let n = '\n'; after");
+        assert_eq!(toks.last().unwrap().text, "after");
+    }
+
+    #[test]
+    fn positions_are_one_based_and_line_aware() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn string_escapes_keep_the_terminator_honest() {
+        let toks = lex(r#"let s = "a\"b"; done"#);
+        assert_eq!(toks.last().unwrap().text, "done");
+    }
+
+    #[test]
+    fn identifier_starting_with_r_is_not_a_raw_string() {
+        let toks = kinds("ranked_by(run)");
+        assert_eq!(toks[0], (TokenKind::Ident, "ranked_by".into()));
+    }
+}

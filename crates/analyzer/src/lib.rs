@@ -1,0 +1,231 @@
+//! `clusterkv-analyzer` — an in-repo static invariant checker.
+//!
+//! The workspace's correctness story rests on invariants the compiler cannot
+//! see: byte-identical token streams at any thread count, a zero-allocation
+//! warm decode loop, NaN-total score ranking, and a modeled clock that never
+//! reads wall time. The runtime test suites prove these on the paths they
+//! exercise; this crate proves the *absence of the anti-patterns* everywhere
+//! else, statically, on every CI run.
+//!
+//! It is registry-free by construction (same philosophy as `crates/shims`):
+//! a hand-rolled lexer ([`lexer`]), a token-pattern rule engine ([`rules`]),
+//! and a policy compiled in as constants ([`config`]). Run it as
+//!
+//! ```text
+//! cargo run -p clusterkv-analyzer -- [--deny] [--json] [ROOT]
+//! ```
+//!
+//! `--deny` exits non-zero on any finding (the CI mode); `--json` emits a
+//! machine-readable report. See DESIGN.md §7 for the rule catalog and how to
+//! add a rule.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::{Policy, SKIP_DIR_NAMES};
+use rules::{analyze_source, Diagnostic, RULES};
+
+/// Outcome of analyzing a tree: every diagnostic plus scan statistics.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Collect every `.rs` file under `root`, depth-first in sorted order (the
+/// report must not depend on directory-entry order), skipping
+/// [`SKIP_DIR_NAMES`] directories. Returns `(absolute, workspace-relative)`
+/// pairs; relative paths use `/` separators.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        // Reverse-sort so the stack pops in ascending order.
+        entries.sort();
+        entries.reverse();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIR_NAMES.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((path, rel));
+            }
+        }
+    }
+    // The stack-based walk interleaves files and subdirectories; a final
+    // sort by relative path makes the report order canonical.
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+/// Analyze every `.rs` file under `root` with `policy`.
+pub fn analyze_workspace(policy: &Policy, root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for (abs, rel) in files {
+        let src = fs::read_to_string(&abs)?;
+        diagnostics.extend(analyze_source(policy, &rel, &src));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Human-readable report: one `path:line:col: [rule] message` per finding.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            d.path, d.line, d.col, d.rule, d.message
+        ));
+    }
+    out.push_str(&format!(
+        "{} file(s) scanned, {} violation(s), {} rule(s) active\n",
+        report.files_scanned,
+        report.diagnostics.len(),
+        RULES.len()
+    ));
+    out
+}
+
+/// Machine-readable report. Hand-rolled JSON, matching the repo's existing
+/// practice in `clusterkv-metrics` (no serde backend in the offline shims).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"summary\": \"{}\"}}",
+            escape_json(r.name),
+            escape_json(r.summary)
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"violation_count\": {},\n",
+        report.diagnostics.len()
+    ));
+    out.push_str("  \"violations\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
+            escape_json(d.rule),
+            escape_json(&d.path),
+            d.line,
+            d.col,
+            escape_json(&d.message)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_shape_is_stable() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: rules::NO_WALL_CLOCK,
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                message: "msg".into(),
+            }],
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("\"rule\": \"no-wall-clock\""));
+        assert!(json.contains("\"line\": 3"));
+        // Every shipped rule is described even when it found nothing.
+        for r in RULES {
+            assert!(json.contains(r.name));
+        }
+    }
+
+    #[test]
+    fn text_report_uses_file_line_col_format() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: rules::UNSAFE_GATE,
+                path: "tests/x.rs".into(),
+                line: 9,
+                col: 1,
+                message: "m".into(),
+            }],
+            files_scanned: 2,
+        };
+        let text = render_text(&report);
+        assert!(text.contains("tests/x.rs:9:1: [unsafe-gate] m"));
+        assert!(text.contains("2 file(s) scanned, 1 violation(s)"));
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p clusterkv-analyzer -- [--deny] [--json] [ROOT]
+//! ```
+//!
+//! With no `ROOT`, the current directory (the workspace root under `cargo
+//! run`) is analyzed. `--deny` makes any finding a non-zero exit — the mode
+//! CI runs in. `--json` switches the report to the machine-readable form.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use clusterkv_analyzer::config::Policy;
+use clusterkv_analyzer::{analyze_workspace, render_json, render_text};
+
+const USAGE: &str = "usage: clusterkv-analyzer [--deny] [--json] [ROOT]\n\
+    \n\
+    --deny   exit non-zero if any violation is found (CI mode)\n\
+    --json   emit a machine-readable JSON report\n\
+    ROOT     directory to analyze (default: current directory)\n";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => {
+                if root.is_some() {
+                    eprintln!("multiple ROOT arguments\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(path));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match analyze_workspace(&Policy::repo(), &root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "clusterkv-analyzer: failed to analyze {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,46 @@
+//! The analyzer's acceptance criterion, executable: the committed workspace
+//! has **zero** violations under the repo policy. Running in `cargo test`
+//! means a regression fails the tier-1 suite even before CI's dedicated
+//! `--deny` step.
+
+use std::path::PathBuf;
+
+use clusterkv_analyzer::config::Policy;
+use clusterkv_analyzer::{analyze_workspace, render_text};
+
+#[test]
+fn committed_workspace_has_zero_violations() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let report = analyze_workspace(&Policy::repo(), &root).expect("analysis runs");
+    assert!(
+        report.files_scanned > 50,
+        "walker should see the whole workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace must be violation-free:\n{}",
+        render_text(&report)
+    );
+}
+
+#[test]
+fn fixtures_are_not_part_of_the_workspace_walk() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let files = clusterkv_analyzer::workspace_files(&root).expect("walk runs");
+    assert!(
+        files.iter().all(|(_, rel)| !rel.contains("fixtures/")),
+        "the must-flag corpus must be excluded from the workspace run"
+    );
+    // The walk is canonical: sorted by relative path.
+    let rels: Vec<&String> = files.iter().map(|(_, r)| r).collect();
+    let mut sorted = rels.clone();
+    sorted.sort();
+    assert_eq!(rels, sorted, "report order must be canonical");
+}

@@ -78,12 +78,20 @@ impl H2oSelector {
         let recent_cutoff = self.retained.len() - recent_quota;
         let recent: Vec<Retained> = self.retained.split_off(recent_cutoff);
 
-        // Heavy hitters among the remainder.
-        self.retained.sort_by(|a, b| {
-            b.accumulated
-                .partial_cmp(&a.accumulated)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Heavy hitters among the remainder, under a total order: NaN
+        // scores rank strictly last (never as heavy hitters) and ties break
+        // toward the earlier position, matching the position-sorted input.
+        self.retained.sort_by(
+            |a, b| match (a.accumulated.is_nan(), b.accumulated.is_nan()) {
+                (false, false) => b
+                    .accumulated
+                    .total_cmp(&a.accumulated)
+                    .then(a.position.cmp(&b.position)),
+                (true, true) => a.position.cmp(&b.position),
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+            },
+        );
         self.retained.truncate(heavy_quota);
         self.retained.extend(recent);
         self.retained.sort_by_key(|r| r.position);
@@ -318,6 +326,38 @@ mod tests {
     #[should_panic]
     fn invalid_recent_fraction_panics() {
         H2oSelector::new(1.5, 4);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_never_displace_heavy_hitters() {
+        // A NaN query poisons every accumulated score with NaN except where
+        // the key dot product is driven by a non-NaN lane. Construct the NaN
+        // directly instead: poison two accumulated scores and check that
+        // eviction (a) does not panic, (b) keeps the genuine heavy hitter,
+        // and (c) drops the NaN-scored tokens first.
+        let dim = 4;
+        let mut h = H2oSelector::new(0.0, dim); // all budget to heavy hitters
+        prefill(&mut h, &uniform_keys(12, dim));
+        for r in h.retained.iter_mut() {
+            r.accumulated = r.position as f32;
+        }
+        h.retained[3].accumulated = f32::NAN;
+        h.retained[7].accumulated = f32::NAN;
+        h.evict_to(6);
+        let kept = h.retained_positions();
+        assert_eq!(kept, vec![5, 6, 8, 9, 10, 11], "largest non-NaN scores win");
+        assert!(!kept.contains(&3) && !kept.contains(&7), "NaN ranks last");
+        let mut h2 = H2oSelector::new(0.0, dim);
+        prefill(&mut h2, &uniform_keys(4, dim));
+        for r in h2.retained.iter_mut() {
+            r.accumulated = f32::NAN;
+        }
+        h2.evict_to(2);
+        assert_eq!(
+            h2.retained_positions(),
+            vec![0, 1],
+            "all-NaN ties break by position, deterministically"
+        );
     }
 
     #[test]

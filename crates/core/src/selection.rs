@@ -102,8 +102,10 @@ pub fn select_clusters_ws(
     // Guard against duplicate emission: pending decode tokens can overlap
     // sink positions (a harness may append at a position the clustering also
     // tracks as a sink), and defensively a cluster could contain an
-    // always-retained token.
-    let mut seen = std::collections::HashSet::with_capacity(budget_tokens);
+    // always-retained token. An ordered set keeps the dedup structure (and
+    // anything that ever iterates it) deterministic; at budget scale the
+    // O(log n) insert is noise next to the matvec.
+    let mut seen = std::collections::BTreeSet::new();
 
     // Always-retained tokens: attention sinks first, then the most recent
     // pending (unclustered) decode tokens.

@@ -17,7 +17,7 @@ use crate::stats::{CacheStats, TransferStats};
 use crate::tier::{MemoryTier, TierKind};
 use crate::types::{Bytes, HeadId, LayerId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identity of one KV page within a session: the attention head it belongs
 /// to plus the policy-defined page id (cluster id for ClusterKV, page index
@@ -126,18 +126,18 @@ pub struct ClusterCache {
     bytes_per_token: Bytes,
     gpu: MemoryTier,
     cpu: MemoryTier,
-    resident: HashMap<PageKey, ResidentPage>,
+    resident: BTreeMap<PageKey, ResidentPage>,
     /// LRU order: stamp → page. Stamps are unique (a monotone clock), so
     /// eviction order is fully deterministic.
     lru: BTreeMap<u64, PageKey>,
     /// Pages ever seen (admitted, accessed or declined): warm admission only
     /// applies to pages the cache has never seen, so a page evicted under
     /// capacity pressure cannot sneak back in for free.
-    known: HashSet<PageKey>,
+    known: BTreeSet<PageKey>,
     /// Heads whose KV has been offloaded wholesale (a warm call declined):
     /// capacity is fixed and page tables only grow, so the decision is
     /// permanent and later warm calls can skip their table scan entirely.
-    offloaded: HashSet<(LayerId, HeadId)>,
+    offloaded: BTreeSet<(LayerId, HeadId)>,
     clock: u64,
     stats: CacheStats,
     transfers: TransferStats,
@@ -161,10 +161,10 @@ impl ClusterCache {
             bytes_per_token,
             gpu,
             cpu,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             lru: BTreeMap::new(),
-            known: HashSet::new(),
-            offloaded: HashSet::new(),
+            known: BTreeSet::new(),
+            offloaded: BTreeSet::new(),
             clock: 0,
             stats: CacheStats::new(),
             transfers: TransferStats::new(),

@@ -9,7 +9,7 @@
 
 use crate::types::Bytes;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which physical memory a tier models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,7 +70,7 @@ impl std::error::Error for AllocationError {}
 pub struct MemoryTier {
     kind: TierKind,
     capacity: Bytes,
-    allocations: HashMap<String, Bytes>,
+    allocations: BTreeMap<String, Bytes>,
     /// Running sum of `allocations` so `used()`/`fits()` are O(1) — the
     /// cluster cache calls them on every page admission and eviction.
     used: Bytes,
@@ -82,7 +82,7 @@ impl MemoryTier {
         Self {
             kind,
             capacity,
-            allocations: HashMap::new(),
+            allocations: BTreeMap::new(),
             used: Bytes(0),
         }
     }

@@ -36,6 +36,7 @@ pub struct AttentionOutput {
 /// # Panics
 ///
 /// Panics if `query.len() != store.head_dim()` or an index is out of bounds.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn attend_selected_ws(store: &KvStore, query: &[f32], indices: &[usize], ws: &mut Workspace) {
     assert_eq!(query.len(), store.head_dim(), "query dim mismatch");
     ws.out.clear();
@@ -97,6 +98,7 @@ pub fn attend_full(store: &KvStore, query: &[f32]) -> AttentionOutput {
 /// `ws.weights` (without computing the output, without an index vector and
 /// without allocating once warm). Used by importance traces and recall
 /// metrics, where only the weights matter.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn full_attention_weights_ws(store: &KvStore, query: &[f32], ws: &mut Workspace) {
     attention_weights_into(store.keys(), None, query, &mut ws.weights);
 }

@@ -47,7 +47,7 @@ use clusterkv_tensor::ops::{rms_norm, silu};
 use clusterkv_tensor::vector::argmax;
 use clusterkv_tensor::Matrix;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default cap on concurrently resident sessions.
 pub const DEFAULT_MAX_SESSIONS: usize = 256;
@@ -247,7 +247,7 @@ struct SessionState {
     /// [`FullAttentionSelector`]s.
     selectors: Vec<Vec<Box<dyn TokenSelector>>>,
     /// Heads to trace: map from `(layer, head)` to the trace being built.
-    traces: HashMap<(usize, usize), AttentionTrace>,
+    traces: BTreeMap<(usize, usize), AttentionTrace>,
     /// Context length so far; doubles as the RoPE position of the next token.
     num_tokens: usize,
     /// Number of decode steps run.
@@ -390,7 +390,7 @@ impl ServeEngineBuilder {
             rope,
             budget: self.budget,
             policy: self.policy,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_session: 0,
             max_sessions: self.max_sessions,
             kv_cache_capacity: self.kv_cache_capacity.unwrap_or(Bytes(0)),
@@ -407,7 +407,7 @@ pub struct ServeEngine {
     rope: Rope,
     budget: Budget,
     policy: Option<Box<dyn SelectorFactory>>,
-    sessions: HashMap<u64, SessionState>,
+    sessions: BTreeMap<u64, SessionState>,
     next_session: u64,
     max_sessions: usize,
     /// GPU capacity of each session's cluster cache (0 = pure offload).
@@ -460,11 +460,11 @@ impl ServeEngine {
         self.sessions.len()
     }
 
-    /// Resident session ids, in creation order.
+    /// Resident session ids, in creation order (ids are allocated
+    /// monotonically and the session table is ordered, so the key order is
+    /// the creation order).
     pub fn session_ids(&self) -> Vec<SessionId> {
-        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
-        ids.sort_unstable();
-        ids.into_iter().map(SessionId).collect()
+        self.sessions.keys().copied().map(SessionId).collect()
     }
 
     fn session(&self, id: SessionId) -> Result<&SessionState, EngineError> {
@@ -558,7 +558,7 @@ impl ServeEngine {
             SessionState {
                 kv,
                 selectors,
-                traces: HashMap::new(),
+                traces: BTreeMap::new(),
                 num_tokens: 0,
                 generated_tokens: 0,
                 phase: SessionPhase::Fresh,
@@ -1299,7 +1299,7 @@ impl ServeEngine {
     /// (counting repeated ids) are all reported before any session is
     /// advanced, so a failed batch performs no work.
     pub fn decode_batch(&mut self, ids: &[SessionId]) -> Result<Vec<DecodeOutput>, EngineError> {
-        let mut steps_per_id: HashMap<u64, usize> = HashMap::new();
+        let mut steps_per_id: BTreeMap<u64, usize> = BTreeMap::new();
         for &id in ids {
             let sess = self.session(id)?;
             if sess.phase != SessionPhase::Ready || sess.next_input.is_none() {
@@ -1320,7 +1320,7 @@ impl ServeEngine {
 
         // Group the batch by session: each distinct session becomes one unit
         // of work carrying the output slots its steps fill.
-        let mut slots_per_id: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut slots_per_id: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
         for (slot, &id) in ids.iter().enumerate() {
             slots_per_id.entry(id.0).or_default().push(slot);
         }
@@ -1334,13 +1334,12 @@ impl ServeEngine {
             ..
         } = self;
         let budget = *budget;
-        let mut work: Vec<(u64, Vec<usize>, &mut SessionState)> = sessions
+        // The session table is a BTreeMap, so the work list (and thus chunk
+        // assignment) is id-ordered structurally — no post-hoc sort needed.
+        let work: Vec<(u64, Vec<usize>, &mut SessionState)> = sessions
             .iter_mut()
             .filter_map(|(&raw, sess)| slots_per_id.remove(&raw).map(|slots| (raw, slots, sess)))
             .collect();
-        // Sort by id so the work list (and thus chunk assignment) does not
-        // depend on HashMap iteration order.
-        work.sort_unstable_by_key(|&(raw, _, _)| raw);
 
         // Fan distinct sessions across the pool; inside one unit the steps
         // run in batch order. Every tool the step needs (`config`, weights,

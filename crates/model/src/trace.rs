@@ -44,7 +44,7 @@ impl TraceStep {
             return 0.0;
         }
         let truth = self.true_top_k(k);
-        let selected: std::collections::HashSet<usize> = self.selected.iter().copied().collect();
+        let selected: std::collections::BTreeSet<usize> = self.selected.iter().copied().collect();
         let hit = truth.iter().filter(|t| selected.contains(t)).count();
         hit as f64 / truth.len() as f64
     }

@@ -104,6 +104,7 @@ impl Workspace {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 #[inline(always)]
 pub fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
     assert!(a.len() == b.len(), "dot_blocked: length mismatch");
@@ -131,6 +132,7 @@ pub fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Squared L2 norm `‖a‖²` with the blocked accumulation order.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 #[inline]
 pub fn norm_sq(a: &[f32]) -> f32 {
     dot_blocked(a, a)
@@ -143,6 +145,7 @@ pub fn norm_sq(a: &[f32]) -> f32 {
 /// # Panics
 ///
 /// Panics if `v.len() != m.cols()` or the range exceeds `m.rows()`.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn matvec_rows_into(m: &Matrix, rows: std::ops::Range<usize>, v: &[f32], out: &mut Vec<f32>) {
     assert_eq!(v.len(), m.cols(), "matvec_rows_into: dim mismatch");
     assert!(rows.end <= m.rows(), "matvec_rows_into: row range oob");
@@ -157,6 +160,7 @@ pub fn matvec_rows_into(m: &Matrix, rows: std::ops::Range<usize>, v: &[f32], out
 
 /// `v · mᵀ` into `out` — the blocked replacement for
 /// [`Matrix::matvec_t`], covering every row.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn matvec_t_into(m: &Matrix, v: &[f32], out: &mut Vec<f32>) {
     matvec_rows_into(m, 0..m.rows(), v, out);
 }
@@ -211,6 +215,7 @@ pub fn par_matvec_rows(
 /// # Panics
 ///
 /// Panics if `v.len() != m.cols()` or an index is out of bounds.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn gather_matvec_t_into(m: &Matrix, indices: &[usize], v: &[f32], out: &mut Vec<f32>) {
     assert_eq!(v.len(), m.cols(), "gather_matvec_t_into: dim mismatch");
     out.clear();
@@ -221,6 +226,7 @@ pub fn gather_matvec_t_into(m: &Matrix, indices: &[usize], v: &[f32], out: &mut 
 }
 
 /// Squared row norms `‖m.row(i)‖²` into `out` (blocked accumulation order).
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn row_norms_sq_into(m: &Matrix, out: &mut Vec<f32>) {
     let d = m.cols();
     let data = m.as_slice();
@@ -248,6 +254,7 @@ const WSUM_BLOCK: usize = 4;
 ///
 /// Panics if `indices` (when given) and `weights` differ in length, or an
 /// index is out of bounds.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn weighted_sum_rows_into(
     m: &Matrix,
     indices: Option<&[usize]>,
@@ -278,6 +285,7 @@ pub fn weighted_sum_rows_into(
 /// pairs per pass, then a row-sequential tail — so the per-element order
 /// depends only on the pair sequence, never on blocking or on whether `out`
 /// is an owned `Vec` or a slice of a concat buffer.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 fn weighted_sum_rows_core(m: &Matrix, indices: Option<&[usize]>, weights: &[f32], out: &mut [f32]) {
     let row_of = |j: usize| -> &[f32] {
         match indices {
@@ -313,6 +321,7 @@ fn weighted_sum_rows_core(m: &Matrix, indices: Option<&[usize]>, weights: &[f32]
 /// # Panics
 ///
 /// Panics if `q.len() != keys.cols()` or an index is out of bounds.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn attention_weights_into(
     keys: &Matrix,
     indices: Option<&[usize]>,
@@ -338,6 +347,7 @@ pub fn attention_weights_into(
 /// # Panics
 ///
 /// Panics if shapes disagree or an index is out of bounds.
+// analyzer: hot-path — zero-allocation contract (tests/zero_alloc.rs)
 pub fn attend_into(
     keys: &Matrix,
     values: &Matrix,

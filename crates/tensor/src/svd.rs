@@ -139,22 +139,25 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     }
 
     // Column norms of U are the singular values; normalise U's columns.
-    let mut values: Vec<(f32, usize)> = (0..n)
+    // Ranking goes through the blessed total-order argsort (NaN norms — e.g.
+    // from a NaN input entry — rank strictly last and deterministically,
+    // instead of poisoning the comparator).
+    let norms: Vec<f32> = (0..n)
         .map(|j| {
-            let norm: f32 = (0..m)
+            (0..m)
                 .map(|i| u.get(i, j) * u.get(i, j))
                 .sum::<f32>()
-                .sqrt();
-            (norm, j)
+                .sqrt()
         })
         .collect();
-    values.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let order = crate::vector::argsort_descending(&norms);
 
     let rank = n.min(m);
     let mut u_sorted = Matrix::zeros(m, rank);
     let mut v_sorted = Matrix::zeros(n, rank);
     let mut singular_values = Vec::with_capacity(rank);
-    for (dst, &(s, src)) in values.iter().take(rank).enumerate() {
+    for (dst, &src) in order.iter().take(rank).enumerate() {
+        let s = norms[src];
         singular_values.push(s);
         for i in 0..m {
             let val = if s > 0.0 { u.get(i, src) / s } else { 0.0 };
@@ -243,6 +246,46 @@ mod tests {
     fn svd_of_empty_matrix_errors() {
         assert!(svd(&Matrix::zeros(0, 3)).is_err());
         assert!(svd(&Matrix::zeros(3, 0)).is_err());
+    }
+
+    #[test]
+    fn svd_with_nan_entries_is_deterministic_and_ranks_nan_last() {
+        // A NaN entry makes its column norm NaN. The total-order argsort
+        // must rank that column strictly last (it can never masquerade as
+        // the dominant singular value) and the decomposition must be
+        // bit-identical across runs.
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 0, 2.0);
+        m.set(1, 1, f32::NAN);
+        m.set(2, 2, 1.0);
+        let d1 = svd(&m).unwrap();
+        let d2 = svd(&m).unwrap();
+        assert_eq!(
+            d1.singular_values
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>(),
+            d2.singular_values
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>(),
+            "NaN input must not make the ranking nondeterministic"
+        );
+        // NaN norms rank strictly after every finite singular value: once
+        // the first NaN appears, everything after it is NaN too.
+        let first_nan = d1
+            .singular_values
+            .iter()
+            .position(|s| s.is_nan())
+            .expect("a NaN input column yields at least one NaN norm");
+        assert!(
+            d1.singular_values[first_nan..].iter().all(|s| s.is_nan()),
+            "NaN norms must be contiguous at the tail: {:?}",
+            d1.singular_values
+        );
+        // The outputs stay NaN-free where the value is defined: truncating
+        // away NaN-ranked columns is well-defined.
+        let _ = d1.truncate(first_nan);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use clusterkv_model::policy::{
 use clusterkv_tensor::vector::top_k_indices;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Per-episode measurements of one policy at one budget.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -129,10 +129,10 @@ pub fn run_episode_cached(
 
         // Ground truth: the B tokens with the largest exact attention weights.
         let full = full_attention_weights(&store, query);
-        let truth: HashSet<usize> = top_k_indices(&full, budget.tokens().min(n))
+        let truth: BTreeSet<usize> = top_k_indices(&full, budget.tokens().min(n))
             .into_iter()
             .collect();
-        let selected_set: HashSet<usize> = selected.iter().copied().collect();
+        let selected_set: BTreeSet<usize> = selected.iter().copied().collect();
         let hit = truth.intersection(&selected_set).count();
         per_step_recall.push(if truth.is_empty() {
             1.0

@@ -10,6 +10,12 @@
 //! kernel layer and covered instead by the workspace-reuse steady-state
 //! tests in `serve.rs`, `selection.rs` and `policy.rs`.
 
+// The one sanctioned `unsafe` user in the workspace (`unsafe_code` is denied
+// via [workspace.lints]): implementing GlobalAlloc is inherently unsafe.
+// This file is allowlisted in clusterkv-analyzer's UNSAFE_ALLOWLIST; every
+// block below carries the SAFETY note the unsafe-gate lint requires.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -17,16 +23,23 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method delegates to the System allocator after bumping an
+// atomic counter; the GlobalAlloc contract (layout validity, pointer
+// provenance) is upheld verbatim by that delegation.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout to System untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the caller's pointer/layout pair to System untouched.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards the caller's pointer, layout, and new size to System
+    // untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
