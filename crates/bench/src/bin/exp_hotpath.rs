@@ -172,9 +172,14 @@ fn bench_decode_step(trials: usize, steps: usize) -> (Section, f64) {
     (section, tokens_per_sec)
 }
 
-fn emit_json(sections: &[Section], tokens_per_sec: f64) {
+fn emit_json(sections: &[Section], tokens_per_sec: f64, scale: (usize, usize, usize)) {
+    let (trials, reps, steps) = scale;
     let mut out = String::from("{\"bench\":\"exp_hotpath\"");
     out.push_str(&format!(",\"n\":{N},\"dim\":{DIM},\"smoke\":{}", smoke()));
+    out.push_str(&format!(",\"threads\":{}", rayon::current_num_threads()));
+    out.push_str(&format!(
+        ",\"scale\":{{\"trials\":{trials},\"reps\":{reps},\"decode_steps\":{steps}}}"
+    ));
     out.push_str(&format!(",\"decode_tokens_per_sec\":{:.1}", tokens_per_sec));
     out.push_str(",\"sections\":{");
     for (i, s) in sections.iter().enumerate() {
@@ -204,7 +209,7 @@ fn main() {
     let sections = [scoring, assignment, decode];
 
     if json {
-        emit_json(&sections, tokens_per_sec);
+        emit_json(&sections, tokens_per_sec, (trials, reps, steps));
     } else {
         println!("# Hot-path kernels — blocked vs reference at n = {N}, d = {DIM}\n");
         let mut table = Table::new(vec![

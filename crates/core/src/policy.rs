@@ -15,15 +15,18 @@
 
 use crate::clustering::SemanticClustering;
 use crate::config::ClusterKvConfig;
+use crate::distance::DistanceMetric;
 use crate::selection::select_clusters_ws;
 use clusterkv_kvcache::cluster_cache::PageRequest;
+use clusterkv_kvcache::types::Bytes;
 use clusterkv_model::policy::{
     HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest,
-    SelectorFactory, TokenSelector,
+    SelectorFactory, SharedPrefixState, TokenSelector,
 };
 use clusterkv_tensor::kernels::{norm_sq, Workspace};
 use clusterkv_tensor::rng::derive_seed;
 use clusterkv_tensor::Matrix;
+use std::sync::Arc;
 
 /// ClusterKV selection state for a single attention head.
 #[derive(Debug, Clone)]
@@ -72,6 +75,36 @@ impl ClusterKvSelector {
     /// (stable across steady-state decode steps; see DESIGN.md §6).
     pub fn workspace_bytes(&self) -> usize {
         self.ws.allocated_bytes()
+    }
+
+    /// Fingerprint of everything that determines this selector's
+    /// post-prefill clustering state besides the prompt keys themselves:
+    /// every [`ClusterKvConfig`] field (the per-head seed included — the
+    /// factory derives it from `(layer, head)`, so cross-head adoption is
+    /// structurally impossible) and the head dimension. Two selectors with
+    /// equal fingerprints fed byte-identical prompt keys reconcile to
+    /// byte-identical clustering state, which is exactly the precondition
+    /// for sharing that state through the prefix store (DESIGN.md §8).
+    fn prefill_fingerprint(&self) -> u64 {
+        let c = self.clustering.config();
+        let distance = match c.distance {
+            DistanceMetric::Cosine => 0,
+            DistanceMetric::L2 => 1,
+            DistanceMetric::InnerProduct => 2,
+        };
+        [
+            c.seed,
+            c.sink_tokens as u64,
+            c.tokens_per_cluster as u64,
+            c.min_clusters as u64,
+            distance,
+            c.max_kmeans_iters as u64,
+            c.decode_cluster_period as u64,
+            c.decode_new_clusters as u64,
+            self.clustering.head_dim() as u64,
+        ]
+        .into_iter()
+        .fold(0x436c_7573_7465_724b, derive_seed) // "ClusterK"
     }
 }
 
@@ -140,6 +173,48 @@ impl TokenSelector for ClusterKvSelector {
                 .map(|c| PageRequest::new(c, metadata.cluster_size(c)))
                 .collect(),
         )
+    }
+
+    fn export_prefill_state(&self) -> Option<SharedPrefixState> {
+        // Only a reconciled selector has anything worth sharing: mid-prefill
+        // the clustering is empty and the keys sit in the chunk buffer.
+        if self.clustering.num_tokens() == 0 || self.chunk_buffer.rows() > 0 {
+            return None;
+        }
+        let centroids = self.clustering.centroids();
+        // Estimate of what the clone retains: centroid rows, their norm
+        // cache, pending-token norms, and one assignment slot per token.
+        let bytes = Bytes::of_f32(
+            centroids.rows() * centroids.cols()
+                + self.clustering.centroid_norms().len()
+                + self.clustering.pending_norms().len(),
+        ) + Bytes(4 * self.clustering.num_tokens() as u64);
+        Some(SharedPrefixState {
+            fingerprint: self.prefill_fingerprint(),
+            bytes,
+            state: Arc::new(self.clustering.clone()),
+        })
+    }
+
+    fn adopt_prefill_state(&mut self, state: &SharedPrefixState, total_tokens: usize) -> bool {
+        if state.fingerprint != self.prefill_fingerprint() {
+            return false;
+        }
+        let Some(clustering) = state.state.downcast_ref::<SemanticClustering>() else {
+            return false;
+        };
+        if clustering.num_tokens() != total_tokens {
+            return false;
+        }
+        // The fingerprint pins config + seed + head_dim and the prefix-store
+        // terminal node pins the exact token sequence, so this clone is
+        // byte-identical to what reconciling our own chunk buffer would
+        // produce — the k-means sweep is skipped outright. The buffered
+        // chunks are dropped unreconciled.
+        self.clustering = clustering.clone();
+        self.chunk_buffer = Matrix::zeros(0, self.clustering.head_dim());
+        self.chunk_norms.clear();
+        true
     }
 }
 
@@ -440,5 +515,116 @@ mod tests {
         assert_eq!(sa, sb);
         engine.release(a).unwrap();
         engine.release(b).unwrap();
+    }
+
+    fn chunk_feed(sel: &mut ClusterKvSelector, keys: &Matrix) {
+        sel.observe(ObserveEvent::PrefillChunk { start: 0, keys });
+    }
+
+    #[test]
+    fn prefix_store_shares_clustering_state_across_sessions() {
+        use clusterkv_model::{ModelConfig, ServeEngine};
+        let prompt: Vec<usize> = (0..48).map(|i| (i * 7 + 1) % 128).collect();
+        let decode = |engine: &mut ServeEngine, s| -> Vec<usize> {
+            (0..6)
+                .map(|_| engine.decode_batch(&[s]).unwrap()[0].next_token)
+                .collect()
+        };
+        // Reference: no store, both sessions cluster from scratch.
+        let mut cold = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(11)
+            .budget(Budget::new(16))
+            .policy(Box::new(ClusterKvFactory::new(test_config())))
+            .build()
+            .unwrap();
+        let c = cold.create_session().unwrap();
+        cold.prefill(c, &prompt).unwrap();
+        let cold_stream = decode(&mut cold, c);
+
+        let mut engine = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(11)
+            .budget(Budget::new(16))
+            .policy(Box::new(ClusterKvFactory::new(test_config())))
+            .prefix_store(Bytes(1 << 20))
+            .build()
+            .unwrap();
+        let a = engine.create_session().unwrap();
+        engine.prefill(a, &prompt).unwrap();
+        assert_eq!(decode(&mut engine, a), cold_stream, "donor session");
+        // The second session adopts the donor's exported clustering (same
+        // per-head fingerprints, same token count) on top of fast-pathed KV:
+        // its decode stream must still be byte-identical.
+        let b = engine.create_session().unwrap();
+        engine.prefill(b, &prompt).unwrap();
+        let (matched, fast) = engine.session_prefix_tokens(b).unwrap();
+        assert_eq!(matched, prompt.len());
+        assert_eq!(fast, prompt.len() - 1);
+        assert_eq!(decode(&mut engine, b), cold_stream, "adopting session");
+        let stats = engine.prefix_store_stats().unwrap();
+        assert!(
+            stats.shared_bytes > Bytes(0),
+            "pages plus cached selector states are charged to the store"
+        );
+    }
+
+    #[test]
+    fn exported_prefill_state_adopts_byte_identically() {
+        let keys = prefill_keys(60, 8, 9);
+        let mut donor = ClusterKvSelector::new(test_config(), 8);
+        assert!(
+            donor.export_prefill_state().is_none(),
+            "nothing to export before reconcile"
+        );
+        chunk_feed(&mut donor, &keys);
+        assert!(
+            donor.export_prefill_state().is_none(),
+            "nothing to export mid-prefill"
+        );
+        donor.observe(ObserveEvent::PrefillDone { total_tokens: 60 });
+        let state = donor.export_prefill_state().expect("reconciled state");
+        assert!(state.bytes > Bytes(0));
+
+        // The adopter buffered the same chunks but skips its own reconcile.
+        let mut adopter = ClusterKvSelector::new(test_config(), 8);
+        chunk_feed(&mut adopter, &keys);
+        assert!(adopter.adopt_prefill_state(&state, 60));
+        assert_eq!(adopter.chunk_norms().len(), 0, "buffers dropped");
+        assert_eq!(
+            adopter.clustering().centroids().as_slice(),
+            donor.clustering().centroids().as_slice(),
+            "adopted centroids are the donor's, bitwise"
+        );
+        assert_eq!(
+            adopter.clustering().num_tokens(),
+            donor.clustering().num_tokens()
+        );
+        // Identical plans follow from identical state.
+        let q = gaussian_vec(&mut seeded(13), 8, 0.0, 1.0);
+        let pa = adopter.plan(SelectionRequest::new(&q, 60, Budget::new(24)));
+        let pd = donor.plan(SelectionRequest::new(&q, 60, Budget::new(24)));
+        assert_eq!(pa.indices, pd.indices);
+    }
+
+    #[test]
+    fn adoption_rejects_mismatched_state() {
+        let keys = prefill_keys(60, 8, 9);
+        let mut donor = ClusterKvSelector::new(test_config(), 8);
+        chunk_feed(&mut donor, &keys);
+        donor.observe(ObserveEvent::PrefillDone { total_tokens: 60 });
+        let state = donor.export_prefill_state().unwrap();
+
+        // Wrong token count: the state is for a different prompt length.
+        let mut adopter = ClusterKvSelector::new(test_config(), 8);
+        assert!(!adopter.adopt_prefill_state(&state, 59));
+
+        // Wrong seed (the factory's per-head derivation lands here): the
+        // fingerprint differs, so cross-head adoption is refused.
+        let mut other_head = ClusterKvSelector::new(test_config().with_seed(12345), 8);
+        chunk_feed(&mut other_head, &keys);
+        assert!(!other_head.adopt_prefill_state(&state, 60));
+        // Refusal leaves the buffered chunks intact for the normal path.
+        assert_eq!(other_head.chunk_norms().len(), 60);
+        other_head.observe(ObserveEvent::PrefillDone { total_tokens: 60 });
+        assert_eq!(other_head.clustering().num_tokens(), 60);
     }
 }

@@ -19,12 +19,16 @@
 //! * [`cluster_cache`] — [`ClusterCache`], the session-level tiered KV
 //!   hierarchy: a capacity-bounded GPU resident set of KV pages with
 //!   deterministic LRU eviction over a CPU backing store (DESIGN.md §3).
+//! * [`prefix`] — the workspace-global [`PrefixStore`]: a radix tree of
+//!   refcounted, immutable shared KV prefix pages (plus cached selector
+//!   state) enabling cross-session prefix reuse (DESIGN.md §8).
 //! * [`stats`] — transfer / cache-hit counters used by the experiments.
 
 #![warn(missing_docs)]
 
 pub mod cluster_cache;
 pub mod device;
+pub mod prefix;
 pub mod selected;
 pub mod stats;
 pub mod store;
@@ -33,6 +37,9 @@ pub mod types;
 
 pub use cluster_cache::{ClusterCache, ClusterCacheConfig, PageKey, PageRequest, StepOutcome};
 pub use device::DeviceModel;
+pub use prefix::{
+    MatchSegment, PrefixStore, PrefixStoreConfig, PrefixStoreStats, SharedKvPage, SharedPrefixState,
+};
 pub use selected::SelectedKv;
 pub use stats::{CacheStats, TransferStats};
 pub use store::KvStore;

@@ -117,6 +117,41 @@ impl KvStore {
         }
     }
 
+    /// Append rows `[start, end)` of a shared prefix page: keys, values and
+    /// the *cached* squared key norms are bulk-copied, skipping the per-row
+    /// norm recomputation of [`append_batch`]. Because the cached norms were
+    /// produced by the same `norm_sq` kernel on bitwise-identical rows, the
+    /// result is observationally identical to recomputing them
+    /// (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, mismatched `keys`/`values`/`norms` lengths,
+    /// or an invalid row range.
+    ///
+    /// [`append_batch`]: KvStore::append_batch
+    pub fn append_shared(
+        &mut self,
+        keys: &Matrix,
+        values: &Matrix,
+        norms: &[f32],
+        start: usize,
+        end: usize,
+    ) {
+        assert_eq!(keys.rows(), values.rows(), "key/value row count mismatch");
+        assert_eq!(keys.rows(), norms.len(), "key/norm count mismatch");
+        assert_eq!(keys.cols(), self.head_dim, "key dim mismatch");
+        assert_eq!(values.cols(), self.head_dim, "value dim mismatch");
+        self.reserve(end - start);
+        self.keys
+            .extend_rows_range(keys, start, end)
+            .expect("checked");
+        self.values
+            .extend_rows_range(values, start, end)
+            .expect("checked");
+        self.key_norms.extend_from_slice(&norms[start..end]);
+    }
+
     /// Key vector of token `i`.
     ///
     /// # Panics
@@ -295,6 +330,32 @@ mod tests {
             prop_assert_eq!(bulk.values(), one_by_one.values());
             prop_assert_eq!(bulk.key_norms(), one_by_one.key_norms());
             prop_assert_eq!(bulk.size_bytes(), one_by_one.size_bytes());
+        }
+
+        #[test]
+        fn append_shared_is_observationally_identical_to_append_batch(
+            n in 1usize..24,
+            dim in 1usize..8,
+            lo in 0usize..24,
+            hi in 0usize..24,
+            seed in proptest::collection::vec(-4.0f32..4.0, 0..192),
+        ) {
+            prop_assume!(seed.len() >= 2 * n * dim);
+            let keys = Matrix::from_flat(n, dim, seed[..n * dim].to_vec()).unwrap();
+            let values = Matrix::from_flat(n, dim, seed[n * dim..2 * n * dim].to_vec()).unwrap();
+            // A shared page carries norms computed by the donor's appends.
+            let mut donor = KvStore::new(dim);
+            donor.append_batch(&keys, &values);
+            let (a, b) = (lo % n, hi % n);
+            let (start, end) = (a.min(b), a.max(b) + 1);
+            let mut shared = KvStore::new(dim);
+            shared.append_shared(&keys, &values, donor.key_norms(), start, end);
+            let mut reference = KvStore::new(dim);
+            reference.append_batch(&keys.slice_rows(start, end), &values.slice_rows(start, end));
+            prop_assert_eq!(shared.len(), end - start);
+            prop_assert_eq!(shared.keys(), reference.keys());
+            prop_assert_eq!(shared.values(), reference.values());
+            prop_assert_eq!(shared.key_norms(), reference.key_norms());
         }
 
         #[test]

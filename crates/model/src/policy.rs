@@ -19,6 +19,7 @@ use clusterkv_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 pub use clusterkv_kvcache::cluster_cache::PageRequest;
+pub use clusterkv_kvcache::prefix::SharedPrefixState;
 
 /// Identity of the head a selector instance is attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -272,6 +273,38 @@ pub trait TokenSelector: Send {
     /// return [`KvResidency::Resident`] (the default).
     fn page_table(&self) -> KvResidency {
         KvResidency::Resident
+    }
+
+    /// Snapshot this selector's post-`PrefillDone` state for caching in the
+    /// cross-session [`PrefixStore`] (e.g. ClusterKV's centroids and norm
+    /// caches). Called by the engine immediately after `PrefillDone`, before
+    /// any decode append. Return `None` (the default) if the policy has no
+    /// shareable prefill state.
+    ///
+    /// The returned fingerprint must commit to every configuration input the
+    /// state depends on besides the observed token prefix, so
+    /// [`adopt_prefill_state`] only accepts state this selector would have
+    /// computed itself.
+    ///
+    /// [`PrefixStore`]: clusterkv_kvcache::PrefixStore
+    /// [`adopt_prefill_state`]: TokenSelector::adopt_prefill_state
+    fn export_prefill_state(&self) -> Option<SharedPrefixState> {
+        None
+    }
+
+    /// Adopt a cached prefill snapshot instead of running the global
+    /// `PrefillDone` pass, discarding any buffered chunk keys. Returns `true`
+    /// if the state was adopted (the engine then skips `PrefillDone` for this
+    /// head); `false` (the default) to decline — e.g. on a fingerprint
+    /// mismatch — in which case `PrefillDone` runs normally.
+    ///
+    /// Because the cached state was exported after an identical token prefix
+    /// under an identical configuration and the prefill pass is
+    /// deterministic, adoption must leave the selector byte-identical to
+    /// having run `PrefillDone` itself (the prefix parity suite in
+    /// `tests/serving.rs` enforces this).
+    fn adopt_prefill_state(&mut self, _state: &SharedPrefixState, _total_tokens: usize) -> bool {
+        false
     }
 }
 

@@ -40,6 +40,7 @@ use crate::trace::{AttentionTrace, TraceStep};
 use crate::weights::ModelWeights;
 use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
 use clusterkv_kvcache::device::{DeviceModel, Seconds};
+use clusterkv_kvcache::prefix::{PrefixStore, PrefixStoreConfig, PrefixStoreStats};
 use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_tensor::kernels::{attend_into, matvec_rows_into, Workspace};
@@ -89,6 +90,13 @@ pub enum EngineError {
     AlreadyPrefilled,
     /// The prompt was empty.
     EmptyPrompt,
+    /// An empty chunk was submitted to [`ServeEngine::prefill_chunk`]
+    /// (distinct from [`EmptyPrompt`](EngineError::EmptyPrompt): the session
+    /// keeps accepting non-empty chunks).
+    EmptyChunk,
+    /// A prompt chunk was submitted after [`ServeEngine::finish_prefill`]
+    /// sealed the prompt.
+    PrefillSealed,
     /// The session id is not (or no longer) resident in the engine.
     UnknownSession(SessionId),
     /// The engine is at its session capacity.
@@ -114,6 +122,10 @@ impl std::fmt::Display for EngineError {
             EngineError::NotPrefilled => write!(f, "decode requested before prefill"),
             EngineError::AlreadyPrefilled => write!(f, "session is already prefilled"),
             EngineError::EmptyPrompt => write!(f, "prompt must not be empty"),
+            EngineError::EmptyChunk => write!(f, "prefill chunk must not be empty"),
+            EngineError::PrefillSealed => {
+                write!(f, "prompt is sealed; no further prefill chunks accepted")
+            }
             EngineError::UnknownSession(id) => write!(f, "unknown session {id}"),
             EngineError::SessionLimitReached { max } => {
                 write!(f, "session limit of {max} reached")
@@ -174,6 +186,16 @@ pub struct SessionReport {
     /// roofline device model, with PCIe transfer charged only for
     /// cluster-cache misses.
     pub modeled_decode_time: Seconds,
+    /// Prompt positions whose KV was served from the cross-session
+    /// [`PrefixStore`] instead of being recomputed (0 without a store, or
+    /// for the first session to see a prompt).
+    pub shared_prefix_tokens: usize,
+    /// KV bytes of the shared prefix positions — charged to the store, not
+    /// to this session.
+    pub shared_kv_bytes: Bytes,
+    /// KV bytes the session was charged for (novel prompt suffix plus every
+    /// generated token).
+    pub private_kv_bytes: Bytes,
 }
 
 impl SessionReport {
@@ -186,6 +208,16 @@ impl SessionReport {
     /// Bytes recalled from CPU memory over PCIe across the whole session.
     pub fn bytes_recalled(&self) -> Bytes {
         self.stats.transfer.bytes_to_device
+    }
+
+    /// Fraction of the session's final context served from shared prefix
+    /// pages, in `[0, 1]`.
+    pub fn shared_fraction(&self) -> f64 {
+        if self.context_len == 0 {
+            0.0
+        } else {
+            self.shared_prefix_tokens as f64 / self.context_len as f64
+        }
     }
 }
 
@@ -281,6 +313,25 @@ struct SessionState {
     step: StepAccounting,
     /// Modeled decode latency accumulated over every step.
     modeled_decode: Seconds,
+    /// The prompt tokens fed so far, buffered only while the engine has a
+    /// [`PrefixStore`] (lookup during chunks, donation at
+    /// `finish_prefill`, unpinning at release).
+    prompt_tokens: Vec<usize>,
+    /// Whether prefill chunks are still walking the prefix tree. Starts true
+    /// iff the engine has a store; cleared at the first divergence.
+    prefix_active: bool,
+    /// Prompt positions whose KV is store-backed (served by — or, for the
+    /// recomputed last token of a chunk, available from — shared pages).
+    /// Drives the shared-vs-private byte accounting.
+    matched_prefix_tokens: usize,
+    /// Prompt positions whose forward pass was actually skipped (KV copied
+    /// from shared pages). Drives the compute/FLOP accounting; differs from
+    /// `matched_prefix_tokens` by at most one recomputed token per chunk.
+    fastpath_prefix_tokens: usize,
+    /// The exact token prefix this session has pinned in the store
+    /// (admission pin before prefill, the full prompt after donation);
+    /// unpinned at release.
+    pinned_prompt: Vec<usize>,
 }
 
 /// Builder for [`ServeEngine`], replacing the positional
@@ -293,6 +344,7 @@ pub struct ServeEngineBuilder {
     policy: Option<Box<dyn SelectorFactory>>,
     max_sessions: usize,
     kv_cache_capacity: Option<Bytes>,
+    prefix_store_capacity: Option<Bytes>,
     device: DeviceModel,
 }
 
@@ -310,6 +362,7 @@ impl ServeEngineBuilder {
             policy: None,
             max_sessions: DEFAULT_MAX_SESSIONS,
             kv_cache_capacity: None,
+            prefix_store_capacity: None,
             device: DeviceModel::ada6000(),
         }
     }
@@ -371,6 +424,20 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Enable the workspace-global [`PrefixStore`]: sessions whose prompts
+    /// share a prefix reuse its KV pages, key-norm caches and cluster
+    /// centroids instead of recomputing them, with `capacity` bytes of
+    /// zero-refcount pages retained LRU-style for cross-session temporal
+    /// reuse (DESIGN.md §8). Without this call every session prefills cold.
+    ///
+    /// Sharing changes what is computed and stored, never what attends:
+    /// token streams are byte-identical with and without the store, at any
+    /// chunking and any thread count (enforced by the prefix parity suite).
+    pub fn prefix_store(mut self, capacity: Bytes) -> Self {
+        self.prefix_store_capacity = Some(capacity);
+        self
+    }
+
     /// Validate the configuration and build the engine.
     ///
     /// # Errors
@@ -394,6 +461,14 @@ impl ServeEngineBuilder {
             next_session: 0,
             max_sessions: self.max_sessions,
             kv_cache_capacity: self.kv_cache_capacity.unwrap_or(Bytes(0)),
+            prefix: self.prefix_store_capacity.map(|capacity| {
+                PrefixStore::new(PrefixStoreConfig {
+                    capacity,
+                    layers: self.config.num_layers,
+                    kv_heads: self.config.num_kv_heads,
+                    head_dim: self.config.head_dim,
+                })
+            }),
             latency,
         })
     }
@@ -412,6 +487,8 @@ pub struct ServeEngine {
     max_sessions: usize,
     /// GPU capacity of each session's cluster cache (0 = pure offload).
     kv_cache_capacity: Bytes,
+    /// Cross-session shared-prefix pages (`None` = every session cold).
+    prefix: Option<PrefixStore>,
     /// Roofline pricing of modeled per-step decode latency.
     latency: LatencyModel,
 }
@@ -570,6 +647,11 @@ impl ServeEngine {
                 )),
                 step: StepAccounting::default(),
                 modeled_decode: Seconds::zero(),
+                prompt_tokens: Vec::new(),
+                prefix_active: self.prefix.is_some(),
+                matched_prefix_tokens: 0,
+                fastpath_prefix_tokens: 0,
+                pinned_prompt: Vec::new(),
                 workspaces: (0..self.config.num_heads)
                     .map(|_| Workspace::new())
                     .collect(),
@@ -591,12 +673,26 @@ impl ServeEngine {
             .sessions
             .remove(&id.0)
             .ok_or(EngineError::UnknownSession(id))?;
+        if let Some(store) = &mut self.prefix {
+            if !sess.pinned_prompt.is_empty() {
+                store.unpin_prompt(&sess.pinned_prompt);
+            }
+        }
+        let shared_kv_bytes =
+            Bytes(sess.matched_prefix_tokens as u64 * self.config.kv_bytes_per_token());
+        let private_kv_bytes = Bytes(
+            (sess.num_tokens - sess.matched_prefix_tokens) as u64
+                * self.config.kv_bytes_per_token(),
+        );
         Ok(SessionReport {
             id,
             context_len: sess.num_tokens,
             generated_tokens: sess.generated_tokens,
             stats: sess.stats,
             modeled_decode_time: sess.modeled_decode,
+            shared_prefix_tokens: sess.matched_prefix_tokens,
+            shared_kv_bytes,
+            private_kv_bytes,
         })
     }
 
@@ -607,6 +703,73 @@ impl ServeEngine {
     /// [`EngineError::UnknownSession`] if the id is not resident.
     pub fn context_len(&self, id: SessionId) -> Result<usize, EngineError> {
         Ok(self.session(id)?.num_tokens)
+    }
+
+    /// Whether the engine was built with a cross-session [`PrefixStore`].
+    pub fn has_prefix_store(&self) -> bool {
+        self.prefix.is_some()
+    }
+
+    /// Counters of the engine's [`PrefixStore`] (`None` without one).
+    pub fn prefix_store_stats(&self) -> Option<PrefixStoreStats> {
+        self.prefix.as_ref().map(PrefixStore::stats)
+    }
+
+    /// Length of the prompt prefix the store could serve *and guarantee
+    /// through a pin* (whole-node coverage; see [`PrefixStore::peek_match`]).
+    /// 0 without a store. Read-only — admission control uses this to shrink
+    /// a request's worst-case KV reservation before deciding to admit.
+    pub fn prefix_match_len(&self, prompt: &[usize]) -> usize {
+        self.prefix
+            .as_ref()
+            .map_or(0, |store| store.peek_match(prompt))
+    }
+
+    /// Pin the currently shareable prefix of `prompt` on behalf of session
+    /// `id`, guaranteeing those store pages survive until the session is
+    /// released (admission-time companion of [`prefix_match_len`]: pinned
+    /// coverage can only grow, so a reservation computed against it stays
+    /// sound). Returns the pinned length; 0 (and no pin) without a store.
+    /// The pin is swapped for a full-prompt pin when the session seals its
+    /// prefill, and dropped at release either way.
+    ///
+    /// [`prefix_match_len`]: Self::prefix_match_len
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn pin_session_prefix(
+        &mut self,
+        id: SessionId,
+        prompt: &[usize],
+    ) -> Result<usize, EngineError> {
+        let sess = self
+            .sessions
+            .get_mut(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
+        let Some(store) = &mut self.prefix else {
+            return Ok(0);
+        };
+        let old_pin = std::mem::take(&mut sess.pinned_prompt);
+        let pinned = store.pin_prompt(prompt);
+        sess.pinned_prompt = prompt[..pinned].to_vec();
+        if !old_pin.is_empty() {
+            store.unpin_prompt(&old_pin);
+        }
+        Ok(pinned)
+    }
+
+    /// Per-session prefix accounting: `(store-backed positions, positions
+    /// whose forward pass was actually skipped)`. The two differ by the
+    /// chunk-last tokens the fast path recomputes to keep returned hidden
+    /// states exact. Both 0 without a store or for a cold prompt.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn session_prefix_tokens(&self, id: SessionId) -> Result<(usize, usize), EngineError> {
+        let sess = self.session(id)?;
+        Ok((sess.matched_prefix_tokens, sess.fastpath_prefix_tokens))
     }
 
     /// Policy statistics accumulated over every selection plan of a session,
@@ -979,7 +1142,13 @@ impl ServeEngine {
                 }
             }
         }
-        let total = Bytes(sess.num_tokens as u64 * config.kv_bytes_per_token());
+        // Shared-prefix positions live in the workspace-global store and are
+        // charged there exactly once; the session's backing store only pays
+        // for its private rows (novel prompt suffix + generated tokens).
+        // Without a prefix store `matched_prefix_tokens` is 0 and this is
+        // the plain full-context charge.
+        let private = sess.num_tokens - sess.matched_prefix_tokens;
+        let total = Bytes(private as u64 * config.kv_bytes_per_token());
         sess.cache
             .set_backing(total)
             .expect("host DRAM exhausted by simulated KV");
@@ -1026,12 +1195,20 @@ impl ServeEngine {
     /// fit), so a failed call forwards nothing and the session keeps
     /// accepting corrected chunks.
     ///
+    /// When the engine has a [`PrefixStore`], the chunk first walks the
+    /// store: prompt positions covered by shared pages have their KV (and
+    /// key-norm caches) bulk-copied instead of recomputed, and only the
+    /// novel suffix runs the forward pass. The last token of every chunk is
+    /// always forwarded so the returned hidden state is exact. Shared pages
+    /// are immutable; the session's own stores are its private copy, so
+    /// decode appends never write back (copy-on-write at the materialize
+    /// boundary, DESIGN.md §8).
+    ///
     /// # Errors
     ///
-    /// [`EngineError::UnknownSession`], [`EngineError::AlreadyPrefilled`]
-    /// (the session already finished prefill), [`EngineError::EmptyPrompt`]
-    /// (empty chunk), [`EngineError::TokenOutOfVocab`] or
-    /// [`EngineError::ContextOverflow`].
+    /// [`EngineError::UnknownSession`], [`EngineError::PrefillSealed`]
+    /// (the session already finished prefill), [`EngineError::EmptyChunk`],
+    /// [`EngineError::TokenOutOfVocab`] or [`EngineError::ContextOverflow`].
     pub fn prefill_chunk(
         &mut self,
         id: SessionId,
@@ -1043,16 +1220,17 @@ impl ServeEngine {
             rope,
             budget,
             sessions,
+            prefix,
             ..
         } = self;
         let sess = sessions
             .get_mut(&id.0)
             .ok_or(EngineError::UnknownSession(id))?;
         if sess.phase == SessionPhase::Ready {
-            return Err(EngineError::AlreadyPrefilled);
+            return Err(EngineError::PrefillSealed);
         }
         if chunk.is_empty() {
-            return Err(EngineError::EmptyPrompt);
+            return Err(EngineError::EmptyChunk);
         }
         // Validate the whole chunk upfront: a chunk that errored halfway
         // through would otherwise leave partial KV entries behind while the
@@ -1078,8 +1256,49 @@ impl ServeEngine {
                 store.reserve(chunk.len());
             }
         }
+        // Prefix fast path: positions the store already holds get their KV
+        // rows (and key-norm caches) bulk-copied from shared pages; only the
+        // novel suffix is forwarded. The walk is capped one token short of
+        // the buffered prompt so the chunk's last token is always forwarded
+        // and the returned hidden state stays exact. Copied rows are bitwise
+        // what the forward pass would produce (deterministic kernels,
+        // absolute-position RoPE), so everything downstream — selector
+        // observes, decode, parity — is byte-identical to a cold prefill.
+        let mut fast = 0;
+        if let Some(store) = prefix {
+            sess.prompt_tokens.extend_from_slice(chunk);
+            if sess.prefix_active {
+                let cap = sess.prompt_tokens.len() - 1;
+                let (matched, segments) = store.match_from(start, &sess.prompt_tokens[..cap]);
+                if matched > start {
+                    fast = matched - start;
+                    for (layer, layer_kv) in sess.kv.iter_mut().enumerate() {
+                        for (kv_head, kv) in layer_kv.iter_mut().enumerate() {
+                            for seg in &segments {
+                                let page = store.page(seg.node, layer, kv_head);
+                                kv.append_shared(
+                                    &page.keys,
+                                    &page.values,
+                                    &page.key_norms,
+                                    seg.rows.0,
+                                    seg.rows.1,
+                                );
+                            }
+                        }
+                    }
+                    sess.num_tokens += fast;
+                    sess.fastpath_prefix_tokens += fast;
+                }
+                sess.matched_prefix_tokens = sess.matched_prefix_tokens.max(matched);
+                if matched < cap {
+                    // First divergence: every later position is novel, so
+                    // stop walking the tree for this session.
+                    sess.prefix_active = false;
+                }
+            }
+        }
         let mut last = Vec::new();
-        for &token in chunk {
+        for &token in &chunk[fast..] {
             last = Self::forward_token(config, weights, rope, *budget, sess, token, false)?;
         }
         // Notify selectors of the chunk's keys (per query head, sharing one
@@ -1114,6 +1333,13 @@ impl ServeEngine {
     /// hierarchy, and the session becomes decodable (its next decode input
     /// is the last prompt token).
     ///
+    /// With a [`PrefixStore`], sealing also donates the session's prompt KV
+    /// into the tree (refcounted, pinned until release) and reconciles
+    /// selector state: the first session to seal a prompt exports its
+    /// post-clustering state to the terminal node, and later sessions adopt
+    /// it — skipping the k-means entirely — when the fingerprint and token
+    /// count line up.
+    ///
     /// # Errors
     ///
     /// [`EngineError::UnknownSession`], [`EngineError::AlreadyPrefilled`]
@@ -1121,7 +1347,10 @@ impl ServeEngine {
     /// forwarded).
     pub fn finish_prefill(&mut self, id: SessionId) -> Result<(), EngineError> {
         let Self {
-            config, sessions, ..
+            config,
+            sessions,
+            prefix,
+            ..
         } = self;
         let sess = sessions
             .get_mut(&id.0)
@@ -1132,9 +1361,59 @@ impl ServeEngine {
             SessionPhase::Prefilling => {}
         }
         let total_tokens = sess.num_tokens;
-        Self::observe_selective(config, sess, |_, _, sel| {
+        let mut terminal = None;
+        if let Some(store) = prefix {
+            debug_assert_eq!(sess.prompt_tokens.len(), total_tokens);
+            if sess.prefix_active {
+                // Retroactively credit the chunk-last tokens the fast path
+                // recomputed: they are store-backed even though they were
+                // forwarded, so they belong to the shared byte accounting.
+                let (matched, _) = store.match_from(total_tokens, &sess.prompt_tokens);
+                sess.matched_prefix_tokens = sess.matched_prefix_tokens.max(matched);
+            }
+            // Donate the prompt KV (pages are slices of this session's own
+            // stores, so re-donating a known prompt adds zero bytes) and
+            // swap the admission pin, if any, for the full-prompt pin that
+            // `insert` takes on our behalf.
+            let node = store.insert(&sess.prompt_tokens, &sess.kv);
+            let old_pin = std::mem::replace(&mut sess.pinned_prompt, sess.prompt_tokens.clone());
+            if !old_pin.is_empty() {
+                store.unpin_prompt(&old_pin);
+            }
+            terminal = Some(node);
+        }
+        let adopt_from = terminal.and_then(|node| {
+            prefix
+                .as_ref()
+                .filter(|store| store.has_selector_states(node))
+                .map(|store| (store, node))
+        });
+        let dense = config.dense_layers;
+        Self::observe_selective(config, sess, |li, head, sel| {
+            if let Some((store, node)) = adopt_from {
+                if let Some(state) = store.selector_state(node, li + dense, head) {
+                    if sel.adopt_prefill_state(state, total_tokens) {
+                        return;
+                    }
+                }
+            }
             sel.observe(ObserveEvent::PrefillDone { total_tokens });
         });
+        if let Some(node) = terminal {
+            let store = prefix.as_mut().expect("terminal implies a store");
+            if !store.has_selector_states(node) {
+                // First session to seal this exact prompt: export each
+                // selective head's post-reconcile state so later sessions
+                // skip the clustering work.
+                for (li, heads) in sess.selectors[dense..].iter().enumerate() {
+                    for (head, sel) in heads.iter().enumerate() {
+                        if let Some(state) = sel.export_prefill_state() {
+                            store.cache_selector_state(node, li + dense, head, state);
+                        }
+                    }
+                }
+            }
+        }
         // The prefill KV was produced on the GPU: pages stay resident while
         // cache capacity allows, the rest is offloaded to the backing store.
         Self::settle_session_memory(config, sess);
@@ -1160,10 +1439,17 @@ impl ServeEngine {
     /// prefills, empty prompts, out-of-vocabulary tokens or context
     /// overflow.
     pub fn prefill(&mut self, id: SessionId, prompt: &[usize]) -> Result<Vec<f32>, EngineError> {
-        // Reject a session mid-chunked-prefill: silently appending the whole
-        // prompt after partial chunks is never what the caller meant.
-        if self.session(id)?.phase == SessionPhase::Prefilling {
+        // Reject a session mid-chunked-prefill (silently appending the whole
+        // prompt after partial chunks is never what the caller meant) or
+        // already sealed. Checked here, not via `prefill_chunk`, to keep this
+        // monolithic API's historical error contract: `AlreadyPrefilled` and
+        // `EmptyPrompt`, where the chunked path reports the finer-grained
+        // `PrefillSealed` and `EmptyChunk`.
+        if self.session(id)?.phase != SessionPhase::Fresh {
             return Err(EngineError::AlreadyPrefilled);
+        }
+        if prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
         }
         let last = self.prefill_chunk(id, prompt)?;
         self.finish_prefill(id)?;
@@ -1572,17 +1858,20 @@ mod tests {
             eng.prefill(s, &[4, 5]).unwrap_err(),
             EngineError::AlreadyPrefilled
         );
+        // An empty chunk is a caller bug, named as such — not EmptyPrompt,
+        // which is about sealing a session that never fed any chunk.
         assert_eq!(
             eng.prefill_chunk(s, &[]).unwrap_err(),
-            EngineError::EmptyPrompt
+            EngineError::EmptyChunk
         );
         eng.prefill_chunk(s, &[4, 5]).unwrap();
         eng.finish_prefill(s).unwrap();
         assert_eq!(eng.context_len(s).unwrap(), 5);
-        // Sealed: no further prompt tokens, no double seal.
+        // Sealed: further chunks get the dedicated error (the session's
+        // phase silently advancing would corrupt positions), no double seal.
         assert_eq!(
             eng.prefill_chunk(s, &[6]).unwrap_err(),
-            EngineError::AlreadyPrefilled
+            EngineError::PrefillSealed
         );
         assert_eq!(
             eng.finish_prefill(s).unwrap_err(),
@@ -1966,5 +2255,194 @@ mod tests {
         let sb = eng.session_stats(b).unwrap();
         assert!(sa.scored_vectors > 0, "a decoded and accumulated stats");
         assert_eq!(sb.scored_vectors, 0, "b never decoded");
+    }
+
+    fn tiny_serve_with_prefix(budget: usize) -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(budget))
+            .policy(Box::new(OracleTopKFactory))
+            .prefix_store(Bytes(1 << 20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prefix_reuse_is_byte_identical_to_cold_sessions() {
+        let prompt: Vec<usize> = (0..32).map(|i| (i * 5 + 3) % 128).collect();
+        let mut cold = tiny_serve(8);
+        let c = cold.create_session().unwrap();
+        cold.prefill(c, &prompt).unwrap();
+        let cold_stream: Vec<usize> = (0..8)
+            .map(|_| cold.decode_batch(&[c]).unwrap()[0].next_token)
+            .collect();
+
+        let mut eng = tiny_serve_with_prefix(8);
+        // First session sees a cold store: nothing fast-pathed, but the
+        // prompt gets donated at seal.
+        let a = eng.create_session().unwrap();
+        let last_a = eng.prefill(a, &prompt).unwrap();
+        let (matched_a, fast_a) = eng.session_prefix_tokens(a).unwrap();
+        assert_eq!(fast_a, 0, "nothing to reuse on a cold store");
+        assert_eq!(matched_a, 0);
+        let a_stream: Vec<usize> = (0..8)
+            .map(|_| eng.decode_batch(&[a]).unwrap()[0].next_token)
+            .collect();
+        assert_eq!(a_stream, cold_stream, "store-enabled first session");
+
+        // Second session: the whole prompt except the recomputed final
+        // token is served from shared pages, and decode is byte-identical.
+        let b = eng.create_session().unwrap();
+        let last_b = eng.prefill(b, &prompt).unwrap();
+        assert_eq!(last_b, last_a, "returned hidden states match exactly");
+        let (matched_b, fast_b) = eng.session_prefix_tokens(b).unwrap();
+        assert_eq!(fast_b, prompt.len() - 1, "all but the final token reused");
+        assert_eq!(matched_b, prompt.len(), "final match credits the prompt");
+        let b_stream: Vec<usize> = (0..8)
+            .map(|_| eng.decode_batch(&[b]).unwrap()[0].next_token)
+            .collect();
+        assert_eq!(b_stream, cold_stream, "shared-prefix session diverged");
+
+        let stats = eng.prefix_store_stats().unwrap();
+        assert!(stats.hit_tokens as usize >= prompt.len() - 1);
+    }
+
+    #[test]
+    fn prefix_reuse_is_chunking_invariant() {
+        let prompt: Vec<usize> = (0..24).map(|i| (i * 7 + 2) % 128).collect();
+        let mut cold = tiny_serve(8);
+        let c = cold.create_session().unwrap();
+        cold.prefill(c, &prompt).unwrap();
+        let cold_stream: Vec<usize> = (0..6)
+            .map(|_| cold.decode_batch(&[c]).unwrap()[0].next_token)
+            .collect();
+        for chunk_size in [1, 3, 7, 24] {
+            let mut eng = tiny_serve_with_prefix(8);
+            let a = eng.create_session().unwrap();
+            eng.prefill(a, &prompt).unwrap();
+            let b = eng.create_session().unwrap();
+            for chunk in prompt.chunks(chunk_size) {
+                eng.prefill_chunk(b, chunk).unwrap();
+            }
+            eng.finish_prefill(b).unwrap();
+            let stream: Vec<usize> = (0..6)
+                .map(|_| eng.decode_batch(&[b]).unwrap()[0].next_token)
+                .collect();
+            assert_eq!(stream, cold_stream, "chunk {chunk_size}: diverged");
+            let (matched, fast) = eng.session_prefix_tokens(b).unwrap();
+            assert_eq!(matched, prompt.len(), "chunk {chunk_size}");
+            // Every chunk recomputes exactly its final token.
+            assert_eq!(
+                fast,
+                prompt.len() - prompt.len().div_ceil(chunk_size),
+                "chunk {chunk_size}: fast-path count"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_divergent_prompt_reuses_only_common_part() {
+        let shared: Vec<usize> = (0..16).map(|i| (i * 3 + 1) % 128).collect();
+        let mut a_prompt = shared.clone();
+        a_prompt.extend([40, 41, 42, 43]);
+        let mut b_prompt = shared.clone();
+        b_prompt.extend([90, 91, 92, 93]);
+
+        let mut cold = tiny_serve(8);
+        let c = cold.create_session().unwrap();
+        cold.prefill(c, &b_prompt).unwrap();
+        let cold_stream: Vec<usize> = (0..6)
+            .map(|_| cold.decode_batch(&[c]).unwrap()[0].next_token)
+            .collect();
+
+        let mut eng = tiny_serve_with_prefix(8);
+        let a = eng.create_session().unwrap();
+        eng.prefill(a, &a_prompt).unwrap();
+        let b = eng.create_session().unwrap();
+        eng.prefill(b, &b_prompt).unwrap();
+        let (matched, fast) = eng.session_prefix_tokens(b).unwrap();
+        assert_eq!(matched, shared.len(), "only the common prefix is shared");
+        assert_eq!(fast, shared.len());
+        let stream: Vec<usize> = (0..6)
+            .map(|_| eng.decode_batch(&[b]).unwrap()[0].next_token)
+            .collect();
+        assert_eq!(stream, cold_stream, "divergent-suffix session diverged");
+    }
+
+    #[test]
+    fn prefix_session_reports_split_shared_and_private_bytes() {
+        let prompt: Vec<usize> = (0..20).map(|i| (i * 11 + 5) % 128).collect();
+        let per_token = ModelConfig::tiny().kv_bytes_per_token();
+        let mut eng = tiny_serve_with_prefix(8);
+        let a = eng.create_session().unwrap();
+        eng.prefill(a, &prompt).unwrap();
+        let b = eng.create_session().unwrap();
+        eng.prefill(b, &prompt).unwrap();
+        for _ in 0..4 {
+            eng.decode_batch(&[a, b]).unwrap();
+        }
+        let ra = eng.release(a).unwrap();
+        assert_eq!(ra.shared_prefix_tokens, 0, "first session computed cold");
+        assert_eq!(ra.shared_kv_bytes, Bytes(0));
+        assert_eq!(
+            ra.private_kv_bytes,
+            Bytes(ra.context_len as u64 * per_token)
+        );
+        let rb = eng.release(b).unwrap();
+        assert_eq!(rb.shared_prefix_tokens, prompt.len());
+        assert_eq!(rb.shared_kv_bytes, Bytes(prompt.len() as u64 * per_token));
+        assert_eq!(
+            rb.private_kv_bytes,
+            Bytes((rb.context_len - prompt.len()) as u64 * per_token)
+        );
+        assert!(rb.shared_fraction() > 0.0 && rb.shared_fraction() < 1.0);
+        // Both sessions released and unpinned: the donated pages stay under
+        // the LRU cap, refcount-free, ready for the next session.
+        let stats = eng.prefix_store_stats().unwrap();
+        assert!(stats.shared_bytes > Bytes(0));
+    }
+
+    #[test]
+    fn prefix_pin_shrinks_admission_and_survives_release_order() {
+        let prompt: Vec<usize> = (0..16).map(|i| (i * 9 + 4) % 128).collect();
+        // Zero retention capacity: unpinned zero-refcount pages are evicted
+        // immediately, so only b's admission pin can keep them alive.
+        let mut eng = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(OracleTopKFactory))
+            .prefix_store(Bytes(0))
+            .build()
+            .unwrap();
+        assert_eq!(eng.prefix_match_len(&prompt), 0, "cold store");
+        let a = eng.create_session().unwrap();
+        eng.prefill(a, &prompt).unwrap();
+        // After the first seal the whole prompt is pinnable coverage.
+        assert_eq!(eng.prefix_match_len(&prompt), prompt.len());
+        let b = eng.create_session().unwrap();
+        let pinned = eng.pin_session_prefix(b, &prompt).unwrap();
+        assert_eq!(pinned, prompt.len());
+        // The donor releases first; b's pin keeps the pages alive.
+        eng.release(a).unwrap();
+        eng.prefill(b, &prompt).unwrap();
+        let (_, fast) = eng.session_prefix_tokens(b).unwrap();
+        assert_eq!(fast, prompt.len() - 1, "pinned pages stayed resident");
+        eng.release(b).unwrap();
+    }
+
+    #[test]
+    fn prefix_disabled_engine_reports_zero_sharing() {
+        let mut eng = tiny_serve(8);
+        assert!(!eng.has_prefix_store());
+        assert!(eng.prefix_store_stats().is_none());
+        assert_eq!(eng.prefix_match_len(&[1, 2, 3]), 0);
+        let s = eng.create_session().unwrap();
+        assert_eq!(eng.pin_session_prefix(s, &[1, 2, 3]).unwrap(), 0);
+        eng.prefill(s, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(eng.session_prefix_tokens(s).unwrap(), (0, 0));
+        let r = eng.release(s).unwrap();
+        assert_eq!(r.shared_prefix_tokens, 0);
+        assert_eq!(r.shared_kv_bytes, Bytes(0));
+        assert_eq!(r.shared_fraction(), 0.0);
     }
 }

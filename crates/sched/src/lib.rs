@@ -258,6 +258,9 @@ pub struct RequestMetrics {
     pub cache_hit_rate: f64,
     /// Bytes recalled from CPU memory over PCIe.
     pub bytes_recalled: Bytes,
+    /// Prompt positions served from the engine's cross-session prefix store
+    /// (0 without a store, or for a cold prompt).
+    pub shared_prefix_tokens: usize,
 }
 
 impl RequestMetrics {
@@ -572,8 +575,17 @@ impl Scheduler {
     /// fit, nothing behind it is considered — later (smaller) requests
     /// cannot overtake indefinitely, which is what makes every request
     /// eventually admissible.
+    ///
+    /// With a prefix store, the worst-case reservation is shrunk by the
+    /// prompt prefix the store can already serve: those bytes are charged to
+    /// the store, not the session, so counting them again would double-bill
+    /// and leave capacity idle. The discounted coverage is *pinned* at
+    /// admission ([`ServeEngine::pin_session_prefix`]) — pinned pages cannot
+    /// be evicted, so the discount can never exceed what prefill later
+    /// reuses and the bound stays sound.
     fn admit(&mut self) -> Result<Vec<RequestId>, SchedError> {
         let mut admitted = Vec::new();
+        let bytes_per_token = self.engine.config().kv_bytes_per_token();
         loop {
             if self.running.len() >= self.config.max_sessions {
                 break;
@@ -599,8 +611,17 @@ impl Scheduler {
             else {
                 break;
             };
+            let shareable = Bytes(
+                self.engine.prefix_match_len(&self.waiting[front].prompt) as u64 * bytes_per_token,
+            );
+            let effective = Bytes(
+                self.waiting[front]
+                    .kv_bytes
+                    .get()
+                    .saturating_sub(shareable.get()),
+            );
             let fits = match self.config.kv_capacity {
-                Some(capacity) => self.kv_reserved() + self.waiting[front].kv_bytes <= capacity,
+                Some(capacity) => self.kv_reserved() + effective <= capacity,
                 None => true,
             };
             if !fits {
@@ -608,6 +629,15 @@ impl Scheduler {
             }
             let w = self.waiting.remove(front);
             let session = self.engine.create_session()?;
+            // Pin what the discount assumed; the pin can only find at least
+            // as much coverage as the peek above (coverage never shrinks),
+            // so the recorded reservation never exceeds `effective`.
+            let pinned = self.engine.pin_session_prefix(session, &w.prompt)?;
+            let kv_bytes = Bytes(
+                w.kv_bytes
+                    .get()
+                    .saturating_sub(pinned as u64 * bytes_per_token),
+            );
             admitted.push(w.id);
             self.running.push(Running {
                 id: w.id,
@@ -617,7 +647,7 @@ impl Scheduler {
                 priority: w.priority,
                 arrival: w.arrival,
                 admitted_at: self.clock,
-                kv_bytes: w.kv_bytes,
+                kv_bytes,
                 fed: 0,
                 tokens: Vec::new(),
                 first_token_at: None,
@@ -700,7 +730,11 @@ impl Scheduler {
         // of one session costs prefill(b) − prefill(a) (prefill(0) ≡ 0), so
         // any chunking of a prompt telescopes to exactly the monolithic
         // prefill cost — run-to-completion and continuous batching pay
-        // identical totals and differ only in interleaving.
+        // identical totals and differ only in interleaving. Positions the
+        // prefix store fast-pathed were never forwarded, so they are priced
+        // out of the chunk: only the `computed` deepest positions of [a, b)
+        // are charged, which for a fully cold session reduces to the plain
+        // telescoping rule.
         let lm = self.engine.latency_model().clone();
         let lm_prefill = move |tokens: usize| -> Seconds {
             if tokens == 0 {
@@ -715,13 +749,16 @@ impl Scheduler {
             let (from, to) = (r.fed, r.fed + take);
             let session = r.session;
             let chunk: Vec<usize> = r.prompt[from..to].to_vec();
+            let (_, fast_before) = self.engine.session_prefix_tokens(session)?;
             self.engine.prefill_chunk(session, &chunk)?;
+            let (_, fast_after) = self.engine.session_prefix_tokens(session)?;
+            let computed = take - (fast_after - fast_before);
             let r = &mut self.running[i];
             r.fed = to;
             if r.fed == r.prompt.len() {
                 self.engine.finish_prefill(session)?;
             }
-            elapsed += lm_prefill(to) - lm_prefill(from);
+            elapsed += lm_prefill(to) - lm_prefill(to - computed);
             outcome.prefill_tokens += take;
         }
 
@@ -788,6 +825,7 @@ impl Scheduler {
                     priority: r.priority,
                     cache_hit_rate: report.cache_hit_rate(),
                     bytes_recalled: report.bytes_recalled(),
+                    shared_prefix_tokens: report.shared_prefix_tokens,
                 });
             } else {
                 i += 1;
@@ -1093,6 +1131,116 @@ mod tests {
         assert!(a.throughput() > 0.0);
         assert_eq!(a.total_generated, 20);
         assert_eq!(a.request_rows().len(), 5);
+    }
+
+    #[test]
+    fn prefix_sharing_shrinks_reservations_and_speeds_ttft() {
+        let cfg = ModelConfig::tiny();
+        let prompt: Vec<usize> = (0..32).map(|i| (i * 5 + 2) % 128).collect();
+        let new = 4;
+        // Capacity for exactly one cold request's worst case: without the
+        // prefix discount, requests can only ever run one at a time.
+        let capacity = Bytes((prompt.len() + new) as u64 * cfg.kv_bytes_per_token());
+        let store_engine = || {
+            ServeEngine::builder(ModelConfig::tiny())
+                .synthetic_weights(13)
+                .budget(Budget::new(16))
+                .policy(Box::new(OracleTopKFactory))
+                .prefix_store(Bytes(1 << 20))
+                .build()
+                .unwrap()
+        };
+        let mut sched = Scheduler::new(
+            store_engine(),
+            SchedConfig::fcfs(4).with_kv_capacity(capacity),
+        )
+        .unwrap();
+        let shared = |at: f64| Request {
+            prompt: prompt.clone(),
+            max_new_tokens: new,
+            priority: 0,
+            arrival_time: Seconds(at),
+        };
+        sched.submit(shared(0.0)).unwrap();
+        while !sched.is_idle() {
+            sched.tick().unwrap();
+        }
+        let after_cold = sched.clock().get();
+        let cold = &sched.report().requests[0];
+        assert_eq!(cold.shared_prefix_tokens, 0, "first request computes cold");
+        let cold_ttft = cold.ttft();
+
+        // The released session donated the prompt: two followers reserve
+        // only their generation bytes and are admitted *together* under a
+        // capacity that fits just one cold request.
+        sched.submit(shared(after_cold)).unwrap();
+        sched.submit(shared(after_cold)).unwrap();
+        let out = sched.tick().unwrap();
+        assert_eq!(out.admitted.len(), 2, "both fit via the prefix discount");
+        assert_eq!(
+            sched.kv_reserved(),
+            Bytes(2 * new as u64 * cfg.kv_bytes_per_token()),
+            "reservations exclude the pinned shared prefix"
+        );
+        while !sched.is_idle() {
+            sched.tick().unwrap();
+        }
+        let report = sched.report();
+        for r in &report.requests[1..] {
+            assert_eq!(r.shared_prefix_tokens, prompt.len());
+            assert_eq!(r.tokens, report.requests[0].tokens, "streams identical");
+            assert!(
+                r.ttft() < cold_ttft,
+                "shared prefill is priced below cold: {} vs {}",
+                r.ttft(),
+                cold_ttft
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_scheduler_is_deterministic() {
+        let run = || {
+            let engine = ServeEngine::builder(ModelConfig::tiny())
+                .synthetic_weights(13)
+                .budget(Budget::new(16))
+                .policy(Box::new(OracleTopKFactory))
+                .prefix_store(Bytes(1 << 18))
+                .build()
+                .unwrap();
+            let mut sched = Scheduler::new(
+                engine,
+                SchedConfig::fcfs(3)
+                    .with_chunk_tokens(5)
+                    .with_tick_token_budget(7),
+            )
+            .unwrap();
+            // Alternating shared and unique prompts exercise hit, miss and
+            // divergence paths of the store under interleaved chunks.
+            for i in 0..6 {
+                let prompt: Vec<usize> = if i % 2 == 0 {
+                    (0..24).map(|t| (t * 3 + 1) % 128).collect()
+                } else {
+                    (0..9 + i).map(|t| (t * 7 + i) % 128).collect()
+                };
+                sched
+                    .submit(Request {
+                        prompt,
+                        max_new_tokens: 4,
+                        priority: 0,
+                        arrival_time: Seconds(0.0003 * i as f64),
+                    })
+                    .unwrap();
+            }
+            sched.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "prefix sharing must stay bit-deterministic");
+        assert!(
+            a.requests.iter().any(|r| r.shared_prefix_tokens > 0),
+            "the shared prompts actually reused the store"
+        );
     }
 
     #[test]

@@ -239,6 +239,37 @@ impl Matrix {
         Ok(())
     }
 
+    /// Append rows `start..end` of `other` in one bulk copy, without
+    /// materialising an intermediate sub-matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the column counts differ.
+    /// An empty (0×0) matrix adopts `other`'s width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > other.rows()`.
+    pub fn extend_rows_range(&mut self, other: &Matrix, start: usize, end: usize) -> Result<()> {
+        assert!(
+            start <= end && end <= other.rows,
+            "invalid row range {start}..{end}"
+        );
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        if other.cols != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("rows of length {}", self.cols),
+                found: format!("rows of length {}", other.cols),
+            });
+        }
+        self.data
+            .extend_from_slice(&other.data[start * self.cols..end * self.cols]);
+        self.rows += end - start;
+        Ok(())
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Errors

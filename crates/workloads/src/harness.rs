@@ -184,6 +184,17 @@ pub struct TrafficConfig {
     pub vocab_size: usize,
     /// Number of priority classes (`0..priority_levels`); 1 ⇒ uniform.
     pub priority_levels: u32,
+    /// Number of shared prompt templates (0 ⇒ every prompt is unique, the
+    /// historical behavior). With `N > 0` each request prepends one of `N`
+    /// fixed token templates — the "N system prompts × M users" traffic
+    /// shape whose cross-session redundancy the engine's prefix store
+    /// exploits.
+    pub prefix_templates: usize,
+    /// Inclusive `(min, max)` template length in tokens (ignored when
+    /// `prefix_templates` is 0). Templates longer than a request's drawn
+    /// prompt length are truncated to it, so the shared fraction of a trace
+    /// is roughly `template_len / prompt_len`.
+    pub template_len: (usize, usize),
     /// RNG seed.
     pub seed: u64,
 }
@@ -198,6 +209,8 @@ impl TrafficConfig {
             output_len: (4, 24),
             vocab_size,
             priority_levels: 1,
+            prefix_templates: 0,
+            template_len: (0, 0),
             seed: 0,
         }
     }
@@ -225,6 +238,21 @@ impl TrafficConfig {
         self.seed = seed;
         self
     }
+
+    /// Share prompt prefixes: each request prepends one of `templates`
+    /// fixed token sequences whose lengths are drawn from the inclusive
+    /// `(min_len, max_len)` range. Pass `templates = 0` to disable (the
+    /// default — existing traces stay byte-identical).
+    pub fn with_prefix_templates(
+        mut self,
+        templates: usize,
+        min_len: usize,
+        max_len: usize,
+    ) -> Self {
+        self.prefix_templates = templates;
+        self.template_len = (min_len, max_len);
+        self
+    }
 }
 
 /// Generate a deterministic open-loop request trace (sorted by arrival).
@@ -247,7 +275,29 @@ pub fn generate_traffic(config: &TrafficConfig) -> Vec<clusterkv_sched::Request>
         config.priority_levels > 0,
         "need at least one priority class"
     );
+    if config.prefix_templates > 0 {
+        assert!(
+            config.template_len.0 >= 1 && config.template_len.0 <= config.template_len.1,
+            "template_len range must be non-empty"
+        );
+    }
     use rand::Rng;
+    // Templates come from their own derived seed stream so enabling them
+    // perturbs nothing about the base trace's rng draws (arrivals, lengths),
+    // and `prefix_templates = 0` reproduces historical traces byte-for-byte.
+    let templates: Vec<Vec<usize>> = {
+        let mut trng =
+            clusterkv_tensor::rng::seeded(clusterkv_tensor::rng::derive_seed(config.seed, 0x7e4a));
+        (0..config.prefix_templates)
+            .map(|_| {
+                let len = trng.gen_range(config.template_len.0..config.template_len.1 + 1);
+                (0..len)
+                    .map(|_| trng.gen_range(0..config.vocab_size))
+                    .collect()
+            })
+            .collect()
+    };
+    let content_seed = clusterkv_tensor::rng::derive_seed(config.seed, 0x7e4b);
     let mut rng = clusterkv_tensor::rng::seeded(config.seed);
     let mut clock = 0.0f64;
     (0..config.num_requests)
@@ -258,9 +308,31 @@ pub fn generate_traffic(config: &TrafficConfig) -> Vec<clusterkv_sched::Request>
             clock += -(1.0 - u).ln() / config.arrival_rate;
             let prompt_len = rng.gen_range(config.prompt_len.0..config.prompt_len.1 + 1);
             let output_len = rng.gen_range(config.output_len.0..config.output_len.1 + 1);
-            let prompt = (0..prompt_len)
-                .map(|_| rng.gen_range(0..config.vocab_size))
-                .collect();
+            let prompt: Vec<usize> = if templates.is_empty() {
+                (0..prompt_len)
+                    .map(|_| rng.gen_range(0..config.vocab_size))
+                    .collect()
+            } else {
+                // Template head (truncated to the drawn prompt length),
+                // unique tail — the per-user suffix after a shared system
+                // prompt. Content comes from a per-request derived stream
+                // so the main stream draws identically however many tokens
+                // each template covers: traces that differ only in their
+                // template parameters share arrivals and lengths exactly,
+                // which lets the prefix experiments sweep the shared
+                // fraction against a fixed arrival process.
+                let mut crng = clusterkv_tensor::rng::seeded(clusterkv_tensor::rng::derive_seed(
+                    content_seed,
+                    i as u64,
+                ));
+                let template = &templates[crng.gen_range(0..templates.len())];
+                let head = template.len().min(prompt_len);
+                template[..head]
+                    .iter()
+                    .copied()
+                    .chain((head..prompt_len).map(|_| crng.gen_range(0..config.vocab_size)))
+                    .collect()
+            };
             clusterkv_sched::Request {
                 prompt,
                 max_new_tokens: output_len,
@@ -467,6 +539,45 @@ mod tests {
             generate_traffic(&slow).last().unwrap().arrival_time > a.last().unwrap().arrival_time,
             "lower arrival rate must spread arrivals out"
         );
+    }
+
+    #[test]
+    fn prefix_templates_shape_traffic_without_perturbing_base_traces() {
+        let base = TrafficConfig::new(30, 100.0, 128)
+            .with_prompt_len(12, 24)
+            .with_output_len(2, 4)
+            .with_seed(7);
+        let plain = generate_traffic(&base);
+        // Enabling zero templates is the identity.
+        assert_eq!(
+            generate_traffic(&base.with_prefix_templates(0, 1, 1)),
+            plain
+        );
+
+        let templated = generate_traffic(&base.with_prefix_templates(2, 10, 10));
+        assert_eq!(
+            templated,
+            generate_traffic(&base.with_prefix_templates(2, 10, 10)),
+            "templated traces are deterministic too"
+        );
+        // Template parameters only replace prompt *content*: any two
+        // configurations share the arrival process and length draws, so the
+        // prefix experiments sweep the shared fraction against fixed
+        // traffic.
+        let other = generate_traffic(&base.with_prefix_templates(5, 4, 8));
+        for (t, o) in templated.iter().zip(&other) {
+            assert_eq!(t.arrival_time, o.arrival_time);
+            assert_eq!(t.max_new_tokens, o.max_new_tokens);
+            assert_eq!(t.prompt.len(), o.prompt.len());
+            assert!(t.prompt.iter().all(|&tok| tok < 128));
+        }
+        // Every prompt starts with one of the two 10-token templates, and
+        // both templates are actually used.
+        let heads: std::collections::BTreeSet<Vec<usize>> = templated
+            .iter()
+            .map(|r| r.prompt[..10.min(r.prompt.len())].to_vec())
+            .collect();
+        assert_eq!(heads.len(), 2, "30 draws over 2 templates hit both");
     }
 
     #[test]

@@ -567,3 +567,94 @@ fn thread_count_parity_between_batched_and_sequential_decode() {
         );
     }
 }
+
+/// Shared-template prompts for the prefix-store parity case: three users
+/// over one 24-token template (each with a distinct suffix) plus one
+/// unrelated prompt, so a single run exercises the store's hit, divergence
+/// and miss paths.
+fn prefix_prompts() -> Vec<Vec<usize>> {
+    let template: Vec<usize> = (0..24).map(|i| (i * 5 + 11) % 128).collect();
+    let mut prompts: Vec<Vec<usize>> = (0..3)
+        .map(|user| {
+            let mut p = template.clone();
+            p.extend((0..8).map(|i| (i * 13 + 29 * (user + 1)) % 128));
+            p
+        })
+        .collect();
+    prompts.push((0..20).map(|i| (i * 9 + 3) % 128).collect());
+    prompts
+}
+
+/// Serve the shared-template prompts session-at-a-time: chunked prefill
+/// (monolithic when `chunk == 0`), then `DECODE_STEPS` decode steps. Later
+/// sessions reuse whatever earlier sessions donated to the prefix store.
+/// Returns the token streams plus how many prompt positions the store
+/// fast-pathed in total.
+fn prefix_run(store: bool, chunk: usize) -> (Vec<Vec<usize>>, usize) {
+    let factory = clusterkv_factory();
+    let mut builder = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24));
+    if store {
+        builder = builder.prefix_store(Bytes(1 << 20));
+    }
+    let mut engine = builder.build().unwrap();
+    let mut streams = Vec::new();
+    let mut fastpathed = 0;
+    for prompt in prefix_prompts() {
+        let id = engine.create_session_with(&factory).unwrap();
+        if chunk == 0 {
+            engine.prefill(id, &prompt).unwrap();
+        } else {
+            for piece in prompt.chunks(chunk) {
+                engine.prefill_chunk(id, piece).unwrap();
+            }
+            engine.finish_prefill(id).unwrap();
+        }
+        let (_, fast) = engine.session_prefix_tokens(id).unwrap();
+        fastpathed += fast;
+        let mut stream = Vec::with_capacity(DECODE_STEPS);
+        for _ in 0..DECODE_STEPS {
+            stream.push(engine.decode_batch(&[id]).unwrap()[0].next_token);
+        }
+        streams.push(stream);
+    }
+    (streams, fastpathed)
+}
+
+#[test]
+fn prefix_store_parity_across_chunkings_and_threads() {
+    // The acceptance gate of cross-session prefix sharing: with the store
+    // enabled, sessions that reuse shared KV pages (and adopt donated
+    // clustering state) must generate exactly what cold sessions generate —
+    // at every chunking and every worker-thread count.
+    let _guard = thread_env_lock();
+    let (reference, _) = with_thread_count(1, || prefix_run(false, 0));
+    assert!(
+        reference
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1,
+        "prompts should produce distinct continuations"
+    );
+    for store in [false, true] {
+        for chunk in [0usize, 5, 24] {
+            for threads in [1usize, 2, 8] {
+                let (streams, fastpathed) = with_thread_count(threads, || prefix_run(store, chunk));
+                assert_eq!(
+                    streams, reference,
+                    "prefix store parity broke (store {store}, chunk {chunk}, \
+                     {threads} threads)"
+                );
+                if store && chunk != 0 {
+                    assert!(
+                        fastpathed > 0,
+                        "store must fast-path shared positions (chunk {chunk}, \
+                         {threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+}
