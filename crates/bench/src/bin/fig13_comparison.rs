@@ -46,6 +46,7 @@ fn clusterkv_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         scored_vectors_per_head: (context_len as f64 / 80.0).max(1.0),
         attended_tokens: budget as f64,
         transferred_tokens_per_head: transferred_per_step,
+        transferred_compressed_bytes: 0.0,
     }
 }
 
@@ -56,6 +57,7 @@ fn infinigen_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         scored_vectors_per_head: context_len as f64 * 0.25,
         attended_tokens: budget as f64,
         transferred_tokens_per_head: transferred_per_step,
+        transferred_compressed_bytes: 0.0,
     }
 }
 
@@ -66,6 +68,7 @@ fn quest_cost(budget: usize) -> impl Fn(usize) -> StepCost {
         scored_vectors_per_head: context_len as f64 / 16.0,
         attended_tokens: budget as f64,
         transferred_tokens_per_head: 0.0,
+        transferred_compressed_bytes: 0.0,
     }
 }
 
@@ -119,6 +122,7 @@ fn main() {
             scored_vectors_per_head: ctx as f64 * 0.25,
             attended_tokens: ctx as f64,
             transferred_tokens_per_head: ctx as f64,
+            transferred_compressed_bytes: 0.0,
         });
         let infinigen = opt.run(p, d, None, infinigen_cost(256, ig_recall));
         let clusterkv = opt.run(p, d, Some((p / 80, 10)), clusterkv_cost(256, ckv_recall));

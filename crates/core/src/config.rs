@@ -1,6 +1,7 @@
 //! Configuration of the ClusterKV algorithm.
 
 use crate::distance::DistanceMetric;
+use clusterkv_kvcache::CompressionConfig;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the ClusterKV algorithm, defaulting to the values chosen in
@@ -46,6 +47,11 @@ pub struct ClusterKvConfig {
     pub decode_new_clusters: usize,
     /// Seed for the (deterministic) random centroid initialisation.
     pub seed: u64,
+    /// Compressed-tier configuration for recalled KV (DESIGN.md §9).
+    /// Lossless by default, which preserves the byte-parity guarantee of
+    /// the serving stack; a lossy setting makes the policy emit
+    /// recall-compressed selection plans.
+    pub compression: CompressionConfig,
 }
 
 // Note: the paper's recency window `R` (§IV-D) is not an algorithm
@@ -65,6 +71,7 @@ impl Default for ClusterKvConfig {
             decode_cluster_period: 320,
             decode_new_clusters: 4,
             seed: 0x5EED,
+            compression: CompressionConfig::lossless(),
         }
     }
 }
@@ -126,6 +133,12 @@ impl ClusterKvConfig {
         self
     }
 
+    /// Set the compressed-tier configuration (builder style).
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
+    }
+
     /// Validate the configuration.
     ///
     /// # Errors
@@ -147,6 +160,7 @@ impl ClusterKvConfig {
         if self.decode_new_clusters == 0 {
             return Err("decode_new_clusters must be > 0".into());
         }
+        self.compression.validate()?;
         Ok(())
     }
 }
@@ -235,5 +249,17 @@ mod tests {
             ..ClusterKvConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn compression_config_is_lossless_by_default_and_validated() {
+        let c = ClusterKvConfig::default();
+        assert!(c.compression.is_lossless());
+        let lossy = c.with_compression(CompressionConfig::int8().with_merge_threshold(0.1));
+        assert!(!lossy.compression.is_lossless());
+        assert!(lossy.validate().is_ok());
+        let bad = ClusterKvConfig::default()
+            .with_compression(CompressionConfig::int8().with_merge_threshold(2.0));
+        assert!(bad.validate().is_err());
     }
 }

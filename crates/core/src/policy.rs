@@ -20,8 +20,8 @@ use crate::selection::select_clusters_ws;
 use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_kvcache::types::Bytes;
 use clusterkv_model::policy::{
-    HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionPlan, SelectionRequest,
-    SelectorFactory, SharedPrefixState, TokenSelector,
+    CompressedPageRequest, HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionPlan,
+    SelectionRequest, SelectorFactory, SharedPrefixState, TokenSelector,
 };
 use clusterkv_tensor::kernels::{norm_sq, Workspace};
 use clusterkv_tensor::rng::derive_seed;
@@ -101,6 +101,8 @@ impl ClusterKvSelector {
             c.max_kmeans_iters as u64,
             c.decode_cluster_period as u64,
             c.decode_new_clusters as u64,
+            c.compression.fingerprint_words()[0],
+            c.compression.fingerprint_words()[1],
             self.clustering.head_dim() as u64,
         ]
         .into_iter()
@@ -157,22 +159,47 @@ impl TokenSelector for ClusterKvSelector {
             request.budget,
             &mut self.ws,
         );
-        let pages = result.page_requests(self.clustering.metadata());
-        SelectionPlan::new(result.token_indices)
-            .with_stats(PolicyStats {
-                scored_vectors: result.scored_centroids as u64,
-                ..PolicyStats::default()
-            })
-            .with_pages(pages)
+        let metadata = self.clustering.metadata();
+        // Under a lossy compression config, paged clusters are recalled
+        // through the compressed tier: the plan carries each page's member
+        // positions so the engine can attend through the merged + quantized
+        // representation (DESIGN.md §9). Lossless configs keep the
+        // recall-exact Paged residency and its byte-parity guarantee.
+        let residency = if self.clustering.config().compression.is_lossless() {
+            KvResidency::Paged(result.page_requests(metadata))
+        } else {
+            KvResidency::Compressed(
+                result
+                    .page_requests(metadata)
+                    .into_iter()
+                    .zip(result.page_members(metadata))
+                    .map(|(request, members)| CompressedPageRequest { request, members })
+                    .collect(),
+            )
+        };
+        let mut plan = SelectionPlan::new(result.token_indices).with_stats(PolicyStats {
+            scored_vectors: result.scored_centroids as u64,
+            ..PolicyStats::default()
+        });
+        plan.residency = residency;
+        plan
     }
 
     fn page_table(&self) -> KvResidency {
         let metadata = self.clustering.metadata();
-        KvResidency::Paged(
-            (0..metadata.num_clusters())
-                .map(|c| PageRequest::new(c, metadata.cluster_size(c)))
-                .collect(),
-        )
+        if self.clustering.config().compression.is_lossless() {
+            KvResidency::Paged(
+                (0..metadata.num_clusters())
+                    .map(|c| PageRequest::new(c, metadata.cluster_size(c)))
+                    .collect(),
+            )
+        } else {
+            KvResidency::Compressed(
+                (0..metadata.num_clusters())
+                    .map(|c| CompressedPageRequest::new(c, metadata.cluster_tokens(c).to_vec()))
+                    .collect(),
+            )
+        }
     }
 
     fn export_prefill_state(&self) -> Option<SharedPrefixState> {
@@ -332,6 +359,58 @@ mod tests {
             panic!("page table must be paged");
         };
         assert_eq!(table.len(), metadata.num_clusters());
+    }
+
+    #[test]
+    fn lossy_config_emits_compressed_plans_with_full_members() {
+        use clusterkv_kvcache::CompressionConfig;
+        let lossy_cfg =
+            test_config().with_compression(CompressionConfig::int8().with_merge_threshold(0.1));
+        let mut lossy = ClusterKvSelector::new(lossy_cfg, 8);
+        let mut exact = ClusterKvSelector::new(test_config(), 8);
+        let keys = prefill_keys(80, 8, 4);
+        observe_prefill(&mut lossy, &keys);
+        observe_prefill(&mut exact, &keys);
+        let q = gaussian_vec(&mut seeded(5), 8, 0.0, 1.0);
+        let lp = lossy.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        let ep = exact.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        // Compression never changes which tokens are selected, only how the
+        // paged ones are recalled.
+        assert_eq!(lp.indices, ep.indices);
+        let KvResidency::Compressed(cpages) = &lp.residency else {
+            panic!("lossy config must emit compressed plans");
+        };
+        let KvResidency::Paged(pages) = &ep.residency else {
+            panic!("lossless config must emit paged plans");
+        };
+        assert_eq!(cpages.iter().map(|p| p.request).collect::<Vec<_>>(), *pages);
+        let metadata = lossy.clustering().metadata();
+        for p in cpages {
+            assert_eq!(p.members, metadata.cluster_tokens(p.request.page));
+            assert_eq!(p.members.len(), p.request.tokens);
+        }
+        // The page table mirrors the residency kind.
+        let KvResidency::Compressed(table) = lossy.page_table() else {
+            panic!("lossy page table must be compressed");
+        };
+        assert_eq!(table.len(), metadata.num_clusters());
+        assert!(matches!(exact.page_table(), KvResidency::Paged(_)));
+    }
+
+    #[test]
+    fn compression_config_feeds_the_prefill_fingerprint() {
+        use clusterkv_kvcache::CompressionConfig;
+        let keys = prefill_keys(60, 8, 9);
+        let mut donor = ClusterKvSelector::new(test_config(), 8);
+        chunk_feed(&mut donor, &keys);
+        donor.observe(ObserveEvent::PrefillDone { total_tokens: 60 });
+        let state = donor.export_prefill_state().unwrap();
+        // A lossy selector must not adopt lossless-fingerprinted state: the
+        // two produce different residency plans downstream.
+        let lossy_cfg = test_config().with_compression(CompressionConfig::int8());
+        let mut lossy = ClusterKvSelector::new(lossy_cfg, 8);
+        chunk_feed(&mut lossy, &keys);
+        assert!(!lossy.adopt_prefill_state(&state, 60));
     }
 
     #[test]

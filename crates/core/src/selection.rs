@@ -64,6 +64,19 @@ impl SelectionResult {
             .map(|&c| PageRequest::new(c, metadata.cluster_size(c)))
             .collect()
     }
+
+    /// The member token positions of each selected cluster, aligned with
+    /// [`page_requests`](SelectionResult::page_requests): `page_members(m)[i]`
+    /// lists the absolute token positions backing `page_requests(m)[i]`.
+    /// Recall-compressed plans (DESIGN.md §9) carry these so the attention
+    /// kernel knows which attended tokens to substitute with their
+    /// compressed representation.
+    pub fn page_members(&self, metadata: &ClusterMetadata) -> Vec<Vec<usize>> {
+        self.selected_clusters
+            .iter()
+            .map(|&c| metadata.cluster_tokens(c).to_vec())
+            .collect()
+    }
 }
 
 /// Select up to `budget` tokens for `query` from the clustering state of one
@@ -290,6 +303,20 @@ mod tests {
         assert_eq!(pages.len(), 1);
         assert_eq!(pages[0].page, result.selected_clusters[0]);
         assert_eq!(pages[0].tokens, 10);
+    }
+
+    #[test]
+    fn page_members_align_with_page_requests() {
+        let sc = directional_clustering();
+        let result = select_clusters(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(20));
+        let pages = result.page_requests(sc.metadata());
+        let members = result.page_members(sc.metadata());
+        assert_eq!(pages.len(), members.len());
+        for (page, mem) in pages.iter().zip(&members) {
+            assert_eq!(page.tokens, mem.len(), "members back the whole page");
+            assert_eq!(mem, sc.metadata().cluster_tokens(page.page));
+            assert!(mem.windows(2).all(|w| w[0] < w[1]), "ascending positions");
+        }
     }
 
     #[test]

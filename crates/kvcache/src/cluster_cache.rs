@@ -9,11 +9,20 @@
 //! [`MemoryTier`] with deterministic LRU eviction, and every access reports
 //! which pages hit the resident set and which had to be recalled over PCIe.
 //!
-//! Residency never changes *what* is attended — only what the recall costs.
-//! The serving engine enforces that invariant with a parity suite (token
-//! streams are byte-identical with the cache enabled or disabled).
+//! With a lossy [`CompressionConfig`] the residency lattice has three
+//! states (DESIGN.md §9): an LRU victim is first *demoted* in place —
+//! Resident → Compressed, shrinking its GPU footprint to the quantized
+//! layout — and only dropped to the backing store (→ Paged) under continued
+//! pressure. Compressed pages serve accesses without PCIe traffic, and cold
+//! recalls travel at the integer width.
+//!
+//! In lossless mode residency never changes *what* is attended — only what
+//! the recall costs. The serving engine enforces that invariant with a
+//! parity suite (token streams are byte-identical with the cache enabled or
+//! disabled).
 
-use crate::stats::{CacheStats, TransferStats};
+use crate::compressed::CompressionConfig;
+use crate::stats::{CacheStats, CompressionStats, TransferStats};
 use crate::tier::{MemoryTier, TierKind};
 use crate::types::{Bytes, HeadId, LayerId};
 use serde::{Deserialize, Serialize};
@@ -52,7 +61,7 @@ impl PageRequest {
 }
 
 /// Sizing of the tiered cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterCacheConfig {
     /// Capacity of the GPU-resident selected-KV cache. `0` disables caching:
     /// every selected page is recalled from CPU memory at every step (the
@@ -61,6 +70,10 @@ pub struct ClusterCacheConfig {
     /// K+V bytes of a single token of a single head (`4 · head_dim` under
     /// the fp16 cost model).
     pub bytes_per_token: Bytes,
+    /// Compressed-tier configuration (DESIGN.md §9). Lossless by default:
+    /// eviction drops pages outright and recalls move exact f16 bytes,
+    /// exactly the pre-compression behaviour.
+    pub compression: CompressionConfig,
 }
 
 impl ClusterCacheConfig {
@@ -69,7 +82,14 @@ impl ClusterCacheConfig {
         Self {
             gpu_capacity,
             bytes_per_token: Bytes::of_f16(2 * head_dim),
+            compression: CompressionConfig::lossless(),
         }
+    }
+
+    /// Enable the compressed tier.
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
     }
 
     /// Capacity holding `steps` decode steps' worth of a `budget_tokens`
@@ -93,14 +113,23 @@ pub struct StepOutcome {
     pub hit_tokens: u64,
     /// Tokens recalled from CPU memory over PCIe.
     pub missed_tokens: u64,
-    /// Bytes moved host-to-device for the misses.
+    /// Bytes moved host-to-device for the misses. When the compressed tier
+    /// is quantized, cold pages travel at the integer width, so this is
+    /// smaller than `missed_tokens · bytes_per_token`.
     pub bytes_recalled: Bytes,
+    /// Of the hit pages, how many were served from the compressed tier.
+    pub compressed_pages: usize,
+    /// Of the hit tokens, how many came from compressed pages (no PCIe, but
+    /// a dequantize on access).
+    pub compressed_tokens: u64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ResidentPage {
     tokens: usize,
     stamp: u64,
+    /// Whether the page was demoted to the compressed tier (DESIGN.md §9).
+    compressed: bool,
 }
 
 /// Capacity-bounded GPU resident set with deterministic LRU eviction over a
@@ -124,6 +153,7 @@ struct ResidentPage {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterCache {
     bytes_per_token: Bytes,
+    compression: CompressionConfig,
     gpu: MemoryTier,
     cpu: MemoryTier,
     resident: BTreeMap<PageKey, ResidentPage>,
@@ -141,24 +171,28 @@ pub struct ClusterCache {
     clock: u64,
     stats: CacheStats,
     transfers: TransferStats,
+    compression_stats: CompressionStats,
 }
 
 impl ClusterCache {
     /// Create a cache with the given sizing over a default host-DRAM backing
     /// tier.
     pub fn new(config: ClusterCacheConfig) -> Self {
-        Self::with_tiers(
+        let mut cache = Self::with_tiers(
             MemoryTier::new(TierKind::Gpu, config.gpu_capacity),
             MemoryTier::host_dram(),
             config.bytes_per_token,
-        )
+        );
+        cache.compression = config.compression;
+        cache
     }
 
     /// Create a cache over explicit GPU/CPU tiers (e.g. a small DRAM tier to
-    /// exercise backing-store overflow).
+    /// exercise backing-store overflow). Compression defaults to lossless.
     pub fn with_tiers(gpu: MemoryTier, cpu: MemoryTier, bytes_per_token: Bytes) -> Self {
         Self {
             bytes_per_token,
+            compression: CompressionConfig::lossless(),
             gpu,
             cpu,
             resident: BTreeMap::new(),
@@ -168,6 +202,7 @@ impl ClusterCache {
             clock: 0,
             stats: CacheStats::new(),
             transfers: TransferStats::new(),
+            compression_stats: CompressionStats::new(),
         }
     }
 
@@ -223,6 +258,26 @@ impl ClusterCache {
         self.transfers
     }
 
+    /// Compressed-tier configuration.
+    pub fn compression(&self) -> CompressionConfig {
+        self.compression
+    }
+
+    /// Compressed-tier accounting (demotions, compressed hits, byte ratio).
+    pub fn compression_stats(&self) -> CompressionStats {
+        self.compression_stats
+    }
+
+    /// Number of pages currently resident in compressed form.
+    pub fn compressed_pages(&self) -> usize {
+        self.resident.values().filter(|p| p.compressed).count()
+    }
+
+    /// Bytes of the GPU resident set currently held compressed.
+    pub fn compressed_resident_bytes(&self) -> Bytes {
+        self.gpu.compressed_bytes()
+    }
+
     /// Record the size of the full KV cache held in the CPU backing store
     /// (grows as the context grows; replaces the previous size).
     ///
@@ -236,6 +291,24 @@ impl ClusterCache {
 
     fn page_bytes(&self, tokens: usize) -> Bytes {
         Bytes(self.bytes_per_token.get() * tokens as u64)
+    }
+
+    /// Modeled size of `tokens` tokens in the compressed layout.
+    fn compressed_page_bytes(&self, tokens: usize) -> Bytes {
+        self.compression.page_bytes(tokens, self.bytes_per_token)
+    }
+
+    /// Bytes one recalled token moves over PCIe. With a quantized compressed
+    /// tier the CPU backing store holds cold pages at the integer width, so
+    /// recalls travel compressed (§9); lossless mode moves exact f16 bytes.
+    fn recall_bytes(&self, tokens: usize) -> Bytes {
+        if self.compression.is_lossless() {
+            self.page_bytes(tokens)
+        } else if tokens == 0 {
+            Bytes(0)
+        } else {
+            self.compressed_page_bytes(tokens)
+        }
     }
 
     fn alloc_name(key: PageKey) -> String {
@@ -258,11 +331,50 @@ impl ClusterCache {
         }
     }
 
-    /// Evict least-recently-used pages until `size` fits; returns whether it
-    /// does. Never evicts anything when `size` exceeds the total capacity.
+    /// Demote a resident page to the compressed tier: its GPU region
+    /// re-allocates at the compressed size and the page stays resident
+    /// (and stays at its LRU position — demotion is not a use). Returns
+    /// whether the page was demoted.
+    fn demote_page(&mut self, key: PageKey) -> bool {
+        let Some(entry) = self.resident.get(&key) else {
+            return false;
+        };
+        if entry.compressed || !self.compression.shrinks(entry.tokens, self.bytes_per_token) {
+            return false;
+        }
+        let tokens = entry.tokens;
+        let exact = self.page_bytes(tokens);
+        let compressed = self.compressed_page_bytes(tokens);
+        self.gpu
+            .allocate_compressed(&Self::alloc_name(key), compressed)
+            .expect("demotion shrinks the allocation");
+        self.resident
+            .get_mut(&key)
+            .expect("checked resident")
+            .compressed = true;
+        self.compression_stats.record_demotion(exact, compressed);
+        true
+    }
+
+    /// Make room for `size` in two passes over the LRU order: first demote
+    /// exact victims to the compressed tier (Resident → Compressed), and
+    /// only if that is not enough drop victims to the backing store outright
+    /// (Compressed → Paged). Returns whether `size` fits afterwards. Never
+    /// touches anything when `size` exceeds the total capacity. With a
+    /// lossless config demotion never shrinks, so this degenerates to the
+    /// original evict-outright behaviour.
     fn evict_until_fits(&mut self, size: Bytes) -> bool {
         if size.get() > self.gpu.capacity().get() {
             return false;
+        }
+        if !self.gpu.fits(size) && !self.compression.is_lossless() {
+            let victims: Vec<PageKey> = self.lru.values().copied().collect();
+            for key in victims {
+                if self.gpu.fits(size) {
+                    break;
+                }
+                self.demote_page(key);
+            }
         }
         while !self.gpu.fits(size) {
             let victim = match self.lru.iter().next() {
@@ -288,6 +400,7 @@ impl ClusterCache {
             ResidentPage {
                 tokens,
                 stamp: self.clock,
+                compressed: false,
             },
         );
         self.lru.insert(self.clock, key);
@@ -315,9 +428,22 @@ impl ClusterCache {
                 page: req.page,
             };
             match self.resident.get(&key) {
-                Some(entry) => {
-                    needed += self.page_bytes(req.tokens.saturating_sub(entry.tokens));
+                Some(entry) if req.tokens > entry.tokens => {
+                    // Growth re-admits the page exact, so a compressed page
+                    // needs the full exact size minus its (smaller)
+                    // compressed allocation.
+                    let current = if entry.compressed {
+                        self.compressed_page_bytes(entry.tokens)
+                    } else {
+                        self.page_bytes(entry.tokens)
+                    };
+                    needed += Bytes(
+                        self.page_bytes(req.tokens)
+                            .get()
+                            .saturating_sub(current.get()),
+                    );
                 }
+                Some(_) => {}
                 None if self.known.contains(&key) => {
                     self.offloaded.insert((layer, head));
                     return 0;
@@ -343,10 +469,11 @@ impl ClusterCache {
                     self.gpu
                         .allocate(&Self::alloc_name(key), self.page_bytes(req.tokens))
                         .expect("total growth checked");
-                    self.resident
-                        .get_mut(&key)
-                        .expect("checked resident")
-                        .tokens = req.tokens;
+                    let entry = self.resident.get_mut(&key).expect("checked resident");
+                    entry.tokens = req.tokens;
+                    // Growth re-admits exact; fresh tokens were produced on
+                    // device, never compressed.
+                    entry.compressed = false;
                 }
                 Some(_) => {}
                 None => {
@@ -376,30 +503,42 @@ impl ClusterCache {
                 Some(entry) if entry.tokens >= req.tokens => {
                     out.hit_pages += 1;
                     out.hit_tokens += req.tokens as u64;
+                    if entry.compressed {
+                        // Served from the compressed tier: on-GPU (no PCIe),
+                        // dequantized on access, and it stays compressed.
+                        out.compressed_pages += 1;
+                        out.compressed_tokens += req.tokens as u64;
+                    }
                     self.touch(key);
                 }
                 Some(entry) => {
                     // Partial hit: the resident prefix is free, the new
-                    // tokens are recalled and the page is re-admitted at its
-                    // grown size.
+                    // tokens are recalled and the page is re-admitted exact
+                    // at its grown size.
                     let grown = req.tokens - entry.tokens;
+                    if entry.compressed {
+                        out.compressed_tokens += entry.tokens as u64;
+                        out.compressed_pages += 1;
+                    }
                     out.missed_pages += 1;
                     out.hit_tokens += entry.tokens as u64;
                     out.missed_tokens += grown as u64;
-                    out.bytes_recalled += self.page_bytes(grown);
+                    out.bytes_recalled += self.recall_bytes(grown);
                     self.drop_page(key);
                     self.admit(key, req.tokens);
                 }
                 None => {
                     out.missed_pages += 1;
                     out.missed_tokens += req.tokens as u64;
-                    out.bytes_recalled += self.page_bytes(req.tokens);
+                    out.bytes_recalled += self.recall_bytes(req.tokens);
                     self.admit(key, req.tokens);
                 }
             }
         }
         self.stats.record_hits(out.hit_tokens);
         self.stats.record_misses(out.missed_tokens);
+        self.compression_stats
+            .record_compressed_hits(out.compressed_tokens);
         if out.missed_tokens > 0 {
             self.transfers.record(out.missed_tokens, out.bytes_recalled);
         }
@@ -629,5 +768,244 @@ mod tests {
         // 2 steps * 100 tokens * 32 bytes (2 tensors * 2 bytes * 8 dims).
         assert_eq!(cfg.gpu_capacity, Bytes(2 * 100 * 32));
         assert_eq!(cfg.bytes_per_token, Bytes(32));
+        assert!(cfg.compression.is_lossless(), "lossless by default");
+    }
+
+    use crate::compressed::CompressionConfig;
+
+    /// A cache holding `tokens` tokens of head_dim 8 (32 bytes per token)
+    /// under the given compression config.
+    fn cache_with(tokens: u64, compression: CompressionConfig) -> ClusterCache {
+        ClusterCache::new(
+            ClusterCacheConfig::new(Bytes(32 * tokens), 8).with_compression(compression),
+        )
+    }
+
+    #[test]
+    fn lossless_eviction_never_demotes() {
+        let mut c = cache_with(8, CompressionConfig::lossless());
+        c.access(L, H, &reqs(&[(0, 4)]));
+        c.access(L, H, &reqs(&[(1, 4)]));
+        c.access(L, H, &reqs(&[(2, 4)]));
+        assert_eq!(c.compressed_pages(), 0);
+        assert_eq!(c.compression_stats().demotions, 0);
+        assert_eq!(c.compressed_resident_bytes(), Bytes(0));
+    }
+
+    #[test]
+    fn eviction_demotes_the_lru_victim_before_dropping() {
+        // Capacity 320 B; a 4-token page is 128 B exact, 64 + 8 = 72 B int8.
+        let mut c = cache_with(10, CompressionConfig::int8());
+        c.access(L, H, &reqs(&[(0, 4)]));
+        c.access(L, H, &reqs(&[(1, 4)]));
+        // Admitting page 2 (128 B) does not fit next to two exact pages
+        // (256 + 128 > 320). The demotion pass shrinks pages 0 and 1 to
+        // 72 B each (144 + 128 ≤ 320), so nothing is dropped.
+        c.access(L, H, &reqs(&[(2, 4)]));
+        assert!(c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 0
+        }));
+        assert!(c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 1
+        }));
+        assert_eq!(c.resident_pages(), 3);
+        assert_eq!(c.compressed_pages(), 2);
+        assert_eq!(c.compression_stats().demotions, 2);
+        assert_eq!(c.compressed_resident_bytes(), Bytes(144));
+        assert!((c.compression_stats().ratio() - 256.0 / 144.0).abs() < 1e-9);
+        // Accessing the demoted page is a compressed hit: on GPU, no PCIe.
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.hit_tokens, 4);
+        assert_eq!(out.compressed_pages, 1);
+        assert_eq!(out.compressed_tokens, 4);
+        assert_eq!(out.missed_tokens, 0);
+        assert_eq!(out.bytes_recalled, Bytes(0));
+    }
+
+    #[test]
+    fn compressed_pages_drop_to_paged_under_continued_pressure() {
+        let mut c = cache_with(8, CompressionConfig::int8());
+        for p in 0..6 {
+            c.access(L, H, &reqs(&[(p, 4)]));
+        }
+        // Every page could be demoted at most once; continued pressure must
+        // have dropped the oldest ones entirely (Resident→Compressed→Paged).
+        assert!(c.resident_bytes().get() <= c.capacity().get());
+        assert!(!c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 0
+        }));
+        let recall = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(recall.missed_tokens, 4);
+        assert!(c.compression_stats().demotions > 0);
+    }
+
+    #[test]
+    fn quantized_cold_recalls_move_fewer_bytes() {
+        let mut exact = cache_with(32, CompressionConfig::lossless());
+        let mut int8 = cache_with(32, CompressionConfig::int8());
+        let cold = reqs(&[(0, 16)]);
+        let e = exact.access(L, H, &cold);
+        let q = int8.access(L, H, &cold);
+        assert_eq!(e.missed_tokens, q.missed_tokens);
+        assert_eq!(e.bytes_recalled, Bytes(16 * 32));
+        assert_eq!(q.bytes_recalled, Bytes(16 * 16 + 8), "int8 + scales");
+        assert!(q.bytes_recalled.get() < e.bytes_recalled.get());
+    }
+
+    #[test]
+    fn grown_compressed_page_readmits_exact() {
+        let mut c = cache_with(10, CompressionConfig::int8());
+        c.access(L, H, &reqs(&[(0, 4)]));
+        c.access(L, H, &reqs(&[(1, 4)]));
+        c.access(L, H, &reqs(&[(2, 4)])); // demotes pages 0 and 1
+        assert_eq!(c.compressed_pages(), 2);
+        let out = c.access(L, H, &reqs(&[(0, 6)]));
+        assert_eq!(out.hit_tokens, 4);
+        assert_eq!(out.compressed_tokens, 4, "compressed prefix is free");
+        assert_eq!(out.missed_tokens, 2);
+        let key0 = PageKey {
+            layer: L,
+            head: H,
+            page: 0,
+        };
+        if c.contains(key0) {
+            assert!(!c.resident.get(&key0).unwrap().compressed);
+        }
+    }
+
+    #[test]
+    fn warm_growth_promotes_a_compressed_page() {
+        // Capacity 640 B: a 4-token page (128 B) and a 16-token page
+        // (512 B) fill it exactly; admitting page 2 demotes both
+        // (72 + 264 + 128 ≤ 640) and leaves 176 B of headroom.
+        let mut c = cache_with(20, CompressionConfig::int8());
+        c.access(L, H, &reqs(&[(0, 4)]));
+        c.access(L, H, &reqs(&[(1, 16)]));
+        c.access(L, H, &reqs(&[(2, 4)]));
+        assert_eq!(c.compressed_pages(), 2);
+        // Warm growth of the demoted page 0 re-admits it exact at 5 tokens
+        // (needs 160 − 72 = 88 B of the headroom): fresh tokens are
+        // produced on device, never compressed.
+        assert_eq!(c.warm(L, H, &reqs(&[(0, 5)])), 0, "growth, not admission");
+        let key0 = PageKey {
+            layer: L,
+            head: H,
+            page: 0,
+        };
+        assert!(c.contains(key0));
+        assert!(!c.resident.get(&key0).unwrap().compressed, "promoted");
+        assert_eq!(c.compressed_pages(), 1);
+        let out = c.access(L, H, &reqs(&[(0, 5)]));
+        assert_eq!(out.hit_tokens, 5);
+        assert_eq!(out.compressed_tokens, 0);
+        assert!(c.resident_bytes().get() <= c.capacity().get());
+    }
+
+    mod transition_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Replay random access/warm traffic against a small quantized cache
+        /// and check the three-state lattice invariants after every op:
+        /// bytes exact per state, capacity never leaked, and the compressed
+        /// pool consistent between the resident map and the GPU tier.
+        fn check_byte_exactness(c: &ClusterCache) {
+            let mut expected_used = 0u64;
+            let mut expected_compressed = 0u64;
+            for (key, page) in &c.resident {
+                let size = if page.compressed {
+                    c.compressed_page_bytes(page.tokens)
+                } else {
+                    c.page_bytes(page.tokens)
+                };
+                assert_eq!(
+                    c.gpu.allocation(&ClusterCache::alloc_name(*key)),
+                    Some(size),
+                    "allocation size must match the page's residency state"
+                );
+                assert_eq!(
+                    c.gpu.is_compressed(&ClusterCache::alloc_name(*key)),
+                    page.compressed,
+                    "tier pool must agree with the page state"
+                );
+                expected_used += size.get();
+                if page.compressed {
+                    expected_compressed += size.get();
+                }
+            }
+            assert_eq!(c.gpu.used(), Bytes(expected_used), "byte exactness");
+            assert_eq!(
+                c.gpu.compressed_bytes(),
+                Bytes(expected_compressed),
+                "compressed-pool exactness"
+            );
+            assert!(c.gpu.used().get() <= c.gpu.capacity().get());
+            assert_eq!(c.lru.len(), c.resident.len(), "LRU tracks every page");
+        }
+
+        proptest! {
+            #[test]
+            fn random_demote_recall_traffic_keeps_bytes_exact(
+                // Encoded op: low 3 bits page id, next 3 bits tokens (1..=8),
+                // next bit warm-vs-access.
+                ops in proptest::collection::vec(0u64..128, 1..60),
+                capacity_tokens in 4u64..24,
+                quant_sel in 0u64..2,
+            ) {
+                let compression = if quant_sel == 1 {
+                    CompressionConfig::int4()
+                } else {
+                    CompressionConfig::int8()
+                };
+                let mut c = cache_with(capacity_tokens, compression);
+                for op in ops {
+                    let page = (op & 7) as usize;
+                    let tokens = ((op >> 3) & 7) as usize + 1;
+                    if (op >> 6) & 1 == 0 {
+                        c.access(L, H, &reqs(&[(page, tokens)]));
+                    } else {
+                        c.warm(L, H, &reqs(&[(page, tokens)]));
+                    }
+                    check_byte_exactness(&c);
+                }
+                // The stats side stays consistent too.
+                prop_assert!(c.compression_stats().ratio() >= 0.0);
+                prop_assert!(
+                    c.compressed_pages()
+                        == c.resident.values().filter(|p| p.compressed).count()
+                );
+            }
+
+            #[test]
+            fn lossless_traffic_matches_pre_compression_semantics(
+                ops in proptest::collection::vec(0u64..128, 1..40),
+                capacity_tokens in 4u64..24,
+            ) {
+                // Same traffic against a lossless cache and one with an
+                // int8 config: hit/miss *token* accounting may differ (the
+                // compressed tier retains more pages), but the lossless run
+                // must never demote and must move exact bytes.
+                let mut c = cache_with(capacity_tokens, CompressionConfig::lossless());
+                let mut total_miss_bytes = 0u64;
+                let mut total_miss_tokens = 0u64;
+                for op in ops {
+                    let page = (op & 7) as usize;
+                    let tokens = ((op >> 3) & 7) as usize + 1;
+                    let out = c.access(L, H, &reqs(&[(page, tokens)]));
+                    total_miss_bytes += out.bytes_recalled.get();
+                    total_miss_tokens += out.missed_tokens;
+                    prop_assert_eq!(out.compressed_tokens, 0);
+                    check_byte_exactness(&c);
+                }
+                prop_assert_eq!(c.compression_stats().demotions, 0);
+                prop_assert_eq!(total_miss_bytes, total_miss_tokens * 32);
+            }
+        }
     }
 }

@@ -18,7 +18,11 @@
 //!   residency and capacity.
 //! * [`cluster_cache`] — [`ClusterCache`], the session-level tiered KV
 //!   hierarchy: a capacity-bounded GPU resident set of KV pages with
-//!   deterministic LRU eviction over a CPU backing store (DESIGN.md §3).
+//!   deterministic LRU demotion (Resident → Compressed → Paged) over a CPU
+//!   backing store (DESIGN.md §3, §9).
+//! * [`compressed`] — the compressed KV tier: SLERP cluster merging with
+//!   outlier retention masks plus int8/int4 cold pages with per-cluster
+//!   scales (DESIGN.md §9).
 //! * [`prefix`] — the workspace-global [`PrefixStore`]: a radix tree of
 //!   refcounted, immutable shared KV prefix pages (plus cached selector
 //!   state) enabling cross-session prefix reuse (DESIGN.md §8).
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster_cache;
+pub mod compressed;
 pub mod device;
 pub mod prefix;
 pub mod selected;
@@ -36,12 +41,15 @@ pub mod tier;
 pub mod types;
 
 pub use cluster_cache::{ClusterCache, ClusterCacheConfig, PageKey, PageRequest, StepOutcome};
+pub use compressed::{
+    compress_page, CompressedPage, CompressedStore, CompressionConfig, QuantMode,
+};
 pub use device::DeviceModel;
 pub use prefix::{
     MatchSegment, PrefixStore, PrefixStoreConfig, PrefixStoreStats, SharedKvPage, SharedPrefixState,
 };
 pub use selected::SelectedKv;
-pub use stats::{CacheStats, TransferStats};
+pub use stats::{CacheStats, CompressionStats, TransferStats};
 pub use store::KvStore;
 pub use tier::{MemoryTier, TierKind};
 pub use types::{Budget, HeadId, LayerId, TokenId};

@@ -9,7 +9,7 @@
 
 use crate::types::Bytes;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which physical memory a tier models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -74,6 +74,10 @@ pub struct MemoryTier {
     /// Running sum of `allocations` so `used()`/`fits()` are O(1) — the
     /// cluster cache calls them on every page admission and eviction.
     used: Bytes,
+    /// Names of allocations holding *compressed* data (DESIGN.md §9), plus a
+    /// running byte sum, so the compressed footprint is O(1) to read.
+    compressed: BTreeSet<String>,
+    compressed_used: Bytes,
 }
 
 impl MemoryTier {
@@ -84,6 +88,8 @@ impl MemoryTier {
             capacity,
             allocations: BTreeMap::new(),
             used: Bytes(0),
+            compressed: BTreeSet::new(),
+            compressed_used: Bytes(0),
         }
     }
 
@@ -126,6 +132,28 @@ impl MemoryTier {
     ///
     /// Returns [`AllocationError`] if the allocation would exceed capacity.
     pub fn allocate(&mut self, name: &str, size: Bytes) -> Result<(), AllocationError> {
+        self.allocate_with(name, size, false)
+    }
+
+    /// Allocate (or grow) a named region holding *compressed* data: same
+    /// semantics as [`allocate`](Self::allocate), but the bytes also count
+    /// toward [`compressed_bytes`](Self::compressed_bytes). Re-allocating a
+    /// name under the other method moves it between the exact and compressed
+    /// pools (a page demotion re-allocates its region compressed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError`] if the allocation would exceed capacity.
+    pub fn allocate_compressed(&mut self, name: &str, size: Bytes) -> Result<(), AllocationError> {
+        self.allocate_with(name, size, true)
+    }
+
+    fn allocate_with(
+        &mut self,
+        name: &str,
+        size: Bytes,
+        is_compressed: bool,
+    ) -> Result<(), AllocationError> {
         let existing = self.allocations.get(name).copied().unwrap_or(Bytes(0));
         let used_without = self.used.get() - existing.get();
         if used_without + size.get() > self.capacity.get() {
@@ -134,6 +162,14 @@ impl MemoryTier {
                 requested: size,
                 available: Bytes(self.capacity.get() - used_without),
             });
+        }
+        if self.compressed.contains(name) {
+            self.compressed_used = Bytes(self.compressed_used.get() - existing.get());
+            self.compressed.remove(name);
+        }
+        if is_compressed {
+            self.compressed.insert(name.to_string());
+            self.compressed_used += size;
         }
         self.allocations.insert(name.to_string(), size);
         self.used = Bytes(used_without + size.get());
@@ -144,12 +180,25 @@ impl MemoryTier {
     pub fn free(&mut self, name: &str) {
         if let Some(size) = self.allocations.remove(name) {
             self.used = Bytes(self.used.get() - size.get());
+            if self.compressed.remove(name) {
+                self.compressed_used = Bytes(self.compressed_used.get() - size.get());
+            }
         }
     }
 
     /// Size of a named region, if present.
     pub fn allocation(&self, name: &str) -> Option<Bytes> {
         self.allocations.get(name).copied()
+    }
+
+    /// Whether a named region holds compressed data.
+    pub fn is_compressed(&self, name: &str) -> bool {
+        self.compressed.contains(name)
+    }
+
+    /// Bytes currently allocated to compressed regions.
+    pub fn compressed_bytes(&self) -> Bytes {
+        self.compressed_used
     }
 
     /// Whether a given extra allocation would fit.
@@ -219,6 +268,44 @@ mod tests {
     }
 
     #[test]
+    fn compressed_pool_tracks_moves_between_representations() {
+        let mut t = MemoryTier::new(TierKind::Gpu, Bytes(100));
+        t.allocate("page", Bytes(40)).unwrap();
+        assert!(!t.is_compressed("page"));
+        assert_eq!(t.compressed_bytes(), Bytes(0));
+        // Demotion: the same region re-allocates smaller, compressed.
+        t.allocate_compressed("page", Bytes(12)).unwrap();
+        assert!(t.is_compressed("page"));
+        assert_eq!(t.used(), Bytes(12));
+        assert_eq!(t.compressed_bytes(), Bytes(12));
+        // Growing a compressed region keeps it in the pool, once only.
+        t.allocate_compressed("page", Bytes(20)).unwrap();
+        assert_eq!(t.compressed_bytes(), Bytes(20));
+        // Promotion back to exact leaves the pool.
+        t.allocate("page", Bytes(40)).unwrap();
+        assert!(!t.is_compressed("page"));
+        assert_eq!(t.compressed_bytes(), Bytes(0));
+        t.allocate_compressed("other", Bytes(8)).unwrap();
+        t.free("other");
+        assert_eq!(t.compressed_bytes(), Bytes(0));
+        assert_eq!(t.used(), Bytes(40));
+    }
+
+    #[test]
+    fn compressed_allocation_respects_capacity() {
+        let mut t = MemoryTier::new(TierKind::Gpu, Bytes(10));
+        t.allocate("a", Bytes(8)).unwrap();
+        let err = t.allocate_compressed("b", Bytes(4)).unwrap_err();
+        assert_eq!(err.available, Bytes(2));
+        assert_eq!(
+            t.compressed_bytes(),
+            Bytes(0),
+            "failed alloc changes nothing"
+        );
+        assert!(!t.is_compressed("b"));
+    }
+
+    #[test]
     fn presets_have_expected_capacity() {
         assert_eq!(MemoryTier::ada6000_gpu().capacity(), Bytes(48 * (1 << 30)));
         assert_eq!(MemoryTier::host_dram().capacity(), Bytes(256 * (1 << 30)));
@@ -245,7 +332,8 @@ mod tests {
                 capacity in 1u64..128,
             ) {
                 let mut tier = MemoryTier::new(TierKind::Gpu, Bytes(capacity));
-                let mut model: HashMap<&str, u64> = HashMap::new();
+                // Model value: (size, is_compressed).
+                let mut model: HashMap<&str, (u64, bool)> = HashMap::new();
                 for op in ops {
                     let name = names()[(op & 3) as usize];
                     let size = (op >> 2) & 63;
@@ -254,8 +342,16 @@ mod tests {
                         tier.free(name);
                         model.remove(name);
                     } else {
-                        match tier.allocate(name, Bytes(size)) {
-                            Ok(()) => { model.insert(name, size); }
+                        // kind 1 allocates exact, kind 2/3 compressed, so the
+                        // replay exercises moves between the two pools.
+                        let compressed = kind >= 2;
+                        let outcome = if compressed {
+                            tier.allocate_compressed(name, Bytes(size))
+                        } else {
+                            tier.allocate(name, Bytes(size))
+                        };
+                        match outcome {
+                            Ok(()) => { model.insert(name, (size, compressed)); }
                             Err(err) => {
                                 // A rejected allocation reports the exact
                                 // availability for *this* name (its current
@@ -263,7 +359,7 @@ mod tests {
                                 let used_without: u64 = model
                                     .iter()
                                     .filter(|(n, _)| **n != name)
-                                    .map(|(_, &s)| s)
+                                    .map(|(_, &(s, _))| s)
                                     .sum();
                                 prop_assert_eq!(err.available, Bytes(capacity - used_without));
                                 prop_assert_eq!(err.requested, Bytes(size));
@@ -272,16 +368,24 @@ mod tests {
                         }
                     }
                     // Interleaved named allocations stay consistent with the
-                    // model: per-name sizes, total usage, and the invariant
-                    // used + available == capacity.
-                    let used: u64 = model.values().sum();
+                    // model: per-name sizes, total usage, the compressed
+                    // pool, and the invariant used + available == capacity.
+                    let used: u64 = model.values().map(|&(s, _)| s).sum();
+                    let compressed: u64 =
+                        model.values().filter(|&&(_, c)| c).map(|&(s, _)| s).sum();
                     prop_assert_eq!(tier.used(), Bytes(used));
                     prop_assert_eq!(tier.available(), Bytes(capacity - used));
+                    prop_assert_eq!(tier.compressed_bytes(), Bytes(compressed));
                     prop_assert!(used <= capacity, "capacity leaked");
+                    prop_assert!(compressed <= used, "compressed pool leaked");
                     for name in names() {
                         prop_assert_eq!(
                             tier.allocation(name),
-                            model.get(name).map(|&s| Bytes(s))
+                            model.get(name).map(|&(s, _)| Bytes(s))
+                        );
+                        prop_assert_eq!(
+                            tier.is_compressed(name),
+                            model.get(name).is_some_and(|&(_, c)| c)
                         );
                     }
                 }
@@ -291,6 +395,7 @@ mod tests {
                 }
                 prop_assert_eq!(tier.used(), Bytes(0));
                 prop_assert_eq!(tier.available(), Bytes(capacity));
+                prop_assert_eq!(tier.compressed_bytes(), Bytes(0));
             }
 
             #[test]

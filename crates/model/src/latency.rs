@@ -33,8 +33,15 @@ pub struct StepCost {
     pub attended_tokens: f64,
     /// Tokens fetched from CPU memory over PCIe per selective-layer head per
     /// step (cache misses for ClusterKV; zero for policies whose KV stays in
-    /// GPU memory).
+    /// GPU memory). Priced at the exact f16 byte cost per token.
     pub transferred_tokens_per_head: f64,
+    /// Bytes fetched over PCIe for recall-compressed pages this step,
+    /// totalled across every selective-layer head (DESIGN.md §9). Tracked
+    /// in bytes, not tokens: the cluster cache reports the exact quantized
+    /// byte count of each compressed recall, so no per-head per-token
+    /// reconstruction is needed — or possible, since pages at different
+    /// quantization widths move different bytes per token.
+    pub transferred_compressed_bytes: f64,
 }
 
 impl StepCost {
@@ -44,6 +51,7 @@ impl StepCost {
             scored_vectors_per_head: 0.0,
             attended_tokens: context_len as f64,
             transferred_tokens_per_head: 0.0,
+            transferred_compressed_bytes: 0.0,
         }
     }
 
@@ -61,6 +69,7 @@ impl StepCost {
         scored: u64,
         attended: u64,
         transferred: u64,
+        compressed_bytes: u64,
     ) -> Self {
         let selective = (config.num_layers - config.dense_layers) as f64;
         if selective == 0.0 {
@@ -68,6 +77,7 @@ impl StepCost {
                 scored_vectors_per_head: 0.0,
                 attended_tokens: 0.0,
                 transferred_tokens_per_head: 0.0,
+                transferred_compressed_bytes: 0.0,
             };
         }
         Self {
@@ -75,6 +85,9 @@ impl StepCost {
             attended_tokens: attended as f64 / (selective * config.num_heads as f64),
             transferred_tokens_per_head: transferred as f64
                 / (selective * config.num_kv_heads as f64),
+            // Already a step-level total in exact (compressed) bytes — no
+            // per-head reconstruction round-trip.
+            transferred_compressed_bytes: compressed_bytes as f64,
         }
     }
 }
@@ -249,11 +262,13 @@ impl LatencyModel {
 
         let gpu_time = weight_time + kv_time + selection_time;
 
-        // PCIe transfer of recalled KV (per selective layer, per KV head).
+        // PCIe transfer of recalled KV (per selective layer, per KV head),
+        // plus compressed-page recalls at their exact quantized byte count.
         let transfer_bytes = selective
             * cfg.num_kv_heads as f64
             * cost.transferred_tokens_per_head
-            * (2 * 2 * cfg.head_dim) as f64;
+            * (2 * 2 * cfg.head_dim) as f64
+            + cost.transferred_compressed_bytes;
         let transfer_time = self.device.transfer_time(Bytes(transfer_bytes as u64));
 
         gpu_time + transfer_time
@@ -312,6 +327,7 @@ mod tests {
                 scored_vectors_per_head: 400.0,
                 attended_tokens: 1024.0,
                 transferred_tokens_per_head: 300.0,
+                transferred_compressed_bytes: 0.0,
             },
         );
         assert!(
@@ -338,6 +354,7 @@ mod tests {
             scored_vectors_per_head: 400.0,
             attended_tokens: 1024.0,
             transferred_tokens_per_head: 300.0,
+            transferred_compressed_bytes: 0.0,
         };
         let t8k = m.decode_step(8_000, &cost);
         let t32k = m.decode_step(32_000, &cost);
@@ -375,6 +392,7 @@ mod tests {
             scored_vectors_per_head: (ctx / 80) as f64,
             attended_tokens: 1024.0,
             transferred_tokens_per_head: 0.37 * 1024.0,
+            transferred_compressed_bytes: 0.0,
         });
         let speedup = full.total.get() / clusterkv.total.get();
         assert!(speedup > 1.3 && speedup < 4.0, "speedup {speedup}");
@@ -395,16 +413,54 @@ mod tests {
         // tiny(): 2 layers, 2 heads, 2 kv heads, 0 dense layers => 4
         // selective query heads and 4 selective kv heads.
         let cfg = crate::config::ModelConfig::tiny();
-        let cost = StepCost::from_step_totals(&cfg, 400, 96, 48);
+        let cost = StepCost::from_step_totals(&cfg, 400, 96, 48, 640);
         assert!((cost.scored_vectors_per_head - 100.0).abs() < 1e-12);
         assert!((cost.attended_tokens - 24.0).abs() < 1e-12);
         assert!((cost.transferred_tokens_per_head - 12.0).abs() < 1e-12);
+        assert_eq!(cost.transferred_compressed_bytes, 640.0);
         // All layers dense: nothing selective to price.
         let mut dense = cfg;
         dense.dense_layers = dense.num_layers;
-        let zero = StepCost::from_step_totals(&dense, 0, 0, 0);
+        let zero = StepCost::from_step_totals(&dense, 0, 0, 0, 0);
         assert_eq!(zero.attended_tokens, 0.0);
         assert_eq!(zero.transferred_tokens_per_head, 0.0);
+        assert_eq!(zero.transferred_compressed_bytes, 0.0);
+    }
+
+    #[test]
+    fn compressed_transfer_is_cheaper_than_exact_for_the_same_tokens() {
+        // 300 tokens/head recalled exactly vs the same traffic recalled at
+        // int8 (half the bytes): the compressed step must be strictly
+        // faster, and both strictly slower than no recall at all.
+        let m = llama_model();
+        let cfg = m.config();
+        let selective = (cfg.num_layers - cfg.dense_layers) as f64;
+        let exact_bytes = selective * cfg.num_kv_heads as f64 * 300.0 * (4 * cfg.head_dim) as f64;
+        let base = StepCost {
+            scored_vectors_per_head: 400.0,
+            attended_tokens: 1024.0,
+            transferred_tokens_per_head: 0.0,
+            transferred_compressed_bytes: 0.0,
+        };
+        let exact = StepCost {
+            transferred_tokens_per_head: 300.0,
+            ..base
+        };
+        let compressed = StepCost {
+            transferred_compressed_bytes: exact_bytes / 2.0,
+            ..base
+        };
+        let t_none = m.decode_step(32_000, &base);
+        let t_exact = m.decode_step(32_000, &exact);
+        let t_compressed = m.decode_step(32_000, &compressed);
+        assert!(t_compressed < t_exact, "{t_compressed} vs {t_exact}");
+        assert!(t_none < t_compressed);
+        // Same byte count through either field prices identically.
+        let equivalent = StepCost {
+            transferred_compressed_bytes: exact_bytes,
+            ..base
+        };
+        assert_eq!(m.decode_step(32_000, &equivalent), t_exact);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use config::{ModelConfig, ModelPreset};
 pub use engine::InferenceEngine;
 pub use latency::{InferenceBreakdown, LatencyModel};
 pub use policy::{
-    FullAttentionSelector, KvResidency, ObserveEvent, PageRequest, PolicyStats, SelectionPlan,
-    SelectionRequest, SelectorFactory, TokenSelector,
+    CompressedPageRequest, FullAttentionSelector, KvResidency, ObserveEvent, PageRequest,
+    PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory, TokenSelector,
 };
 pub use serve::{
     DecodeOutput, EngineError, ServeEngine, ServeEngineBuilder, SessionId, SessionReport,

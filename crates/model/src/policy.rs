@@ -156,11 +156,41 @@ impl<'a> SelectionRequest<'a> {
     }
 }
 
-/// How the KV selected by a plan is materialised on the GPU (DESIGN.md §3).
+/// One page of a recall-compressed plan: the cache-level [`PageRequest`]
+/// plus the page's member token positions, which the engine needs to
+/// substitute the compressed (merged + dequantized) KV for exactly those
+/// tokens during attention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedPageRequest {
+    /// The page id and token count, as the cluster cache sees it.
+    pub request: PageRequest,
+    /// Absolute token positions belonging to the page, ascending.
+    pub members: Vec<usize>,
+}
+
+impl CompressedPageRequest {
+    /// Build a compressed page request from a page id and its members.
+    pub fn new(page: usize, members: Vec<usize>) -> Self {
+        Self {
+            request: PageRequest::new(page, members.len()),
+            members,
+        }
+    }
+}
+
+/// How the KV selected by a plan is materialised on the GPU (DESIGN.md §3,
+/// §9).
 ///
-/// Residency affects accounting and modeled latency only — never which
-/// tokens are attended. The serving stack's parity suite enforces that
-/// token streams are byte-identical whatever the cache configuration.
+/// With recall-exact residency ([`Resident`](KvResidency::Resident) /
+/// [`Paged`](KvResidency::Paged)), residency affects accounting and modeled
+/// latency only — never which tokens are attended. The serving stack's
+/// parity suite enforces that token streams are byte-identical whatever the
+/// cache configuration. [`Compressed`](KvResidency::Compressed) residency is
+/// the deliberate exception: paged KV is attended through its compressed
+/// representation, trading bounded accuracy for memory. Selectors only emit
+/// it under a lossy
+/// [`CompressionConfig`](clusterkv_kvcache::CompressionConfig), so lossless
+/// configurations keep the byte-parity guarantee.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum KvResidency {
     /// All selected KV is permanently GPU resident: full attention, and
@@ -172,8 +202,26 @@ pub enum KvResidency {
     /// for ClusterKV, positional pages for Quest, single tokens for
     /// InfiniGen) and must be looked up in the session's
     /// [`ClusterCache`](clusterkv_kvcache::cluster_cache::ClusterCache);
-    /// misses are recalled from CPU memory.
+    /// misses are recalled from CPU memory. Recall is exact.
     Paged(Vec<PageRequest>),
+    /// The selected KV is paged *and* recalled through the compressed tier:
+    /// member tokens of each page are attended via their SLERP-merged,
+    /// quantize-round-tripped representation (DESIGN.md §9). Tokens outside
+    /// every page (sinks, pending tokens, the token being generated) stay
+    /// exact.
+    Compressed(Vec<CompressedPageRequest>),
+}
+
+impl KvResidency {
+    /// The cache-level page requests of a paged or compressed plan; `None`
+    /// for resident plans.
+    pub fn page_requests(&self) -> Option<Vec<PageRequest>> {
+        match self {
+            KvResidency::Resident => None,
+            KvResidency::Paged(pages) => Some(pages.clone()),
+            KvResidency::Compressed(pages) => Some(pages.iter().map(|p| p.request).collect()),
+        }
+    }
 }
 
 /// The outcome of one [`TokenSelector::plan`] call: the token indices to
@@ -226,6 +274,15 @@ impl SelectionPlan {
     /// the given page decomposition.
     pub fn with_pages(mut self, pages: Vec<PageRequest>) -> Self {
         self.residency = KvResidency::Paged(pages);
+        self
+    }
+
+    /// Mark the selected KV as paged *and* recalled through the compressed
+    /// tier (DESIGN.md §9): each page carries its member token positions so
+    /// the attention kernel can substitute the compressed representation for
+    /// exactly those tokens.
+    pub fn with_compressed_pages(mut self, pages: Vec<CompressedPageRequest>) -> Self {
+        self.residency = KvResidency::Compressed(pages);
         self
     }
 
@@ -441,6 +498,29 @@ mod tests {
             })
             .collect();
         Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn compressed_residency_exposes_inner_page_requests() {
+        let pages = vec![
+            CompressedPageRequest::new(3, vec![0, 1, 5]),
+            CompressedPageRequest::new(7, vec![9]),
+        ];
+        let plan = SelectionPlan::new(vec![0, 1, 5, 9]).with_compressed_pages(pages);
+        let KvResidency::Compressed(ref reqs) = plan.residency else {
+            panic!("expected compressed residency");
+        };
+        assert_eq!(reqs[0].request, PageRequest::new(3, 3));
+        assert_eq!(reqs[0].members, vec![0, 1, 5]);
+        assert_eq!(
+            plan.residency.page_requests(),
+            Some(vec![PageRequest::new(3, 3), PageRequest::new(7, 1)])
+        );
+        assert_eq!(KvResidency::Resident.page_requests(), None);
+        assert_eq!(
+            KvResidency::Paged(vec![PageRequest::new(1, 2)]).page_requests(),
+            Some(vec![PageRequest::new(1, 2)])
+        );
     }
 
     #[test]

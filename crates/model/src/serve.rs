@@ -32,15 +32,17 @@ use crate::attention::full_attention_weights;
 use crate::config::ModelConfig;
 use crate::latency::{LatencyModel, StepCost};
 use crate::policy::{
-    FullAttentionSelector, HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionRequest,
-    SelectorFactory, TokenSelector,
+    CompressedPageRequest, FullAttentionSelector, HeadContext, KvResidency, ObserveEvent,
+    PolicyStats, SelectionRequest, SelectorFactory, TokenSelector,
 };
 use crate::rope::Rope;
 use crate::trace::{AttentionTrace, TraceStep};
 use crate::weights::ModelWeights;
 use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
+use clusterkv_kvcache::compressed::{compress_page, CompressionConfig};
 use clusterkv_kvcache::device::{DeviceModel, Seconds};
 use clusterkv_kvcache::prefix::{PrefixStore, PrefixStoreConfig, PrefixStoreStats};
+use clusterkv_kvcache::stats::CompressionStats;
 use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_tensor::kernels::{attend_into, matvec_rows_into, Workspace};
@@ -196,11 +198,16 @@ pub struct SessionReport {
     /// KV bytes the session was charged for (novel prompt suffix plus every
     /// generated token).
     pub private_kv_bytes: Bytes,
+    /// Compressed-tier accounting of the session's cluster cache: page
+    /// demotions, tokens served from the compressed GPU tier, and the
+    /// exact-vs-compressed byte totals (all zero under a lossless
+    /// configuration).
+    pub compression: CompressionStats,
 }
 
 impl SessionReport {
     /// Token-level hit rate of the session's cluster cache in `[0, 1]`
-    /// (`0.0` when the session's policy never paged KV).
+    /// (`0.0` when the session's policy never paged KV — never NaN).
     pub fn cache_hit_rate(&self) -> f64 {
         self.stats.cache.hit_rate()
     }
@@ -211,13 +218,20 @@ impl SessionReport {
     }
 
     /// Fraction of the session's final context served from shared prefix
-    /// pages, in `[0, 1]`.
+    /// pages, in `[0, 1]` (`0.0` for an empty session — never NaN).
     pub fn shared_fraction(&self) -> f64 {
         if self.context_len == 0 {
             0.0
         } else {
             self.shared_prefix_tokens as f64 / self.context_len as f64
         }
+    }
+
+    /// Compression ratio `exact / compressed` over every page the session's
+    /// cache demoted to the compressed tier; `0.0` when nothing was demoted
+    /// (lossless configs, zero-token sessions — never NaN).
+    pub fn compression_ratio(&self) -> f64 {
+        self.compression.ratio()
     }
 }
 
@@ -237,6 +251,10 @@ struct HeadOutcome {
     /// Page decomposition of the plan (`None` during prefill or when the
     /// selected KV is trivially resident).
     pages: Option<Vec<crate::policy::PageRequest>>,
+    /// Whether the pages were recalled through the compressed tier: phase 2
+    /// then charges the compressed byte count instead of exact token
+    /// transfers.
+    compressed: bool,
     /// Post-RoPE query, cloned out of the head's workspace only for traced
     /// heads (empty otherwise — tracing is the one consumer).
     query: Vec<f32>,
@@ -265,10 +283,15 @@ enum SessionPhase {
 struct StepAccounting {
     /// Vectors scored during selection.
     scored: u64,
+    /// Tokens recalled exactly (f16) from CPU memory on cluster-cache
+    /// misses.
+    transferred: u64,
     /// Tokens attended by selective-layer heads.
     attended: u64,
-    /// Tokens recalled from CPU memory on cluster-cache misses.
-    transferred: u64,
+    /// Bytes recalled for compressed pages on cluster-cache misses. Tracked
+    /// in bytes, not tokens: quantized pages move fewer bytes per token, and
+    /// the cache reports the exact compressed count (DESIGN.md §9).
+    transferred_compressed_bytes: u64,
 }
 
 /// Per-session state: everything that differs between concurrent sequences.
@@ -346,6 +369,7 @@ pub struct ServeEngineBuilder {
     kv_cache_capacity: Option<Bytes>,
     prefix_store_capacity: Option<Bytes>,
     device: DeviceModel,
+    compression: CompressionConfig,
 }
 
 impl ServeEngineBuilder {
@@ -364,6 +388,7 @@ impl ServeEngineBuilder {
             kv_cache_capacity: None,
             prefix_store_capacity: None,
             device: DeviceModel::ada6000(),
+            compression: CompressionConfig::lossless(),
         }
     }
 
@@ -424,6 +449,19 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Compressed-tier configuration for every session's cluster cache
+    /// (DESIGN.md §9): lossy settings shrink demoted pages (SLERP merging +
+    /// int8/int4 cold KV) and price recalls at the compressed byte count.
+    /// Defaults to [`CompressionConfig::lossless`], which keeps the
+    /// byte-parity guarantee. Pass the same configuration the selection
+    /// policy was built with (e.g. `ClusterKvConfig::compression`): the
+    /// policy decides *when* to emit recall-compressed plans, this knob
+    /// decides *how* the engine reconstructs and accounts for them.
+    pub fn compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
+    }
+
     /// Enable the workspace-global [`PrefixStore`]: sessions whose prompts
     /// share a prefix reuse its KV pages, key-norm caches and cluster
     /// centroids instead of recomputing them, with `capacity` bytes of
@@ -461,6 +499,7 @@ impl ServeEngineBuilder {
             next_session: 0,
             max_sessions: self.max_sessions,
             kv_cache_capacity: self.kv_cache_capacity.unwrap_or(Bytes(0)),
+            compression: self.compression,
             prefix: self.prefix_store_capacity.map(|capacity| {
                 PrefixStore::new(PrefixStoreConfig {
                     capacity,
@@ -487,6 +526,8 @@ pub struct ServeEngine {
     max_sessions: usize,
     /// GPU capacity of each session's cluster cache (0 = pure offload).
     kv_cache_capacity: Bytes,
+    /// Compressed-tier configuration applied to every session's cache.
+    compression: CompressionConfig,
     /// Cross-session shared-prefix pages (`None` = every session cold).
     prefix: Option<PrefixStore>,
     /// Roofline pricing of modeled per-step decode latency.
@@ -641,10 +682,10 @@ impl ServeEngine {
                 phase: SessionPhase::Fresh,
                 next_input: None,
                 stats: PolicyStats::default(),
-                cache: ClusterCache::new(ClusterCacheConfig::new(
-                    self.kv_cache_capacity,
-                    self.config.head_dim,
-                )),
+                cache: ClusterCache::new(
+                    ClusterCacheConfig::new(self.kv_cache_capacity, self.config.head_dim)
+                        .with_compression(self.compression),
+                ),
                 step: StepAccounting::default(),
                 modeled_decode: Seconds::zero(),
                 prompt_tokens: Vec::new(),
@@ -693,6 +734,7 @@ impl ServeEngine {
             shared_prefix_tokens: sess.matched_prefix_tokens,
             shared_kv_bytes,
             private_kv_bytes,
+            compression: sess.cache.compression_stats(),
         })
     }
 
@@ -939,6 +981,44 @@ impl ServeEngine {
         clusterkv_tensor::kernels::par_matvec_rows(w, 0..rows, v, PROJ_MIN_ROWS_PER_WORKER)
     }
 
+    /// Attend `query` over the gathered selected tokens, substituting the
+    /// compressed (SLERP-merged, quantize-round-tripped) representation for
+    /// every selected token belonging to one of the plan's pages
+    /// (DESIGN.md §9). Tokens outside the pages — sinks, pending decode
+    /// tokens, the position being generated — keep their exact KV.
+    ///
+    /// Per-page reconstruction runs over the page's *full* membership from
+    /// the backing store, never the selection or cache state, so the result
+    /// depends only on `(compression, membership, stored KV)` and phase-1
+    /// head parallelism stays order-free.
+    fn attend_compressed(
+        store: &KvStore,
+        selected: &[usize],
+        pages: &[CompressedPageRequest],
+        compression: CompressionConfig,
+        query: &[f32],
+        weights: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        let mut k_sel = store.keys().select_rows(selected);
+        let mut v_sel = store.values().select_rows(selected);
+        let row_of: BTreeMap<usize, usize> = selected
+            .iter()
+            .enumerate()
+            .map(|(row, &pos)| (pos, row))
+            .collect();
+        for page in pages {
+            let cp = compress_page(store.keys(), store.values(), &page.members, compression);
+            for (i, &pos) in page.members.iter().enumerate() {
+                if let Some(&row) = row_of.get(&pos) {
+                    k_sel.row_mut(row).copy_from_slice(cp.keys.row(i));
+                    v_sel.row_mut(row).copy_from_slice(cp.values.row(i));
+                }
+            }
+        }
+        attend_into(&k_sel, &v_sel, None, query, weights, out);
+    }
+
     /// Run one token of one session through the transformer. `use_selection`
     /// is false during prefill (full causal attention) and true during
     /// decoding.
@@ -999,6 +1079,7 @@ impl ServeEngine {
             };
             let kv_layer = &sess.kv[layer];
             let traces = &sess.traces;
+            let compression = sess.cache.compression();
             sess.concat.clear();
             sess.concat.resize(num_heads * head_dim, 0.0);
             /// One head's unit of the parallel attention phase: its index,
@@ -1024,7 +1105,7 @@ impl ServeEngine {
                     rope.apply(&mut ws.q, position);
                     let store = &kv_layer[Self::kv_head_of(config, head)];
                     let n = store.len();
-                    let (selected, stats, pages) = if use_selection {
+                    let (selected, stats, pages, compressed_pages) = if use_selection {
                         let plan = selector.plan(SelectionRequest::new(&ws.q, n, budget));
                         let mut sel = plan.indices;
                         // The token being generated always attends to
@@ -1034,25 +1115,46 @@ impl ServeEngine {
                         if !sel.contains(&position) {
                             sel.push(position);
                         }
-                        let pages = match plan.residency {
-                            KvResidency::Paged(pages) => Some(pages),
-                            KvResidency::Resident => None,
+                        let (pages, cpages) = match plan.residency {
+                            KvResidency::Paged(pages) => (Some(pages), None),
+                            KvResidency::Compressed(cpages) => {
+                                let inner = cpages.iter().map(|p| p.request).collect();
+                                (Some(inner), Some(cpages))
+                            }
+                            KvResidency::Resident => (None, None),
                         };
-                        (sel, Some(plan.stats), pages)
+                        (sel, Some(plan.stats), pages, cpages)
                     } else {
                         // Prefill: full causal attention through the
                         // dedicated no-index-vec path (no `(0..n)` vector).
-                        (Vec::new(), None, None)
+                        (Vec::new(), None, None, None)
                     };
-                    let indices = stats.as_ref().map(|_| selected.as_slice());
-                    attend_into(
-                        store.keys(),
-                        store.values(),
-                        indices,
-                        &ws.q,
-                        &mut ws.weights,
-                        slot,
-                    );
+                    if let Some(cpages) = &compressed_pages {
+                        // Recall-compressed attention (DESIGN.md §9): attend
+                        // through the merged + quantize-round-tripped KV of
+                        // the plan's pages, exact KV elsewhere. Depends only
+                        // on (config, page membership, stored values), so it
+                        // is order-free across heads and thread counts.
+                        Self::attend_compressed(
+                            store,
+                            &selected,
+                            cpages,
+                            compression,
+                            &ws.q,
+                            &mut ws.weights,
+                            slot,
+                        );
+                    } else {
+                        let indices = stats.as_ref().map(|_| selected.as_slice());
+                        attend_into(
+                            store.keys(),
+                            store.values(),
+                            indices,
+                            &ws.q,
+                            &mut ws.weights,
+                            slot,
+                        );
+                    }
                     // The query is consumed after the parallel phase only by
                     // traced heads; everyone else skips the copy.
                     let query = if traces.contains_key(&(layer, head)) {
@@ -1064,6 +1166,7 @@ impl ServeEngine {
                         selected,
                         stats,
                         pages,
+                        compressed: compressed_pages.is_some(),
                         query,
                     }
                 })
@@ -1081,7 +1184,14 @@ impl ServeEngine {
                     if let Some(pages) = &outcome.pages {
                         let access = sess.cache.access(LayerId(layer), HeadId(head), pages);
                         stats.charge_recall(&access);
-                        sess.step.transferred += access.missed_tokens;
+                        if outcome.compressed {
+                            // Compressed recalls move quantized pages; the
+                            // cache reports their exact byte count, which
+                            // the latency model prices directly.
+                            sess.step.transferred_compressed_bytes += access.bytes_recalled.get();
+                        } else {
+                            sess.step.transferred += access.missed_tokens;
+                        }
                     }
                     sess.stats.merge(&stats);
                     if layer >= config.dense_layers {
@@ -1136,7 +1246,10 @@ impl ServeEngine {
                     if sess.cache.is_offloaded(LayerId(layer), HeadId(head)) {
                         continue;
                     }
-                    if let KvResidency::Paged(pages) = sess.selectors[layer][head].page_table() {
+                    // Both paged and recall-compressed tables warm the same
+                    // way: admission is always exact, demotion to the
+                    // compressed tier happens under eviction pressure.
+                    if let Some(pages) = sess.selectors[layer][head].page_table().page_requests() {
                         sess.cache.warm(LayerId(layer), HeadId(head), &pages);
                     }
                 }
@@ -1531,6 +1644,7 @@ impl ServeEngine {
             sess.step.scored,
             sess.step.attended,
             sess.step.transferred,
+            sess.step.transferred_compressed_bytes,
         );
         sess.modeled_decode += latency.decode_step(sess.num_tokens, &cost);
 
@@ -2444,5 +2558,230 @@ mod tests {
         assert_eq!(r.shared_prefix_tokens, 0);
         assert_eq!(r.shared_kv_bytes, Bytes(0));
         assert_eq!(r.shared_fraction(), 0.0);
+    }
+
+    /// Page size of the block-paged test policy below.
+    const TEST_BLOCK: usize = 8;
+
+    /// Test-double policy: selects the most recent `B` tokens and pages the
+    /// whole context in fixed [`TEST_BLOCK`]-token blocks, emitting
+    /// recall-compressed plans (full block membership) when `compressed` is
+    /// set and plain paged plans otherwise — the minimal policy that drives
+    /// the engine's compressed recall path without the ClusterKV stack.
+    struct BlockPagedSelector {
+        n: usize,
+        compressed: bool,
+    }
+
+    impl BlockPagedSelector {
+        fn blocks(&self) -> Vec<CompressedPageRequest> {
+            (0..self.n)
+                .step_by(TEST_BLOCK)
+                .map(|start| {
+                    let members: Vec<usize> = (start..(start + TEST_BLOCK).min(self.n)).collect();
+                    CompressedPageRequest::new(start / TEST_BLOCK, members)
+                })
+                .collect()
+        }
+    }
+
+    impl TokenSelector for BlockPagedSelector {
+        fn name(&self) -> &str {
+            "BlockPaged"
+        }
+
+        fn observe(&mut self, event: ObserveEvent<'_>) {
+            match event {
+                ObserveEvent::Prefill { keys } => self.n = keys.rows(),
+                ObserveEvent::PrefillChunk { start, keys } => self.n = start + keys.rows(),
+                ObserveEvent::PrefillDone { total_tokens } => self.n = total_tokens,
+                ObserveEvent::Append { position, .. } => self.n = position + 1,
+            }
+        }
+
+        fn plan(&mut self, request: SelectionRequest<'_>) -> SelectionPlan {
+            let b = request.budget.tokens().min(request.num_tokens);
+            let indices: Vec<usize> = (request.num_tokens - b..request.num_tokens).collect();
+            let first = indices[0];
+            let pages: Vec<CompressedPageRequest> = self
+                .blocks()
+                .into_iter()
+                .filter(|p| *p.members.last().unwrap() >= first)
+                .collect();
+            let plan = SelectionPlan::new(indices);
+            if self.compressed {
+                plan.with_compressed_pages(pages)
+            } else {
+                plan.with_pages(pages.into_iter().map(|p| p.request).collect())
+            }
+        }
+
+        fn page_table(&self) -> KvResidency {
+            let pages = self.blocks();
+            if self.compressed {
+                KvResidency::Compressed(pages)
+            } else {
+                KvResidency::Paged(pages.into_iter().map(|p| p.request).collect())
+            }
+        }
+    }
+
+    struct BlockPagedFactory {
+        compressed: bool,
+    }
+
+    impl SelectorFactory for BlockPagedFactory {
+        fn name(&self) -> &str {
+            "BlockPaged"
+        }
+
+        fn create(&self, _ctx: HeadContext) -> Box<dyn TokenSelector> {
+            Box::new(BlockPagedSelector {
+                n: 0,
+                compressed: self.compressed,
+            })
+        }
+    }
+
+    fn block_paged_engine(
+        compressed_plans: bool,
+        compression: CompressionConfig,
+        capacity: Bytes,
+    ) -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(BlockPagedFactory {
+                compressed: compressed_plans,
+            }))
+            .kv_cache_capacity(capacity)
+            .compression(compression)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lossless_compressed_recall_matches_the_exact_paged_path() {
+        // With a lossless engine config, `attend_compressed` reconstructs
+        // the identity, so a policy emitting recall-compressed plans decodes
+        // the exact same token stream as its recall-exact twin.
+        let prompt: Vec<usize> = (0..30).map(|i| (i * 11 + 3) % 128).collect();
+        let run = |compressed_plans: bool| {
+            let mut eng =
+                block_paged_engine(compressed_plans, CompressionConfig::lossless(), Bytes(512));
+            let s = eng.create_session().unwrap();
+            eng.prefill(s, &prompt).unwrap();
+            let stream: Vec<usize> = (0..8)
+                .map(|_| eng.decode_batch(&[s]).unwrap()[0].next_token)
+                .collect();
+            (stream, eng.release(s).unwrap())
+        };
+        let (exact_stream, exact_report) = run(false);
+        let (comp_stream, comp_report) = run(true);
+        assert_eq!(comp_stream, exact_stream, "lossless must be byte-identical");
+        // A lossless cache never demotes, so the compressed tier stays idle
+        // on both paths.
+        assert_eq!(comp_report.compression, CompressionStats::default());
+        assert_eq!(comp_report.compression_ratio(), 0.0);
+        assert_eq!(exact_report.compression, CompressionStats::default());
+    }
+
+    #[test]
+    fn compressed_tier_decodes_end_to_end_under_memory_pressure() {
+        // Small cache + int8 tier: evictions demote pages to the compressed
+        // tier, compressed recalls flow through `attend_compressed`, and the
+        // report carries the byte accounting.
+        let prompt: Vec<usize> = (0..40).map(|i| (i * 7 + 5) % 128).collect();
+        let mut eng = block_paged_engine(true, CompressionConfig::int8(), Bytes(600));
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &prompt).unwrap();
+        for _ in 0..10 {
+            eng.decode_batch(&[s]).unwrap();
+        }
+        let report = eng.release(s).unwrap();
+        assert!(
+            report.compression.demotions > 0,
+            "capacity pressure must demote pages: {:?}",
+            report.compression
+        );
+        assert!(
+            report.compression_ratio() > 1.0,
+            "int8 demotions shrink bytes: {}",
+            report.compression_ratio()
+        );
+        assert!(!report.compression_ratio().is_nan());
+        assert!(report.generated_tokens == 10);
+        assert!(report.modeled_decode_time > Seconds(0.0));
+    }
+
+    #[test]
+    fn session_report_ratios_are_zero_not_nan_for_empty_sessions() {
+        // Satellite guard: a session released before any token is forwarded
+        // has zero tokens, zero cache traffic and zero compressed bytes —
+        // every ratio accessor must report 0.0, never NaN.
+        let mut eng = tiny_serve(8);
+        let s = eng.create_session().unwrap();
+        let r = eng.release(s).unwrap();
+        assert_eq!(r.context_len, 0);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        assert_eq!(r.shared_fraction(), 0.0);
+        assert_eq!(r.compression_ratio(), 0.0);
+        assert!(!r.cache_hit_rate().is_nan());
+        assert!(!r.shared_fraction().is_nan());
+        assert!(!r.compression_ratio().is_nan());
+        // A resident-policy session that did run also keeps the paging
+        // ratios at 0.0 (it never touched the cache or the tier).
+        let mut full = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(FullAttentionFactory))
+            .build()
+            .unwrap();
+        let s = full.create_session().unwrap();
+        full.generate(s, &[1, 2, 3], 2).unwrap();
+        let r = full.release(s).unwrap();
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        assert_eq!(r.compression_ratio(), 0.0);
+        assert!(r.shared_fraction() == 0.0 && !r.shared_fraction().is_nan());
+    }
+
+    #[test]
+    fn prefix_pin_churn_leaves_no_leaked_pins() {
+        // Satellite regression: create/pin/prefill/decode/release churn, in
+        // both release orders, against a zero-retention store. Any pin the
+        // engine failed to release would keep nodes alive (zero-refcount
+        // nodes are evicted immediately at `Bytes(0)` capacity); any
+        // double-unpin would panic on refcount underflow.
+        let prompt: Vec<usize> = (0..16).map(|i| (i * 9 + 4) % 128).collect();
+        let mut eng = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(OracleTopKFactory))
+            .prefix_store(Bytes(0))
+            .build()
+            .unwrap();
+        for round in 0..4 {
+            let a = eng.create_session().unwrap();
+            let b = eng.create_session().unwrap();
+            // Pin before prefill (admission-control order); b re-pins after
+            // a's seal when coverage exists, exercising the pin swap.
+            eng.pin_session_prefix(a, &prompt).unwrap();
+            eng.prefill(a, &prompt).unwrap();
+            eng.pin_session_prefix(b, &prompt).unwrap();
+            eng.prefill(b, &prompt).unwrap();
+            for _ in 0..2 {
+                eng.decode_batch(&[a, b]).unwrap();
+            }
+            // Alternate release orders across rounds.
+            let (first, second) = if round % 2 == 0 { (a, b) } else { (b, a) };
+            eng.release(first).unwrap();
+            eng.release(second).unwrap();
+            let stats = eng.prefix_store_stats().unwrap();
+            assert_eq!(
+                stats.nodes, 0,
+                "round {round}: all pins released ⇒ zero-retention store empties"
+            );
+            assert_eq!(stats.shared_bytes, Bytes(0), "round {round}");
+        }
     }
 }

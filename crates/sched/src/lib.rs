@@ -434,6 +434,7 @@ impl Scheduler {
                 scored_vectors_per_head: 0.0,
                 attended_tokens: 0.0,
                 transferred_tokens_per_head: 0.0,
+                transferred_compressed_bytes: 0.0,
             },
         );
         Ok(Self {

@@ -13,8 +13,7 @@ use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_model::attention::{attention_output_error, full_attention_weights};
 use clusterkv_model::policy::{
-    HeadContext, KvResidency, ObserveEvent, PolicyStats, SelectionRequest, SelectorFactory,
-    TokenSelector,
+    HeadContext, ObserveEvent, PolicyStats, SelectionRequest, SelectorFactory, TokenSelector,
 };
 use clusterkv_tensor::vector::top_k_indices;
 use rayon::prelude::*;
@@ -101,9 +100,12 @@ pub fn run_episode_cached(
     selector.observe(ObserveEvent::Prefill {
         keys: &episode.keys,
     });
+    // Paged and recall-compressed tables warm identically: admission is
+    // always exact; demotion to the compressed tier happens under eviction
+    // pressure (DESIGN.md §9).
     let warm = |selector: &dyn TokenSelector, cache: &mut ClusterCache| {
         if cache.enabled() && !cache.is_offloaded(HARNESS_HEAD.0, HARNESS_HEAD.1) {
-            if let KvResidency::Paged(pages) = selector.page_table() {
+            if let Some(pages) = selector.page_table().page_requests() {
                 cache.warm(HARNESS_HEAD.0, HARNESS_HEAD.1, &pages);
             }
         }
@@ -120,8 +122,8 @@ pub fn run_episode_cached(
         let n = store.len();
         let plan = selector.plan(SelectionRequest::new(query, n, budget));
         stats.merge(&plan.stats);
-        if let KvResidency::Paged(pages) = &plan.residency {
-            let outcome = cache.access(HARNESS_HEAD.0, HARNESS_HEAD.1, pages);
+        if let Some(pages) = plan.residency.page_requests() {
+            let outcome = cache.access(HARNESS_HEAD.0, HARNESS_HEAD.1, &pages);
             stats.charge_recall(&outcome);
         }
         let selected = plan.indices;

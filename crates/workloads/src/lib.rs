@@ -21,12 +21,17 @@
 //!   from measured retrieval quality to an F1 / ROUGE-L-style score.
 //! * [`language_modeling`] — the PG19 perplexity proxy: perplexity as a
 //!   monotone function of attention-approximation error.
+//! * [`quality`] — the quality-vs-memory lane of the compressed KV tier
+//!   (DESIGN.md §9): the same decode loop attending over
+//!   compressed-reconstructed cold pages, yielding accuracy-vs-memory
+//!   frontier points for `exp_quality`.
 
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod language_modeling;
 pub mod longbench;
+pub mod quality;
 pub mod semantic;
 
 pub use harness::{
@@ -35,4 +40,7 @@ pub use harness::{
 };
 pub use language_modeling::{perplexity_proxy, PerplexityPoint};
 pub use longbench::{LongBenchDataset, LongBenchProfile, ScoreMetric};
+pub use quality::{
+    quality_perplexity, quality_score, run_episode_quality, QualityLane, QualityResult,
+};
 pub use semantic::{Episode, EpisodeConfig};

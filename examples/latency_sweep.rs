@@ -32,6 +32,7 @@ fn main() {
                     scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
                     attended_tokens: budget as f64,
                     transferred_tokens_per_head: budget as f64 * (1.0 - cache_hit_rate),
+                    transferred_compressed_bytes: 0.0,
                 }
             });
             println!(
