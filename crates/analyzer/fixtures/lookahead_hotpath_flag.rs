@@ -1,0 +1,16 @@
+// Must-flag fixture: the shape of the speculative-prefetch lookahead
+// kernel (DESIGN.md §10) written the tempting-but-wrong way — scoring and
+// ranking buffers allocated fresh on every decode step inside the hot
+// region. Expected: three no-alloc-in-kernels findings (with_capacity,
+// collect, to_vec).
+
+// analyzer: hot-path
+pub fn lookahead_hint(centroids: &[Vec<f32>], query: &[f32], budget: usize) -> Vec<usize> {
+    let mut scores = Vec::with_capacity(centroids.len());
+    for centroid in centroids {
+        scores.push(centroid.iter().zip(query).map(|(c, q)| c * q).sum::<f32>());
+    }
+    let mut ranked: Vec<usize> = (0..scores.len()).collect();
+    ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    ranked[..budget.min(ranked.len())].to_vec()
+}

@@ -1,0 +1,42 @@
+// Must-pass fixture: the same lookahead hint written the way
+// `lookahead_clusters_ws` actually is — every score/rank/label buffer
+// lives in a caller-owned workspace, cleared and refilled in place, so a
+// steady-state decode step allocates nothing. The cold constructor below
+// the hot region allocates freely.
+
+pub struct HintWorkspace {
+    pub scores: Vec<f32>,
+    pub idx: Vec<usize>,
+    pub labels: Vec<usize>,
+}
+
+// analyzer: hot-path
+pub fn lookahead_hint(
+    centroids: &[Vec<f32>],
+    query: &[f32],
+    budget: usize,
+    ws: &mut HintWorkspace,
+) -> usize {
+    ws.scores.clear();
+    ws.idx.clear();
+    ws.labels.clear();
+    for (i, centroid) in centroids.iter().enumerate() {
+        ws.scores
+            .push(centroid.iter().zip(query).map(|(c, q)| c * q).sum::<f32>());
+        ws.idx.push(i);
+    }
+    let scores = &ws.scores;
+    ws.idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    for &cluster in ws.idx.iter().take(budget) {
+        ws.labels.push(cluster);
+    }
+    ws.labels.len()
+}
+
+pub fn cold_workspace(capacity: usize) -> HintWorkspace {
+    HintWorkspace {
+        scores: Vec::with_capacity(capacity),
+        idx: Vec::with_capacity(capacity),
+        labels: Vec::with_capacity(capacity),
+    }
+}

@@ -94,6 +94,22 @@ fn alloc_in_kernels_flags_and_passes() {
 }
 
 #[test]
+fn lookahead_hotpath_kernel_flags_and_passes() {
+    // The prefetch lookahead kernel's no-alloc contract (DESIGN.md §10),
+    // proven on fixtures shaped like the real `lookahead_clusters_ws`: the
+    // per-step-allocating variant flags, the workspace-reusing variant —
+    // cold constructor included — is clean.
+    let flagged = run("lookahead_hotpath_flag.rs");
+    assert_eq!(
+        flagged.len(),
+        3,
+        "with_capacity, collect, to_vec: {flagged:?}"
+    );
+    assert!(flagged.iter().all(|d| d.rule == NO_ALLOC_IN_KERNELS));
+    assert!(run("lookahead_hotpath_pass.rs").is_empty());
+}
+
+#[test]
 fn unsafe_gate_flags_without_allowlist_entry() {
     let flagged = run("unsafe_gate_flag.rs");
     assert_eq!(rules_of(&flagged), vec![UNSAFE_GATE]);

@@ -56,6 +56,7 @@ fn clusterkv_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         attended_tokens: budget as f64,
         transferred_tokens_per_head: transferred_per_step,
         transferred_compressed_bytes: 0.0,
+        staged_transfer_bytes: 0.0,
     }
 }
 

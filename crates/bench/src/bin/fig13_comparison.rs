@@ -47,6 +47,7 @@ fn clusterkv_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         attended_tokens: budget as f64,
         transferred_tokens_per_head: transferred_per_step,
         transferred_compressed_bytes: 0.0,
+        staged_transfer_bytes: 0.0,
     }
 }
 
@@ -58,6 +59,7 @@ fn infinigen_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         attended_tokens: budget as f64,
         transferred_tokens_per_head: transferred_per_step,
         transferred_compressed_bytes: 0.0,
+        staged_transfer_bytes: 0.0,
     }
 }
 
@@ -69,6 +71,7 @@ fn quest_cost(budget: usize) -> impl Fn(usize) -> StepCost {
         attended_tokens: budget as f64,
         transferred_tokens_per_head: 0.0,
         transferred_compressed_bytes: 0.0,
+        staged_transfer_bytes: 0.0,
     }
 }
 
@@ -123,6 +126,7 @@ fn main() {
             attended_tokens: ctx as f64,
             transferred_tokens_per_head: ctx as f64,
             transferred_compressed_bytes: 0.0,
+            staged_transfer_bytes: 0.0,
         });
         let infinigen = opt.run(p, d, None, infinigen_cost(256, ig_recall));
         let clusterkv = opt.run(p, d, Some((p / 80, 10)), clusterkv_cost(256, ckv_recall));

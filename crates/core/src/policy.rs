@@ -16,7 +16,7 @@
 use crate::clustering::SemanticClustering;
 use crate::config::ClusterKvConfig;
 use crate::distance::DistanceMetric;
-use crate::selection::select_clusters_ws;
+use crate::selection::{lookahead_clusters_ws, select_clusters_ws};
 use clusterkv_kvcache::cluster_cache::PageRequest;
 use clusterkv_kvcache::types::Bytes;
 use clusterkv_model::policy::{
@@ -183,6 +183,32 @@ impl TokenSelector for ClusterKvSelector {
         });
         plan.residency = residency;
         plan
+    }
+
+    fn prefetch_hint(
+        &mut self,
+        request: SelectionRequest<'_>,
+        lookahead_tokens: usize,
+    ) -> Vec<PageRequest> {
+        // Contexts the budget covers never page, so there is nothing worth
+        // staging.
+        if request.budget.covers(request.num_tokens) {
+            return Vec::new();
+        }
+        // One blocked matvec into the same selection workspace (DESIGN.md
+        // §10): scratch-only, so the hint cannot perturb any later plan.
+        let nominated = lookahead_clusters_ws(
+            request.query,
+            &self.clustering,
+            request.budget,
+            lookahead_tokens,
+            &mut self.ws,
+        );
+        let metadata = self.clustering.metadata();
+        self.ws.labels[..nominated]
+            .iter()
+            .map(|&c| PageRequest::new(c, metadata.cluster_size(c)))
+            .collect()
     }
 
     fn page_table(&self) -> KvResidency {
@@ -440,6 +466,35 @@ mod tests {
         assert_eq!(warm.missed_tokens, 0, "no new misses expected");
         assert!(warm.hit_tokens > 0);
         assert_eq!(cache.transfers().tokens_moved, cold.missed_tokens);
+    }
+
+    #[test]
+    fn prefetch_hint_nominates_pages_without_touching_plans() {
+        let mut sel = ClusterKvSelector::new(test_config(), 8);
+        observe_prefill(&mut sel, &prefill_keys(80, 8, 2));
+        let q = gaussian_vec(&mut seeded(3), 8, 0.0, 1.0);
+        let before = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        let hint = sel.prefetch_hint(SelectionRequest::new(&q, 80, Budget::new(24)), 16);
+        assert!(!hint.is_empty());
+        let metadata = sel.clustering().metadata();
+        for p in &hint {
+            assert!(p.page < metadata.num_clusters());
+            assert_eq!(p.tokens, metadata.cluster_size(p.page));
+        }
+        // The widened nomination covers the plan's own clusters.
+        let KvResidency::Paged(pages) = &before.residency else {
+            panic!("paged plan expected");
+        };
+        for p in pages {
+            assert!(hint.contains(p), "hint must cover selected page {p:?}");
+        }
+        // Scratch-only: the next plan is unchanged by the hint.
+        let after = sel.plan(SelectionRequest::new(&q, 80, Budget::new(24)));
+        assert_eq!(before, after);
+        // Covered contexts never page, so there is nothing to stage.
+        assert!(sel
+            .prefetch_hint(SelectionRequest::new(&q, 80, Budget::new(128)), 16)
+            .is_empty());
     }
 
     #[test]

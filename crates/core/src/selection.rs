@@ -216,6 +216,64 @@ pub fn select_clusters_ws(
     }
 }
 
+/// Nominate the clusters a *widened*-budget selection would pick, for
+/// speculative staging (DESIGN.md §10): one blocked matvec scores every
+/// centroid into `ws.scores`, the ranking lands in `ws.idx`, and the
+/// nominated cluster ids are written to `ws.labels` in descending score
+/// order. Returns the number of nominations.
+///
+/// Because greedy fill consumes the same descending-score ranking as
+/// [`select_clusters_ws`], widening the budget by `lookahead_tokens`
+/// nominates the step's own top clusters plus the next-best marginal
+/// candidates — the pages most likely to be demanded at step `t+1` when the
+/// query drifts. (The fill here charges whole cluster sizes and skips the
+/// overlap dedup, so it is a fast approximation of the plan's fill, not a
+/// byte-for-byte replay — accuracy is measured, not assumed, via
+/// `PrefetchStats`.) The pass is read-only on the clustering state and
+/// purely scratch-mutating on `ws`, so a prefetch hint can never change
+/// what a later plan returns.
+// analyzer: hot-path
+pub fn lookahead_clusters_ws(
+    query: &[f32],
+    clustering: &SemanticClustering,
+    budget: Budget,
+    lookahead_tokens: usize,
+    ws: &mut Workspace,
+) -> usize {
+    ws.labels.clear();
+    let target = budget.tokens().saturating_add(lookahead_tokens);
+    let retained = clustering.sink_indices().len() + clustering.pending_indices().len();
+    let centroids = clustering.centroids();
+    if centroids.rows() == 0 || retained >= target {
+        return 0;
+    }
+    assert_eq!(
+        centroids.cols(),
+        query.len(),
+        "query dimension matches centroid dimension"
+    );
+    // Single-threaded blocked matvec: the hint is one cheap pass and must
+    // stay byte-identical at every thread count. NaN scores rank last
+    // (argsort is total), so a poisoned query cannot hijack the staging
+    // budget either.
+    matvec_t_into(centroids, query, &mut ws.scores);
+    argsort_descending_into(&ws.scores, &mut ws.idx);
+    let metadata = clustering.metadata();
+    let mut remaining = target - retained;
+    for &cluster in ws.idx.iter() {
+        if remaining == 0 {
+            break;
+        }
+        let size = metadata.cluster_size(cluster);
+        if size == 0 {
+            continue;
+        }
+        ws.labels.push(cluster);
+        remaining = remaining.saturating_sub(size);
+    }
+    ws.labels.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +485,78 @@ mod tests {
             ws.allocated_bytes(),
             warm,
             "workspace must not grow in steady state"
+        );
+    }
+
+    #[test]
+    fn lookahead_nominates_a_superset_of_the_selected_clusters() {
+        let sc = directional_clustering();
+        let mut ws = clusterkv_tensor::kernels::Workspace::new();
+        let q = [1.0f32, 0.2, 0.0, 0.0];
+        let plan = select_clusters_ws(&q, &sc, Budget::new(14), &mut ws);
+        let n = lookahead_clusters_ws(&q, &sc, Budget::new(14), 10, &mut ws);
+        assert!(n >= plan.selected_clusters.len());
+        for c in &plan.selected_clusters {
+            assert!(
+                ws.labels[..n].contains(c),
+                "lookahead must keep the step's own cluster {c}"
+            );
+        }
+        // The widened budget pulls in at least one marginal candidate here
+        // (three 10-token clusters, budget 14 → 1 selected, 24 → 2).
+        assert!(n > plan.selected_clusters.len());
+    }
+
+    #[test]
+    fn lookahead_is_scratch_only_and_deterministic() {
+        let sc = directional_clustering();
+        let q = [0.1f32, 1.0, 0.0, 0.0];
+        let mut ws = clusterkv_tensor::kernels::Workspace::new();
+        let before = select_clusters_ws(&q, &sc, Budget::new(12), &mut ws);
+        let n1 = lookahead_clusters_ws(&q, &sc, Budget::new(12), 8, &mut ws);
+        let first: Vec<usize> = ws.labels[..n1].to_vec();
+        let n2 = lookahead_clusters_ws(&q, &sc, Budget::new(12), 8, &mut ws);
+        assert_eq!(n1, n2);
+        assert_eq!(first, ws.labels[..n2]);
+        // The hint is scratch-only: the next plan is byte-identical to the
+        // one before the hint ran.
+        let after = select_clusters_ws(&q, &sc, Budget::new(12), &mut ws);
+        assert_eq!(before.token_indices, after.token_indices);
+        assert_eq!(before.selected_clusters, after.selected_clusters);
+        // Steady state allocates nothing new.
+        let warm = ws.allocated_bytes();
+        for _ in 0..10 {
+            let _ = lookahead_clusters_ws(&q, &sc, Budget::new(12), 8, &mut ws);
+        }
+        assert_eq!(ws.allocated_bytes(), warm, "lookahead must be zero-alloc");
+    }
+
+    #[test]
+    fn lookahead_with_zero_extra_tokens_covers_the_plan() {
+        let sc = directional_clustering();
+        let mut ws = clusterkv_tensor::kernels::Workspace::new();
+        let q = [1.0f32, 0.0, 0.0, 0.0];
+        let plan = select_clusters_ws(&q, &sc, Budget::new(14), &mut ws);
+        let n = lookahead_clusters_ws(&q, &sc, Budget::new(14), 0, &mut ws);
+        assert_eq!(ws.labels[..n], plan.selected_clusters);
+    }
+
+    #[test]
+    fn lookahead_handles_empty_and_saturated_states() {
+        let config = ClusterKvConfig::default().with_sink_tokens(4);
+        let mut sc = SemanticClustering::new(config, 4);
+        sc.prefill(&Matrix::from_rows(vec![vec![1.0, 0.0, 0.0, 0.0]; 3]).unwrap());
+        let mut ws = clusterkv_tensor::kernels::Workspace::new();
+        // No clusters: nothing to nominate.
+        assert_eq!(
+            lookahead_clusters_ws(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(8), 4, &mut ws),
+            0
+        );
+        // Retained tokens already exceed the widened budget.
+        let sc = directional_clustering();
+        assert_eq!(
+            lookahead_clusters_ws(&[1.0, 0.0, 0.0, 0.0], &sc, Budget::new(2), 1, &mut ws),
+            0
         );
     }
 

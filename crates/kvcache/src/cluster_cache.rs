@@ -22,7 +22,7 @@
 //! disabled).
 
 use crate::compressed::CompressionConfig;
-use crate::stats::{CacheStats, CompressionStats, TransferStats};
+use crate::stats::{CacheStats, CompressionStats, PrefetchStats, TransferStats};
 use crate::tier::{MemoryTier, TierKind};
 use crate::types::{Bytes, HeadId, LayerId};
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,12 @@ pub struct ClusterCacheConfig {
     /// eviction drops pages outright and recalls move exact f16 bytes,
     /// exactly the pre-compression behaviour.
     pub compression: CompressionConfig,
+    /// Capacity of the speculative staging buffer (DESIGN.md §10): GPU
+    /// memory set aside for pages moved ahead of demand by
+    /// [`ClusterCache::stage`]. `0` (the default) disables staging entirely;
+    /// the buffer is carved out separately from `gpu_capacity`, so staging
+    /// never competes with — and can never evict — resident pages.
+    pub staging_capacity: Bytes,
 }
 
 impl ClusterCacheConfig {
@@ -83,12 +89,19 @@ impl ClusterCacheConfig {
             gpu_capacity,
             bytes_per_token: Bytes::of_f16(2 * head_dim),
             compression: CompressionConfig::lossless(),
+            staging_capacity: Bytes(0),
         }
     }
 
     /// Enable the compressed tier.
     pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
         self.compression = compression;
+        self
+    }
+
+    /// Enable the speculative staging buffer with `capacity` bytes.
+    pub fn with_staging(mut self, capacity: Bytes) -> Self {
+        self.staging_capacity = capacity;
         self
     }
 
@@ -122,6 +135,16 @@ pub struct StepOutcome {
     /// Of the hit tokens, how many came from compressed pages (no PCIe, but
     /// a dequantize on access).
     pub compressed_tokens: u64,
+    /// Of the missed pages, how many were promoted from the staging buffer
+    /// (their bytes already moved by an overlapped staged transfer). Still
+    /// counted in `missed_pages`/`missed_tokens`/`bytes_recalled` — staging
+    /// changes *when* bytes move, never the hit/miss accounting.
+    pub staged_pages: usize,
+    /// Tokens of the missed pages that were promoted from staging.
+    pub staged_tokens: u64,
+    /// Bytes of `bytes_recalled` that the staged transfer already moved (the
+    /// overlap clock subtracts these from the demand-transfer term).
+    pub staged_bytes: Bytes,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -130,6 +153,14 @@ struct ResidentPage {
     stamp: u64,
     /// Whether the page was demoted to the compressed tier (DESIGN.md §9).
     compressed: bool,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct StagedPage {
+    tokens: usize,
+    stamp: u64,
+    /// Bytes the staged transfer moved (recall width at stage time).
+    bytes: Bytes,
 }
 
 /// Capacity-bounded GPU resident set with deterministic LRU eviction over a
@@ -172,6 +203,18 @@ pub struct ClusterCache {
     stats: CacheStats,
     transfers: TransferStats,
     compression_stats: CompressionStats,
+    /// Capacity of the speculative staging buffer (DESIGN.md §10). Tracked
+    /// separately from the resident tier: staged bytes never count against
+    /// `gpu`, and staging evicts only other staged pages — never a resident
+    /// one.
+    staging_capacity: Bytes,
+    staging_used: Bytes,
+    staged: BTreeMap<PageKey, StagedPage>,
+    /// Staging LRU: stamp → page, sharing the cache's monotone clock so
+    /// staging eviction order is deterministic and coherent with the
+    /// resident LRU.
+    staging_lru: BTreeMap<u64, PageKey>,
+    prefetch_stats: PrefetchStats,
 }
 
 impl ClusterCache {
@@ -184,6 +227,7 @@ impl ClusterCache {
             config.bytes_per_token,
         );
         cache.compression = config.compression;
+        cache.staging_capacity = config.staging_capacity;
         cache
     }
 
@@ -203,6 +247,11 @@ impl ClusterCache {
             stats: CacheStats::new(),
             transfers: TransferStats::new(),
             compression_stats: CompressionStats::new(),
+            staging_capacity: Bytes(0),
+            staging_used: Bytes(0),
+            staged: BTreeMap::new(),
+            staging_lru: BTreeMap::new(),
+            prefetch_stats: PrefetchStats::new(),
         }
     }
 
@@ -278,6 +327,26 @@ impl ClusterCache {
         self.gpu.compressed_bytes()
     }
 
+    /// Capacity of the speculative staging buffer (`0` disables staging).
+    pub fn staging_capacity(&self) -> Bytes {
+        self.staging_capacity
+    }
+
+    /// Bytes currently held in the staging buffer.
+    pub fn staged_bytes(&self) -> Bytes {
+        self.staging_used
+    }
+
+    /// Number of pages currently staged.
+    pub fn staged_pages(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Prefetch accounting (staged / used / wasted bytes and accuracy).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetch_stats
+    }
+
     /// Record the size of the full KV cache held in the CPU backing store
     /// (grows as the context grows; replaces the previous size).
     ///
@@ -329,6 +398,14 @@ impl ClusterCache {
             self.lru.remove(&entry.stamp);
             self.gpu.free(&Self::alloc_name(key));
         }
+    }
+
+    /// Remove a page from the staging buffer, returning its entry.
+    fn unstage(&mut self, key: PageKey) -> Option<StagedPage> {
+        let entry = self.staged.remove(&key)?;
+        self.staging_lru.remove(&entry.stamp);
+        self.staging_used = Bytes(self.staging_used.get() - entry.bytes.get());
+        Some(entry)
     }
 
     /// Demote a resident page to the compressed tier: its GPU region
@@ -478,12 +555,106 @@ impl ClusterCache {
                 Some(_) => {}
                 None => {
                     self.known.insert(key);
+                    // Freshly produced on-device KV supersedes any staged
+                    // copy (keeps staged ∩ resident = ∅).
+                    if let Some(staged) = self.unstage(key) {
+                        self.prefetch_stats.record_wasted(staged.bytes);
+                    }
                     self.admit(key, req.tokens);
                     admitted += 1;
                 }
             }
         }
         admitted
+    }
+
+    /// Speculatively move nominated pages into the staging buffer ahead of
+    /// demand (DESIGN.md §10). Staging is purely an accounting device for
+    /// the overlap clock: it never changes residency, hit/miss counters or
+    /// recall bytes — a staged page that is later demanded still *misses*
+    /// and still charges its recall bytes; only the overlap clock discounts
+    /// the bytes the staged transfer already moved.
+    ///
+    /// Per nomination, in order: zero-token and GPU-resident pages are
+    /// skipped (growth deltas of resident pages always travel on demand); a
+    /// staged copy covering the nomination is refreshed in staging-LRU
+    /// order; pages whose recall size exceeds the staging capacity or the
+    /// remaining `byte_budget` of this call are skipped; a smaller staged
+    /// copy is superseded (its transfer was wasted); and the oldest staged
+    /// pages — never resident ones — are evicted until the new page fits.
+    /// Returns the bytes staged by this call.
+    pub fn stage(
+        &mut self,
+        layer: LayerId,
+        head: HeadId,
+        pages: &[PageRequest],
+        byte_budget: Bytes,
+    ) -> Bytes {
+        if self.staging_capacity.get() == 0 {
+            return Bytes(0);
+        }
+        let mut staged = Bytes(0);
+        for req in pages {
+            if req.tokens == 0 {
+                continue;
+            }
+            let key = PageKey {
+                layer,
+                head,
+                page: req.page,
+            };
+            if self.resident.contains_key(&key) {
+                continue;
+            }
+            if let Some(entry) = self.staged.get(&key) {
+                if entry.tokens >= req.tokens {
+                    // Already staged with coverage: refresh its staging-LRU
+                    // position; no new bytes move.
+                    let stamp = entry.stamp;
+                    self.staging_lru.remove(&stamp);
+                    self.clock += 1;
+                    let entry = self.staged.get_mut(&key).expect("checked staged");
+                    entry.stamp = self.clock;
+                    self.staging_lru.insert(self.clock, key);
+                    continue;
+                }
+            }
+            let size = self.recall_bytes(req.tokens);
+            if size.get() > self.staging_capacity.get()
+                || staged.get() + size.get() > byte_budget.get()
+            {
+                // Over capacity or budget: skip, keeping any smaller staged
+                // copy (it can still serve a smaller future demand).
+                continue;
+            }
+            if let Some(old) = self.unstage(key) {
+                // A larger nomination supersedes the staged copy: the old
+                // transfer is wasted and the page restages in full.
+                self.prefetch_stats.record_wasted(old.bytes);
+            }
+            while self.staging_used.get() + size.get() > self.staging_capacity.get() {
+                let victim = match self.staging_lru.iter().next() {
+                    Some((_, &key)) => key,
+                    None => break,
+                };
+                let evicted = self.unstage(victim).expect("victim is staged");
+                self.prefetch_stats.record_wasted(evicted.bytes);
+            }
+            self.clock += 1;
+            self.staged.insert(
+                key,
+                StagedPage {
+                    tokens: req.tokens,
+                    stamp: self.clock,
+                    bytes: size,
+                },
+            );
+            self.staging_lru.insert(self.clock, key);
+            self.staging_used += size;
+            self.prefetch_stats.record_staged(size);
+            staged += size;
+        }
+        staged
     }
 
     /// Look up the pages selected by one head at one decode step: resident
@@ -531,6 +702,30 @@ impl ClusterCache {
                     out.missed_pages += 1;
                     out.missed_tokens += req.tokens as u64;
                     out.bytes_recalled += self.recall_bytes(req.tokens);
+                    if let Some(&StagedPage { tokens, .. }) = self.staged.get(&key) {
+                        let staged = self.unstage(key).expect("checked staged");
+                        if tokens >= req.tokens {
+                            // Promotion: the staged transfer already moved
+                            // these bytes, so the overlap clock discounts
+                            // them. Miss/recall accounting above is
+                            // untouched — staging changes *when* bytes
+                            // move, never what attends or what counts.
+                            let used = self.recall_bytes(req.tokens);
+                            self.prefetch_stats.record_used(used);
+                            if staged.bytes.get() > used.get() {
+                                self.prefetch_stats
+                                    .record_wasted(Bytes(staged.bytes.get() - used.get()));
+                            }
+                            out.staged_pages += 1;
+                            out.staged_tokens += req.tokens as u64;
+                            out.staged_bytes += used;
+                        } else {
+                            // Stale: the staged copy is smaller than the
+                            // demand, so the whole staged transfer was
+                            // wasted and the page recalls in full.
+                            self.prefetch_stats.record_wasted(staged.bytes);
+                        }
+                    }
                     self.admit(key, req.tokens);
                 }
             }
@@ -907,6 +1102,173 @@ mod tests {
         assert!(c.resident_bytes().get() <= c.capacity().get());
     }
 
+    /// A cache holding `tokens` resident tokens plus a staging buffer of
+    /// `staging_tokens` tokens, head_dim 1 (4 bytes per token).
+    fn staged_cache_for(tokens: u64, staging_tokens: u64) -> ClusterCache {
+        ClusterCache::new(
+            ClusterCacheConfig::new(Bytes(4 * tokens), 1).with_staging(Bytes(4 * staging_tokens)),
+        )
+    }
+
+    #[test]
+    fn zero_staging_capacity_disables_staging() {
+        let mut c = cache_for(16);
+        assert_eq!(c.staging_capacity(), Bytes(0));
+        assert_eq!(c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX)), Bytes(0));
+        assert_eq!(c.staged_pages(), 0);
+        assert_eq!(c.prefetch_stats(), PrefetchStats::new());
+    }
+
+    #[test]
+    fn staged_page_promotes_without_changing_accounting() {
+        let mut plain = cache_for(16);
+        let mut staged = staged_cache_for(16, 8);
+        assert_eq!(
+            staged.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX)),
+            Bytes(16)
+        );
+        assert_eq!(staged.staged_bytes(), Bytes(16));
+        let p = plain.access(L, H, &reqs(&[(0, 4)]));
+        let s = staged.access(L, H, &reqs(&[(0, 4)]));
+        // Hit/miss/recall accounting is identical — staging only marks the
+        // bytes the overlap clock may discount.
+        assert_eq!(p.missed_tokens, s.missed_tokens);
+        assert_eq!(p.bytes_recalled, s.bytes_recalled);
+        assert_eq!(p.hit_tokens, s.hit_tokens);
+        assert_eq!(plain.stats(), staged.stats());
+        assert_eq!(plain.transfers(), staged.transfers());
+        assert_eq!(s.staged_pages, 1);
+        assert_eq!(s.staged_tokens, 4);
+        assert_eq!(s.staged_bytes, Bytes(16));
+        assert_eq!(p.staged_pages, 0);
+        // The promotion consumed the staged copy.
+        assert_eq!(staged.staged_pages(), 0);
+        assert_eq!(staged.staged_bytes(), Bytes(0));
+        assert!((staged.prefetch_stats().accuracy() - 1.0).abs() < 1e-12);
+        assert_eq!(staged.prefetch_stats().wasted_bytes, Bytes(0));
+    }
+
+    #[test]
+    fn stage_skips_resident_pages_and_respects_budget() {
+        let mut c = staged_cache_for(16, 16);
+        c.access(L, H, &reqs(&[(0, 4)]));
+        // Page 0 is resident; pages 1 and 2 want 16 B each but the call
+        // budget only covers one of them.
+        let moved = c.stage(L, H, &reqs(&[(0, 4), (1, 4), (2, 4)]), Bytes(16));
+        assert_eq!(moved, Bytes(16));
+        assert_eq!(c.staged_pages(), 1);
+        assert_eq!(c.prefetch_stats().staged_pages, 1);
+    }
+
+    #[test]
+    fn staging_never_exceeds_cap_and_never_evicts_resident() {
+        // Staging holds two 4-token pages; resident set holds one.
+        let mut c = staged_cache_for(4, 8);
+        c.access(L, H, &reqs(&[(9, 4)]));
+        let before_resident = c.resident_bytes();
+        c.stage(L, H, &reqs(&[(0, 4), (1, 4), (2, 4)]), Bytes(u64::MAX));
+        // Page 0 was evicted from staging (oldest) to make room for page 2.
+        assert_eq!(c.staged_pages(), 2);
+        assert_eq!(c.staged_bytes(), Bytes(32));
+        assert!(c.staged_bytes().get() <= c.staging_capacity().get());
+        assert_eq!(c.prefetch_stats().staged_pages, 3);
+        assert_eq!(c.prefetch_stats().wasted_bytes, Bytes(16));
+        // The resident set is untouched by staging pressure.
+        assert_eq!(c.resident_bytes(), before_resident);
+        assert!(c.contains(PageKey {
+            layer: L,
+            head: H,
+            page: 9
+        }));
+        // The evicted nomination recalls on demand like any miss.
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.missed_tokens, 4);
+        assert_eq!(out.staged_pages, 0);
+    }
+
+    #[test]
+    fn oversized_page_is_never_staged() {
+        let mut c = staged_cache_for(16, 4);
+        assert_eq!(c.stage(L, H, &reqs(&[(0, 100)]), Bytes(u64::MAX)), Bytes(0));
+        assert_eq!(c.staged_pages(), 0);
+    }
+
+    #[test]
+    fn stale_staged_copy_is_wasted_on_larger_demand() {
+        let mut c = staged_cache_for(16, 8);
+        c.stage(L, H, &reqs(&[(0, 2)]), Bytes(u64::MAX));
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        // The staged 2-token copy cannot serve a 4-token demand: full
+        // demand recall, staged bytes all wasted.
+        assert_eq!(out.missed_tokens, 4);
+        assert_eq!(out.staged_pages, 0);
+        assert_eq!(out.staged_bytes, Bytes(0));
+        assert_eq!(c.prefetch_stats().used_pages, 0);
+        assert_eq!(c.prefetch_stats().wasted_bytes, Bytes(8));
+        assert_eq!(c.staged_pages(), 0);
+    }
+
+    #[test]
+    fn larger_nomination_supersedes_staged_copy() {
+        let mut c = staged_cache_for(16, 8);
+        c.stage(L, H, &reqs(&[(0, 2)]), Bytes(u64::MAX));
+        c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX));
+        assert_eq!(c.staged_pages(), 1);
+        assert_eq!(c.staged_bytes(), Bytes(16));
+        assert_eq!(c.prefetch_stats().wasted_bytes, Bytes(8), "old copy");
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.staged_pages, 1);
+        assert_eq!(out.staged_bytes, Bytes(16));
+    }
+
+    #[test]
+    fn restaging_a_covering_copy_moves_no_new_bytes() {
+        let mut c = staged_cache_for(16, 8);
+        assert_eq!(c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX)), Bytes(16));
+        assert_eq!(c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX)), Bytes(0));
+        assert_eq!(c.stage(L, H, &reqs(&[(0, 2)]), Bytes(u64::MAX)), Bytes(0));
+        assert_eq!(c.prefetch_stats().staged_pages, 1);
+        assert_eq!(c.prefetch_stats().staged_bytes, Bytes(16));
+    }
+
+    #[test]
+    fn warm_admission_supersedes_staged_copy() {
+        let mut c = staged_cache_for(16, 8);
+        c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX));
+        assert_eq!(c.warm(L, H, &reqs(&[(0, 4)])), 1);
+        assert_eq!(c.staged_pages(), 0, "staged ∩ resident = ∅");
+        assert_eq!(c.prefetch_stats().wasted_bytes, Bytes(16));
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.hit_tokens, 4);
+    }
+
+    #[test]
+    fn promotion_of_covering_copy_wastes_only_the_excess() {
+        let mut c = staged_cache_for(16, 8);
+        c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX));
+        let out = c.access(L, H, &reqs(&[(0, 3)]));
+        assert_eq!(out.missed_tokens, 3);
+        assert_eq!(out.staged_pages, 1);
+        assert_eq!(out.staged_bytes, Bytes(12));
+        assert_eq!(c.prefetch_stats().used_bytes, Bytes(12));
+        assert_eq!(c.prefetch_stats().wasted_bytes, Bytes(4), "excess tokens");
+    }
+
+    #[test]
+    fn quantized_staging_moves_compressed_bytes() {
+        // head_dim 8 → 32 B/token exact; int8 moves 16 B/token + 8 B scales.
+        let mut c = ClusterCache::new(
+            ClusterCacheConfig::new(Bytes(32 * 32), 8)
+                .with_compression(CompressionConfig::int8())
+                .with_staging(Bytes(32 * 8)),
+        );
+        let moved = c.stage(L, H, &reqs(&[(0, 4)]), Bytes(u64::MAX));
+        assert_eq!(moved, Bytes(4 * 16 + 8), "staged at the recall width");
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.bytes_recalled, Bytes(4 * 16 + 8));
+        assert_eq!(out.staged_bytes, out.bytes_recalled);
+    }
+
     mod transition_properties {
         use super::*;
         use proptest::prelude::*;
@@ -979,6 +1341,70 @@ mod tests {
                 prop_assert!(
                     c.compressed_pages()
                         == c.resident.values().filter(|p| p.compressed).count()
+                );
+            }
+
+            #[test]
+            fn staging_respects_cap_and_never_touches_the_resident_set(
+                // Encoded op: low 3 bits page id, next 3 bits tokens
+                // (1..=8), next 2 bits op kind (access / warm / stage /
+                // stage-with-tight-budget).
+                ops in proptest::collection::vec(0u64..256, 1..60),
+                capacity_tokens in 4u64..24,
+                staging_tokens in 1u64..16,
+            ) {
+                // Twin caches: `a` stages, `b` never does. Every observable
+                // except prefetch accounting must stay identical — staging
+                // never evicts a resident page, never changes hit/miss or
+                // recall bytes, and never exceeds its own byte cap.
+                let mut a = staged_cache_for(capacity_tokens, staging_tokens);
+                let mut b = cache_for(capacity_tokens);
+                for op in ops {
+                    let page = (op & 7) as usize;
+                    let tokens = ((op >> 3) & 7) as usize + 1;
+                    match (op >> 6) & 3 {
+                        0 | 1 => {
+                            let oa = a.access(L, H, &reqs(&[(page, tokens)]));
+                            let ob = b.access(L, H, &reqs(&[(page, tokens)]));
+                            prop_assert_eq!(oa.hit_tokens, ob.hit_tokens);
+                            prop_assert_eq!(oa.missed_tokens, ob.missed_tokens);
+                            prop_assert_eq!(oa.bytes_recalled, ob.bytes_recalled);
+                        }
+                        2 => {
+                            prop_assert_eq!(
+                                a.warm(L, H, &reqs(&[(page, tokens)])),
+                                b.warm(L, H, &reqs(&[(page, tokens)]))
+                            );
+                        }
+                        _ => {
+                            let budget = Bytes(4 * (op >> 4));
+                            a.stage(L, H, &reqs(&[(page, tokens)]), budget);
+                        }
+                    }
+                    prop_assert!(a.staged_bytes().get() <= a.staging_capacity().get());
+                    prop_assert_eq!(a.staged_pages(), a.staging_lru.len());
+                    let staged_sum: u64 = a.staged.values().map(|p| p.bytes.get()).sum();
+                    prop_assert_eq!(a.staged_bytes(), Bytes(staged_sum));
+                    for key in a.staged.keys() {
+                        prop_assert!(
+                            !a.resident.contains_key(key),
+                            "staged ∩ resident must be empty"
+                        );
+                    }
+                    // The resident set and all demand-side accounting are
+                    // byte-identical with and without staging.
+                    prop_assert_eq!(&a.resident.keys().collect::<Vec<_>>(),
+                                    &b.resident.keys().collect::<Vec<_>>());
+                    prop_assert_eq!(a.resident_bytes(), b.resident_bytes());
+                    prop_assert_eq!(a.stats(), b.stats());
+                    prop_assert_eq!(a.transfers(), b.transfers());
+                }
+                // Prefetch byte accounting closes: everything staged is
+                // eventually used, wasted, or still sitting in the buffer.
+                let s = a.prefetch_stats();
+                prop_assert_eq!(
+                    s.staged_bytes,
+                    Bytes(s.used_bytes.get() + s.wasted_bytes.get() + a.staged_bytes().get())
                 );
             }
 

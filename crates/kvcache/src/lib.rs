@@ -49,7 +49,7 @@ pub use prefix::{
     MatchSegment, PrefixStore, PrefixStoreConfig, PrefixStoreStats, SharedKvPage, SharedPrefixState,
 };
 pub use selected::SelectedKv;
-pub use stats::{CacheStats, CompressionStats, TransferStats};
+pub use stats::{CacheStats, CompressionStats, PrefetchStats, TransferStats};
 pub use store::KvStore;
 pub use tier::{MemoryTier, TierKind};
 pub use types::{Budget, HeadId, LayerId, TokenId};

@@ -138,6 +138,84 @@ impl CompressionStats {
     }
 }
 
+/// Accounting for the speculative staging buffer (DESIGN.md §10).
+///
+/// Staging never changes hit/miss accounting — a staged-and-used page still
+/// counts as a miss in [`CacheStats`] and its bytes still land in
+/// [`TransferStats`] — it only changes *when* the bytes move, which the
+/// overlap clock prices separately. These counters measure how well the
+/// predictor spent the staging budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchStats {
+    /// Pages staged ahead of demand.
+    pub staged_pages: u64,
+    /// Bytes moved by staged (overlapped) transfers.
+    pub staged_bytes: Bytes,
+    /// Staged pages later consumed by a demand access.
+    pub used_pages: u64,
+    /// Bytes of staged transfers that a demand access consumed.
+    pub used_bytes: Bytes,
+    /// Bytes of staged transfers that were never consumed (evicted from the
+    /// staging buffer, superseded, or stale at use time).
+    pub wasted_bytes: Bytes,
+}
+
+impl PrefetchStats {
+    /// New, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one staged page of `bytes`.
+    pub fn record_staged(&mut self, bytes: Bytes) {
+        self.staged_pages += 1;
+        self.staged_bytes += bytes;
+    }
+
+    /// Record one staged page of `bytes` consumed by a demand access.
+    pub fn record_used(&mut self, bytes: Bytes) {
+        self.used_pages += 1;
+        self.used_bytes += bytes;
+    }
+
+    /// Record `bytes` of staged transfer that will never be consumed.
+    pub fn record_wasted(&mut self, bytes: Bytes) {
+        self.wasted_bytes += bytes;
+    }
+
+    /// Prefetch accuracy `staged-and-used / staged` over pages, in `[0, 1]`;
+    /// `0.0` when nothing was ever staged (never NaN).
+    pub fn accuracy(&self) -> f64 {
+        if self.staged_pages == 0 {
+            0.0
+        } else {
+            self.used_pages as f64 / self.staged_pages as f64
+        }
+    }
+
+    /// Merge another set of statistics into this one.
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.staged_pages += other.staged_pages;
+        self.staged_bytes += other.staged_bytes;
+        self.used_pages += other.used_pages;
+        self.used_bytes += other.used_bytes;
+        self.wasted_bytes += other.wasted_bytes;
+    }
+}
+
+impl std::fmt::Display for PrefetchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "staged={} used={} accuracy={:.1}% wasted={}",
+            self.staged_pages,
+            self.used_pages,
+            self.accuracy() * 100.0,
+            self.wasted_bytes
+        )
+    }
+}
+
 impl std::fmt::Display for CompressionStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -236,6 +314,33 @@ mod tests {
         assert_eq!(a.compressed_bytes, Bytes(32));
         assert!((a.ratio() - 3.0).abs() < 1e-12);
         assert!(a.to_string().contains("3.00x"));
+    }
+
+    #[test]
+    fn prefetch_accuracy_guards_zero_staging() {
+        let s = PrefetchStats::new();
+        assert_eq!(s.accuracy(), 0.0, "nothing staged must not divide by zero");
+        assert!(!s.accuracy().is_nan());
+    }
+
+    #[test]
+    fn prefetch_stats_accumulate_and_merge() {
+        let mut a = PrefetchStats::new();
+        a.record_staged(Bytes(64));
+        a.record_staged(Bytes(64));
+        a.record_used(Bytes(64));
+        a.record_wasted(Bytes(64));
+        let mut b = PrefetchStats::new();
+        b.record_staged(Bytes(32));
+        b.record_used(Bytes(32));
+        a.merge(&b);
+        assert_eq!(a.staged_pages, 3);
+        assert_eq!(a.staged_bytes, Bytes(160));
+        assert_eq!(a.used_pages, 2);
+        assert_eq!(a.used_bytes, Bytes(96));
+        assert_eq!(a.wasted_bytes, Bytes(64));
+        assert!((a.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(a.to_string().contains("staged=3"));
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct StepCost {
     /// reconstruction is needed — or possible, since pages at different
     /// quantization widths move different bytes per token.
     pub transferred_compressed_bytes: f64,
+    /// Bytes moved by speculative *staged* transfers this step, totalled
+    /// across every selective-layer head (DESIGN.md §10). Staged transfers
+    /// run asynchronously and overlap compute, so the decode step is priced
+    /// `max(compute, staged) + demand` rather than a pure sum. `0.0` (the
+    /// default when prefetch is off) reduces the clock bit-for-bit to the
+    /// pure-sum form.
+    pub staged_transfer_bytes: f64,
 }
 
 impl StepCost {
@@ -52,6 +59,7 @@ impl StepCost {
             attended_tokens: context_len as f64,
             transferred_tokens_per_head: 0.0,
             transferred_compressed_bytes: 0.0,
+            staged_transfer_bytes: 0.0,
         }
     }
 
@@ -70,6 +78,7 @@ impl StepCost {
         attended: u64,
         transferred: u64,
         compressed_bytes: u64,
+        staged_bytes: u64,
     ) -> Self {
         let selective = (config.num_layers - config.dense_layers) as f64;
         if selective == 0.0 {
@@ -78,6 +87,7 @@ impl StepCost {
                 attended_tokens: 0.0,
                 transferred_tokens_per_head: 0.0,
                 transferred_compressed_bytes: 0.0,
+                staged_transfer_bytes: 0.0,
             };
         }
         Self {
@@ -85,10 +95,35 @@ impl StepCost {
             attended_tokens: attended as f64 / (selective * config.num_heads as f64),
             transferred_tokens_per_head: transferred as f64
                 / (selective * config.num_kv_heads as f64),
-            // Already a step-level total in exact (compressed) bytes — no
-            // per-head reconstruction round-trip.
+            // Already step-level totals in exact bytes — no per-head
+            // reconstruction round-trip.
             transferred_compressed_bytes: compressed_bytes as f64,
+            staged_transfer_bytes: staged_bytes as f64,
         }
+    }
+}
+
+/// One decode step under the overlap-aware roofline clock (DESIGN.md §10),
+/// split into its three terms: on-GPU compute, staged (asynchronous,
+/// overlapped) PCIe transfer, and demand (synchronous) PCIe transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecodeStepBreakdown {
+    /// On-GPU compute: weight streaming + attention KV reads + selection.
+    pub gpu: Seconds,
+    /// PCIe time of staged transfers, overlapped with this step's compute.
+    pub staged: Seconds,
+    /// PCIe time of demand transfers (synchronous recall on misses).
+    pub demand: Seconds,
+    /// Step time `max(gpu, staged) + demand`: staged transfers hide behind
+    /// compute (or vice versa), demand recalls stay on the critical path.
+    pub total: Seconds,
+}
+
+impl DecodeStepBreakdown {
+    /// Transfer time hidden behind compute by the overlap — what a pure-sum
+    /// clock would have added on top: `min(gpu, staged)`.
+    pub fn hidden(&self) -> Seconds {
+        Seconds(self.gpu.get().min(self.staged.get()))
     }
 }
 
@@ -224,6 +259,19 @@ impl LatencyModel {
     /// Latency of a single decoding step with `context_len` tokens of
     /// context under the given policy cost descriptor.
     pub fn decode_step(&self, context_len: usize, cost: &StepCost) -> Seconds {
+        self.decode_step_breakdown(context_len, cost).total
+    }
+
+    /// [`decode_step`](Self::decode_step) split into its overlap-clock
+    /// terms. With `staged_transfer_bytes == 0` the staged term is exactly
+    /// zero and `total` is bit-identical to the pure-sum clock
+    /// `gpu + demand` (`max(gpu, 0) = gpu` under IEEE-754 for the
+    /// non-negative roofline times).
+    pub fn decode_step_breakdown(
+        &self,
+        context_len: usize,
+        cost: &StepCost,
+    ) -> DecodeStepBreakdown {
         let cfg = &self.config;
         let dense = cfg.dense_layers as f64;
         let selective = (cfg.num_layers - cfg.dense_layers) as f64;
@@ -264,14 +312,27 @@ impl LatencyModel {
 
         // PCIe transfer of recalled KV (per selective layer, per KV head),
         // plus compressed-page recalls at their exact quantized byte count.
+        // These are *demand* transfers: the step blocks on them.
         let transfer_bytes = selective
             * cfg.num_kv_heads as f64
             * cost.transferred_tokens_per_head
             * (2 * 2 * cfg.head_dim) as f64
             + cost.transferred_compressed_bytes;
-        let transfer_time = self.device.transfer_time(Bytes(transfer_bytes as u64));
+        let demand = self.device.transfer_time(Bytes(transfer_bytes as u64));
 
-        gpu_time + transfer_time
+        // Staged transfers run asynchronously on the copy engine and
+        // overlap this step's compute: only the excess beyond the compute
+        // time is exposed (DESIGN.md §10).
+        let staged = self
+            .device
+            .transfer_time(Bytes(cost.staged_transfer_bytes as u64));
+
+        DecodeStepBreakdown {
+            gpu: gpu_time,
+            staged,
+            demand,
+            total: Seconds(gpu_time.get().max(staged.get())) + demand,
+        }
     }
 
     /// End-to-end latency for `prompt_len` prompt tokens followed by
@@ -328,6 +389,7 @@ mod tests {
                 attended_tokens: 1024.0,
                 transferred_tokens_per_head: 300.0,
                 transferred_compressed_bytes: 0.0,
+                staged_transfer_bytes: 0.0,
             },
         );
         assert!(
@@ -355,6 +417,7 @@ mod tests {
             attended_tokens: 1024.0,
             transferred_tokens_per_head: 300.0,
             transferred_compressed_bytes: 0.0,
+            staged_transfer_bytes: 0.0,
         };
         let t8k = m.decode_step(8_000, &cost);
         let t32k = m.decode_step(32_000, &cost);
@@ -393,6 +456,7 @@ mod tests {
             attended_tokens: 1024.0,
             transferred_tokens_per_head: 0.37 * 1024.0,
             transferred_compressed_bytes: 0.0,
+            staged_transfer_bytes: 0.0,
         });
         let speedup = full.total.get() / clusterkv.total.get();
         assert!(speedup > 1.3 && speedup < 4.0, "speedup {speedup}");
@@ -413,18 +477,78 @@ mod tests {
         // tiny(): 2 layers, 2 heads, 2 kv heads, 0 dense layers => 4
         // selective query heads and 4 selective kv heads.
         let cfg = crate::config::ModelConfig::tiny();
-        let cost = StepCost::from_step_totals(&cfg, 400, 96, 48, 640);
+        let cost = StepCost::from_step_totals(&cfg, 400, 96, 48, 640, 320);
         assert!((cost.scored_vectors_per_head - 100.0).abs() < 1e-12);
         assert!((cost.attended_tokens - 24.0).abs() < 1e-12);
         assert!((cost.transferred_tokens_per_head - 12.0).abs() < 1e-12);
         assert_eq!(cost.transferred_compressed_bytes, 640.0);
+        assert_eq!(cost.staged_transfer_bytes, 320.0);
         // All layers dense: nothing selective to price.
         let mut dense = cfg;
         dense.dense_layers = dense.num_layers;
-        let zero = StepCost::from_step_totals(&dense, 0, 0, 0, 0);
+        let zero = StepCost::from_step_totals(&dense, 0, 0, 0, 0, 0);
         assert_eq!(zero.attended_tokens, 0.0);
         assert_eq!(zero.transferred_tokens_per_head, 0.0);
         assert_eq!(zero.transferred_compressed_bytes, 0.0);
+        assert_eq!(zero.staged_transfer_bytes, 0.0);
+    }
+
+    #[test]
+    fn overlap_clock_reduces_to_pure_sum_when_nothing_is_staged() {
+        // Gate (c) of exp_prefetch: with no staged bytes the new clock must
+        // be *bit-identical* to the pre-overlap pure sum `gpu + demand`.
+        let m = llama_model();
+        let cost = StepCost {
+            scored_vectors_per_head: 400.0,
+            attended_tokens: 1024.0,
+            transferred_tokens_per_head: 300.0,
+            transferred_compressed_bytes: 128.0,
+            staged_transfer_bytes: 0.0,
+        };
+        let bd = m.decode_step_breakdown(32_000, &cost);
+        assert_eq!(bd.staged, Seconds::zero());
+        assert_eq!(
+            bd.total.get().to_bits(),
+            (bd.gpu + bd.demand).get().to_bits(),
+            "disabled overlap clock must be bit-identical to the pure sum"
+        );
+        assert_eq!(bd.hidden(), Seconds::zero());
+        assert_eq!(m.decode_step(32_000, &cost), bd.total);
+    }
+
+    #[test]
+    fn staged_transfers_hide_behind_compute() {
+        let m = llama_model();
+        let base = StepCost {
+            scored_vectors_per_head: 400.0,
+            attended_tokens: 1024.0,
+            transferred_tokens_per_head: 300.0,
+            transferred_compressed_bytes: 0.0,
+            staged_transfer_bytes: 0.0,
+        };
+        // A small staged transfer finishes well inside the compute window:
+        // the step costs exactly what it did without staging, and the whole
+        // staged time is hidden.
+        let small = StepCost {
+            staged_transfer_bytes: 4096.0,
+            ..base
+        };
+        let bd0 = m.decode_step_breakdown(32_000, &base);
+        let bd = m.decode_step_breakdown(32_000, &small);
+        assert!(bd.staged.get() > 0.0 && bd.staged < bd.gpu);
+        assert_eq!(bd.total, bd0.total, "hidden transfer is free");
+        assert_eq!(bd.hidden(), bd.staged);
+        // A staged transfer far larger than compute becomes the bottleneck:
+        // the step stretches to max(gpu, staged) + demand, never the sum.
+        let huge = StepCost {
+            staged_transfer_bytes: 1e12,
+            ..base
+        };
+        let big = m.decode_step_breakdown(32_000, &huge);
+        assert!(big.staged > big.gpu);
+        assert_eq!(big.total, big.staged + big.demand);
+        assert!(big.total < big.gpu + big.staged + big.demand);
+        assert_eq!(big.hidden(), big.gpu);
     }
 
     #[test]
@@ -441,6 +565,7 @@ mod tests {
             attended_tokens: 1024.0,
             transferred_tokens_per_head: 0.0,
             transferred_compressed_bytes: 0.0,
+            staged_transfer_bytes: 0.0,
         };
         let exact = StepCost {
             transferred_tokens_per_head: 300.0,

@@ -23,6 +23,8 @@
 //!   traces behind Fig. 3a / Fig. 11).
 //! * [`latency`] — the analytical latency/throughput model behind Fig. 12 and
 //!   Fig. 13.
+//! * [`prefetch`] — speculative cluster prefetch configuration: predictor
+//!   choice, staging capacity and the overlap clock switch (DESIGN.md §10).
 
 #![warn(missing_docs)]
 
@@ -31,6 +33,7 @@ pub mod config;
 pub mod engine;
 pub mod latency;
 pub mod policy;
+pub mod prefetch;
 pub mod rope;
 pub mod serve;
 pub mod trace;
@@ -38,11 +41,12 @@ pub mod weights;
 
 pub use config::{ModelConfig, ModelPreset};
 pub use engine::InferenceEngine;
-pub use latency::{InferenceBreakdown, LatencyModel};
+pub use latency::{DecodeStepBreakdown, InferenceBreakdown, LatencyModel};
 pub use policy::{
     CompressedPageRequest, FullAttentionSelector, KvResidency, ObserveEvent, PageRequest,
     PolicyStats, SelectionPlan, SelectionRequest, SelectorFactory, TokenSelector,
 };
+pub use prefetch::{PrefetchConfig, PrefetchPredictor};
 pub use serve::{
     DecodeOutput, EngineError, ServeEngine, ServeEngineBuilder, SessionId, SessionReport,
 };

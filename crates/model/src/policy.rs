@@ -349,6 +349,28 @@ pub trait TokenSelector: Send {
         None
     }
 
+    /// Nominate pages likely to be demanded at the *next* decode step, for
+    /// speculative staging (DESIGN.md §10). The serving engine calls this
+    /// after [`plan`](TokenSelector::plan) within the same step, passing the
+    /// same request; `lookahead_tokens` widens the budget the nomination may
+    /// assume (scoring stays as cheap as the plan's own centroid pass — the
+    /// greedy-fill superset property makes the widened selection a superset
+    /// of the step's, so the extra pages are exactly the marginal
+    /// candidates).
+    ///
+    /// Implementations **must not** mutate any state that a later
+    /// [`plan`](TokenSelector::plan) or
+    /// [`observe`](TokenSelector::observe) depends on: prefetch changes
+    /// *when* bytes move, never what attends. The default declines to
+    /// speculate.
+    fn prefetch_hint(
+        &mut self,
+        _request: SelectionRequest<'_>,
+        _lookahead_tokens: usize,
+    ) -> Vec<PageRequest> {
+        Vec::new()
+    }
+
     /// Adopt a cached prefill snapshot instead of running the global
     /// `PrefillDone` pass, discarding any buffered chunk keys. Returns `true`
     /// if the state was adopted (the engine then skips `PrefillDone` for this

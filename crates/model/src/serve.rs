@@ -35,6 +35,7 @@ use crate::policy::{
     CompressedPageRequest, FullAttentionSelector, HeadContext, KvResidency, ObserveEvent,
     PolicyStats, SelectionRequest, SelectorFactory, TokenSelector,
 };
+use crate::prefetch::{PrefetchConfig, PrefetchPredictor};
 use crate::rope::Rope;
 use crate::trace::{AttentionTrace, TraceStep};
 use crate::weights::ModelWeights;
@@ -42,7 +43,7 @@ use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
 use clusterkv_kvcache::compressed::{compress_page, CompressionConfig};
 use clusterkv_kvcache::device::{DeviceModel, Seconds};
 use clusterkv_kvcache::prefix::{PrefixStore, PrefixStoreConfig, PrefixStoreStats};
-use clusterkv_kvcache::stats::CompressionStats;
+use clusterkv_kvcache::stats::{CompressionStats, PrefetchStats};
 use clusterkv_kvcache::types::{Budget, Bytes, HeadId, LayerId};
 use clusterkv_kvcache::KvStore;
 use clusterkv_tensor::kernels::{attend_into, matvec_rows_into, Workspace};
@@ -203,6 +204,17 @@ pub struct SessionReport {
     /// exact-vs-compressed byte totals (all zero under a lossless
     /// configuration).
     pub compression: CompressionStats,
+    /// Speculative-prefetch accounting of the session's cluster cache:
+    /// staged / used / wasted bytes of the staging buffer (all zero with
+    /// prefetch disabled — DESIGN.md §10).
+    pub prefetch: PrefetchStats,
+    /// Modeled PCIe time hidden behind compute by the overlap clock: per
+    /// step, `min(gpu, staged)`. Zero with prefetch or overlap disabled.
+    pub hidden_transfer_time: Seconds,
+    /// Total modeled PCIe time of the session's decode steps (staged +
+    /// demand transfers), the denominator of
+    /// [`hidden_transfer_fraction`](Self::hidden_transfer_fraction).
+    pub transfer_time: Seconds,
 }
 
 impl SessionReport {
@@ -233,6 +245,25 @@ impl SessionReport {
     pub fn compression_ratio(&self) -> f64 {
         self.compression.ratio()
     }
+
+    /// Fraction of staged prefetch bytes a demand access later consumed, in
+    /// `[0, 1]` (`0.0` when nothing was staged — prefetch-off engines,
+    /// empty sessions — never NaN).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        self.prefetch.accuracy()
+    }
+
+    /// Fraction of the session's modeled PCIe time that the overlap clock
+    /// hid behind compute, in `[0, 1]` (`0.0` when the session moved no
+    /// bytes — never NaN).
+    pub fn hidden_transfer_fraction(&self) -> f64 {
+        let total = self.transfer_time.get();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hidden_transfer_time.get() / total
+        }
+    }
 }
 
 /// Per-head result of the parallel phase of one token's attention: pure
@@ -255,6 +286,11 @@ struct HeadOutcome {
     /// then charges the compressed byte count instead of exact token
     /// transfers.
     compressed: bool,
+    /// Clusters the lookahead predictor nominates for the next step
+    /// (DESIGN.md §10). Always empty unless the engine runs the
+    /// [`Lookahead`](PrefetchPredictor::Lookahead) predictor, so
+    /// prefetch-off engines allocate nothing here.
+    hint: Vec<crate::policy::PageRequest>,
     /// Post-RoPE query, cloned out of the head's workspace only for traced
     /// heads (empty otherwise — tracing is the one consumer).
     query: Vec<f32>,
@@ -277,6 +313,15 @@ enum SessionPhase {
     Ready,
 }
 
+/// Per-step policy knobs shared by every session of an engine: the
+/// selection budget and the speculative-prefetch configuration. Bundled so
+/// the sessionless decode entry points stay at a readable arity.
+#[derive(Debug, Clone, Copy)]
+struct StepPolicy {
+    budget: Budget,
+    prefetch: PrefetchConfig,
+}
+
 /// Totals one decode step accumulates across every selective-layer head,
 /// mapped onto a [`StepCost`] after the step to price its latency.
 #[derive(Debug, Clone, Copy, Default)]
@@ -292,6 +337,16 @@ struct StepAccounting {
     /// in bytes, not tokens: quantized pages move fewer bytes per token, and
     /// the cache reports the exact compressed count (DESIGN.md §9).
     transferred_compressed_bytes: u64,
+    /// Bytes the prefetcher staged this step (overlapped with this step's
+    /// compute by the overlap clock — DESIGN.md §10).
+    staged_bytes: u64,
+    /// Exact-plan miss tokens served out of the staging buffer this step:
+    /// their PCIe transfer was already charged (overlapped) when they were
+    /// staged, so the overlap clock subtracts them from the demand term.
+    promoted_tokens: u64,
+    /// Compressed-plan miss bytes served out of the staging buffer this
+    /// step (the compressed-tier analogue of `promoted_tokens`).
+    promoted_compressed_bytes: u64,
 }
 
 /// Per-session state: everything that differs between concurrent sequences.
@@ -336,6 +391,16 @@ struct SessionState {
     step: StepAccounting,
     /// Modeled decode latency accumulated over every step.
     modeled_decode: Seconds,
+    /// Modeled PCIe time hidden behind compute (`min(gpu, staged)` summed
+    /// over steps — DESIGN.md §10). Stays zero without the overlap clock.
+    hidden_transfer: Seconds,
+    /// Total modeled PCIe time (staged + demand) summed over decode steps.
+    transfer_time: Seconds,
+    /// Pages nominated for the next step's staging pass, collected in
+    /// deterministic (layer, head) order during phase 2 and drained by the
+    /// end-of-step staging pass. Only ever written when prefetch is
+    /// enabled, so prefetch-off engines never allocate here.
+    nominations: Vec<(usize, usize, Vec<crate::policy::PageRequest>)>,
     /// The prompt tokens fed so far, buffered only while the engine has a
     /// [`PrefixStore`] (lookup during chunks, donation at
     /// `finish_prefill`, unpinning at release).
@@ -370,6 +435,7 @@ pub struct ServeEngineBuilder {
     prefix_store_capacity: Option<Bytes>,
     device: DeviceModel,
     compression: CompressionConfig,
+    prefetch: PrefetchConfig,
 }
 
 impl ServeEngineBuilder {
@@ -389,6 +455,7 @@ impl ServeEngineBuilder {
             prefix_store_capacity: None,
             device: DeviceModel::ada6000(),
             compression: CompressionConfig::lossless(),
+            prefetch: PrefetchConfig::disabled(),
         }
     }
 
@@ -462,6 +529,20 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Speculative cluster prefetch (DESIGN.md §10): sessions get a bounded
+    /// staging buffer of [`PrefetchConfig::staging_capacity`] bytes, the
+    /// configured predictor nominates next-step clusters at every decode
+    /// step, and — when [`PrefetchConfig::overlap`] is set — staged
+    /// transfers overlap compute in the modeled clock
+    /// (`max(compute, staged) + demand`). Defaults to
+    /// [`PrefetchConfig::disabled`]. Prefetch changes *when* bytes move,
+    /// never *what* attends: token streams, hit rates and recalled bytes
+    /// are byte-identical whatever this setting.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
     /// Enable the workspace-global [`PrefixStore`]: sessions whose prompts
     /// share a prefix reuse its KV pages, key-norm caches and cluster
     /// centroids instead of recomputing them, with `capacity` bytes of
@@ -500,6 +581,7 @@ impl ServeEngineBuilder {
             max_sessions: self.max_sessions,
             kv_cache_capacity: self.kv_cache_capacity.unwrap_or(Bytes(0)),
             compression: self.compression,
+            prefetch: self.prefetch,
             prefix: self.prefix_store_capacity.map(|capacity| {
                 PrefixStore::new(PrefixStoreConfig {
                     capacity,
@@ -528,6 +610,9 @@ pub struct ServeEngine {
     kv_cache_capacity: Bytes,
     /// Compressed-tier configuration applied to every session's cache.
     compression: CompressionConfig,
+    /// Speculative prefetch: predictor, staging capacity, per-step byte cap
+    /// and the overlap-clock switch (DESIGN.md §10).
+    prefetch: PrefetchConfig,
     /// Cross-session shared-prefix pages (`None` = every session cold).
     prefix: Option<PrefixStore>,
     /// Roofline pricing of modeled per-step decode latency.
@@ -684,10 +769,18 @@ impl ServeEngine {
                 stats: PolicyStats::default(),
                 cache: ClusterCache::new(
                     ClusterCacheConfig::new(self.kv_cache_capacity, self.config.head_dim)
-                        .with_compression(self.compression),
+                        .with_compression(self.compression)
+                        .with_staging(if self.prefetch.enabled() {
+                            self.prefetch.staging_capacity
+                        } else {
+                            Bytes(0)
+                        }),
                 ),
                 step: StepAccounting::default(),
                 modeled_decode: Seconds::zero(),
+                hidden_transfer: Seconds::zero(),
+                transfer_time: Seconds::zero(),
+                nominations: Vec::new(),
                 prompt_tokens: Vec::new(),
                 prefix_active: self.prefix.is_some(),
                 matched_prefix_tokens: 0,
@@ -735,6 +828,9 @@ impl ServeEngine {
             shared_kv_bytes,
             private_kv_bytes,
             compression: sess.cache.compression_stats(),
+            prefetch: sess.cache.prefetch_stats(),
+            hidden_transfer_time: sess.hidden_transfer,
+            transfer_time: sess.transfer_time,
         })
     }
 
@@ -847,6 +943,40 @@ impl ServeEngine {
     /// GPU capacity of each session's cluster cache (0 = pure offload).
     pub fn kv_cache_capacity(&self) -> Bytes {
         self.kv_cache_capacity
+    }
+
+    /// The engine's speculative-prefetch configuration (DESIGN.md §10).
+    pub fn prefetch_config(&self) -> PrefetchConfig {
+        self.prefetch
+    }
+
+    /// Cap the bytes every decode step may stage from here on. The
+    /// scheduler calls this each tick to divide its per-tick prefetch byte
+    /// budget across the decode batch; a no-op while prefetch is disabled.
+    pub fn set_prefetch_step_bytes(&mut self, bytes: Bytes) {
+        self.prefetch.step_bytes = bytes;
+    }
+
+    /// Prefetch accounting of a session's staging buffer so far (staged /
+    /// used / wasted bytes — all zero with prefetch disabled).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn session_prefetch_stats(&self, id: SessionId) -> Result<PrefetchStats, EngineError> {
+        Ok(self.session(id)?.cache.prefetch_stats())
+    }
+
+    /// Modeled PCIe time of a session so far as `(hidden, total)`: the part
+    /// the overlap clock hid behind compute, and the whole staged + demand
+    /// transfer time (DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn session_transfer_times(&self, id: SessionId) -> Result<(Seconds, Seconds), EngineError> {
+        let sess = self.session(id)?;
+        Ok((sess.hidden_transfer, sess.transfer_time))
     }
 
     /// Heap bytes currently held by a session's per-head kernel workspaces
@@ -1026,11 +1156,12 @@ impl ServeEngine {
         config: &ModelConfig,
         weights: &ModelWeights,
         rope: &Rope,
-        budget: Budget,
+        policy: StepPolicy,
         sess: &mut SessionState,
         token: usize,
         use_selection: bool,
     ) -> Result<Vec<f32>, EngineError> {
+        let StepPolicy { budget, prefetch } = policy;
         let position = sess.num_tokens;
         if position >= config.max_context {
             return Err(EngineError::ContextOverflow {
@@ -1105,8 +1236,22 @@ impl ServeEngine {
                     rope.apply(&mut ws.q, position);
                     let store = &kv_layer[Self::kv_head_of(config, head)];
                     let n = store.len();
-                    let (selected, stats, pages, compressed_pages) = if use_selection {
+                    let (selected, stats, pages, compressed_pages, hint) = if use_selection {
                         let plan = selector.plan(SelectionRequest::new(&ws.q, n, budget));
+                        // The lookahead nomination runs right after the plan,
+                        // against the same query: a pure read re-ranking
+                        // cluster centroids under a widened budget. Only the
+                        // Lookahead predictor pays for it.
+                        let hint = if prefetch.enabled()
+                            && prefetch.predictor == PrefetchPredictor::Lookahead
+                        {
+                            selector.prefetch_hint(
+                                SelectionRequest::new(&ws.q, n, budget),
+                                prefetch.lookahead_tokens,
+                            )
+                        } else {
+                            Vec::new()
+                        };
                         let mut sel = plan.indices;
                         // The token being generated always attends to
                         // itself: its KV was just produced on the GPU and is
@@ -1123,11 +1268,11 @@ impl ServeEngine {
                             }
                             KvResidency::Resident => (None, None),
                         };
-                        (sel, Some(plan.stats), pages, cpages)
+                        (sel, Some(plan.stats), pages, cpages, hint)
                     } else {
                         // Prefill: full causal attention through the
                         // dedicated no-index-vec path (no `(0..n)` vector).
-                        (Vec::new(), None, None, None)
+                        (Vec::new(), None, None, None, Vec::new())
                     };
                     if let Some(cpages) = &compressed_pages {
                         // Recall-compressed attention (DESIGN.md §9): attend
@@ -1167,6 +1312,7 @@ impl ServeEngine {
                         stats,
                         pages,
                         compressed: compressed_pages.is_some(),
+                        hint,
                         query,
                     }
                 })
@@ -1177,8 +1323,8 @@ impl ServeEngine {
             // accumulation and traces consume the outcomes exactly as the
             // sequential engine did (outputs already sit in the concat
             // buffer, written by the parallel phase).
-            for (head, outcome) in head_outcomes.into_iter().enumerate() {
-                if let Some(mut stats) = outcome.stats {
+            for (head, mut outcome) in head_outcomes.into_iter().enumerate() {
+                if let Some(mut stats) = outcome.stats.take() {
                     // Residency: resolve the plan's page requests against the
                     // session's cluster cache; only misses cross PCIe.
                     if let Some(pages) = &outcome.pages {
@@ -1189,8 +1335,25 @@ impl ServeEngine {
                             // cache reports their exact byte count, which
                             // the latency model prices directly.
                             sess.step.transferred_compressed_bytes += access.bytes_recalled.get();
+                            sess.step.promoted_compressed_bytes += access.staged_bytes.get();
                         } else {
                             sess.step.transferred += access.missed_tokens;
+                            sess.step.promoted_tokens += access.staged_tokens;
+                        }
+                    }
+                    // Nominate next-step pages for the end-of-step staging
+                    // pass: every predictor re-nominates the pages this step
+                    // selected (semantic locality), Lookahead adds its
+                    // widened-budget hint. Pushed in (layer, head) order by
+                    // this sequential phase, so the staging order — and
+                    // hence every staging-LRU stamp — is deterministic.
+                    if prefetch.enabled() {
+                        if let Some(pages) = outcome.pages.take() {
+                            sess.nominations.push((layer, head, pages));
+                        }
+                        if !outcome.hint.is_empty() {
+                            let hint = std::mem::take(&mut outcome.hint);
+                            sess.nominations.push((layer, head, hint));
                         }
                     }
                     sess.stats.merge(&stats);
@@ -1412,7 +1575,18 @@ impl ServeEngine {
         }
         let mut last = Vec::new();
         for &token in &chunk[fast..] {
-            last = Self::forward_token(config, weights, rope, *budget, sess, token, false)?;
+            last = Self::forward_token(
+                config,
+                weights,
+                rope,
+                StepPolicy {
+                    budget: *budget,
+                    prefetch: PrefetchConfig::disabled(),
+                },
+                sess,
+                token,
+                false,
+            )?;
         }
         // Notify selectors of the chunk's keys (per query head, sharing one
         // copy of the associated KV head's chunk rows across its query-head
@@ -1575,6 +1749,7 @@ impl ServeEngine {
             weights,
             rope,
             budget,
+            prefetch,
             sessions,
             latency,
             ..
@@ -1582,7 +1757,18 @@ impl ServeEngine {
         let sess = sessions
             .get_mut(&id.0)
             .ok_or(EngineError::UnknownSession(id))?;
-        Self::decode_one(config, weights, rope, *budget, latency, id, sess)
+        Self::decode_one(
+            config,
+            weights,
+            rope,
+            StepPolicy {
+                budget: *budget,
+                prefetch: *prefetch,
+            },
+            latency,
+            id,
+            sess,
+        )
     }
 
     /// Advance one session by one decoding step. Free of `&mut self` so
@@ -1592,18 +1778,20 @@ impl ServeEngine {
         config: &ModelConfig,
         weights: &ModelWeights,
         rope: &Rope,
-        budget: Budget,
+        policy: StepPolicy,
         latency: &LatencyModel,
         id: SessionId,
         sess: &mut SessionState,
     ) -> Result<DecodeOutput, EngineError> {
+        let StepPolicy { prefetch, .. } = policy;
         if sess.phase != SessionPhase::Ready {
             return Err(EngineError::NotPrefilled);
         }
         let token = sess.next_input.ok_or(EngineError::NotPrefilled)?;
         let position = sess.num_tokens;
         sess.step = StepAccounting::default();
-        let hidden = Self::forward_token(config, weights, rope, budget, sess, token, true)?;
+        let hidden =
+            Self::forward_token(config, weights, rope, policy, sess, token, true)?;
 
         // Notify selectors of the new keys appended at `position` — parallel
         // across the independent (layer, head) selectors, one key snapshot
@@ -1636,17 +1824,57 @@ impl ServeEngine {
                 });
             });
         // New KV (and any freshly created clusters) was produced on-device;
-        // settle what stays resident, then price the step: GPU time from the
-        // roofline model plus PCIe recall for exactly this step's misses.
+        // settle what stays resident, then stage this step's nominations for
+        // the next step. Staging runs after settlement so freshly admitted
+        // pages are already resident (stage() skips them), and drains the
+        // nominations in the (layer, head) order phase 2 pushed them —
+        // deterministic staging-LRU stamps at any thread count.
         Self::settle_session_memory(config, sess);
+        if prefetch.enabled() {
+            let mut budget_left = prefetch.step_bytes;
+            for (layer, head, pages) in sess.nominations.drain(..) {
+                if budget_left.get() == 0 {
+                    continue; // keep draining so no stale nominations survive
+                }
+                let moved = sess
+                    .cache
+                    .stage(LayerId(layer), HeadId(head), &pages, budget_left);
+                sess.step.staged_bytes += moved.get();
+                budget_left = Bytes(budget_left.get() - moved.get());
+            }
+        }
+        // Price the step. With the overlap clock, miss tokens promoted out
+        // of the staging buffer leave the demand term (their transfer was
+        // charged — overlapped — by the step that staged them) and this
+        // step's staged bytes enter the overlap term. Without overlap (or
+        // with prefetch off) the raw totals reproduce the pure-sum clock
+        // bit for bit.
+        let (transferred, compressed_bytes, staged_bytes) =
+            if prefetch.enabled() && prefetch.overlap {
+                (
+                    sess.step.transferred - sess.step.promoted_tokens,
+                    sess.step.transferred_compressed_bytes - sess.step.promoted_compressed_bytes,
+                    sess.step.staged_bytes,
+                )
+            } else {
+                (
+                    sess.step.transferred,
+                    sess.step.transferred_compressed_bytes,
+                    0,
+                )
+            };
         let cost = StepCost::from_step_totals(
             config,
             sess.step.scored,
             sess.step.attended,
-            sess.step.transferred,
-            sess.step.transferred_compressed_bytes,
+            transferred,
+            compressed_bytes,
+            staged_bytes,
         );
-        sess.modeled_decode += latency.decode_step(sess.num_tokens, &cost);
+        let breakdown = latency.decode_step_breakdown(sess.num_tokens, &cost);
+        sess.modeled_decode += breakdown.total;
+        sess.hidden_transfer += breakdown.hidden();
+        sess.transfer_time += breakdown.staged + breakdown.demand;
 
         // Tied-embedding logits (blocked matvec, row-chunk-parallel over the
         // vocabulary).
@@ -1729,11 +1957,15 @@ impl ServeEngine {
             weights,
             rope,
             budget,
+            prefetch,
             sessions,
             latency,
             ..
         } = self;
-        let budget = *budget;
+        let policy = StepPolicy {
+            budget: *budget,
+            prefetch: *prefetch,
+        };
         // The session table is a BTreeMap, so the work list (and thus chunk
         // assignment) is id-ordered structurally — no post-hoc sort needed.
         let work: Vec<(u64, Vec<usize>, &mut SessionState)> = sessions
@@ -1755,7 +1987,7 @@ impl ServeEngine {
                     .map(|slot| {
                         (
                             slot,
-                            Self::decode_one(config, weights, rope, budget, latency, id, sess),
+                            Self::decode_one(config, weights, rope, policy, latency, id, sess),
                         )
                     })
                     .collect()
@@ -2712,6 +2944,131 @@ mod tests {
         assert!(!report.compression_ratio().is_nan());
         assert!(report.generated_tokens == 10);
         assert!(report.modeled_decode_time > Seconds(0.0));
+    }
+
+    fn prefetch_engine(capacity: Bytes, prefetch: PrefetchConfig) -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(PagedTopKFactory))
+            .kv_cache_capacity(capacity)
+            .prefetch(prefetch)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prefetch_changes_accounting_but_never_token_streams() {
+        // The tentpole invariant (DESIGN.md §10): prefetch only changes
+        // *when* bytes move. Streams, hit rates and recalled bytes must be
+        // identical with prefetch off, staging without overlap pricing, and
+        // the full overlap clock; the staging-only probe must additionally
+        // reproduce the prefetch-off modeled clock bit for bit.
+        let prompt: Vec<usize> = (0..32).map(|i| (i * 5 + 1) % 128).collect();
+        let capacity = Bytes(512); // tight: most selected pages miss
+        let run = |prefetch: PrefetchConfig| {
+            let mut eng = prefetch_engine(capacity, prefetch);
+            let s = eng.create_session().unwrap();
+            let stream = eng.generate(s, &prompt, 8).unwrap();
+            (stream, eng.release(s).unwrap())
+        };
+        let (off_stream, off) = run(PrefetchConfig::disabled());
+        let (probe_stream, probe) = run(PrefetchConfig::staging_only(Bytes(1 << 20)));
+        let (on_stream, on) = run(PrefetchConfig::reuse_last(Bytes(1 << 20)));
+
+        assert_eq!(probe_stream, off_stream, "staging must not change tokens");
+        assert_eq!(on_stream, off_stream, "overlap must not change tokens");
+        for report in [&probe, &on] {
+            assert_eq!(report.stats.cache, off.stats.cache, "hit rates differ");
+            assert_eq!(
+                report.bytes_recalled(),
+                off.bytes_recalled(),
+                "recalled bytes differ"
+            );
+        }
+        assert_eq!(
+            probe.modeled_decode_time.get().to_bits(),
+            off.modeled_decode_time.get().to_bits(),
+            "without overlap pricing the clock is bit-identical to prefetch off"
+        );
+
+        // Reuse-last on a slowly drifting top-k set stages pages the next
+        // step actually demands: the staging buffer sees real promotions.
+        assert!(on.prefetch.staged_pages > 0, "nothing was staged");
+        assert!(on.prefetch.used_pages > 0, "nothing was promoted");
+        let accuracy = on.prefetch_accuracy();
+        assert!(accuracy > 0.0 && accuracy <= 1.0, "accuracy {accuracy}");
+        assert_eq!(probe.prefetch.staged_pages, on.prefetch.staged_pages);
+        // Off-engine prefetch accounting stays all-zero.
+        assert_eq!(off.prefetch, PrefetchStats::new());
+        assert_eq!(off.prefetch_accuracy(), 0.0);
+        assert_eq!(off.hidden_transfer_fraction(), 0.0);
+        assert_eq!(off.hidden_transfer_time, Seconds::zero());
+        // The overlap clock hides staged transfer behind compute; demand
+        // promoted out of the staging buffer can only shrink the step, so
+        // the demand-side transfer total never grows.
+        let hidden = on.hidden_transfer_fraction();
+        assert!(hidden > 0.0 && hidden <= 1.0, "hidden fraction {hidden}");
+        assert!(on.hidden_transfer_time.get() > 0.0);
+        assert!(on.transfer_time >= on.hidden_transfer_time);
+    }
+
+    #[test]
+    fn prefetch_step_byte_cap_throttles_staging() {
+        let prompt: Vec<usize> = (0..24).map(|i| (i * 3 + 2) % 128).collect();
+        let mut eng = prefetch_engine(
+            Bytes(512),
+            PrefetchConfig::reuse_last(Bytes(1 << 20)).with_step_bytes(Bytes(0)),
+        );
+        let s = eng.create_session().unwrap();
+        let choked = eng.generate(s, &prompt, 6).unwrap();
+        assert_eq!(
+            eng.session_prefetch_stats(s).unwrap(),
+            PrefetchStats::new(),
+            "a zero per-step budget stages nothing"
+        );
+        // Lifting the cap mid-flight starts staging without touching tokens.
+        eng.set_prefetch_step_bytes(Bytes(u64::MAX));
+        assert_eq!(eng.prefetch_config().step_bytes, Bytes(u64::MAX));
+        for _ in 0..6 {
+            eng.decode_batch(&[s]).unwrap();
+        }
+        assert!(eng.session_prefetch_stats(s).unwrap().staged_pages > 0);
+        let (hidden, total) = eng.session_transfer_times(s).unwrap();
+        assert!(total >= hidden);
+
+        let mut free = prefetch_engine(Bytes(512), PrefetchConfig::reuse_last(Bytes(1 << 20)));
+        let fs = free.create_session().unwrap();
+        let free_stream = free.generate(fs, &prompt, 6).unwrap();
+        assert_eq!(choked, free_stream, "step budget must not change tokens");
+    }
+
+    #[test]
+    fn session_report_prefetch_ratios_are_zero_not_nan_for_empty_sessions() {
+        // Satellite guard (PR 8 convention): zero staged bytes and zero
+        // transfer time must report 0.0 ratios, never NaN — both for a
+        // session released untouched and for a prefetch-enabled engine
+        // whose sessions never staged.
+        let mut eng = prefetch_engine(Bytes(512), PrefetchConfig::lookahead(Bytes(1 << 16)));
+        let s = eng.create_session().unwrap();
+        let r = eng.release(s).unwrap();
+        assert_eq!(r.prefetch_accuracy(), 0.0);
+        assert_eq!(r.hidden_transfer_fraction(), 0.0);
+        assert!(!r.prefetch_accuracy().is_nan());
+        assert!(!r.hidden_transfer_fraction().is_nan());
+        // A full-attention session decodes without ever staging: same guard.
+        let mut full = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(FullAttentionFactory))
+            .prefetch(PrefetchConfig::reuse_last(Bytes(1 << 16)))
+            .build()
+            .unwrap();
+        let s = full.create_session().unwrap();
+        full.generate(s, &[1, 2, 3], 2).unwrap();
+        let r = full.release(s).unwrap();
+        assert_eq!(r.prefetch_accuracy(), 0.0);
+        assert_eq!(r.hidden_transfer_fraction(), 0.0);
     }
 
     #[test]

@@ -121,6 +121,12 @@ pub struct SchedConfig {
     /// worst-case KV footprint (`(prompt + max_new_tokens) ·
     /// kv_bytes_per_token`) never exceeds this. `None` disables the bound.
     pub kv_capacity: Option<Bytes>,
+    /// Per-tick byte budget for speculative prefetch staging, divided
+    /// evenly across the tick's decode batch (integer division — the split
+    /// is deterministic in the batch size). `None` leaves the engine's own
+    /// per-step cap untouched; irrelevant unless the engine was built with
+    /// prefetch enabled (DESIGN.md §10).
+    pub prefetch_bytes_per_tick: Option<Bytes>,
 }
 
 impl SchedConfig {
@@ -133,6 +139,7 @@ impl SchedConfig {
             chunk_tokens: DEFAULT_CHUNK_TOKENS,
             tick_token_budget: DEFAULT_TICK_TOKEN_BUDGET,
             kv_capacity: None,
+            prefetch_bytes_per_tick: None,
         }
     }
 
@@ -157,6 +164,13 @@ impl SchedConfig {
     /// Bound admission by total worst-case KV bytes of running requests.
     pub fn with_kv_capacity(mut self, capacity: Bytes) -> Self {
         self.kv_capacity = Some(capacity);
+        self
+    }
+
+    /// Cap speculative prefetch staging at `budget` bytes per tick, split
+    /// evenly across the tick's decode batch.
+    pub fn with_prefetch_bytes_per_tick(mut self, budget: Bytes) -> Self {
+        self.prefetch_bytes_per_tick = Some(budget);
         self
     }
 }
@@ -261,6 +275,12 @@ pub struct RequestMetrics {
     /// Prompt positions served from the engine's cross-session prefix store
     /// (0 without a store, or for a cold prompt).
     pub shared_prefix_tokens: usize,
+    /// Fraction of staged prefetch bytes a demand access later consumed
+    /// (`0.0` when the engine never staged for this session — never NaN).
+    pub prefetch_accuracy: f64,
+    /// Fraction of the session's modeled PCIe time hidden behind compute by
+    /// the overlap clock (`0.0` without prefetch — never NaN).
+    pub hidden_transfer_fraction: f64,
 }
 
 impl RequestMetrics {
@@ -435,6 +455,7 @@ impl Scheduler {
                 attended_tokens: 0.0,
                 transferred_tokens_per_head: 0.0,
                 transferred_compressed_bytes: 0.0,
+                staged_transfer_bytes: 0.0,
             },
         );
         Ok(Self {
@@ -769,6 +790,14 @@ impl Scheduler {
                 .iter()
                 .map(|&i| self.running[i].session)
                 .collect();
+            // Divide the tick's prefetch byte budget across the batch:
+            // every decode step this tick may stage at most its even share
+            // (integer division, so the split depends only on the batch
+            // size — deterministic across runs and thread counts).
+            if let Some(total) = self.config.prefetch_bytes_per_tick {
+                self.engine
+                    .set_prefetch_step_bytes(Bytes(total.get() / ids.len() as u64));
+            }
             let before: Vec<Seconds> = ids
                 .iter()
                 .map(|&s| self.engine.modeled_decode_time(s))
@@ -827,6 +856,8 @@ impl Scheduler {
                     cache_hit_rate: report.cache_hit_rate(),
                     bytes_recalled: report.bytes_recalled(),
                     shared_prefix_tokens: report.shared_prefix_tokens,
+                    prefetch_accuracy: report.prefetch_accuracy(),
+                    hidden_transfer_fraction: report.hidden_transfer_fraction(),
                 });
             } else {
                 i += 1;
@@ -894,6 +925,118 @@ mod tests {
             priority,
             arrival_time: Seconds(at),
         }
+    }
+
+    /// Test-only paged policy (mirrors the serving engine's own test
+    /// double): exact top-k reported as four-token-aligned pages, so the
+    /// cluster cache — and with it the speculative prefetcher — sees real
+    /// page traffic without depending on the core crate.
+    struct PagedTopKSelector {
+        inner: clusterkv_model::policy::OracleTopKSelector,
+    }
+
+    impl clusterkv_model::TokenSelector for PagedTopKSelector {
+        fn name(&self) -> &str {
+            "PagedTopK"
+        }
+        fn observe(&mut self, event: clusterkv_model::ObserveEvent<'_>) {
+            self.inner.observe(event);
+        }
+        fn plan(
+            &mut self,
+            request: clusterkv_model::SelectionRequest<'_>,
+        ) -> clusterkv_model::SelectionPlan {
+            let plan = self.inner.plan(request);
+            if request.budget.covers(request.num_tokens) {
+                return plan;
+            }
+            let pages: Vec<clusterkv_model::PageRequest> = plan
+                .indices
+                .iter()
+                .map(|&t| clusterkv_model::PageRequest::new(t / 4, 4))
+                .collect();
+            let stats = plan.stats;
+            clusterkv_model::SelectionPlan::new(plan.indices)
+                .with_stats(stats)
+                .with_pages(pages)
+        }
+    }
+
+    struct PagedTopKFactory;
+
+    impl clusterkv_model::SelectorFactory for PagedTopKFactory {
+        fn name(&self) -> &str {
+            "PagedTopK"
+        }
+        fn create(
+            &self,
+            ctx: clusterkv_model::policy::HeadContext,
+        ) -> Box<dyn clusterkv_model::TokenSelector> {
+            Box::new(PagedTopKSelector {
+                inner: clusterkv_model::policy::OracleTopKSelector::new(ctx.head_dim),
+            })
+        }
+    }
+
+    fn paged_engine(prefetch: clusterkv_model::PrefetchConfig) -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(13)
+            .budget(Budget::new(8))
+            .policy(Box::new(PagedTopKFactory))
+            .kv_cache_capacity(Bytes(512))
+            .prefetch(prefetch)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prefetch_tick_budget_divides_across_the_batch_and_fills_metrics() {
+        use clusterkv_model::PrefetchConfig;
+        let run = |prefetch: PrefetchConfig, tick_budget: Option<Bytes>| {
+            let mut cfg = SchedConfig::fcfs(4);
+            if let Some(b) = tick_budget {
+                cfg = cfg.with_prefetch_bytes_per_tick(b);
+            }
+            let mut sched = Scheduler::new(paged_engine(prefetch), cfg).unwrap();
+            for i in 0..3 {
+                sched
+                    .submit(request(16 + i, 6, 0, i as f64 * 1e-6))
+                    .unwrap();
+            }
+            sched.run().unwrap()
+        };
+        let off = run(PrefetchConfig::disabled(), None);
+        let on = run(
+            PrefetchConfig::reuse_last(Bytes(1 << 20)),
+            Some(Bytes(1 << 20)),
+        );
+        let choked = run(PrefetchConfig::reuse_last(Bytes(1 << 20)), Some(Bytes(0)));
+        for (a, b) in off.requests.iter().zip(&on.requests) {
+            assert_eq!(a.tokens, b.tokens, "prefetch must not change tokens");
+        }
+        for (a, b) in off.requests.iter().zip(&choked.requests) {
+            assert_eq!(a.tokens, b.tokens, "a zero budget must not change tokens");
+        }
+        // The budgeted run staged and promoted; its metrics carry the
+        // ratios, both inside [0, 1] and never NaN.
+        assert!(on.requests.iter().any(|r| r.prefetch_accuracy > 0.0));
+        for r in &on.requests {
+            assert!((0.0..=1.0).contains(&r.prefetch_accuracy));
+            assert!((0.0..=1.0).contains(&r.hidden_transfer_fraction));
+        }
+        // Zero per-tick budget chokes staging entirely; prefetch-off
+        // engines report hard zeros (PR 8 zero-guard convention).
+        for r in choked.requests.iter().chain(&off.requests) {
+            assert_eq!(r.prefetch_accuracy, 0.0);
+            assert_eq!(r.hidden_transfer_fraction, 0.0);
+            assert!(!r.prefetch_accuracy.is_nan());
+        }
+        // Determinism: the same budgeted run repeats bit-identically.
+        let again = run(
+            PrefetchConfig::reuse_last(Bytes(1 << 20)),
+            Some(Bytes(1 << 20)),
+        );
+        assert_eq!(on, again);
     }
 
     #[test]

@@ -20,6 +20,80 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
+/// LRU stack-distance histogram of a policy's cluster (page) accesses.
+///
+/// The reuse distance of an access is the number of *distinct* pages the
+/// policy requested since its previous request for the same page — the
+/// classic stack distance, measured in pages. It characterizes the
+/// workload, not any particular cache: an LRU cache holding `D` pages hits
+/// exactly the accesses with distance < `D`, so the cumulative histogram
+/// *is* the hit-rate-vs-capacity curve and predicts what the capacity
+/// sweep then measures.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseDistanceHistogram {
+    /// `buckets[i]` counts accesses with stack distance in
+    /// `[2^i - 1, 2^(i+1) - 1)` — i.e. bucket 0 is distance 0 (the page
+    /// re-requested with nothing in between), bucket 1 is distances 1–2,
+    /// bucket 2 is 3–6, and so on.
+    pub buckets: Vec<u64>,
+    /// First-touch accesses (no prior request for the page; infinite
+    /// distance).
+    pub cold: u64,
+}
+
+impl ReuseDistanceHistogram {
+    /// Record one access; `None` marks a first touch.
+    pub fn record(&mut self, distance: Option<usize>) {
+        match distance {
+            None => self.cold += 1,
+            Some(d) => {
+                let bucket = (usize::BITS - (d + 1).leading_zeros() - 1) as usize;
+                if self.buckets.len() <= bucket {
+                    self.buckets.resize(bucket + 1, 0);
+                }
+                self.buckets[bucket] += 1;
+            }
+        }
+    }
+
+    /// Total recorded accesses, first touches included.
+    pub fn total(&self) -> u64 {
+        self.cold + self.buckets.iter().sum::<u64>()
+    }
+
+    /// Fraction of all accesses with stack distance < `pages` — the hit
+    /// rate an LRU cache holding `pages` whole pages would achieve on this
+    /// trace. Conservative across bucket boundaries (a partially covered
+    /// bucket does not count), and 0.0 for an empty histogram.
+    pub fn hit_fraction_within(&self, pages: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        // Bucket i covers distances [2^i - 1, 2^(i+1) - 1): fully below
+        // `pages` iff its upper end fits.
+        let covered: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (1u128 << (i + 1)) - 1 <= pages as u128)
+            .map(|(_, n)| n)
+            .sum();
+        covered as f64 / total as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseDistanceHistogram) {
+        self.cold += other.cold;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
 /// Per-episode measurements of one policy at one budget.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpisodeResult {
@@ -36,6 +110,9 @@ pub struct EpisodeResult {
     /// Policy statistics accumulated over every selection plan of the run
     /// (selection work, transfers, cache hits).
     pub stats: PolicyStats,
+    /// Stack-distance histogram of the plans' page requests (empty for
+    /// unpaged policies).
+    pub reuse: ReuseDistanceHistogram,
 }
 
 impl EpisodeResult {
@@ -116,6 +193,10 @@ pub fn run_episode_cached(
     let mut per_step_error = Vec::with_capacity(episode.decode_steps());
     let mut per_step_selected = Vec::with_capacity(episode.decode_steps());
     let mut stats = PolicyStats::default();
+    let mut reuse = ReuseDistanceHistogram::default();
+    // LRU stack for the reuse-distance measurement: most recently requested
+    // page last; an access's stack distance is how deep it sits from the top.
+    let mut lru_stack: Vec<usize> = Vec::new();
 
     for step in 0..episode.decode_steps() {
         let query = &episode.queries[step];
@@ -123,6 +204,16 @@ pub fn run_episode_cached(
         let plan = selector.plan(SelectionRequest::new(query, n, budget));
         stats.merge(&plan.stats);
         if let Some(pages) = plan.residency.page_requests() {
+            for request in &pages {
+                match lru_stack.iter().rposition(|&p| p == request.page) {
+                    Some(pos) => {
+                        reuse.record(Some(lru_stack.len() - 1 - pos));
+                        lru_stack.remove(pos);
+                    }
+                    None => reuse.record(None),
+                }
+                lru_stack.push(request.page);
+            }
             let outcome = cache.access(HARNESS_HEAD.0, HARNESS_HEAD.1, &pages);
             stats.charge_recall(&outcome);
         }
@@ -161,6 +252,7 @@ pub fn run_episode_cached(
         per_step_error,
         per_step_selected,
         stats,
+        reuse,
     }
 }
 
@@ -372,6 +464,7 @@ pub fn run_budget_sweep(
 mod tests {
     use super::*;
     use crate::semantic::EpisodeConfig;
+    use clusterkv::{ClusterKvConfig, ClusterKvFactory};
     use clusterkv_model::policy::{FullAttentionSelector, OracleTopKSelector};
 
     fn episode() -> Episode {
@@ -612,8 +705,67 @@ mod tests {
             per_step_error: vec![],
             per_step_selected: vec![],
             stats: PolicyStats::default(),
+            reuse: ReuseDistanceHistogram::default(),
         };
         assert_eq!(r.mean_recall(), 0.0);
         assert_eq!(r.mean_error(), 0.0);
+        assert_eq!(r.reuse.hit_fraction_within(64), 0.0, "empty, not NaN");
+    }
+
+    #[test]
+    fn reuse_distance_buckets_and_cumulative_fraction() {
+        let mut h = ReuseDistanceHistogram::default();
+        // First touches are cold.
+        h.record(None);
+        h.record(None);
+        // Distance 0 -> bucket 0, distances 1 and 2 -> bucket 1,
+        // distance 3 -> bucket 2.
+        h.record(Some(0));
+        h.record(Some(1));
+        h.record(Some(2));
+        h.record(Some(3));
+        assert_eq!(h.buckets, vec![1, 2, 1]);
+        assert_eq!(h.cold, 2);
+        assert_eq!(h.total(), 6);
+        // A 1-page LRU hits only bucket 0; 3 pages covers bucket 1 too
+        // (distances < 3); 7 pages covers bucket 2.
+        assert_eq!(h.hit_fraction_within(1), 1.0 / 6.0);
+        assert_eq!(h.hit_fraction_within(3), 3.0 / 6.0);
+        assert_eq!(h.hit_fraction_within(7), 4.0 / 6.0);
+        // Partially covered buckets do not count.
+        assert_eq!(h.hit_fraction_within(2), 1.0 / 6.0);
+
+        let mut other = ReuseDistanceHistogram::default();
+        other.record(Some(10));
+        h.merge(&other);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.buckets.len(), 4);
+    }
+
+    #[test]
+    fn harness_measures_stack_distances_of_paged_plans() {
+        let e = Episode::generate(
+            EpisodeConfig::default()
+                .with_context_len(256)
+                .with_decode_steps(16)
+                .with_seed(7),
+        );
+        let factory = ClusterKvFactory::new(ClusterKvConfig::default());
+        let mut selector = factory.create(HeadContext {
+            layer: 0,
+            head: 0,
+            head_dim: e.config.head_dim,
+        });
+        let r = run_episode(&e, selector.as_mut(), Budget::new(32));
+        assert!(r.reuse.total() > 0, "paged policy must record accesses");
+        assert!(r.reuse.cold > 0, "every page is cold once");
+        // Semantic locality: consecutive steps re-request most clusters, so
+        // warm accesses exist and small stack distances dominate.
+        assert!(r.reuse.total() > r.reuse.cold, "some reuse must occur");
+        let close = r.reuse.hit_fraction_within(64);
+        assert!(
+            (0.0..=1.0).contains(&close),
+            "cumulative fraction is a probability"
+        );
     }
 }

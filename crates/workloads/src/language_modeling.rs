@@ -44,6 +44,7 @@ pub struct PerplexityPoint {
 ///     per_step_error: vec![0.0],
 ///     per_step_selected: vec![1024],
 ///     stats: Default::default(),
+///     reuse: Default::default(),
 /// };
 /// assert!((perplexity_proxy(&perfect) - BASE_PERPLEXITY).abs() < 1e-9);
 /// ```
@@ -64,6 +65,7 @@ mod tests {
             per_step_error: vec![0.1; 3],
             per_step_selected: vec![1024; 3],
             stats: clusterkv_model::policy::PolicyStats::default(),
+            reuse: Default::default(),
         }
     }
 

@@ -36,7 +36,7 @@ pub mod semantic;
 
 pub use harness::{
     generate_traffic, run_budget_sweep, run_episode, run_episode_cached, EpisodeResult,
-    TrafficConfig,
+    ReuseDistanceHistogram, TrafficConfig,
 };
 pub use language_modeling::{perplexity_proxy, PerplexityPoint};
 pub use longbench::{LongBenchDataset, LongBenchProfile, ScoreMetric};

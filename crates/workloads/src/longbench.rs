@@ -172,6 +172,7 @@ mod tests {
             per_step_error: vec![error; 4],
             per_step_selected: vec![256; 4],
             stats: clusterkv_model::policy::PolicyStats::default(),
+            reuse: Default::default(),
         }
     }
 

@@ -311,6 +311,7 @@ pub fn run_episode_quality(
             per_step_error,
             per_step_selected,
             stats,
+            reuse: crate::harness::ReuseDistanceHistogram::default(),
         },
         per_step_reconstruction_error,
         compression: lane.compression,
@@ -487,6 +488,7 @@ mod tests {
             per_step_error: vec![error; 4],
             per_step_selected: vec![8; 4],
             stats: PolicyStats::default(),
+            reuse: Default::default(),
         };
         let exact = quality_perplexity(&mk(1.0, 0.0), 0.0);
         assert!((exact - BASE_PERPLEXITY).abs() < 1e-12);
@@ -507,6 +509,7 @@ mod tests {
             per_step_error: vec![error; 4],
             per_step_selected: vec![8; 4],
             stats: PolicyStats::default(),
+            reuse: Default::default(),
         };
         assert!((quality_score(&p, &mk(1.0, 0.0), 0.0) - p.full_kv_score).abs() < 1e-9);
         assert!((quality_score(&p, &mk(0.0, 1.0), 1.0) - p.floor_score).abs() < 1e-9);
@@ -535,6 +538,7 @@ mod tests {
                 per_step_error: vec![],
                 per_step_selected: vec![],
                 stats: PolicyStats::default(),
+                reuse: Default::default(),
             },
             per_step_reconstruction_error: vec![],
             compression: CompressionConfig::int4().with_quant(QuantMode::Int4),

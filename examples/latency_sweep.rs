@@ -33,6 +33,7 @@ fn main() {
                     attended_tokens: budget as f64,
                     transferred_tokens_per_head: budget as f64 * (1.0 - cache_hit_rate),
                     transferred_compressed_bytes: 0.0,
+                    staged_transfer_bytes: 0.0,
                 }
             });
             println!(

@@ -9,9 +9,10 @@ mod common;
 
 use clusterkv::{ClusterKvConfig, ClusterKvFactory};
 use clusterkv_baselines::QuestFactory;
+use clusterkv_kvcache::stats::PrefetchStats;
 use clusterkv_kvcache::types::{Budget, Bytes};
 use clusterkv_model::policy::SelectorFactory;
-use clusterkv_model::{InferenceEngine, ModelConfig, ServeEngine, SessionId};
+use clusterkv_model::{InferenceEngine, ModelConfig, PrefetchConfig, ServeEngine, SessionId};
 use common::{thread_env_lock, with_thread_count};
 
 const SEED: u64 = 21;
@@ -653,6 +654,181 @@ fn prefix_store_parity_across_chunkings_and_threads() {
                         "store must fast-path shared positions (chunk {chunk}, \
                          {threads} threads)"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// Like [`chunked_prefill_run`] but with speculative prefetch configured on
+/// the engine; returns the shared observables plus the run's merged
+/// prefetch counters (which are *not* part of the parity comparison — they
+/// are what prefetch is allowed to change).
+fn prefetch_chunked_run(
+    factory: &dyn SelectorFactory,
+    chunk: Option<usize>,
+    prefetch: PrefetchConfig,
+) -> (ChunkedRunObservables, PrefetchStats) {
+    let mut engine = ServeEngine::builder(ModelConfig::tiny())
+        .synthetic_weights(SEED)
+        .budget(Budget::new(24))
+        .kv_cache_capacity(Bytes(2 * 24 * 32))
+        .prefetch(prefetch)
+        .build()
+        .unwrap();
+    let ids: Vec<SessionId> = (0..NUM_SESSIONS)
+        .map(|_| engine.create_session_with(factory).unwrap())
+        .collect();
+    for (id, prompt) in ids.iter().zip(prompts()) {
+        match chunk {
+            None => {
+                engine.prefill(*id, &prompt).unwrap();
+            }
+            Some(size) => {
+                for piece in prompt.chunks(size) {
+                    engine.prefill_chunk(*id, piece).unwrap();
+                }
+                engine.finish_prefill(*id).unwrap();
+            }
+        }
+    }
+    let mut streams = vec![Vec::new(); NUM_SESSIONS];
+    for _ in 0..DECODE_STEPS {
+        let outs = engine.decode_batch(&ids).unwrap();
+        for (stream, out) in streams.iter_mut().zip(&outs) {
+            stream.push(out.next_token);
+        }
+    }
+    let mut observables = ChunkedRunObservables {
+        streams,
+        scored: Vec::new(),
+        hits: Vec::new(),
+        misses: Vec::new(),
+        bytes_recalled: Vec::new(),
+        modeled_bits: Vec::new(),
+    };
+    let mut stats = PrefetchStats::new();
+    for &id in &ids {
+        let report = engine.release(id).unwrap();
+        observables.scored.push(report.stats.scored_vectors);
+        observables.hits.push(report.stats.cache.hits);
+        observables.misses.push(report.stats.cache.misses);
+        observables.bytes_recalled.push(report.bytes_recalled().0);
+        observables
+            .modeled_bits
+            .push(report.modeled_decode_time.get().to_bits());
+        stats.merge(&report.prefetch);
+    }
+    (observables, stats)
+}
+
+#[test]
+fn prefetch_parity_across_chunkings_threads_and_policies() {
+    // The hard invariant of the speculative prefetcher: staging changes
+    // *when* bytes move, never *what* attends. With overlap pricing off
+    // (the staging-only probe), everything — token streams, selection work,
+    // hit/miss counts, recalled bytes, and the modeled decode clock down to
+    // the bit — must match a prefetch-disabled engine, at every prefill
+    // chunking, every worker-thread count, for the cluster-paged policy and
+    // the page-paged baseline alike. With overlap pricing on, only the
+    // clock may move; all other observables stay pinned.
+    let _guard = thread_env_lock();
+    let staging = Bytes(1 << 20);
+    let clusterkv = clusterkv_factory();
+    let quest = QuestFactory::default();
+    let factories: [&dyn SelectorFactory; 2] = [&clusterkv, &quest];
+    for factory in factories {
+        let (reference, off_stats) = with_thread_count(1, || {
+            prefetch_chunked_run(factory, None, PrefetchConfig::disabled())
+        });
+        assert_eq!(
+            off_stats,
+            PrefetchStats::new(),
+            "{}: a disabled engine must not touch the staging buffer",
+            factory.name()
+        );
+        assert!(
+            reference.misses.iter().any(|&m| m > 0),
+            "{}: the bounded cache must produce recall traffic, or the \
+             parity below is vacuous",
+            factory.name()
+        );
+        // Staging statistics must themselves be deterministic: identical at
+        // every (chunk, threads) grid point, because nominations are
+        // collected in the sequential phase-2 head order and staged with
+        // deterministic LRU stamps.
+        let mut probe_stats: Option<PrefetchStats> = None;
+        let mut overlap_stats: Option<PrefetchStats> = None;
+        for threads in [1usize, 2, 8] {
+            for chunk in [1usize, 7, 64, usize::MAX] {
+                let (probe, stats) = with_thread_count(threads, || {
+                    prefetch_chunked_run(
+                        factory,
+                        Some(chunk),
+                        PrefetchConfig::staging_only(staging),
+                    )
+                });
+                assert_eq!(
+                    probe,
+                    reference,
+                    "{}: staging-only run (chunk {chunk}, {threads} threads) \
+                     diverged from the prefetch-off engine",
+                    factory.name()
+                );
+                assert!(
+                    stats.staged_pages > 0 && stats.used_pages > 0,
+                    "{}: the probe must stage and promote pages for the \
+                     pinning to be meaningful (chunk {chunk})",
+                    factory.name()
+                );
+                match &probe_stats {
+                    None => probe_stats = Some(stats),
+                    Some(first) => assert_eq!(
+                        &stats,
+                        first,
+                        "{}: staging counters drifted across the grid \
+                         (chunk {chunk}, {threads} threads)",
+                        factory.name()
+                    ),
+                }
+
+                let (on, stats) = with_thread_count(threads, || {
+                    prefetch_chunked_run(factory, Some(chunk), PrefetchConfig::lookahead(staging))
+                });
+                assert_eq!(
+                    on.streams,
+                    reference.streams,
+                    "{}: overlap run changed token streams (chunk {chunk}, \
+                     {threads} threads)",
+                    factory.name()
+                );
+                assert_eq!(
+                    (&on.scored, &on.hits, &on.misses, &on.bytes_recalled),
+                    (
+                        &reference.scored,
+                        &reference.hits,
+                        &reference.misses,
+                        &reference.bytes_recalled
+                    ),
+                    "{}: overlap run changed cache accounting (chunk {chunk}, \
+                     {threads} threads)",
+                    factory.name()
+                );
+                assert!(
+                    stats.used_pages > 0,
+                    "{}: promoted pages must exist for the overlap clock to \
+                     have anything to hide (chunk {chunk})",
+                    factory.name()
+                );
+                match &overlap_stats {
+                    None => overlap_stats = Some(stats),
+                    Some(first) => assert_eq!(
+                        &stats,
+                        first,
+                        "{}: overlap-run staging counters drifted across the \
+                         grid (chunk {chunk}, {threads} threads)",
+                        factory.name()
+                    ),
                 }
             }
         }
