@@ -1,0 +1,14 @@
+//! Must-flag fixture: a recovery path that aborts instead of degrading.
+
+// analyzer: recovery-path
+fn restore_page(stored: Option<u64>, recomputed: u64) -> u64 {
+    let checksum = stored.unwrap();
+    if checksum != recomputed {
+        panic!("corrupt page");
+    }
+    stored.expect("checked above")
+}
+
+fn main() {
+    let _ = restore_page(Some(1), 1);
+}

@@ -1,0 +1,19 @@
+//! Must-pass fixture: the same recovery path written to degrade — fallible
+//! lookups substitute the recomputed value and report, never abort. Panics
+//! outside the annotated fn are out of scope for the rule.
+
+// analyzer: recovery-path
+fn restore_page(stored: Option<u64>, recomputed: u64) -> (u64, bool) {
+    let checksum = stored.unwrap_or(recomputed);
+    let repaired = checksum != recomputed;
+    (recomputed, repaired)
+}
+
+fn elsewhere(stored: Option<u64>) -> u64 {
+    stored.unwrap()
+}
+
+fn main() {
+    let _ = restore_page(Some(1), 1);
+    let _ = elsewhere(Some(2));
+}

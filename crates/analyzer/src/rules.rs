@@ -25,6 +25,11 @@
 //! | `no-wall-clock` | simulation time is modeled, never sampled |
 //! | `no-alloc-in-kernels` | warm kernel hot loops do not allocate |
 //! | `unsafe-gate` | `unsafe` needs an allowlist entry and a SAFETY note |
+//! | `no-panic-in-recovery` | recovery paths degrade, they never panic |
+//!
+//! Like hot-path regions, **recovery regions** are the brace-balanced body
+//! of the first `fn` following a `// analyzer: recovery-path` comment; the
+//! no-panic rule applies only there.
 
 use crate::config::{Policy, SAFETY_COMMENT_WINDOW};
 use crate::lexer::{lex, Token, TokenKind};
@@ -39,6 +44,8 @@ pub const NO_WALL_CLOCK: &str = "no-wall-clock";
 pub const NO_ALLOC_IN_KERNELS: &str = "no-alloc-in-kernels";
 /// Rule: `unsafe` requires allowlist + SAFETY comment.
 pub const UNSAFE_GATE: &str = "unsafe-gate";
+/// Rule: no `unwrap`/`expect`/`panic!` in `analyzer: recovery-path` regions.
+pub const NO_PANIC_IN_RECOVERY: &str = "no-panic-in-recovery";
 
 /// Static description of one rule, for `--json` output and docs.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +80,11 @@ pub const RULES: &[RuleInfo] = &[
         name: UNSAFE_GATE,
         summary: "unsafe blocks need a // SAFETY: comment and an analyzer allowlist entry",
     },
+    RuleInfo {
+        name: NO_PANIC_IN_RECOVERY,
+        summary: "no unwrap/expect/panic! inside `analyzer: recovery-path` fn bodies: fault \
+                  handling must degrade (Result / default), never abort the simulation",
+    },
 ];
 
 /// One finding, pointing at a token in a file.
@@ -92,6 +104,8 @@ struct Regions {
     test: Vec<(usize, usize)>,
     /// Bodies of `// analyzer: hot-path` fns.
     hot: Vec<(usize, usize)>,
+    /// Bodies of `// analyzer: recovery-path` fns.
+    recovery: Vec<(usize, usize)>,
     /// Lines at which a given rule is suppressed: `(rule, line)`.
     allows: Vec<(String, usize)>,
     /// Lines carrying a `SAFETY:` comment.
@@ -105,6 +119,10 @@ impl Regions {
 
     fn in_hot(&self, line: usize) -> bool {
         self.hot.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    fn in_recovery(&self, line: usize) -> bool {
+        self.recovery.iter().any(|&(a, b)| line >= a && line <= b)
     }
 
     fn allowed(&self, rule: &str, line: usize) -> bool {
@@ -139,6 +157,7 @@ pub fn analyze_source(policy: &Policy, rel_path: &str, src: &str) -> Vec<Diagnos
     rule_no_wall_clock(policy, rel_path, &tokens, &code, &mut diags);
     rule_no_alloc_in_kernels(rel_path, &tokens, &code, &regions, &mut diags);
     rule_unsafe_gate(policy, rel_path, &tokens, &code, &regions, &mut diags);
+    rule_no_panic_in_recovery(rel_path, &tokens, &code, &regions, &mut diags);
 
     diags.retain(|d| !regions.allowed(d.rule, d.line));
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -159,6 +178,11 @@ fn build_regions(tokens: &[Token], code: &[usize]) -> Regions {
         if text.contains("analyzer:hot-path") || text.contains("analyzer: hot-path") {
             if let Some(range) = next_fn_body_lines(tokens, i + 1) {
                 regions.hot.push(range);
+            }
+        }
+        if text.contains("analyzer:recovery-path") || text.contains("analyzer: recovery-path") {
+            if let Some(range) = next_fn_body_lines(tokens, i + 1) {
+                regions.recovery.push(range);
             }
         }
         if let Some(rule) = parse_allow(text) {
@@ -534,6 +558,48 @@ fn rule_unsafe_gate(
     }
 }
 
+/// Names that abort instead of degrading when they appear in a recovery
+/// region. Like the no-alloc rule this is name-based: the lexer cannot type
+/// receivers, so a recovery body simply must not use these names.
+const PANIC_METHOD_NAMES: &[&str] = &["unwrap", "expect"];
+/// Macro names that abort (`name!`).
+const PANIC_MACRO_NAMES: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn rule_no_panic_in_recovery(
+    rel_path: &str,
+    tokens: &[Token],
+    code: &[usize],
+    regions: &Regions,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || !regions.in_recovery(t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if PANIC_METHOD_NAMES.contains(&name) {
+            diags.push(diag(
+                NO_PANIC_IN_RECOVERY,
+                rel_path,
+                t,
+                "panicking call inside an `analyzer: recovery-path` region; fault \
+                 handling must degrade (propagate a Result or substitute a default), \
+                 never abort the simulation",
+            ));
+            continue;
+        }
+        if PANIC_MACRO_NAMES.contains(&name) && is_punct(tokens, code, k + 1, "!") {
+            diags.push(diag(
+                NO_PANIC_IN_RECOVERY,
+                rel_path,
+                t,
+                "panicking macro inside an `analyzer: recovery-path` region",
+            ));
+        }
+    }
+}
+
 fn diag(rule: &'static str, path: &str, t: &Token, message: &str) -> Diagnostic {
     Diagnostic {
         rule,
@@ -689,6 +755,28 @@ mod tests {
         let src = "// analyzer:allow(no-wall-clock, wrong rule)\nfn f(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
         let diags = run("crates/x/src/lib.rs", src);
         assert_eq!(rules_of(&diags), vec![FLOAT_TOTAL_ORDER]);
+    }
+
+    #[test]
+    fn panic_in_recovery_fn_is_flagged() {
+        let src = "// analyzer: recovery-path\nfn restore(x: Option<u32>) -> u32 {\n    let v = x.unwrap();\n    if v > 9 { panic!(\"bad\") }\n    v\n}\n";
+        let diags = run("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_of(&diags),
+            vec![NO_PANIC_IN_RECOVERY, NO_PANIC_IN_RECOVERY]
+        );
+    }
+
+    #[test]
+    fn recovery_region_covers_only_the_annotated_fn() {
+        let src = "// analyzer: recovery-path\nfn restore(x: Option<u32>) -> u32 { x.unwrap_or(0) }\nfn elsewhere(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_flag_in_recovery() {
+        let src = "// analyzer: recovery-path\nfn restore(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0).max(x.unwrap_or_default())\n}\n";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
     }
 
     #[test]

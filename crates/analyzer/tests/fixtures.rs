@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use clusterkv_analyzer::config::Policy;
 use clusterkv_analyzer::rules::{
     analyze_source, Diagnostic, FLOAT_TOTAL_ORDER, NO_ALLOC_IN_KERNELS, NO_HASHMAP_ITERATION_ORDER,
-    NO_WALL_CLOCK, UNSAFE_GATE,
+    NO_PANIC_IN_RECOVERY, NO_WALL_CLOCK, UNSAFE_GATE,
 };
 
 fn fixture(name: &str) -> String {
@@ -110,6 +110,14 @@ fn lookahead_hotpath_kernel_flags_and_passes() {
 }
 
 #[test]
+fn no_panic_in_recovery_flags_and_passes() {
+    let flagged = run("no_panic_in_recovery_flag.rs");
+    assert_eq!(flagged.len(), 3, "unwrap, panic!, expect: {flagged:?}");
+    assert!(flagged.iter().all(|d| d.rule == NO_PANIC_IN_RECOVERY));
+    assert!(run("no_panic_in_recovery_pass.rs").is_empty());
+}
+
+#[test]
 fn unsafe_gate_flags_without_allowlist_entry() {
     let flagged = run("unsafe_gate_flag.rs");
     assert_eq!(rules_of(&flagged), vec![UNSAFE_GATE]);
@@ -157,6 +165,7 @@ fn every_shipped_rule_has_a_flagging_fixture() {
         "wall_clock_flag.rs",
         "alloc_in_kernels_flag.rs",
         "unsafe_gate_flag.rs",
+        "no_panic_in_recovery_flag.rs",
     ] {
         proven.extend(rules_of(&run(name)));
     }

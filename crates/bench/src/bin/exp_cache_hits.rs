@@ -75,6 +75,8 @@ fn main() {
             transferred_tokens_per_head: transferred_per_step,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         }
     };
 

@@ -57,6 +57,8 @@ fn clusterkv_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         transferred_tokens_per_head: transferred_per_step,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     }
 }
 

@@ -48,6 +48,8 @@ fn clusterkv_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         transferred_tokens_per_head: transferred_per_step,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     }
 }
 
@@ -60,6 +62,8 @@ fn infinigen_cost(budget: usize, transferred_per_step: f64) -> impl Fn(usize) ->
         transferred_tokens_per_head: transferred_per_step,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     }
 }
 
@@ -72,6 +76,8 @@ fn quest_cost(budget: usize) -> impl Fn(usize) -> StepCost {
         transferred_tokens_per_head: 0.0,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     }
 }
 
@@ -127,6 +133,8 @@ fn main() {
             transferred_tokens_per_head: ctx as f64,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         });
         let infinigen = opt.run(p, d, None, infinigen_cost(256, ig_recall));
         let clusterkv = opt.run(p, d, Some((p / 80, 10)), clusterkv_cost(256, ckv_recall));

@@ -25,6 +25,7 @@ use crate::compressed::CompressionConfig;
 use crate::stats::{CacheStats, CompressionStats, PrefetchStats, TransferStats};
 use crate::tier::{MemoryTier, TierKind};
 use crate::types::{Bytes, HeadId, LayerId};
+use clusterkv_faults::{Fnv64, IntegrityStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -215,6 +216,12 @@ pub struct ClusterCache {
     /// resident LRU.
     staging_lru: BTreeMap<u64, PageKey>,
     prefetch_stats: PrefetchStats,
+    /// FNV-1a tag per resident page, sealed at admission and kept in
+    /// lock-step with `resident`. The cache tracks residency, not payloads,
+    /// so the tag commits to the page's identity and token count — the
+    /// modeled stand-in for a checksum over row bytes (DESIGN.md §11).
+    checksums: BTreeMap<PageKey, u64>,
+    integrity: IntegrityStats,
 }
 
 impl ClusterCache {
@@ -252,6 +259,8 @@ impl ClusterCache {
             staged: BTreeMap::new(),
             staging_lru: BTreeMap::new(),
             prefetch_stats: PrefetchStats::new(),
+            checksums: BTreeMap::new(),
+            integrity: IntegrityStats::new(),
         }
     }
 
@@ -396,8 +405,20 @@ impl ClusterCache {
     fn drop_page(&mut self, key: PageKey) {
         if let Some(entry) = self.resident.remove(&key) {
             self.lru.remove(&entry.stamp);
+            self.checksums.remove(&key);
             self.gpu.free(&Self::alloc_name(key));
         }
+    }
+
+    /// Integrity tag of a resident page: FNV-1a over its identity and token
+    /// count (the cache models residency, not payload bytes).
+    fn page_tag(key: PageKey, tokens: usize) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(key.layer.0 as u64);
+        h.write_u64(key.head.0 as u64);
+        h.write_u64(key.page as u64);
+        h.write_u64(tokens as u64);
+        h.finish()
     }
 
     /// Remove a page from the staging buffer, returning its entry.
@@ -481,6 +502,7 @@ impl ClusterCache {
             },
         );
         self.lru.insert(self.clock, key);
+        self.checksums.insert(key, Self::page_tag(key, tokens));
     }
 
     /// Keep a head's just-produced KV resident instead of offloading it —
@@ -551,6 +573,8 @@ impl ClusterCache {
                     // Growth re-admits exact; fresh tokens were produced on
                     // device, never compressed.
                     entry.compressed = false;
+                    // The page changed size: re-seal its integrity tag.
+                    self.checksums.insert(key, Self::page_tag(key, req.tokens));
                 }
                 Some(_) => {}
                 None => {
@@ -738,6 +762,92 @@ impl ClusterCache {
             self.transfers.record(out.missed_tokens, out.bytes_recalled);
         }
         out
+    }
+
+    /// Integrity accounting: injected/detected/repaired corruptions and
+    /// verifications over the resident set.
+    pub fn integrity(&self) -> IntegrityStats {
+        self.integrity
+    }
+
+    /// Flip the integrity tag of one deterministically chosen resident page
+    /// (the `pick % resident_pages`-th in key order), modeling in-memory
+    /// corruption. The backing store stays pristine, so attended values are
+    /// unaffected — a later [`scrub`](Self::scrub) detects the damage and
+    /// charges the repair traffic. Returns whether a page was corrupted
+    /// (`false` when nothing is resident).
+    pub fn corrupt_resident_page(&mut self, pick: u64) -> bool {
+        if self.checksums.is_empty() {
+            return false;
+        }
+        let idx = (pick % self.checksums.len() as u64) as usize;
+        let key = match self.checksums.keys().nth(idx) {
+            Some(&key) => key,
+            None => return false,
+        };
+        if let Some(sum) = self.checksums.get_mut(&key) {
+            *sum ^= clusterkv_faults::CORRUPTION_MASK;
+        }
+        self.integrity.record_injected();
+        true
+    }
+
+    // analyzer: recovery-path
+    /// Verify every resident page's integrity tag and repair mismatches by
+    /// re-fetching the page from the backing store (re-seal the tag, charge
+    /// the page's recall bytes). Detection is guaranteed: the corruption
+    /// mask is non-zero, so a damaged tag never matches the recomputed one.
+    /// Returns the bytes re-fetched by repairs.
+    pub fn scrub(&mut self) -> Bytes {
+        let mut repaired = Bytes(0);
+        let keys: Vec<PageKey> = self.checksums.keys().copied().collect();
+        for key in keys {
+            let tokens = match self.resident.get(&key) {
+                Some(entry) => entry.tokens,
+                None => continue,
+            };
+            self.integrity.record_verified();
+            let sealed = Self::page_tag(key, tokens);
+            let stored = match self.checksums.get(&key) {
+                Some(&stored) => stored,
+                None => continue,
+            };
+            if stored != sealed {
+                self.integrity.record_detected();
+                let bytes = self.recall_bytes(tokens);
+                self.checksums.insert(key, sealed);
+                self.integrity.record_repaired(bytes.get());
+                repaired += bytes;
+            }
+        }
+        repaired
+    }
+
+    /// Drop the entire staging buffer (degradation-ladder rung 1): every
+    /// staged page is discarded and its transfer recorded as wasted.
+    /// Accounting-only — residency, hit/miss behaviour and token streams are
+    /// untouched; a page dropped here simply recalls on demand later.
+    /// Returns the bytes released.
+    pub fn drop_staging(&mut self) -> Bytes {
+        let mut dropped = Bytes(0);
+        while let Some(&key) = self.staging_lru.values().next() {
+            if let Some(entry) = self.unstage(key) {
+                self.prefetch_stats.record_wasted(entry.bytes);
+                dropped += entry.bytes;
+            }
+        }
+        dropped
+    }
+
+    /// Demote every exact resident page to the compressed tier in LRU order
+    /// (degradation-ladder rung 2). A no-op in lossless mode, where demotion
+    /// never shrinks a page. Returns the number of pages demoted.
+    pub fn demote_all(&mut self) -> usize {
+        let victims: Vec<PageKey> = self.lru.values().copied().collect();
+        victims
+            .into_iter()
+            .filter(|&key| self.demote_page(key))
+            .count()
     }
 }
 
@@ -1269,6 +1379,95 @@ mod tests {
         assert_eq!(out.staged_bytes, out.bytes_recalled);
     }
 
+    #[test]
+    fn corrupt_then_scrub_detects_and_repairs() {
+        let mut c = cache_for(16);
+        c.access(L, H, &reqs(&[(0, 4), (1, 4)]));
+        assert!(c.corrupt_resident_page(7));
+        let repaired = c.scrub();
+        assert_eq!(repaired, Bytes(4 * 4), "one 4-token page re-fetched");
+        let stats = c.integrity();
+        assert_eq!(stats.corruptions_injected, 1);
+        assert_eq!(stats.corruptions_detected, 1);
+        assert_eq!(stats.corruptions_repaired, 1);
+        assert_eq!(stats.silent_corruptions(), 0);
+        // Repair re-sealed the tag: a second scrub finds nothing.
+        assert_eq!(c.scrub(), Bytes(0));
+        assert_eq!(c.integrity().corruptions_detected, 1);
+    }
+
+    #[test]
+    fn scrub_of_a_clean_cache_repairs_nothing() {
+        let mut c = cache_for(16);
+        c.access(L, H, &reqs(&[(0, 4), (1, 4)]));
+        assert_eq!(c.scrub(), Bytes(0));
+        let stats = c.integrity();
+        assert_eq!(stats.corruptions_detected, 0);
+        assert_eq!(stats.verifications, 2);
+    }
+
+    #[test]
+    fn corrupt_on_an_empty_cache_is_a_no_op() {
+        let mut c = cache_for(16);
+        assert!(!c.corrupt_resident_page(0));
+        assert_eq!(c.integrity().corruptions_injected, 0);
+    }
+
+    #[test]
+    fn corruption_does_not_change_hit_miss_accounting() {
+        // The backing store is ground truth: a corrupted resident page still
+        // hits (the scrub repairs the tag out of band), so what attends is
+        // untouched — corruption only adds repair traffic.
+        let mut c = cache_for(16);
+        c.access(L, H, &reqs(&[(0, 4)]));
+        assert!(c.corrupt_resident_page(0));
+        c.scrub();
+        let out = c.access(L, H, &reqs(&[(0, 4)]));
+        assert_eq!(out.hit_tokens, 4);
+        assert_eq!(out.bytes_recalled, Bytes(0));
+    }
+
+    #[test]
+    fn drop_staging_releases_everything_as_wasted() {
+        let mut c =
+            ClusterCache::new(ClusterCacheConfig::new(Bytes(4 * 16), 1).with_staging(Bytes(4 * 8)));
+        c.stage(L, H, &reqs(&[(0, 2), (1, 2)]), Bytes(u64::MAX));
+        assert_eq!(c.staged_pages(), 2);
+        let before_wasted = c.prefetch_stats().wasted_bytes;
+        let dropped = c.drop_staging();
+        assert_eq!(dropped, Bytes(4 * 4));
+        assert_eq!(c.staged_pages(), 0);
+        assert_eq!(c.staged_bytes(), Bytes(0));
+        assert_eq!(
+            c.prefetch_stats().wasted_bytes.get(),
+            before_wasted.get() + dropped.get()
+        );
+        // Residency is untouched: the dropped pages still miss on demand.
+        let out = c.access(L, H, &reqs(&[(0, 2)]));
+        assert_eq!(out.missed_tokens, 2);
+        assert_eq!(out.staged_bytes, Bytes(0));
+    }
+
+    #[test]
+    fn demote_all_is_a_no_op_when_lossless_and_demotes_when_quantized() {
+        let mut lossless = cache_for(64);
+        lossless.access(L, H, &reqs(&[(0, 8), (1, 8)]));
+        assert_eq!(lossless.demote_all(), 0);
+        assert_eq!(lossless.compressed_pages(), 0);
+
+        // head_dim 8 → 32 B/token exact; int8 shrinks an 8-token page.
+        let mut quant = ClusterCache::new(
+            ClusterCacheConfig::new(Bytes(32 * 64), 8).with_compression(CompressionConfig::int8()),
+        );
+        quant.access(L, H, &reqs(&[(0, 8), (1, 8)]));
+        assert_eq!(quant.demote_all(), 2);
+        assert_eq!(quant.compressed_pages(), 2);
+        // Demotion keeps pages resident: both still hit.
+        let out = quant.access(L, H, &reqs(&[(0, 8), (1, 8)]));
+        assert_eq!(out.hit_tokens, 16);
+        assert_eq!(out.compressed_tokens, 16);
+    }
+
     mod transition_properties {
         use super::*;
         use proptest::prelude::*;
@@ -1431,6 +1630,53 @@ mod tests {
                 }
                 prop_assert_eq!(c.compression_stats().demotions, 0);
                 prop_assert_eq!(total_miss_bytes, total_miss_tokens * 32);
+            }
+
+            #[test]
+            fn every_injected_corruption_is_detected_and_repaired(
+                // Random warm-up traffic, then a batch of corruption picks
+                // (DESIGN.md §11): detection is guaranteed — the mask is
+                // non-zero, so a damaged tag can never match the recomputed
+                // one — and repair restores a clean scrub.
+                ops in proptest::collection::vec(0u64..128, 1..40),
+                picks in proptest::collection::vec(0u64..1024, 1..8),
+                capacity_tokens in 4u64..24,
+            ) {
+                let mut c = cache_for(capacity_tokens);
+                for op in &ops {
+                    let page = (op & 7) as usize;
+                    let tokens = ((op >> 3) & 7) as usize + 1;
+                    c.access(L, H, &reqs(&[(page, tokens)]));
+                }
+                let residency: Vec<_> = c.resident.keys().copied().collect();
+                // Picks land on `pick % pages` in key order; a page hit an
+                // even number of times has its tag XOR-restored, so the
+                // exact detection count is the number of odd-multiplicity
+                // pages — and the scrub must find precisely those.
+                let pages = c.checksums.len() as u64;
+                let mut mult = vec![0u64; c.checksums.len().max(1)];
+                let mut injected = 0u64;
+                for &pick in &picks {
+                    if c.corrupt_resident_page(pick) {
+                        injected += 1;
+                        mult[(pick % pages) as usize] += 1;
+                    }
+                }
+                let expected_detected =
+                    mult.iter().filter(|&&m| m % 2 == 1).count() as u64;
+                let repaired = c.scrub();
+                let stats = c.integrity();
+                prop_assert_eq!(stats.corruptions_injected, injected);
+                prop_assert_eq!(stats.corruptions_detected, expected_detected);
+                prop_assert_eq!(stats.corruptions_detected, stats.corruptions_repaired);
+                prop_assert_eq!(repaired.get() > 0, expected_detected > 0);
+                // Corruption and repair are invisible to residency — the
+                // stream-observable state is untouched.
+                prop_assert_eq!(c.resident.keys().copied().collect::<Vec<_>>(), residency);
+                // A second scrub over the repaired set is clean.
+                let before = c.integrity().corruptions_detected;
+                prop_assert_eq!(c.scrub(), Bytes(0));
+                prop_assert_eq!(c.integrity().corruptions_detected, before);
             }
         }
     }

@@ -24,6 +24,7 @@
 
 use crate::cluster_cache::PageKey;
 use crate::types::Bytes;
+use clusterkv_faults::Fnv64;
 use clusterkv_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -310,6 +311,10 @@ pub struct CompressedPage {
     pub compressed_bytes: Bytes,
     /// Footprint the same members would occupy exact (f16).
     pub exact_bytes: Bytes,
+    /// FNV-1a 64 checksum over the page payload (member positions, K/V row
+    /// bits, retention mask), sealed at compression time and verified before
+    /// the page serves an access (DESIGN.md §11).
+    pub checksum: u64,
 }
 
 impl CompressedPage {
@@ -320,6 +325,28 @@ impl CompressedPage {
         } else {
             self.exact_bytes.get() as f64 / self.compressed_bytes.get() as f64
         }
+    }
+
+    /// FNV-1a 64 over the page payload: member positions, key and value row
+    /// bits, and the retention mask. Deterministic — a pure function of the
+    /// stored data, so two bit-identical pages always agree.
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.tokens.len() as u64);
+        for &t in &self.tokens {
+            h.write_u64(t as u64);
+        }
+        h.write_f32s(self.keys.as_slice());
+        h.write_f32s(self.values.as_slice());
+        for &kept in &self.retained {
+            h.write_u8(u8::from(kept));
+        }
+        h.finish()
+    }
+
+    /// Whether the sealed checksum still matches the payload.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.compute_checksum()
     }
 }
 
@@ -388,7 +415,7 @@ pub fn compress_page(
     }
     let exact = Bytes::of_f16(2 * members.len() * head_dim);
 
-    CompressedPage {
+    let mut page = CompressedPage {
         tokens: members.to_vec(),
         keys: k,
         values: v,
@@ -396,7 +423,10 @@ pub fn compress_page(
         merged_pairs,
         compressed_bytes: compressed,
         exact_bytes: exact,
-    }
+        checksum: 0,
+    };
+    page.checksum = page.compute_checksum();
+    page
 }
 
 /// Per-head store of compressed cluster pages with aggregate byte
@@ -463,6 +493,37 @@ impl CompressedStore {
     /// Look up a page.
     pub fn get(&self, key: PageKey) -> Option<&CompressedPage> {
         self.pages.get(&key)
+    }
+
+    /// Flip the sealed checksum of a page (deterministic fault injection for
+    /// the integrity suite). Only the checksum is damaged — the payload stays
+    /// pristine, modeling a detected-before-attended corruption whose repair
+    /// re-reads the same bytes. Returns whether the page exists.
+    pub fn corrupt(&mut self, key: PageKey) -> bool {
+        match self.pages.get_mut(&key) {
+            Some(page) => {
+                page.checksum ^= clusterkv_faults::CORRUPTION_MASK;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Verify a page's checksum: `None` if absent, otherwise whether the
+    /// sealed checksum matches the payload.
+    pub fn verify(&self, key: PageKey) -> Option<bool> {
+        self.pages.get(&key).map(CompressedPage::verify)
+    }
+
+    // analyzer: recovery-path
+    /// Re-seal a page whose checksum failed verification by recomputing it
+    /// from the payload — modeling a re-fetch of the page from the exact
+    /// backing store. Returns the exact bytes such a re-fetch moves, or
+    /// `None` if the page does not exist.
+    pub fn repair(&mut self, key: PageKey) -> Option<Bytes> {
+        let page = self.pages.get_mut(&key)?;
+        page.checksum = page.compute_checksum();
+        Some(page.exact_bytes)
     }
 
     /// Remove a page, updating the totals.
@@ -725,5 +786,31 @@ mod tests {
             "int4+merge0.15"
         );
         assert_eq!(QuantMode::Off.to_string(), "f16");
+    }
+
+    #[test]
+    fn compressed_pages_are_sealed_and_verify() {
+        let (k, v) = random_kv(8, 4, 21);
+        let page = compress_page(&k, &v, &[0, 2, 5], CompressionConfig::int8());
+        assert!(page.verify());
+        assert_eq!(page.checksum, page.compute_checksum());
+    }
+
+    #[test]
+    fn store_corrupt_verify_repair_round_trip() {
+        let (k, v) = random_kv(8, 4, 22);
+        let mut store = CompressedStore::new(CompressionConfig::lossless());
+        store.compress_and_insert(key(3), &k, &v, &[1, 2, 3]);
+        assert_eq!(store.verify(key(3)), Some(true));
+        assert!(store.corrupt(key(3)));
+        assert_eq!(store.verify(key(3)), Some(false));
+        let moved = store.repair(key(3));
+        // Repair re-fetches the exact layout: 2 tensors · 3 tokens · 4 dims.
+        assert_eq!(moved, Some(Bytes::of_f16(2 * 3 * 4)));
+        assert_eq!(store.verify(key(3)), Some(true));
+        // Absent pages report absence, not failure.
+        assert!(!store.corrupt(key(9)));
+        assert_eq!(store.verify(key(9)), None);
+        assert_eq!(store.repair(key(9)), None);
     }
 }

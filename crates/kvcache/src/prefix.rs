@@ -48,6 +48,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use clusterkv_faults::Fnv64;
 use clusterkv_tensor::Matrix;
 
 use crate::store::KvStore;
@@ -67,6 +68,40 @@ pub struct SharedKvPage {
     pub values: Matrix,
     /// Cached squared key norms, aligned with rows.
     pub key_norms: Vec<f32>,
+    /// FNV-1a 64 checksum over the row bits, sealed at donation time and
+    /// verified before a session adopts the page (DESIGN.md §11).
+    pub checksum: u64,
+}
+
+impl SharedKvPage {
+    /// Build a page and seal its checksum over the payload.
+    pub fn sealed(keys: Matrix, values: Matrix, key_norms: Vec<f32>) -> Self {
+        let mut page = Self {
+            keys,
+            values,
+            key_norms,
+            checksum: 0,
+        };
+        page.checksum = page.compute_checksum();
+        page
+    }
+
+    /// FNV-1a 64 over key rows, value rows and the norm cache (through the
+    /// f32 bit patterns, so the checksum commits to the exact stored bits).
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.keys.rows() as u64);
+        h.write_u64(self.keys.cols() as u64);
+        h.write_f32s(self.keys.as_slice());
+        h.write_f32s(self.values.as_slice());
+        h.write_f32s(&self.key_norms);
+        h.finish()
+    }
+
+    /// Whether the sealed checksum still matches the payload.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
 }
 
 /// Opaque per-head selector state cached at the node where a prompt ends
@@ -266,6 +301,46 @@ impl PrefixStore {
         &self.node(node).pages[idx]
     }
 
+    /// Flip the sealed checksum of the page of `node` for one
+    /// `(layer, kv_head)` — deterministic fault injection for the integrity
+    /// suite. Only the checksum is damaged; the shared rows stay ground
+    /// truth, so detection and repair move bytes and time, never what
+    /// attends. Returns whether the node is live and holds that page.
+    pub fn corrupt_page(&mut self, node: usize, layer: usize, kv_head: usize) -> bool {
+        let idx = self.page_index(layer, kv_head);
+        match self.nodes.get_mut(node).and_then(Option::as_mut) {
+            Some(n) => match n.pages.get_mut(idx) {
+                Some(page) => {
+                    page.checksum ^= clusterkv_faults::CORRUPTION_MASK;
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Verify one page's checksum. `None` when the node is not live or the
+    /// page index is out of range.
+    pub fn verify_page(&self, node: usize, layer: usize, kv_head: usize) -> Option<bool> {
+        let idx = self.page_index(layer, kv_head);
+        let n = self.nodes.get(node)?.as_ref()?;
+        n.pages.get(idx).map(SharedKvPage::verify)
+    }
+
+    // analyzer: recovery-path
+    /// Re-seal a page whose checksum failed verification by recomputing it
+    /// from the pristine shared rows — modeling recompute-and-re-donate of
+    /// the shared span. Returns the page's byte footprint (the re-donation
+    /// traffic), or `None` when the node or page does not exist.
+    pub fn repair_page(&mut self, node: usize, layer: usize, kv_head: usize) -> Option<Bytes> {
+        let idx = self.page_index(layer, kv_head);
+        let n = self.nodes.get_mut(node)?.as_mut()?;
+        let page = n.pages.get_mut(idx)?;
+        page.checksum = page.compute_checksum();
+        Some(Bytes::of_f16(2 * page.keys.rows() * page.keys.cols()))
+    }
+
     fn touch(&mut self, id: usize) {
         self.clock += 1;
         let clock = self.clock;
@@ -436,11 +511,11 @@ impl PrefixStore {
                     store.len() >= pos + span.len(),
                     "session store shorter than the prompt being inserted"
                 );
-                pages.push(SharedKvPage {
-                    keys: store.keys().slice_rows(pos, pos + span.len()),
-                    values: store.values().slice_rows(pos, pos + span.len()),
-                    key_norms: store.key_norms()[pos..pos + span.len()].to_vec(),
-                });
+                pages.push(SharedKvPage::sealed(
+                    store.keys().slice_rows(pos, pos + span.len()),
+                    store.values().slice_rows(pos, pos + span.len()),
+                    store.key_norms()[pos..pos + span.len()].to_vec(),
+                ));
             }
         }
         self.clock += 1;
@@ -477,10 +552,12 @@ impl PrefixStore {
         let suffix_pages: Vec<SharedKvPage> = node
             .pages
             .iter()
-            .map(|p| SharedKvPage {
-                keys: p.keys.slice_rows(k, len),
-                values: p.values.slice_rows(k, len),
-                key_norms: p.key_norms[k..].to_vec(),
+            .map(|p| {
+                SharedKvPage::sealed(
+                    p.keys.slice_rows(k, len),
+                    p.values.slice_rows(k, len),
+                    p.key_norms[k..].to_vec(),
+                )
             })
             .collect();
         let node = self.node_mut(id);
@@ -490,10 +567,12 @@ impl PrefixStore {
         let trimmed: Vec<SharedKvPage> = node
             .pages
             .iter()
-            .map(|p| SharedKvPage {
-                keys: p.keys.slice_rows(0, k),
-                values: p.values.slice_rows(0, k),
-                key_norms: p.key_norms[..k].to_vec(),
+            .map(|p| {
+                SharedKvPage::sealed(
+                    p.keys.slice_rows(0, k),
+                    p.values.slice_rows(0, k),
+                    p.key_norms[..k].to_vec(),
+                )
             })
             .collect();
         node.pages = trimmed;
@@ -899,6 +978,44 @@ mod tests {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    #[test]
+    fn shared_pages_seal_verify_corrupt_repair() {
+        let mut store = PrefixStore::new(test_config(u64::MAX));
+        let prompt = [1, 2, 3, 4];
+        let node = store.insert(&prompt, &kv_for(&prompt));
+        assert_eq!(store.verify_page(node, 0, 0), Some(true));
+        assert!(store.corrupt_page(node, 0, 0));
+        assert_eq!(store.verify_page(node, 0, 0), Some(false));
+        // Repair recomputes from the pristine shared rows and charges the
+        // re-donation: 2 tensors · 4 rows · DIM.
+        let moved = store.repair_page(node, 0, 0);
+        assert_eq!(moved, Some(Bytes::of_f16(2 * 4 * DIM)));
+        assert_eq!(store.verify_page(node, 0, 0), Some(true));
+        // Dead/unknown nodes report absence, not failure.
+        assert!(!store.corrupt_page(9999, 0, 0));
+        assert_eq!(store.verify_page(9999, 0, 0), None);
+        assert_eq!(store.repair_page(9999, 0, 0), None);
+        store.unpin_prompt(&prompt);
+    }
+
+    #[test]
+    fn split_reseals_both_halves() {
+        let mut store = PrefixStore::new(test_config(u64::MAX));
+        let a = [1, 2, 3, 4];
+        let b = [1, 2, 9, 9];
+        let na = store.insert(&a, &kv_for(&a));
+        let nb = store.insert(&b, &kv_for(&b));
+        // Inserting `b` split `a`'s node at offset 2; every page of both
+        // terminals (and the shared prefix half) must carry a fresh seal.
+        for node in [na, nb] {
+            for layer in 0..2 {
+                assert_eq!(store.verify_page(node, layer, 0), Some(true));
+            }
+        }
+        store.unpin_prompt(&a);
+        store.unpin_prompt(&b);
     }
 
     fn arb_prompt() -> impl Strategy<Value = Vec<usize>> {

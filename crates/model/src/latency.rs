@@ -49,6 +49,17 @@ pub struct StepCost {
     /// default when prefetch is off) reduces the clock bit-for-bit to the
     /// pure-sum form.
     pub staged_transfer_bytes: f64,
+    /// Bytes re-transmitted by faulted demand transfers this step, totalled
+    /// across every selective-layer head (DESIGN.md §11). Each retry moves
+    /// the same bytes again and is priced as demand transfer — retries
+    /// change *when* and *for how long*, never what attends. `0.0` (the
+    /// default when fault injection is off) keeps the clock bit-identical
+    /// to the fault-free form (`transfer_time(0) = 0` exactly).
+    pub retried_transfer_bytes: f64,
+    /// Exponential-backoff wait charged by retried transfers this step, in
+    /// seconds on the modeled clock (DESIGN.md §11). `0.0` when fault
+    /// injection is off.
+    pub retry_backoff_seconds: f64,
 }
 
 impl StepCost {
@@ -60,6 +71,8 @@ impl StepCost {
             transferred_tokens_per_head: 0.0,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         }
     }
 
@@ -88,6 +101,8 @@ impl StepCost {
                 transferred_tokens_per_head: 0.0,
                 transferred_compressed_bytes: 0.0,
                 staged_transfer_bytes: 0.0,
+                retried_transfer_bytes: 0.0,
+                retry_backoff_seconds: 0.0,
             };
         }
         Self {
@@ -99,7 +114,18 @@ impl StepCost {
             // reconstruction round-trip.
             transferred_compressed_bytes: compressed_bytes as f64,
             staged_transfer_bytes: staged_bytes as f64,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         }
+    }
+
+    /// Charge retried-transfer traffic and its backoff wait to this step
+    /// (DESIGN.md §11). Builder-style so existing call sites stay untouched
+    /// when fault injection is off.
+    pub fn with_retries(mut self, retried_bytes: u64, backoff_seconds: f64) -> Self {
+        self.retried_transfer_bytes = retried_bytes as f64;
+        self.retry_backoff_seconds = backoff_seconds;
+        self
     }
 }
 
@@ -318,7 +344,15 @@ impl LatencyModel {
             * cost.transferred_tokens_per_head
             * (2 * 2 * cfg.head_dim) as f64
             + cost.transferred_compressed_bytes;
-        let demand = self.device.transfer_time(Bytes(transfer_bytes as u64));
+        // Retried transfers re-move their bytes on demand and then wait out
+        // the exponential backoff; both land on the critical path. With no
+        // faults both terms are exactly zero (`transfer_time(0) = 0`,
+        // `Seconds(0.0)`), so adding them preserves bit-identity.
+        let demand = self.device.transfer_time(Bytes(transfer_bytes as u64))
+            + self
+                .device
+                .transfer_time(Bytes(cost.retried_transfer_bytes as u64))
+            + Seconds(cost.retry_backoff_seconds);
 
         // Staged transfers run asynchronously on the copy engine and
         // overlap this step's compute: only the excess beyond the compute
@@ -390,6 +424,8 @@ mod tests {
                 transferred_tokens_per_head: 300.0,
                 transferred_compressed_bytes: 0.0,
                 staged_transfer_bytes: 0.0,
+                retried_transfer_bytes: 0.0,
+                retry_backoff_seconds: 0.0,
             },
         );
         assert!(
@@ -418,6 +454,8 @@ mod tests {
             transferred_tokens_per_head: 300.0,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         };
         let t8k = m.decode_step(8_000, &cost);
         let t32k = m.decode_step(32_000, &cost);
@@ -457,6 +495,8 @@ mod tests {
             transferred_tokens_per_head: 0.37 * 1024.0,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         });
         let speedup = full.total.get() / clusterkv.total.get();
         assert!(speedup > 1.3 && speedup < 4.0, "speedup {speedup}");
@@ -504,6 +544,8 @@ mod tests {
             transferred_tokens_per_head: 300.0,
             transferred_compressed_bytes: 128.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         };
         let bd = m.decode_step_breakdown(32_000, &cost);
         assert_eq!(bd.staged, Seconds::zero());
@@ -525,6 +567,8 @@ mod tests {
             transferred_tokens_per_head: 300.0,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         };
         // A small staged transfer finishes well inside the compute window:
         // the step costs exactly what it did without staging, and the whole
@@ -566,6 +610,8 @@ mod tests {
             transferred_tokens_per_head: 0.0,
             transferred_compressed_bytes: 0.0,
             staged_transfer_bytes: 0.0,
+            retried_transfer_bytes: 0.0,
+            retry_backoff_seconds: 0.0,
         };
         let exact = StepCost {
             transferred_tokens_per_head: 300.0,

@@ -39,6 +39,7 @@ use crate::prefetch::{PrefetchConfig, PrefetchPredictor};
 use crate::rope::Rope;
 use crate::trace::{AttentionTrace, TraceStep};
 use crate::weights::ModelWeights;
+use clusterkv_faults::{backoff_seconds, FaultInjector, FaultPlan, FaultSite, IntegrityStats};
 use clusterkv_kvcache::cluster_cache::{ClusterCache, ClusterCacheConfig};
 use clusterkv_kvcache::compressed::{compress_page, CompressionConfig};
 use clusterkv_kvcache::device::{DeviceModel, Seconds};
@@ -215,6 +216,11 @@ pub struct SessionReport {
     /// demand transfers), the denominator of
     /// [`hidden_transfer_fraction`](Self::hidden_transfer_fraction).
     pub transfer_time: Seconds,
+    /// Fault-injection and integrity accounting for the session: checksum
+    /// verifications, corruptions injected / detected / repaired, and the
+    /// modeled transfer retries charged to the clock (DESIGN.md §11). All
+    /// zero when the engine runs with faults disabled.
+    pub integrity: IntegrityStats,
 }
 
 impl SessionReport {
@@ -314,12 +320,14 @@ enum SessionPhase {
 }
 
 /// Per-step policy knobs shared by every session of an engine: the
-/// selection budget and the speculative-prefetch configuration. Bundled so
-/// the sessionless decode entry points stay at a readable arity.
+/// selection budget, the speculative-prefetch configuration, and the
+/// deterministic fault injector. Bundled so the sessionless decode entry
+/// points stay at a readable arity.
 #[derive(Debug, Clone, Copy)]
 struct StepPolicy {
     budget: Budget,
     prefetch: PrefetchConfig,
+    faults: FaultInjector,
 }
 
 /// Totals one decode step accumulates across every selective-layer head,
@@ -347,6 +355,13 @@ struct StepAccounting {
     /// Compressed-plan miss bytes served out of the staging buffer this
     /// step (the compressed-tier analogue of `promoted_tokens`).
     promoted_compressed_bytes: u64,
+    /// Bytes re-transferred this step for modeled transfer failures and
+    /// checksum repairs. Priced as extra demand PCIe time; never changes
+    /// what the step attends (DESIGN.md §11).
+    retried_bytes: u64,
+    /// Modeled exponential-backoff wait accumulated by this step's retries,
+    /// added verbatim to the demand term of the overlap clock.
+    backoff_seconds: f64,
 }
 
 /// Per-session state: everything that differs between concurrent sequences.
@@ -420,6 +435,10 @@ struct SessionState {
     /// (admission pin before prefill, the full prompt after donation);
     /// unpinned at release.
     pinned_prompt: Vec<usize>,
+    /// Integrity accounting local to this session's fault seams (prefix
+    /// adoption verifies, transfer retries). Merged with the cluster
+    /// cache's own [`IntegrityStats`] at release.
+    integrity: IntegrityStats,
 }
 
 /// Builder for [`ServeEngine`], replacing the positional
@@ -436,6 +455,7 @@ pub struct ServeEngineBuilder {
     device: DeviceModel,
     compression: CompressionConfig,
     prefetch: PrefetchConfig,
+    faults: FaultPlan,
 }
 
 impl ServeEngineBuilder {
@@ -456,6 +476,7 @@ impl ServeEngineBuilder {
             device: DeviceModel::ada6000(),
             compression: CompressionConfig::lossless(),
             prefetch: PrefetchConfig::disabled(),
+            faults: FaultPlan::disabled(),
         }
     }
 
@@ -557,14 +578,30 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Deterministic fault injection (DESIGN.md §11): modeled transfer
+    /// failures retried with exponential backoff on the modeled clock, and
+    /// checksum corruption of resident KV pages, detected and repaired by
+    /// the integrity scrub. Every decision is a pure function of
+    /// `(plan seed, site, session id, step)`, so fault schedules are
+    /// bit-identical across runs, chunkings and thread counts. Faults change
+    /// *when* and *how long*, never *what attends*: completed token streams
+    /// are byte-identical with faults on or off. Defaults to
+    /// [`FaultPlan::disabled`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Validate the configuration and build the engine.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidConfig`] if the configuration fails
-    /// [`ModelConfig::validate`].
+    /// [`ModelConfig::validate`] or the fault plan fails
+    /// [`FaultPlan::validate`].
     pub fn build(self) -> Result<ServeEngine, EngineError> {
         self.config.validate().map_err(EngineError::InvalidConfig)?;
+        self.faults.validate().map_err(EngineError::InvalidConfig)?;
         let weights = self
             .weights
             .unwrap_or_else(|| ModelWeights::synthetic(&self.config, self.synthetic_seed));
@@ -591,6 +628,7 @@ impl ServeEngineBuilder {
                 })
             }),
             latency,
+            injector: FaultInjector::new(self.faults),
         })
     }
 }
@@ -617,6 +655,9 @@ pub struct ServeEngine {
     prefix: Option<PrefixStore>,
     /// Roofline pricing of modeled per-step decode latency.
     latency: LatencyModel,
+    /// Deterministic fault injector driving the recovery seams
+    /// (DESIGN.md §11); a disabled plan makes every decision a no-op.
+    injector: FaultInjector,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -786,6 +827,7 @@ impl ServeEngine {
                 matched_prefix_tokens: 0,
                 fastpath_prefix_tokens: 0,
                 pinned_prompt: Vec::new(),
+                integrity: IntegrityStats::default(),
                 workspaces: (0..self.config.num_heads)
                     .map(|_| Workspace::new())
                     .collect(),
@@ -818,6 +860,8 @@ impl ServeEngine {
             (sess.num_tokens - sess.matched_prefix_tokens) as u64
                 * self.config.kv_bytes_per_token(),
         );
+        let mut integrity = sess.integrity;
+        integrity.merge(&sess.cache.integrity());
         Ok(SessionReport {
             id,
             context_len: sess.num_tokens,
@@ -831,6 +875,7 @@ impl ServeEngine {
             prefetch: sess.cache.prefetch_stats(),
             hidden_transfer_time: sess.hidden_transfer,
             transfer_time: sess.transfer_time,
+            integrity,
         })
     }
 
@@ -841,6 +886,52 @@ impl ServeEngine {
     /// [`EngineError::UnknownSession`] if the id is not resident.
     pub fn context_len(&self, id: SessionId) -> Result<usize, EngineError> {
         Ok(self.session(id)?.num_tokens)
+    }
+
+    /// The fault plan the engine was built with
+    /// ([`FaultPlan::disabled`] by default).
+    pub fn fault_plan(&self) -> FaultPlan {
+        *self.injector.plan()
+    }
+
+    /// Degradation hook (ladder level 1, DESIGN.md §11): release every
+    /// staged page of the session's prefetch buffer, returning the bytes
+    /// freed (charged as wasted prefetch). A no-op for sessions without a
+    /// staging buffer. Staging only affects the modeled clock, so shedding
+    /// it never changes what the session attends.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn shed_staging(&mut self, id: SessionId) -> Result<Bytes, EngineError> {
+        Ok(self.session_mut(id)?.cache.drop_staging())
+    }
+
+    /// Degradation hook (ladder level 2, DESIGN.md §11): demote the
+    /// session's resident exact pages to the compressed GPU tier, returning
+    /// how many pages moved. A no-op (0) under a lossless compression
+    /// config, where demotion would not shrink anything.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn demote_session(&mut self, id: SessionId) -> Result<usize, EngineError> {
+        Ok(self.session_mut(id)?.cache.demote_all())
+    }
+
+    /// Live integrity accounting of a session: the session-level fault
+    /// seams (prefix-adoption verifies, transfer retries) merged with its
+    /// cluster cache's scrub counters. All zero with faults disabled and an
+    /// intact store.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownSession`] if the id is not resident.
+    pub fn integrity_stats(&self, id: SessionId) -> Result<IntegrityStats, EngineError> {
+        let sess = self.session(id)?;
+        let mut integrity = sess.integrity;
+        integrity.merge(&sess.cache.integrity());
+        Ok(integrity)
     }
 
     /// Whether the engine was built with a cross-session [`PrefixStore`].
@@ -1161,7 +1252,9 @@ impl ServeEngine {
         token: usize,
         use_selection: bool,
     ) -> Result<Vec<f32>, EngineError> {
-        let StepPolicy { budget, prefetch } = policy;
+        let StepPolicy {
+            budget, prefetch, ..
+        } = policy;
         let position = sess.num_tokens;
         if position >= config.max_context {
             return Err(EngineError::ContextOverflow {
@@ -1497,6 +1590,7 @@ impl ServeEngine {
             budget,
             sessions,
             prefix,
+            injector,
             ..
         } = self;
         let sess = sessions
@@ -1551,6 +1645,33 @@ impl ServeEngine {
                     for (layer, layer_kv) in sess.kv.iter_mut().enumerate() {
                         for (kv_head, kv) in layer_kv.iter_mut().enumerate() {
                             for seg in &segments {
+                                // Integrity gate (DESIGN.md §11): the page's
+                                // seal is checked before its rows are
+                                // adopted; a damaged seal is repaired from
+                                // the pristine rows (recompute + re-donate)
+                                // so adoption never propagates corruption.
+                                let key = (seg.node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                    ^ ((layer as u64) << 32)
+                                    ^ ((kv_head as u64) << 16)
+                                    ^ id.raw();
+                                if injector.should_corrupt(FaultSite::PrefixAdoption, key)
+                                    && store.corrupt_page(seg.node, layer, kv_head)
+                                {
+                                    sess.integrity.record_injected();
+                                }
+                                match store.verify_page(seg.node, layer, kv_head) {
+                                    Some(true) => sess.integrity.record_verified(),
+                                    Some(false) => {
+                                        sess.integrity.record_verified();
+                                        sess.integrity.record_detected();
+                                        if let Some(bytes) =
+                                            store.repair_page(seg.node, layer, kv_head)
+                                        {
+                                            sess.integrity.record_repaired(bytes.get());
+                                        }
+                                    }
+                                    None => {}
+                                }
                                 let page = store.page(seg.node, layer, kv_head);
                                 kv.append_shared(
                                     &page.keys,
@@ -1582,6 +1703,7 @@ impl ServeEngine {
                 StepPolicy {
                     budget: *budget,
                     prefetch: PrefetchConfig::disabled(),
+                    faults: *injector,
                 },
                 sess,
                 token,
@@ -1752,6 +1874,7 @@ impl ServeEngine {
             prefetch,
             sessions,
             latency,
+            injector,
             ..
         } = self;
         let sess = sessions
@@ -1764,6 +1887,7 @@ impl ServeEngine {
             StepPolicy {
                 budget: *budget,
                 prefetch: *prefetch,
+                faults: *injector,
             },
             latency,
             id,
@@ -1790,8 +1914,7 @@ impl ServeEngine {
         let token = sess.next_input.ok_or(EngineError::NotPrefilled)?;
         let position = sess.num_tokens;
         sess.step = StepAccounting::default();
-        let hidden =
-            Self::forward_token(config, weights, rope, policy, sess, token, true)?;
+        let hidden = Self::forward_token(config, weights, rope, policy, sess, token, true)?;
 
         // Notify selectors of the new keys appended at `position` — parallel
         // across the independent (layer, head) selectors, one key snapshot
@@ -1843,6 +1966,41 @@ impl ServeEngine {
                 budget_left = Bytes(budget_left.get() - moved.get());
             }
         }
+        // Deterministic fault injection (DESIGN.md §11). Every decision is a
+        // pure function of (plan seed, site, session id, position), so the
+        // schedule is bit-identical across runs, chunkings and thread
+        // counts. Faults only add modeled time (retried bytes, backoff) and
+        // checksum churn; the KV payloads a step attends are untouched, so
+        // token streams match the faults-off run byte for byte.
+        let injector = policy.faults;
+        if injector.enabled() {
+            let step_key = id.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ position as u64;
+            // Modeled transfer failures: this step's demand recall is
+            // re-sent (attempts - 1) extra times, each preceded by an
+            // exponential-backoff wait charged to the modeled clock.
+            let demand_bytes = sess.step.transferred * (4 * config.head_dim) as u64
+                + sess.step.transferred_compressed_bytes;
+            if demand_bytes > 0 {
+                let attempts = injector.transfer_attempts(FaultSite::DemandRecall, step_key);
+                if attempts > 1 {
+                    let retries = u64::from(attempts - 1);
+                    let retried = retries * demand_bytes;
+                    let backoff = backoff_seconds(injector.plan().backoff_base, attempts);
+                    sess.step.retried_bytes += retried;
+                    sess.step.backoff_seconds += backoff;
+                    sess.integrity.record_retries(retries, retried, backoff);
+                }
+            }
+            // Checksum corruption of a resident page, scrubbed in the same
+            // step: detection re-seals the tag from the pristine backing
+            // rows and the re-fetch is charged as retried demand traffic.
+            if injector.should_corrupt(FaultSite::DemandRecall, step_key)
+                && sess.cache.corrupt_resident_page(step_key)
+            {
+                let repaired = sess.cache.scrub();
+                sess.step.retried_bytes += repaired.get();
+            }
+        }
         // Price the step. With the overlap clock, miss tokens promoted out
         // of the staging buffer leave the demand term (their transfer was
         // charged — overlapped — by the step that staged them) and this
@@ -1870,7 +2028,8 @@ impl ServeEngine {
             transferred,
             compressed_bytes,
             staged_bytes,
-        );
+        )
+        .with_retries(sess.step.retried_bytes, sess.step.backoff_seconds);
         let breakdown = latency.decode_step_breakdown(sess.num_tokens, &cost);
         sess.modeled_decode += breakdown.total;
         sess.hidden_transfer += breakdown.hidden();
@@ -1960,11 +2119,13 @@ impl ServeEngine {
             prefetch,
             sessions,
             latency,
+            injector,
             ..
         } = self;
         let policy = StepPolicy {
             budget: *budget,
             prefetch: *prefetch,
+            faults: *injector,
         };
         // The session table is a BTreeMap, so the work list (and thus chunk
         // assignment) is id-ordered structurally — no post-hoc sort needed.
@@ -3140,5 +3301,211 @@ mod tests {
             );
             assert_eq!(stats.shared_bytes, Bytes(0), "round {round}");
         }
+    }
+
+    /// An engine with a real cluster cache and a fault plan: the paged
+    /// test policy keeps the cache in play (resident pages give corruption
+    /// a target) while a small budget keeps demand transfers flowing (so
+    /// retries have traffic to re-send).
+    fn tiny_faulty(budget: usize, plan: FaultPlan) -> ServeEngine {
+        ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(budget))
+            .policy(Box::new(PagedTopKFactory))
+            .kv_cache_capacity(Bytes(1 << 16))
+            .faults(plan)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn faults_never_change_token_streams() {
+        // The central robustness invariant (DESIGN.md §11): fault injection
+        // adds modeled time and checksum churn but the decoded stream is
+        // byte-identical to the faults-off run, at every fault rate.
+        let prompt: Vec<usize> = (0..24).map(|i| (i * 7 + 5) % 128).collect();
+        let mut clean = tiny_faulty(6, FaultPlan::disabled());
+        let c = clean.create_session().unwrap();
+        clean.prefill(c, &prompt).unwrap();
+        let clean_stream: Vec<usize> = (0..8)
+            .map(|_| clean.decode_batch(&[c]).unwrap()[0].next_token)
+            .collect();
+        let clean_report = clean.release(c).unwrap();
+        assert_eq!(clean_report.integrity, IntegrityStats::default());
+
+        for rate in [0.05, 0.2, 0.6] {
+            let mut eng = tiny_faulty(6, FaultPlan::uniform(11, rate));
+            let s = eng.create_session().unwrap();
+            eng.prefill(s, &prompt).unwrap();
+            let stream: Vec<usize> = (0..8)
+                .map(|_| eng.decode_batch(&[s]).unwrap()[0].next_token)
+                .collect();
+            assert_eq!(stream, clean_stream, "rate {rate}: stream diverged");
+            let report = eng.release(s).unwrap();
+            // Faults only ever add modeled time.
+            assert!(
+                report.modeled_decode_time.get() >= clean_report.modeled_decode_time.get(),
+                "rate {rate}: faults made the modeled clock run backwards"
+            );
+            assert_eq!(
+                report.integrity.silent_corruptions(),
+                0,
+                "rate {rate}: an injected corruption escaped the scrub"
+            );
+            assert_eq!(
+                report.integrity.corruptions_repaired, report.integrity.corruptions_detected,
+                "rate {rate}: a detected corruption was not repaired"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_schedules_are_bit_identical_across_runs() {
+        let prompt: Vec<usize> = (0..20).map(|i| (i * 3 + 2) % 128).collect();
+        let run = || {
+            let mut eng = tiny_faulty(6, FaultPlan::uniform(42, 0.4));
+            let s = eng.create_session().unwrap();
+            eng.prefill(s, &prompt).unwrap();
+            let stream: Vec<usize> = (0..6)
+                .map(|_| eng.decode_batch(&[s]).unwrap()[0].next_token)
+                .collect();
+            let report = eng.release(s).unwrap();
+            (
+                stream,
+                report.integrity,
+                report.modeled_decode_time.get().to_bits(),
+            )
+        };
+        let (s1, i1, t1) = run();
+        let (s2, i2, t2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(i1, i2, "integrity accounting must be deterministic");
+        assert_eq!(t1, t2, "modeled time must be bit-identical across runs");
+        // A high uniform rate over 6 decode steps with live demand traffic
+        // must actually fire: a plan that never injects is a broken plan.
+        assert!(i1.transfer_retries > 0, "no retries at rate 0.4");
+        assert!(i1.backoff_seconds > 0.0, "retries must charge backoff");
+    }
+
+    #[test]
+    fn injected_corruptions_are_detected_and_repaired() {
+        let prompt: Vec<usize> = (0..24).map(|i| (i * 5 + 1) % 128).collect();
+        // corruption_rate = 0.45: fires on roughly half the decode steps.
+        let mut eng = tiny_faulty(6, FaultPlan::uniform(3, 0.9));
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &prompt).unwrap();
+        for _ in 0..10 {
+            eng.decode_batch(&[s]).unwrap();
+        }
+        let integrity = eng.integrity_stats(s).unwrap();
+        eng.release(s).unwrap();
+        assert!(
+            integrity.corruptions_injected > 0,
+            "corruption never fired at rate 0.45 over 10 steps"
+        );
+        assert_eq!(
+            integrity.corruptions_detected, integrity.corruptions_injected,
+            "every injected corruption must be caught by the scrub"
+        );
+        assert_eq!(
+            integrity.corruptions_repaired, integrity.corruptions_detected,
+            "every detected corruption must be repaired"
+        );
+        assert_eq!(integrity.silent_corruptions(), 0);
+        assert!(integrity.verifications > 0);
+    }
+
+    #[test]
+    fn prefix_adoption_verifies_and_repairs_shared_pages() {
+        let prompt: Vec<usize> = (0..32).map(|i| (i * 5 + 3) % 128).collect();
+        // Donate with a clean engine, adopt with corruption firing at
+        // nearly every adoption decision.
+        let plan = FaultPlan {
+            corruption_rate: 0.9,
+            ..FaultPlan::disabled().with_seed(5)
+        };
+        let mut eng = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(7)
+            .budget(Budget::new(8))
+            .policy(Box::new(OracleTopKFactory))
+            .prefix_store(Bytes(1 << 20))
+            .faults(plan)
+            .build()
+            .unwrap();
+        let donor = eng.create_session().unwrap();
+        eng.prefill(donor, &prompt).unwrap();
+        let donor_stream: Vec<usize> = (0..4)
+            .map(|_| eng.decode_batch(&[donor]).unwrap()[0].next_token)
+            .collect();
+
+        let adopter = eng.create_session().unwrap();
+        eng.prefill(adopter, &prompt).unwrap();
+        let adopter_stream: Vec<usize> = (0..4)
+            .map(|_| eng.decode_batch(&[adopter]).unwrap()[0].next_token)
+            .collect();
+        assert_eq!(
+            adopter_stream, donor_stream,
+            "adoption-time corruption must never reach the adopted rows"
+        );
+        let integrity = eng.integrity_stats(adopter).unwrap();
+        assert!(
+            integrity.verifications > 0,
+            "adoption must verify shared-page seals"
+        );
+        assert!(
+            integrity.corruptions_injected > 0,
+            "corruption never fired at rate 0.9 across adopted pages"
+        );
+        assert_eq!(
+            integrity.corruptions_detected,
+            integrity.corruptions_injected
+        );
+        assert_eq!(
+            integrity.corruptions_repaired,
+            integrity.corruptions_detected
+        );
+        eng.release(adopter).unwrap();
+        eng.release(donor).unwrap();
+    }
+
+    #[test]
+    fn degradation_hooks_are_safe_no_ops_without_their_tiers() {
+        // Without a staging buffer there is nothing to shed; under a
+        // lossless config there is nothing to demote. Both hooks must be
+        // callable unconditionally by the scheduler's pressure ladder.
+        let mut eng = tiny_faulty(6, FaultPlan::disabled());
+        let s = eng.create_session().unwrap();
+        eng.prefill(s, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        eng.decode_batch(&[s]).unwrap();
+        assert_eq!(eng.shed_staging(s).unwrap(), Bytes(0));
+        assert_eq!(eng.demote_session(s).unwrap(), 0);
+        let ghost = SessionId(999);
+        assert!(matches!(
+            eng.shed_staging(ghost),
+            Err(EngineError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            eng.demote_session(ghost),
+            Err(EngineError::UnknownSession(_))
+        ));
+        // The stream is unaffected by ladder pokes.
+        let next = eng.decode_batch(&[s]).unwrap()[0].next_token;
+        let mut clean = tiny_faulty(6, FaultPlan::disabled());
+        let c = clean.create_session().unwrap();
+        clean.prefill(c, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        clean.decode_batch(&[c]).unwrap();
+        assert_eq!(clean.decode_batch(&[c]).unwrap()[0].next_token, next);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fault_plans() {
+        let mut plan = FaultPlan::disabled();
+        plan.corruption_rate = 1.5;
+        assert!(matches!(
+            ServeEngine::builder(ModelConfig::tiny())
+                .faults(plan)
+                .build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
     }
 }

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+use clusterkv_faults::{FaultInjector, FaultPlan, IntegrityStats};
 use clusterkv_kvcache::device::Seconds;
 use clusterkv_kvcache::types::Bytes;
 use clusterkv_metrics::RequestRow;
@@ -67,6 +68,53 @@ pub struct Request {
     /// Modeled arrival time. The scheduler never starts a request before
     /// its arrival (open-loop traffic).
     pub arrival_time: Seconds,
+    /// Modeled completion deadline. When the clock passes it, the request
+    /// is cancelled at the end of the tick — whether still queued or
+    /// mid-generation — and reported as [`RequestOutcome::TimedOut`].
+    /// `None` disables the timeout.
+    pub deadline: Option<Seconds>,
+}
+
+/// Terminal state of a request in a [`ServingReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// The request generated its full `max_new_tokens` stream.
+    Completed,
+    /// Completed in full, but only after `n` crash-retry re-admissions
+    /// (the stream is still byte-identical to a fault-free run).
+    Retried {
+        /// Number of checkpoint/restore round trips the request survived.
+        n: u32,
+    },
+    /// The modeled clock passed the request's deadline before completion;
+    /// the partial stream (possibly empty) is retained in the metrics.
+    TimedOut,
+    /// The scheduler gave up on the request for `reason` (e.g. the crash
+    /// retry budget was exhausted).
+    Cancelled {
+        /// Why the request was abandoned.
+        reason: String,
+    },
+}
+
+impl RequestOutcome {
+    /// Whether the request delivered its full stream.
+    pub fn is_completed(&self) -> bool {
+        matches!(
+            self,
+            RequestOutcome::Completed | RequestOutcome::Retried { .. }
+        )
+    }
+
+    /// Stable kebab-case name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestOutcome::Completed => "completed",
+            RequestOutcome::Retried { .. } => "retried",
+            RequestOutcome::TimedOut => "timed-out",
+            RequestOutcome::Cancelled { .. } => "cancelled",
+        }
+    }
 }
 
 /// Queue-ordering policy of the scheduler.
@@ -127,6 +175,15 @@ pub struct SchedConfig {
     /// per-step cap untouched; irrelevant unless the engine was built with
     /// prefetch enabled (DESIGN.md §10).
     pub prefetch_bytes_per_tick: Option<Bytes>,
+    /// Deterministic fault plan driving the scheduler's recovery seams:
+    /// whole-session crash faults (checkpoint-release + bounded retry) and
+    /// capacity-shrink pressure events (the degradation ladder). Defaults
+    /// to [`FaultPlan::disabled`], under which every seam is a no-op.
+    pub faults: FaultPlan,
+    /// Cap on crash-retry re-admissions per request; a request that
+    /// crashes more than this many times is reported as
+    /// [`RequestOutcome::Cancelled`].
+    pub max_retries: u32,
 }
 
 impl SchedConfig {
@@ -140,6 +197,8 @@ impl SchedConfig {
             tick_token_budget: DEFAULT_TICK_TOKEN_BUDGET,
             kv_capacity: None,
             prefetch_bytes_per_tick: None,
+            faults: FaultPlan::disabled(),
+            max_retries: 2,
         }
     }
 
@@ -171,6 +230,19 @@ impl SchedConfig {
     /// evenly across the tick's decode batch.
     pub fn with_prefetch_bytes_per_tick(mut self, budget: Bytes) -> Self {
         self.prefetch_bytes_per_tick = Some(budget);
+        self
+    }
+
+    /// Drive the scheduler's recovery seams from a fault plan (crash
+    /// faults, pressure events).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the crash-retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
         self
     }
 }
@@ -223,6 +295,14 @@ struct Waiting {
     arrival: Seconds,
     /// Worst-case KV footprint reserved at admission.
     kv_bytes: Bytes,
+    /// Modeled completion deadline (`None` = no timeout).
+    deadline: Option<Seconds>,
+    /// Crash retries consumed so far (0 for a fresh request; re-queued
+    /// crash victims carry their count back into the queue).
+    retries: u32,
+    /// First admission time, preserved across crash-retry round trips so
+    /// queueing-delay metrics charge the original admission decision.
+    admitted_at: Option<Seconds>,
 }
 
 /// A request admitted into the engine.
@@ -246,6 +326,10 @@ struct Running {
     /// served decodes first, so a tick budget smaller than the running set
     /// round-robins instead of starving the tail).
     last_decode_tick: u64,
+    /// Modeled completion deadline (`None` = no timeout).
+    deadline: Option<Seconds>,
+    /// Crash retries consumed so far.
+    retries: u32,
 }
 
 /// Final measurements of one completed request. All times are modeled
@@ -256,11 +340,15 @@ pub struct RequestMetrics {
     pub id: RequestId,
     /// Arrival time of the request.
     pub arrival: Seconds,
-    /// When the request was admitted into the engine.
+    /// When the request was first admitted into the engine (crash retries
+    /// keep the original admission time; for a request cancelled while
+    /// still queued this equals its cancellation time).
     pub admitted_at: Seconds,
-    /// When the first generated token completed.
-    pub first_token_at: Seconds,
-    /// When the last generated token completed.
+    /// When the first generated token completed (`None` for requests
+    /// cancelled before generating anything).
+    pub first_token_at: Option<Seconds>,
+    /// When the last generated token completed — or, for cancelled /
+    /// timed-out requests, when the scheduler abandoned them.
     pub finished_at: Seconds,
     /// Prompt length in tokens.
     pub prompt_len: usize,
@@ -281,20 +369,39 @@ pub struct RequestMetrics {
     /// Fraction of the session's modeled PCIe time hidden behind compute by
     /// the overlap clock (`0.0` without prefetch — never NaN).
     pub hidden_transfer_fraction: f64,
+    /// How the request ended (completed, retried-then-completed, timed
+    /// out, or cancelled).
+    pub outcome: RequestOutcome,
+    /// Crash-retry re-admissions the request consumed.
+    pub retries: u32,
+    /// Fault-injection and KV-integrity accounting of the request's final
+    /// session (checksum verifications, corruptions injected / detected /
+    /// repaired, modeled transfer retries — DESIGN.md §11). Zero for
+    /// requests cancelled before admission.
+    pub integrity: IntegrityStats,
 }
 
 impl RequestMetrics {
-    /// Time to first token: arrival → first generated token.
+    /// Time to first token: arrival → first generated token
+    /// ([`Seconds::zero`] for requests cancelled before their first token —
+    /// never negative, never NaN).
     pub fn ttft(&self) -> Seconds {
-        self.first_token_at - self.arrival
+        match self.first_token_at {
+            Some(first) => first - self.arrival,
+            None => Seconds::zero(),
+        }
     }
 
-    /// Mean time between output tokens (zero for single-token requests).
+    /// Mean time between output tokens (zero for requests with fewer than
+    /// two tokens, including cancelled ones that never generated).
     pub fn tbt_mean(&self) -> Seconds {
+        let Some(first) = self.first_token_at else {
+            return Seconds::zero();
+        };
         if self.tokens.len() < 2 {
             return Seconds::zero();
         }
-        (self.finished_at - self.first_token_at) * (1.0 / (self.tokens.len() - 1) as f64)
+        (self.finished_at - first) * (1.0 / (self.tokens.len() - 1) as f64)
     }
 
     /// End-to-end latency: arrival → last generated token.
@@ -328,28 +435,56 @@ pub struct TickOutcome {
     pub elapsed: Seconds,
     /// Requests that finished this tick.
     pub completed: Vec<RequestId>,
+    /// Requests that crashed this tick and were re-queued for retry.
+    pub retried: Vec<RequestId>,
+    /// Requests abandoned this tick (timed out or out of retries).
+    pub cancelled: Vec<RequestId>,
+    /// Degradation-ladder level the tick ran under: 0 = no pressure, 1 =
+    /// staging shed, 2 = also demoted to the compressed tier, 3 = also shed
+    /// admissions (DESIGN.md §11).
+    pub pressure_level: u8,
 }
 
 impl TickOutcome {
-    /// Whether the tick did any work (admission, prefill or decode).
+    /// Whether the tick did any work (admission, prefill, decode, terminal
+    /// state transitions, or weathering a capacity-pressure event — a tick
+    /// that sheds admissions is progress through the fault schedule, not a
+    /// stall).
     pub fn did_work(&self) -> bool {
-        !self.admitted.is_empty() || self.prefill_tokens > 0 || self.decode_tokens > 0
+        !self.admitted.is_empty()
+            || self.prefill_tokens > 0
+            || self.decode_tokens > 0
+            || !self.retried.is_empty()
+            || !self.cancelled.is_empty()
+            || self.pressure_level > 0
     }
 }
 
 /// Aggregate outcome of serving a whole trace.
+///
+/// Latency and throughput emitters are *goodput* measures: they cover only
+/// requests whose [`RequestOutcome::is_completed`] holds, so a report mixing
+/// completed and cancelled requests never panics and never skews its TTFT /
+/// TBT means with the zero timestamps of requests that generated nothing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
-    /// Per-request metrics, ordered by request id.
+    /// Per-request metrics (every terminal state), ordered by request id.
     pub requests: Vec<RequestMetrics>,
-    /// Modeled time from clock zero to the last completion.
+    /// Modeled time from clock zero to the last terminal event.
     pub makespan: Seconds,
-    /// Total generated tokens across all requests.
+    /// Tokens generated by *completed* requests (goodput numerator; the
+    /// partial streams of cancelled requests are not counted).
     pub total_generated: usize,
 }
 
 impl ServingReport {
-    /// Generation throughput over the makespan (tokens per modeled second).
+    /// The completed requests (ordered by id, like `requests`).
+    pub fn completed(&self) -> impl Iterator<Item = &RequestMetrics> {
+        self.requests.iter().filter(|r| r.outcome.is_completed())
+    }
+
+    /// Goodput over the makespan: completed-request tokens per modeled
+    /// second (0.0 for an empty or all-cancelled report — never NaN).
     pub fn throughput(&self) -> f64 {
         if self.makespan.get() > 0.0 {
             self.total_generated as f64 / self.makespan.get()
@@ -358,24 +493,72 @@ impl ServingReport {
         }
     }
 
-    /// Every request's TTFT in seconds, ordered by request id.
+    /// Every *completed* request's TTFT in seconds, ordered by request id.
     pub fn ttfts(&self) -> Vec<f64> {
-        self.requests.iter().map(|r| r.ttft().get()).collect()
+        self.completed().map(|r| r.ttft().get()).collect()
     }
 
-    /// Every request's end-to-end latency in seconds, ordered by request id.
+    /// Every *completed* request's end-to-end latency in seconds, ordered
+    /// by request id.
     pub fn e2es(&self) -> Vec<f64> {
-        self.requests.iter().map(|r| r.e2e().get()).collect()
+        self.completed().map(|r| r.e2e().get()).collect()
     }
 
-    /// Mean TTFT in seconds (0 for an empty report).
+    /// Mean TTFT of completed requests in seconds (0 for a report with no
+    /// completions — never NaN).
     pub fn mean_ttft(&self) -> f64 {
         clusterkv_metrics::mean(&self.ttfts())
     }
 
-    /// Export every request as a `clusterkv-metrics` row, ordered by id.
+    /// Mean crash retries per request, over every terminal request (0.0 on
+    /// an empty report — never NaN).
+    pub fn retry_rate(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.requests.iter().map(|r| r.retries as f64).sum::<f64>() / self.requests.len() as f64
+        }
+    }
+
+    /// Fraction of requests that did *not* complete (timed out or
+    /// cancelled), in `[0, 1]` (0.0 on an empty report — never NaN).
+    pub fn cancelled_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.requests
+                .iter()
+                .filter(|r| !r.outcome.is_completed())
+                .count() as f64
+                / self.requests.len() as f64
+        }
+    }
+
+    /// Fraction of requests that delivered their full stream, in `[0, 1]`
+    /// (0.0 on an empty report — never NaN).
+    pub fn completed_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            1.0 - self.cancelled_fraction()
+        }
+    }
+
+    /// Fault-injection / KV-integrity accounting merged over every request
+    /// (DESIGN.md §11). The exp_faults gate checks
+    /// [`IntegrityStats::silent_corruptions`] is 0 here.
+    pub fn integrity(&self) -> IntegrityStats {
+        let mut total = IntegrityStats::default();
+        for r in &self.requests {
+            total.merge(&r.integrity);
+        }
+        total
+    }
+
+    /// Export every *completed* request as a `clusterkv-metrics` row,
+    /// ordered by id (cancelled requests carry no meaningful latencies).
     pub fn request_rows(&self) -> Vec<RequestRow> {
-        self.requests.iter().map(RequestMetrics::row).collect()
+        self.completed().map(RequestMetrics::row).collect()
     }
 }
 
@@ -392,6 +575,9 @@ pub struct Scheduler {
     /// Modeled cost of streaming the weights once (one fused decode batch
     /// pays it once, not once per session) — see [`Scheduler::tick`].
     weight_stream: Seconds,
+    /// Deterministic fault injector driving crash faults and pressure
+    /// events (a disabled plan makes every recovery seam a no-op).
+    injector: FaultInjector,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -448,6 +634,10 @@ impl Scheduler {
                 "engine needs a default selection policy (ServeEngineBuilder::policy)".into(),
             ));
         }
+        config
+            .faults
+            .validate()
+            .map_err(SchedError::InvalidConfig)?;
         let weight_stream = engine.latency_model().decode_step(
             0,
             &StepCost {
@@ -456,6 +646,8 @@ impl Scheduler {
                 transferred_tokens_per_head: 0.0,
                 transferred_compressed_bytes: 0.0,
                 staged_transfer_bytes: 0.0,
+                retried_transfer_bytes: 0.0,
+                retry_backoff_seconds: 0.0,
             },
         );
         Ok(Self {
@@ -468,6 +660,7 @@ impl Scheduler {
             running: Vec::new(),
             completed: Vec::new(),
             weight_stream,
+            injector: FaultInjector::new(config.faults),
         })
     }
 
@@ -564,6 +757,9 @@ impl Scheduler {
             priority: request.priority,
             arrival: request.arrival_time,
             kv_bytes,
+            deadline: request.deadline,
+            retries: 0,
+            admitted_at: None,
         });
         Ok(id)
     }
@@ -605,7 +801,12 @@ impl Scheduler {
     /// admission ([`ServeEngine::pin_session_prefix`]) — pinned pages cannot
     /// be evicted, so the discount can never exceed what prefill later
     /// reuses and the bound stays sound.
-    fn admit(&mut self) -> Result<Vec<RequestId>, SchedError> {
+    /// Under a pressure event (`pressure < 1.0`) the admission bound is
+    /// tightened to `pressure · kv_capacity`: running reservations are
+    /// never revoked (pinned and resident pages are never dropped), but no
+    /// new request is admitted past the shrunken bound until the event
+    /// clears.
+    fn admit(&mut self, pressure: f64) -> Result<Vec<RequestId>, SchedError> {
         let mut admitted = Vec::new();
         let bytes_per_token = self.engine.config().kv_bytes_per_token();
         loop {
@@ -643,7 +844,13 @@ impl Scheduler {
                     .saturating_sub(shareable.get()),
             );
             let fits = match self.config.kv_capacity {
-                Some(capacity) => self.kv_reserved() + effective <= capacity,
+                Some(capacity) => {
+                    // floor() of a finite non-negative product: deterministic
+                    // at any thread count, and pressure == 1.0 reproduces the
+                    // unscaled bound exactly.
+                    let scaled = Bytes((capacity.get() as f64 * pressure).floor() as u64);
+                    self.kv_reserved() + effective <= scaled
+                }
                 None => true,
             };
             if !fits {
@@ -668,13 +875,17 @@ impl Scheduler {
                 max_new: w.max_new,
                 priority: w.priority,
                 arrival: w.arrival,
-                admitted_at: self.clock,
+                // A crash-retry re-admission keeps its original admission
+                // time: the queueing decision was made once.
+                admitted_at: w.admitted_at.unwrap_or(self.clock),
                 kv_bytes,
                 fed: 0,
                 tokens: Vec::new(),
                 first_token_at: None,
                 last_token_at: Seconds::zero(),
                 last_decode_tick: 0,
+                deadline: w.deadline,
+                retries: w.retries,
             });
         }
         Ok(admitted)
@@ -706,6 +917,9 @@ impl Scheduler {
             decode_tokens: 0,
             elapsed: Seconds::zero(),
             completed: Vec::new(),
+            retried: Vec::new(),
+            cancelled: Vec::new(),
+            pressure_level: 0,
         };
         if self.is_idle() {
             return Ok(outcome);
@@ -721,7 +935,36 @@ impl Scheduler {
                 self.clock = Seconds(next);
             }
         }
-        outcome.admitted = self.admit()?;
+
+        // Degradation ladder (DESIGN.md §11): a pressure event shrinks the
+        // effective capacity to `f · kv_capacity` and sheds reclaimable
+        // state in order of how cheap it is to give up — staged prefetch
+        // bytes first (pure accounting, re-stageable), then demotion of
+        // resident pages to the compressed tier (recoverable quality /
+        // bandwidth trade), and only at the deepest level new admissions.
+        // Running requests are never evicted: pinned and resident pages
+        // survive every level, so streams are unaffected.
+        let pressure = self.injector.pressure_factor(tick);
+        if pressure < 1.0 {
+            outcome.pressure_level = 1;
+            for i in 0..self.running.len() {
+                let session = self.running[i].session;
+                self.engine.shed_staging(session)?;
+            }
+            if pressure <= 0.75 {
+                outcome.pressure_level = 2;
+                for i in 0..self.running.len() {
+                    let session = self.running[i].session;
+                    self.engine.demote_session(session)?;
+                }
+            }
+            if pressure <= 0.5 {
+                outcome.pressure_level = 3;
+            }
+        }
+        if outcome.pressure_level < 3 {
+            outcome.admitted = self.admit(pressure)?;
+        }
 
         // Assemble the tick's mixed batch under the token budget: decode
         // first (one token per decodable session, least recently served
@@ -835,6 +1078,46 @@ impl Scheduler {
         }
         outcome.elapsed = elapsed;
 
+        // Whole-session crash faults (DESIGN.md §11): every decode step of a
+        // request draws from the crash stream, keyed by (request id, retry
+        // round, step ordinal) — deterministic at any thread count, and a
+        // retry draws a fresh schedule instead of replaying its crash
+        // forever. A victim is checkpoint-released (with a prefix store its
+        // prompt KV was donated at finish_prefill, so the retry re-adopts
+        // those pages instead of recomputing them) and re-queued with its
+        // original arrival and admission times; the engine is deterministic,
+        // so the regenerated stream is byte-identical to an uninterrupted
+        // run. A victim out of retries is cancelled instead.
+        if self.injector.enabled() {
+            let mut crashed: Vec<usize> = decode_order
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let r = &self.running[i];
+                    let key = r.id.0 ^ (u64::from(r.retries) << 48);
+                    self.injector.should_crash(key, r.tokens.len() as u64)
+                })
+                .collect();
+            // Descending order keeps the remaining indices valid as
+            // victims are removed.
+            crashed.sort_unstable_by(|a, b| b.cmp(a));
+            for i in crashed {
+                let r = self.running.remove(i);
+                let report = self.engine.release(r.session)?;
+                if r.retries >= self.config.max_retries {
+                    outcome.cancelled.push(r.id);
+                    let reason = format!(
+                        "crash retry budget exhausted ({} runs)",
+                        u64::from(r.retries) + 1
+                    );
+                    self.record_terminal(r, RequestOutcome::Cancelled { reason }, Some(&report));
+                } else {
+                    outcome.retried.push(r.id);
+                    self.requeue(r);
+                }
+            }
+        }
+
         // Completions: release finished sessions and record their metrics.
         let mut i = 0;
         while i < self.running.len() {
@@ -842,14 +1125,18 @@ impl Scheduler {
                 let r = self.running.remove(i);
                 let report = self.engine.release(r.session)?;
                 outcome.completed.push(r.id);
+                let terminal = if r.retries > 0 {
+                    RequestOutcome::Retried { n: r.retries }
+                } else {
+                    RequestOutcome::Completed
+                };
+                let finished_at = r.last_token_at;
                 self.completed.push(RequestMetrics {
                     id: r.id,
                     arrival: r.arrival,
                     admitted_at: r.admitted_at,
-                    first_token_at: r
-                        .first_token_at
-                        .expect("completed requests generated at least one token"),
-                    finished_at: r.last_token_at,
+                    first_token_at: r.first_token_at,
+                    finished_at,
                     prompt_len: r.prompt.len(),
                     tokens: r.tokens,
                     priority: r.priority,
@@ -858,6 +1145,55 @@ impl Scheduler {
                     shared_prefix_tokens: report.shared_prefix_tokens,
                     prefetch_accuracy: report.prefetch_accuracy(),
                     hidden_transfer_fraction: report.hidden_transfer_fraction(),
+                    outcome: terminal,
+                    retries: r.retries,
+                    integrity: report.integrity,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        // Timeout cancellation: requests past their deadline at the end of
+        // the tick are abandoned — running ones release their session and
+        // keep the partial stream in the metrics; queued ones are dropped
+        // before wasting any prefill work. Completions above run first, so
+        // a stream that finishes in the very tick its deadline expires is
+        // still delivered.
+        let now = self.clock;
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].deadline.is_some_and(|d| now > d) {
+                let r = self.running.remove(i);
+                let report = self.engine.release(r.session)?;
+                outcome.cancelled.push(r.id);
+                self.record_terminal(r, RequestOutcome::TimedOut, Some(&report));
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.waiting.len() {
+            if self.waiting[i].deadline.is_some_and(|d| now > d) {
+                let w = self.waiting.remove(i);
+                outcome.cancelled.push(w.id);
+                self.completed.push(RequestMetrics {
+                    id: w.id,
+                    arrival: w.arrival,
+                    admitted_at: w.admitted_at.unwrap_or(now),
+                    first_token_at: None,
+                    finished_at: now,
+                    prompt_len: w.prompt.len(),
+                    tokens: Vec::new(),
+                    priority: w.priority,
+                    cache_hit_rate: 0.0,
+                    bytes_recalled: Bytes(0),
+                    shared_prefix_tokens: 0,
+                    prefetch_accuracy: 0.0,
+                    hidden_transfer_fraction: 0.0,
+                    outcome: RequestOutcome::TimedOut,
+                    retries: w.retries,
+                    integrity: IntegrityStats::default(),
                 });
             } else {
                 i += 1;
@@ -868,6 +1204,56 @@ impl Scheduler {
             return Err(SchedError::Stalled);
         }
         Ok(outcome)
+    }
+
+    /// Record the terminal metrics of a request that did not run to
+    /// completion (crash-cancelled or timed out), carrying over whatever
+    /// the released session reported.
+    // analyzer: recovery-path
+    fn record_terminal(
+        &mut self,
+        r: Running,
+        outcome: RequestOutcome,
+        report: Option<&clusterkv_model::SessionReport>,
+    ) {
+        self.completed.push(RequestMetrics {
+            id: r.id,
+            arrival: r.arrival,
+            admitted_at: r.admitted_at,
+            first_token_at: r.first_token_at,
+            finished_at: self.clock,
+            prompt_len: r.prompt.len(),
+            tokens: r.tokens,
+            priority: r.priority,
+            cache_hit_rate: report.map_or(0.0, |s| s.cache_hit_rate()),
+            bytes_recalled: report.map_or(Bytes(0), |s| s.bytes_recalled()),
+            shared_prefix_tokens: report.map_or(0, |s| s.shared_prefix_tokens),
+            prefetch_accuracy: report.map_or(0.0, |s| s.prefetch_accuracy()),
+            hidden_transfer_fraction: report.map_or(0.0, |s| s.hidden_transfer_fraction()),
+            outcome,
+            retries: r.retries,
+            integrity: report.map_or_else(IntegrityStats::default, |s| s.integrity),
+        });
+    }
+
+    /// Re-queue a crash victim for bounded retry, preserving its identity,
+    /// arrival time and first admission time; the retry counter is bumped
+    /// so the crash stream draws a fresh schedule next round.
+    // analyzer: recovery-path
+    fn requeue(&mut self, r: Running) {
+        let bytes_per_token = self.engine.config().kv_bytes_per_token();
+        let kv_bytes = Bytes((r.prompt.len() + r.max_new) as u64 * bytes_per_token);
+        self.waiting.push(Waiting {
+            id: r.id,
+            prompt: r.prompt,
+            max_new: r.max_new,
+            priority: r.priority,
+            arrival: r.arrival,
+            kv_bytes,
+            deadline: r.deadline,
+            retries: r.retries + 1,
+            admitted_at: Some(r.admitted_at),
+        });
     }
 
     /// Tick until every submitted request has completed, then report.
@@ -882,7 +1268,7 @@ impl Scheduler {
         Ok(self.report())
     }
 
-    /// Report over every completed request so far (ordered by id).
+    /// Report over every terminal request so far (ordered by id).
     pub fn report(&self) -> ServingReport {
         let mut requests = self.completed.clone();
         requests.sort_by_key(|r| r.id);
@@ -892,7 +1278,13 @@ impl Scheduler {
                 .map(|r| r.finished_at.get())
                 .fold(0.0, f64::max),
         );
-        let total_generated = requests.iter().map(|r| r.tokens.len()).sum();
+        // Goodput numerator: the partial streams of cancelled requests do
+        // not count as delivered tokens.
+        let total_generated = requests
+            .iter()
+            .filter(|r| r.outcome.is_completed())
+            .map(|r| r.tokens.len())
+            .sum();
         ServingReport {
             requests,
             makespan,
@@ -924,6 +1316,7 @@ mod tests {
             max_new_tokens: new,
             priority,
             arrival_time: Seconds(at),
+            deadline: None,
         }
     }
 
@@ -1304,6 +1697,7 @@ mod tests {
             max_new_tokens: new,
             priority: 0,
             arrival_time: Seconds(at),
+            deadline: None,
         };
         sched.submit(shared(0.0)).unwrap();
         while !sched.is_idle() {
@@ -1373,6 +1767,7 @@ mod tests {
                         max_new_tokens: 4,
                         priority: 0,
                         arrival_time: Seconds(0.0003 * i as f64),
+                        deadline: None,
                     })
                     .unwrap();
             }
@@ -1443,9 +1838,230 @@ mod tests {
             for (r, &(plen, new)) in report.requests.iter().zip(&expected) {
                 prop_assert_eq!(r.prompt_len, plen);
                 prop_assert_eq!(r.tokens.len(), new);
-                prop_assert!(r.first_token_at >= r.admitted_at);
-                prop_assert!(r.finished_at >= r.first_token_at);
+                prop_assert!(r.first_token_at >= Some(r.admitted_at));
+                prop_assert!(r.first_token_at.is_some_and(|t| r.finished_at >= t));
                 prop_assert!(r.admitted_at >= r.arrival);
+            }
+        }
+    }
+
+    fn faulty_store_sched(plan: FaultPlan, max_retries: u32) -> Scheduler {
+        let engine = ServeEngine::builder(ModelConfig::tiny())
+            .synthetic_weights(13)
+            .budget(Budget::new(16))
+            .policy(Box::new(OracleTopKFactory))
+            .prefix_store(Bytes(1 << 20))
+            .build()
+            .unwrap();
+        Scheduler::new(
+            engine,
+            SchedConfig::fcfs(4)
+                .with_faults(plan)
+                .with_max_retries(max_retries),
+        )
+        .unwrap()
+    }
+
+    /// Completed token streams keyed by request id, for parity checks.
+    fn streams(report: &ServingReport) -> std::collections::BTreeMap<u64, Vec<usize>> {
+        report
+            .completed()
+            .map(|r| (r.id.0, r.tokens.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_report_ratios_are_zero_not_nan() {
+        let sched = Scheduler::new(engine(), SchedConfig::fcfs(1)).unwrap();
+        let report = sched.report();
+        assert_eq!(report.retry_rate(), 0.0);
+        assert_eq!(report.cancelled_fraction(), 0.0);
+        assert_eq!(report.completed_fraction(), 0.0);
+        assert_eq!(report.mean_ttft(), 0.0);
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.integrity(), IntegrityStats::default());
+        assert!(report.ttfts().is_empty());
+        assert!(report.e2es().is_empty());
+        assert!(report.request_rows().is_empty());
+    }
+
+    #[test]
+    fn mixed_completed_and_cancelled_requests_report_cleanly() {
+        let mut sched = Scheduler::new(engine(), SchedConfig::fcfs(4)).unwrap();
+        sched.submit(request(8, 4, 0, 0.0)).unwrap();
+        let mut doomed = request(10, 4, 0, 0.0);
+        doomed.deadline = Some(Seconds(0.0));
+        sched.submit(doomed).unwrap();
+        sched.submit(request(12, 4, 0, 0.0)).unwrap();
+        let report = sched.run().unwrap();
+        assert_eq!(report.requests.len(), 3);
+        let timed_out: Vec<_> = report
+            .requests
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::TimedOut)
+            .collect();
+        assert_eq!(timed_out.len(), 1, "the zero-deadline request timed out");
+        assert_eq!(timed_out[0].id, RequestId(1));
+        // The percentile/throughput emitters cover completed requests only
+        // and stay well-formed in the presence of a cancelled request.
+        assert_eq!(report.ttfts().len(), 2);
+        assert_eq!(report.e2es().len(), 2);
+        assert_eq!(report.request_rows().len(), 2);
+        assert_eq!(report.total_generated, 8);
+        assert!(report.mean_ttft().is_finite() && report.mean_ttft() > 0.0);
+        assert!(report.throughput().is_finite() && report.throughput() > 0.0);
+        assert!((report.cancelled_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((report.completed_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_are_shed_without_admission() {
+        let cfg = ModelConfig::tiny();
+        // Capacity for exactly one request's worst case: the second waits.
+        let capacity = Bytes((16 + 8) as u64 * cfg.kv_bytes_per_token());
+        let mut sched =
+            Scheduler::new(engine(), SchedConfig::fcfs(4).with_kv_capacity(capacity)).unwrap();
+        sched.submit(request(16, 8, 0, 0.0)).unwrap();
+        let mut doomed = request(16, 8, 0, 0.0);
+        doomed.deadline = Some(Seconds(1e-9));
+        sched.submit(doomed).unwrap();
+        let report = sched.run().unwrap();
+        let shed = &report.requests[1];
+        assert_eq!(shed.outcome, RequestOutcome::TimedOut);
+        assert!(shed.tokens.is_empty(), "never ran, no partial stream");
+        assert_eq!(shed.first_token_at, None);
+        assert_eq!(report.requests[0].outcome, RequestOutcome::Completed);
+    }
+
+    #[test]
+    fn crash_faults_retry_deterministically_and_preserve_streams() {
+        let plan = FaultPlan {
+            crash_rate: 0.08,
+            ..FaultPlan::disabled().with_seed(41)
+        };
+        let run = |plan: FaultPlan| {
+            let mut sched = faulty_store_sched(plan, 8);
+            for i in 0..6 {
+                sched
+                    .submit(request(10 + i, 6, 0, 0.0002 * i as f64))
+                    .unwrap();
+            }
+            sched.run().unwrap()
+        };
+        let faulty = run(plan);
+        let clean = run(FaultPlan::disabled());
+        assert!(
+            faulty.retry_rate() > 0.0,
+            "crash faults actually fired at rate 0.08"
+        );
+        // Retries change *when*, never *what*: every completed stream is
+        // byte-identical to the uninterrupted run (checkpoint/restore via
+        // the prefix store plus deterministic replay).
+        let clean_streams = streams(&clean);
+        for (id, tokens) in streams(&faulty) {
+            assert_eq!(
+                Some(&tokens),
+                clean_streams.get(&id),
+                "request {id} diverged after crash recovery"
+            );
+        }
+        let again = run(plan);
+        assert_eq!(faulty, again, "crash schedules are bit-identical");
+    }
+
+    #[test]
+    fn crash_retry_budget_exhaustion_cancels_the_request() {
+        let plan = FaultPlan {
+            crash_rate: 0.99,
+            ..FaultPlan::disabled().with_seed(7)
+        };
+        let mut sched = faulty_store_sched(plan, 2);
+        sched.submit(request(8, 6, 0, 0.0)).unwrap();
+        let report = sched.run().unwrap();
+        assert_eq!(report.requests.len(), 1);
+        let r = &report.requests[0];
+        assert!(
+            matches!(r.outcome, RequestOutcome::Cancelled { .. }),
+            "rate-1.0 crashes exhaust the retry budget, got {:?}",
+            r.outcome
+        );
+        assert_eq!(r.retries, 2, "both retries were consumed first");
+        assert_eq!(report.completed_fraction(), 0.0);
+        assert_eq!(report.total_generated, 0, "goodput counts completions only");
+        assert!(sched.is_idle());
+        assert_eq!(sched.kv_reserved(), Bytes(0), "no leaked reservations");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        // Degradation-ladder invariants: capacity pressure may delay or
+        // throttle requests but never drops one, never overcommits the
+        // scaled KV bound, and never perturbs a token stream.
+        #[test]
+        fn pressure_ladder_never_drops_or_perturbs_requests(
+            seed in 0u64..512,
+            rate in 0.1f64..0.9,
+        ) {
+            let plan = FaultPlan {
+                pressure_rate: rate,
+                pressure_floor: 0.5,
+                ..FaultPlan::disabled().with_seed(seed)
+            };
+            let kv_per_token = ModelConfig::tiny().kv_bytes_per_token();
+            let capacity = Bytes(60 * kv_per_token);
+            let run = |plan: FaultPlan| {
+                let mut sched = Scheduler::new(
+                    engine(),
+                    SchedConfig::fcfs(3)
+                        .with_kv_capacity(capacity)
+                        .with_faults(plan),
+                )
+                .unwrap();
+                for i in 0..5 {
+                    sched.submit(request(8 + i, 4, 0, 0.0003 * i as f64)).unwrap();
+                }
+                let mut max_level = 0u8;
+                while !sched.is_idle() {
+                    let out = sched.tick().unwrap();
+                    max_level = max_level.max(out.pressure_level);
+                    prop_assert!(out.pressure_level <= 3);
+                    prop_assert!(sched.kv_reserved() <= capacity);
+                }
+                Ok((sched.report(), max_level))
+            };
+            let (faulty, level) = run(plan)?;
+            let (clean, _) = run(FaultPlan::disabled())?;
+            prop_assert!(level >= 1, "pressure at rate {rate} fired at least once");
+            // Pinned/resident state is never dropped: every request still
+            // delivers its full stream, byte-identical to the calm run.
+            prop_assert_eq!(faulty.cancelled_fraction(), 0.0);
+            prop_assert_eq!(streams(&faulty), streams(&clean));
+        }
+
+        // Checkpoint/restore parity: a crashed request re-admitted through
+        // the prefix-store checkpoint regenerates exactly the stream an
+        // uninterrupted run would have produced, bitwise.
+        #[test]
+        fn checkpoint_restore_replay_matches_uninterrupted_runs(
+            seed in 0u64..512,
+            rate in 0.02f64..0.2,
+        ) {
+            let plan = FaultPlan {
+                crash_rate: rate,
+                ..FaultPlan::disabled().with_seed(seed)
+            };
+            let run = |plan: FaultPlan| {
+                let mut sched = faulty_store_sched(plan, 6);
+                for i in 0..4 {
+                    sched.submit(request(9 + i, 5, 0, 0.0002 * i as f64)).unwrap();
+                }
+                sched.run().unwrap()
+            };
+            let faulty = run(plan);
+            let clean = run(FaultPlan::disabled());
+            let clean_streams = streams(&clean);
+            for (id, tokens) in streams(&faulty) {
+                prop_assert_eq!(Some(&tokens), clean_streams.get(&id));
             }
         }
     }

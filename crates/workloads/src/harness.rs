@@ -432,6 +432,7 @@ pub fn generate_traffic(config: &TrafficConfig) -> Vec<clusterkv_sched::Request>
                 max_new_tokens: output_len,
                 priority: i as u32 % config.priority_levels,
                 arrival_time: clusterkv_kvcache::device::Seconds(clock),
+                deadline: None,
             }
         })
         .collect()

@@ -34,6 +34,8 @@ fn main() {
                     transferred_tokens_per_head: budget as f64 * (1.0 - cache_hit_rate),
                     transferred_compressed_bytes: 0.0,
                     staged_transfer_bytes: 0.0,
+                    retried_transfer_bytes: 0.0,
+                    retry_backoff_seconds: 0.0,
                 }
             });
             println!(

@@ -261,6 +261,8 @@ fn latency_model_reproduces_fig12_shape() {
         transferred_tokens_per_head: 1024.0 * 0.37,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     });
     let speedup = full.total.get() / clusterkv.total.get();
     assert!(speedup > 1.2, "end-to-end speedup {speedup:.2} too small");
@@ -288,6 +290,8 @@ fn fig13_shape_clusterkv_beats_infinigen_and_matches_quest() {
         transferred_tokens_per_head: 256.0,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     });
     let clusterkv_opt = opt.run(2048, 256, Some((2048 / 80, 10)), |ctx| StepCost {
         scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
@@ -295,6 +299,8 @@ fn fig13_shape_clusterkv_beats_infinigen_and_matches_quest() {
         transferred_tokens_per_head: 256.0 * 0.37,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     });
     assert!(infinigen.total.get() / clusterkv_opt.total.get() > 1.1);
 
@@ -306,6 +312,8 @@ fn fig13_shape_clusterkv_beats_infinigen_and_matches_quest() {
         transferred_tokens_per_head: 0.0,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     });
     let clusterkv = llama.run(16_384, 256, Some((16_384 / 80, 10)), |ctx| StepCost {
         scored_vectors_per_head: (ctx as f64 / 80.0).max(1.0),
@@ -313,6 +321,8 @@ fn fig13_shape_clusterkv_beats_infinigen_and_matches_quest() {
         transferred_tokens_per_head: 1024.0 * 0.37,
         transferred_compressed_bytes: 0.0,
         staged_transfer_bytes: 0.0,
+        retried_transfer_bytes: 0.0,
+        retry_backoff_seconds: 0.0,
     });
     let deviation = (clusterkv.total.get() - quest.total.get()).abs() / quest.total.get();
     assert!(
